@@ -1,0 +1,122 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (DESIGN.md maps each exhibit to its modules).  Part 2 runs Bechamel
+   micro-benchmarks over the hot kernels, including the naive-vs-
+   optimised largest-rectangle ablation.
+
+   Environment:
+     VARTUNE_SAMPLES     Monte-Carlo sample libraries (default 50, paper's N)
+     VARTUNE_SEED        random seed (default 42)
+     VARTUNE_SKIP_MICRO  set to skip the Bechamel section *)
+
+module Experiment = Vartune_flow.Experiment
+module Figures = Vartune_flow.Figures
+module Report = Vartune_flow.Report
+module Characterize = Vartune_charlib.Characterize
+module Statistical = Vartune_statlib.Statistical
+module Sampler = Vartune_charlib.Sampler
+module Catalog = Vartune_stdcell.Catalog
+module Mismatch = Vartune_process.Mismatch
+module Library = Vartune_liberty.Library
+module Cell = Vartune_liberty.Cell
+module Arc = Vartune_liberty.Arc
+module Lut = Vartune_liberty.Lut
+module Rng = Vartune_util.Rng
+module Binary_lut = Vartune_tuning.Binary_lut
+module Rectangle = Vartune_tuning.Rectangle
+module Timing = Vartune_sta.Timing
+module Path = Vartune_sta.Path
+module Convolve = Vartune_stats.Convolve
+module Mapper = Vartune_synth.Mapper
+module Constraints = Vartune_synth.Constraints
+
+let env_int name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let random_mask rng rows cols density =
+  Binary_lut.of_bool_rows
+    (Array.init rows (fun _ -> Array.init cols (fun _ -> Rng.uniform rng < density)))
+
+(* Runs before the experiment phase so the measurements see a small,
+   clean heap; builds its own nominal library and mapped design. *)
+let micro_benchmarks () =
+  let open Bechamel in
+  Report.heading "Micro-benchmarks (Bechamel)";
+  let library = Characterize.nominal Characterize.default_config in
+  let inv = Library.find library "INV_4" in
+  let arc = List.hd (Cell.arcs inv) in
+  let rng = Rng.create 2024 in
+  let mask8 = random_mask rng 8 8 0.7 in
+  let mask24 = random_mask rng 24 24 0.7 in
+  let specs = List.filter_map Catalog.find [ "INV"; "ND2" ] in
+  let cons = Constraints.make ~clock_period:16.0 () in
+  let netlist = Mapper.map cons library (Vartune_rtl.Microcontroller.generate ()) in
+  let tconfig = Constraints.timing_config cons in
+  let timing = Timing.run tconfig netlist in
+  let paths = Path.worst_per_endpoint timing netlist in
+  let a_path = List.nth paths (List.length paths / 2) in
+  let tests =
+    [
+      Test.make ~name:"lut_bilinear_lookup"
+        (Staged.stage (fun () -> Lut.lookup arc.Arc.rise_delay ~slew:0.21 ~load:0.0123));
+      Test.make ~name:"rectangle_naive_8x8"
+        (Staged.stage (fun () -> Rectangle.naive_largest mask8));
+      Test.make ~name:"rectangle_opt_8x8" (Staged.stage (fun () -> Rectangle.largest mask8));
+      Test.make ~name:"rectangle_naive_24x24"
+        (Staged.stage (fun () -> Rectangle.naive_largest mask24));
+      Test.make ~name:"rectangle_opt_24x24"
+        (Staged.stage (fun () -> Rectangle.largest mask24));
+      Test.make ~name:"characterize_2_families"
+        (Staged.stage (fun () ->
+             Characterize.library Characterize.default_config ~name:"bench" specs));
+      Test.make ~name:"statistical_merge_n10"
+        (Staged.stage (fun () ->
+             Statistical.of_stream ~n:10 (fun index ->
+                 Sampler.sample_library Characterize.default_config
+                   ~mismatch:Mismatch.default ~seed:1 ~index ~specs ())));
+      Test.make ~name:"sta_full_design"
+        (Staged.stage (fun () -> Timing.run tconfig netlist));
+      Test.make ~name:"path_convolution"
+        (Staged.stage (fun () -> Convolve.of_path a_path));
+    ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:3000 ~stabilize:true ~quota:(Time.second 1.0) ~kde:None () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) ->
+            let time, unit_label =
+              if est > 1e9 then (est /. 1e9, "s")
+              else if est > 1e6 then (est /. 1e6, "ms")
+              else if est > 1e3 then (est /. 1e3, "us")
+              else (est, "ns")
+            in
+            Printf.printf "  %-28s %10.2f %s/run\n%!" name time unit_label
+          | Some [] | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Info);
+  let samples = env_int "VARTUNE_SAMPLES" 50 in
+  let seed = env_int "VARTUNE_SEED" 42 in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "vartune reproduction harness — N=%d samples, seed %d\n%!" samples seed;
+  if Sys.getenv_opt "VARTUNE_SKIP_MICRO" = None then micro_benchmarks ();
+  let setup = Experiment.prepare ~samples ~seed () in
+  Figures.run_all setup;
+  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,301 @@
+(* vartune — library tuning for variability tolerant designs.
+
+   Command-line front end over the vartune libraries: characterise the
+   catalog, build statistical libraries, extract tuning restrictions,
+   synthesise the evaluation design and regenerate the paper's
+   tables/figures. *)
+
+open Cmdliner
+
+module Characterize = Vartune_charlib.Characterize
+module Statistical = Vartune_statlib.Statistical
+module Printer = Vartune_liberty.Printer
+module Parser = Vartune_liberty.Parser
+module Library = Vartune_liberty.Library
+module Mismatch = Vartune_process.Mismatch
+module Mcu = Vartune_rtl.Microcontroller
+module Synthesis = Vartune_synth.Synthesis
+module Constraints = Vartune_synth.Constraints
+module Netlist = Vartune_netlist.Netlist
+module Path = Vartune_sta.Path
+module Design_sigma = Vartune_stats.Design_sigma
+module Tuning_method = Vartune_tuning.Tuning_method
+module Cluster = Vartune_tuning.Cluster
+module Threshold = Vartune_tuning.Threshold
+module Restrict = Vartune_tuning.Restrict
+module Timing_report = Vartune_sta.Timing_report
+module Power = Vartune_sta.Power
+module Verilog = Vartune_netlist.Verilog
+module Experiment = Vartune_flow.Experiment
+module Figures = Vartune_flow.Figures
+module Report = Vartune_flow.Report
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let samples_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "n"; "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample libraries (paper: 50).")
+
+let output_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the library to $(docv) instead of stdout.")
+
+let write_library output lib =
+  match output with
+  | Some path ->
+    Printer.write_file path lib;
+    Printf.printf "wrote %s (%d cells)\n" path (Library.size lib)
+  | None -> print_string (Printer.to_string lib)
+
+(* ------------------------------------------------------------------ *)
+
+let characterize_cmd =
+  let run verbose output =
+    setup_logs verbose;
+    write_library output (Characterize.nominal Characterize.default_config)
+  in
+  Cmd.v
+    (Cmd.info "characterize" ~doc:"Characterise the 304-cell catalog into a nominal library.")
+    Term.(const run $ verbose_arg $ output_arg)
+
+let statlib_cmd =
+  let run verbose output samples seed =
+    setup_logs verbose;
+    let lib =
+      Statistical.build Characterize.default_config ~mismatch:Mismatch.default ~seed
+        ~n:samples ()
+    in
+    write_library output lib
+  in
+  Cmd.v
+    (Cmd.info "statlib"
+       ~doc:"Build the statistical library (entry-wise mean/sigma over N samples).")
+    Term.(const run $ verbose_arg $ output_arg $ samples_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let method_conv =
+  let parse s =
+    let population, rest =
+      match String.index_opt s '/' with
+      | Some i ->
+        ( (match String.sub s 0 i with
+          | "cell" -> Cluster.Per_cell
+          | "strength" -> Cluster.Per_drive_strength
+          | other -> failwith ("unknown population " ^ other)),
+          String.sub s (i + 1) (String.length s - i - 1) )
+      | None -> (Cluster.Per_cell, s)
+    in
+    let criterion =
+      match String.split_on_char '=' rest with
+      | [ "load"; v ] -> Threshold.Load_slope (float_of_string v)
+      | [ "slew"; v ] -> Threshold.Slew_slope (float_of_string v)
+      | [ "ceiling"; v ] -> Threshold.Sigma_ceiling (float_of_string v)
+      | _ -> failwith "expected load=V, slew=V or ceiling=V"
+    in
+    Ok { Tuning_method.population; criterion }
+  in
+  let parse s = try parse s with Failure m -> Error (`Msg m) in
+  let print ppf m = Format.pp_print_string ppf (Tuning_method.name m) in
+  Arg.conv (parse, print)
+
+let method_arg =
+  Arg.(
+    value
+    & opt (some method_conv) None
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:
+          "Tuning method, e.g. cell/ceiling=0.02, strength/load=0.05, cell/slew=0.03. \
+           Population is cell or strength.")
+
+let period_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "p"; "period" ] ~docv:"NS" ~doc:"Clock period in ns (default: measured minimum).")
+
+let tune_cmd =
+  let run verbose samples seed tuning =
+    setup_logs verbose;
+    let tuning =
+      Option.value tuning
+        ~default:
+          { Tuning_method.population = Cluster.Per_cell;
+            criterion = Threshold.Sigma_ceiling 0.02 }
+    in
+    let lib =
+      Statistical.build Characterize.default_config ~mismatch:Mismatch.default ~seed
+        ~n:samples ()
+    in
+    let table = Tuning_method.restrictions tuning lib in
+    Printf.printf "method: %s\n" (Tuning_method.name tuning);
+    Printf.printf "LUT-entry removal across the library: %s\n"
+      (Report.pct (Restrict.restriction_fraction table lib));
+    List.iter
+      (fun (cell, pin, status) ->
+        match status with
+        | Restrict.Unrestricted -> ()
+        | Restrict.Unusable -> Printf.printf "%-10s %-3s UNUSABLE\n" cell pin
+        | Restrict.Window w ->
+          Printf.printf "%-10s %-3s slew [%.4g, %.4g] ns  load [%.5g, %.5g] pF\n" cell pin
+            w.Restrict.slew_min w.Restrict.slew_max w.Restrict.load_min w.Restrict.load_max)
+      (Restrict.restricted_pins table)
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Extract per-pin slew/load restrictions from a tuning method.")
+    Term.(const run $ verbose_arg $ samples_arg $ seed_arg $ method_arg)
+
+let timing_report_arg =
+  Arg.(value & flag & info [ "timing-report" ] ~doc:"Print the worst-path timing report.")
+
+let power_arg =
+  Arg.(value & flag & info [ "power" ] ~doc:"Print the average power report.")
+
+let verilog_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "verilog" ] ~docv:"FILE" ~doc:"Export the synthesised netlist as structural Verilog.")
+
+let synth_cmd =
+  let run verbose samples seed period tuning timing_report power verilog =
+    setup_logs verbose;
+    let setup = Experiment.prepare ~samples ~seed () in
+    let period = Option.value period ~default:setup.Experiment.min_period in
+    let base = Experiment.baseline setup ~period in
+    let print_run label (run : Experiment.run) =
+      let r = run.Experiment.result in
+      Printf.printf "%-24s feasible=%b slack=%+.3f area=%.0f um^2 cells=%d sigma=%.4f ns\n"
+        label r.Synthesis.feasible r.Synthesis.worst_slack r.Synthesis.area
+        r.Synthesis.instances
+        run.Experiment.design_sigma.Design_sigma.dist.Vartune_stats.Dist.sigma
+    in
+    print_run "baseline" base;
+    let final =
+      match tuning with
+      | None -> base
+      | Some tuning ->
+        let tuned = Experiment.tuned setup ~period ~tuning in
+        print_run (Tuning_method.name tuning) tuned;
+        Printf.printf "sigma decrease %s at area increase %s\n"
+          (Report.pct (Experiment.sigma_reduction ~baseline:base ~tuned))
+          (Report.pct (Experiment.area_increase ~baseline:base ~tuned));
+        tuned
+    in
+    let result = final.Experiment.result in
+    if timing_report then
+      print_string
+        (Timing_report.report result.Synthesis.timing result.Synthesis.netlist);
+    if power then
+      Format.printf "%a@." Power.pp
+        (Power.estimate result.Synthesis.timing result.Synthesis.netlist);
+    Option.iter
+      (fun path ->
+        Verilog.write_file path result.Synthesis.netlist;
+        Printf.printf "wrote %s\n" path)
+      verilog
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesise the evaluation design, optionally with tuning.")
+    Term.(
+      const run $ verbose_arg $ samples_arg $ seed_arg $ period_arg $ method_arg
+      $ timing_report_arg $ power_arg $ verilog_arg)
+
+let min_period_cmd =
+  let run verbose samples seed =
+    setup_logs verbose;
+    let setup = Experiment.prepare ~samples ~seed () in
+    Printf.printf "minimum clock period: %.2f ns\n" setup.Experiment.min_period;
+    List.iter
+      (fun (label, p) -> Printf.printf "  %-8s %.2f ns\n" label p)
+      setup.Experiment.periods
+  in
+  Cmd.v
+    (Cmd.info "min-period" ~doc:"Measure the minimum feasible clock period (Table 1).")
+    Term.(const run $ verbose_arg $ samples_arg $ seed_arg)
+
+let figure_names =
+  [
+    ("fig1", `Fig1); ("fig2", `Fig2); ("fig3", `Fig3); ("fig4", `Fig4); ("fig5", `Fig5);
+    ("fig6", `Fig6); ("fig7", `Fig7); ("fig8", `Fig8); ("fig9", `Fig9); ("fig10", `Fig10);
+    ("fig11", `Fig11); ("fig12", `Fig12); ("fig13", `Fig13); ("fig14", `Fig14);
+    ("fig15", `Fig15); ("fig16", `Fig16); ("table1", `Table1); ("table2", `Table2);
+    ("table3", `Table3); ("ext-power", `Power); ("ext-yield", `Yield); ("ext-hold", `Hold);
+    ("futurework-layout", `Layout); ("ablation-mapping", `Mapping);
+    ("ablation-guard-band", `Guard); ("ablation-rho", `Rho); ("ablation-variability", `Variability);
+    ("all", `All);
+  ]
+
+let report_cmd =
+  let figure_arg =
+    Arg.(
+      value
+      & pos 0 (enum figure_names) `All
+      & info [] ~docv:"FIGURE" ~doc:"Exhibit to regenerate (fig1..fig16, table1..table3, all).")
+  in
+  let run verbose samples seed figure =
+    setup_logs verbose;
+    let setup = Experiment.prepare ~samples ~seed () in
+    match figure with
+    | `All -> Figures.run_all setup
+    | `Fig1 -> Figures.fig1_metric ()
+    | `Fig2 -> Figures.fig2_statlib setup
+    | `Fig3 -> Figures.fig3_bilinear ()
+    | `Fig4 -> Figures.fig4_inv_surfaces setup
+    | `Fig5 -> Figures.fig5_drive6 setup
+    | `Fig6 -> Figures.fig6_rectangle setup
+    | `Fig7 -> Figures.fig7_all_luts setup
+    | `Fig8 -> Figures.fig8_period_area setup
+    | `Fig9 -> Figures.fig9_cell_use setup
+    | `Fig10 | `Table3 -> Figures.table3_winners (Figures.fig10_method_sweep setup)
+    | `Fig11 -> Figures.fig11_tradeoff setup
+    | `Fig12 -> Figures.fig12_depths setup
+    | `Fig13 -> Figures.fig13_sigma_depth setup
+    | `Fig14 -> Figures.fig14_mean3sigma setup
+    | `Fig15 -> Figures.fig15_corners setup
+    | `Fig16 -> Figures.fig16_local_share setup
+    | `Table1 -> Figures.table1_periods setup
+    | `Table2 -> Figures.table2_parameters ()
+    | `Power -> Figures.extension_power setup
+    | `Yield -> Figures.extension_yield setup
+    | `Hold -> Figures.extension_hold setup
+    | `Layout -> Figures.futurework_layout setup
+    | `Mapping -> Figures.ablation_mapping_style setup
+    | `Guard -> Figures.ablation_guard_band setup
+    | `Rho -> Figures.ablation_rho setup
+    | `Variability -> Figures.ablation_variability_metric setup
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate a table or figure from the paper's evaluation.")
+    Term.(const run $ verbose_arg $ samples_arg $ seed_arg $ figure_arg)
+
+let parse_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Library file.")
+  in
+  let run verbose file =
+    setup_logs verbose;
+    let lib = Parser.parse_file file in
+    Printf.printf "%s: %d cells, corner %s, statistical=%b, total area %.0f um^2\n"
+      (Library.name lib) (Library.size lib) (Library.corner lib)
+      (Statistical.is_statistical lib)
+      (Library.total_area lib)
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse a liberty-format library file and summarise it.")
+    Term.(const run $ verbose_arg $ file_arg)
+
+let main_cmd =
+  let doc = "standard cell library tuning for variability tolerant designs" in
+  Cmd.group (Cmd.info "vartune" ~version:"1.0.0" ~doc)
+    [ characterize_cmd; statlib_cmd; tune_cmd; synth_cmd; min_period_cmd; report_cmd; parse_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,53 @@
+(* Inverter drive ladder exploration (paper Fig 4).
+
+   Shows how drive strength shapes the local-variation sigma surface:
+   bigger devices match better (Pelgrom), so high drives have lower and
+   flatter sigma — the physical basis for drive-strength clustering.
+
+   Run with: dune exec examples/inverter_surfaces.exe *)
+
+module Characterize = Vartune_charlib.Characterize
+module Statistical = Vartune_statlib.Statistical
+module Catalog = Vartune_stdcell.Catalog
+module Mismatch = Vartune_process.Mismatch
+module Library = Vartune_liberty.Library
+module Cell = Vartune_liberty.Cell
+module Arc = Vartune_liberty.Arc
+module Lut = Vartune_liberty.Lut
+module Grid = Vartune_util.Grid
+module Slope = Vartune_tuning.Slope
+module Threshold = Vartune_tuning.Threshold
+module Report = Vartune_flow.Report
+
+let () =
+  let specs = List.filter_map Catalog.find [ "INV" ] in
+  let statlib =
+    Statistical.build Characterize.default_config ~mismatch:Mismatch.default ~seed:11
+      ~n:40 ~specs ()
+  in
+  let sigma_of name =
+    match List.filter_map Arc.worst_sigma (Cell.arcs (Library.find statlib name)) with
+    | lut :: _ -> lut
+    | [] -> failwith "no sigma"
+  in
+  List.iter
+    (fun name ->
+      let lut = sigma_of name in
+      Report.sub_heading name;
+      Report.surface lut;
+      let load_slope = Slope.load_slope lut in
+      Printf.printf "  max sigma %.4f ns; max load slope %.3f ns/pF; max slew slope %.4f\n"
+        (Grid.max_value (Lut.values lut))
+        (Grid.max_value (Lut.values load_slope))
+        (Grid.max_value (Lut.values (Slope.slew_slope lut))))
+    [ "INV_1"; "INV_2"; "INV_4"; "INV_8"; "INV_16"; "INV_32" ];
+
+  Report.sub_heading "slope-bound threshold extraction on INV_1";
+  let lut = sigma_of "INV_1" in
+  List.iter
+    (fun bound ->
+      match Threshold.extract_slope_threshold lut ~load_bound:bound ~slew_bound:0.06 with
+      | Some threshold ->
+        Printf.printf "  load slope < %-5g -> sigma threshold %.4f ns\n" bound threshold
+      | None -> Printf.printf "  load slope < %-5g -> no flat region\n" bound)
+    [ 1.0; 0.05; 0.03; 0.01 ]

@@ -1,0 +1,48 @@
+(* Liberty-format round trip.
+
+   Demonstrates the library file format: characterise a subset, write it
+   out in the liberty-like syntax, parse it back, and verify the result
+   is identical entry for entry.
+
+   Run with: dune exec examples/liberty_roundtrip.exe *)
+
+module Characterize = Vartune_charlib.Characterize
+module Statistical = Vartune_statlib.Statistical
+module Catalog = Vartune_stdcell.Catalog
+module Mismatch = Vartune_process.Mismatch
+module Printer = Vartune_liberty.Printer
+module Parser = Vartune_liberty.Parser
+module Library = Vartune_liberty.Library
+module Cell = Vartune_liberty.Cell
+module Arc = Vartune_liberty.Arc
+module Lut = Vartune_liberty.Lut
+
+let () =
+  let specs = List.filter_map Catalog.find [ "INV"; "ND2"; "FA1"; "DFF" ] in
+  let lib =
+    Statistical.build Characterize.default_config ~mismatch:Mismatch.default ~seed:3
+      ~n:10 ~specs ()
+  in
+  let text = Printer.to_string lib in
+  Printf.printf "serialised %d cells into %d bytes of liberty text\n" (Library.size lib)
+    (String.length text);
+  print_endline "--- excerpt ---";
+  String.split_on_char '\n' text
+  |> List.filteri (fun i _ -> i < 24)
+  |> List.iter print_endline;
+  print_endline "--- end excerpt ---";
+  let reparsed = Parser.parse text in
+  let cells_equal (a : Cell.t) (b : Cell.t) =
+    a.Cell.name = b.Cell.name
+    && a.Cell.area = b.Cell.area
+    && List.for_all2
+         (fun (x : Arc.t) (y : Arc.t) ->
+           Lut.equal x.Arc.rise_delay y.Arc.rise_delay
+           && Lut.equal x.Arc.fall_delay y.Arc.fall_delay)
+         (Cell.arcs a) (Cell.arcs b)
+  in
+  let ok = List.for_all2 cells_equal (Library.cells lib) (Library.cells reparsed) in
+  Printf.printf "round trip %s: %d cells re-parsed identically\n"
+    (if ok then "OK" else "FAILED")
+    (Library.size reparsed);
+  if not ok then exit 1

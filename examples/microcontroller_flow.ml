@@ -1,0 +1,60 @@
+(* Full design-level flow (the paper's headline experiment, one point).
+
+   Builds the statistical library, synthesises the 20k-gate
+   microcontroller at its minimum clock period, then re-synthesises with
+   the sigma-ceiling restriction and compares design sigma and area.
+
+   Takes a couple of minutes at full fidelity; set VARTUNE_SAMPLES to
+   lower the Monte-Carlo sample count.
+
+   Run with: dune exec examples/microcontroller_flow.exe *)
+
+module Experiment = Vartune_flow.Experiment
+module Report = Vartune_flow.Report
+module Synthesis = Vartune_synth.Synthesis
+module Netlist = Vartune_netlist.Netlist
+module Design_sigma = Vartune_stats.Design_sigma
+module Dist = Vartune_stats.Dist
+module Tuning_method = Vartune_tuning.Tuning_method
+module Cluster = Vartune_tuning.Cluster
+module Threshold = Vartune_tuning.Threshold
+
+let samples =
+  match Sys.getenv_opt "VARTUNE_SAMPLES" with
+  | Some s -> int_of_string s
+  | None -> 30
+
+let () =
+  Printf.printf "preparing experiment setup (N=%d sample libraries)...\n%!" samples;
+  let setup = Experiment.prepare ~samples () in
+  Printf.printf "minimum clock period: %.2f ns (paper: 2.41 ns on their 40 nm flow)\n"
+    setup.Experiment.min_period;
+  let period = List.assoc "high" setup.Experiment.periods in
+
+  let base = Experiment.baseline setup ~period in
+  let tuning =
+    { Tuning_method.population = Cluster.Per_cell; criterion = Threshold.Sigma_ceiling 0.02 }
+  in
+  let tuned = Experiment.tuned setup ~period ~tuning in
+
+  let describe label (run : Experiment.run) =
+    let r = run.Experiment.result in
+    Printf.printf "\n%s\n" label;
+    Printf.printf "  feasible        %b (worst slack %+.3f ns)\n" r.Synthesis.feasible
+      r.Synthesis.worst_slack;
+    Printf.printf "  cells           %d\n" r.Synthesis.instances;
+    Printf.printf "  area            %.0f um^2\n" r.Synthesis.area;
+    Printf.printf "  design sigma    %.4f ns over %d endpoint paths\n"
+      run.Experiment.design_sigma.Design_sigma.dist.Dist.sigma
+      run.Experiment.design_sigma.Design_sigma.paths;
+    Printf.printf "  top cells       ";
+    List.iteri
+      (fun i (name, count) -> if i < 6 then Printf.printf "%s:%d " name count)
+      (Netlist.cell_usage r.Synthesis.netlist);
+    print_newline ()
+  in
+  describe "baseline synthesis" base;
+  describe "sigma-ceiling 0.02 ns tuned synthesis" tuned;
+  Printf.printf "\nsigma decrease %s at area increase %s (paper: -37%% at +7%%)\n"
+    (Report.pct (Experiment.sigma_reduction ~baseline:base ~tuned))
+    (Report.pct (Experiment.area_increase ~baseline:base ~tuned))

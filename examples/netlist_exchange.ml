@@ -1,0 +1,45 @@
+(* Netlist interchange: synthesise, export structural Verilog, re-import
+   and re-analyse — the write/read path every EDA flow depends on.
+
+   Run with: dune exec examples/netlist_exchange.exe *)
+
+module Ir = Vartune_rtl.Ir
+module Word = Vartune_rtl.Word
+module Synthesis = Vartune_synth.Synthesis
+module Constraints = Vartune_synth.Constraints
+module Timing = Vartune_sta.Timing
+module Verilog = Vartune_netlist.Verilog
+module Netlist = Vartune_netlist.Netlist
+module Characterize = Vartune_charlib.Characterize
+
+let () =
+  let lib = Characterize.nominal Characterize.default_config in
+  let g = Ir.create ~name:"alu8" in
+  let a = Word.inputs g ~prefix:"a" ~width:8 in
+  let b = Word.inputs g ~prefix:"b" ~width:8 in
+  let sum, carry = Word.add_fast g a b in
+  Word.outputs g ~prefix:"s" (Word.reg g sum);
+  Ir.output g "co" (Ir.ff g ~d:carry ());
+  let r = Synthesis.run (Constraints.make ~clock_period:2.0 ()) lib g in
+  Printf.printf "synthesised %s: %d cells, slack %+.3f\n" "alu8"
+    r.Synthesis.instances r.Synthesis.worst_slack;
+
+  let path = Filename.temp_file "alu8" ".v" in
+  Verilog.write_file path r.Synthesis.netlist;
+  Printf.printf "wrote %s (%d bytes)\n" path (Unix.stat path).Unix.st_size;
+  print_endline "--- excerpt ---";
+  let ic = open_in path in
+  (try
+     for _ = 1 to 12 do
+       print_endline (input_line ic)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  print_endline "--- end excerpt ---";
+
+  let back = Verilog.parse_file ~library:lib path in
+  let timing = Timing.run (Timing.default_config ~clock_period:2.0) back in
+  Printf.printf "re-imported: %d cells, worst slack %+.3f (matches: %b)\n"
+    (Netlist.instance_count back) (Timing.worst_slack timing)
+    (Float.abs (Timing.worst_slack timing -. r.Synthesis.worst_slack) < 1e-9);
+  Sys.remove path

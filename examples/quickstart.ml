@@ -1,0 +1,62 @@
+(* Quickstart: the whole tuning pipeline on a pocket-sized library.
+
+   1. Characterise a few cell families under Monte-Carlo local variation.
+   2. Merge the samples into a statistical library (mean + sigma LUTs).
+   3. Extract a sigma threshold and restrict each cell's look-up table to
+      its robust (slew, load) window.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Characterize = Vartune_charlib.Characterize
+module Statistical = Vartune_statlib.Statistical
+module Catalog = Vartune_stdcell.Catalog
+module Spec = Vartune_stdcell.Spec
+module Mismatch = Vartune_process.Mismatch
+module Library = Vartune_liberty.Library
+module Cell = Vartune_liberty.Cell
+module Pin = Vartune_liberty.Pin
+module Arc = Vartune_liberty.Arc
+module Tuning_method = Vartune_tuning.Tuning_method
+module Cluster = Vartune_tuning.Cluster
+module Threshold = Vartune_tuning.Threshold
+module Restrict = Vartune_tuning.Restrict
+module Report = Vartune_flow.Report
+
+let () =
+  (* a small catalog subset keeps this instant *)
+  let specs =
+    List.filter_map Catalog.find [ "INV"; "ND2"; "NR2"; "XO2"; "DFF" ]
+  in
+  let config = Characterize.default_config in
+  print_endline "1. building a statistical library from 30 Monte-Carlo samples...";
+  let statlib =
+    Statistical.build config ~mismatch:Mismatch.default ~seed:7 ~n:30 ~specs ()
+  in
+  Printf.printf "   %d cells, statistical = %b\n" (Library.size statlib)
+    (Statistical.is_statistical statlib);
+
+  print_endline "\n2. delay-sigma surface of ND2_1 (local variation per LUT entry):";
+  let nd2 = Library.find statlib "ND2_1" in
+  (match List.filter_map Arc.worst_sigma (Cell.arcs nd2) with
+  | lut :: _ -> Report.surface lut
+  | [] -> ());
+
+  print_endline "\n3. tuning with a sigma ceiling of 0.02 ns:";
+  let tuning =
+    { Tuning_method.population = Cluster.Per_cell;
+      criterion = Threshold.Sigma_ceiling 0.02 }
+  in
+  let table = Tuning_method.restrictions tuning statlib in
+  Printf.printf "   removed %s of the library's LUT entries from use\n"
+    (Report.pct (Restrict.restriction_fraction table statlib));
+  List.iter
+    (fun (cell_name, pin, status) ->
+      match status with
+      | Restrict.Window w ->
+        Printf.printf "   %-8s %-3s -> slew <= %.3g ns, load <= %.4g pF\n" cell_name pin
+          w.Restrict.slew_max w.Restrict.load_max
+      | Restrict.Unusable -> Printf.printf "   %-8s %-3s -> unusable\n" cell_name pin
+      | Restrict.Unrestricted -> ())
+    (List.filteri (fun i _ -> i < 8) (Restrict.restricted_pins table));
+  print_endline "\nThese windows are what synthesis receives as per-pin constraints.";
+  print_endline "See examples/microcontroller_flow.ml for the full design-level flow."

@@ -1,0 +1,40 @@
+(** Library characterisation (Section II of the paper).
+
+    Expands the cell catalog into a liberty library: every (family, drive)
+    pair becomes a cell whose timing arcs carry 2-D LUTs tabulated over a
+    shared slew axis and a per-drive load axis. *)
+
+type config = {
+  params : Delay_model.params;
+  corner : Vartune_process.Corner.t;
+  slew_axis : float array;  (** shared input-slew axis, ns *)
+  load_fractions : float array;
+  (** load axis as fractions of each cell's max capacitance *)
+}
+
+val default_config : config
+(** Typical corner, 8×8 grids: slews 0.01–1.0 ns, loads 1/64–1 of the
+    cell's drive limit. *)
+
+val load_axis : config -> Vartune_stdcell.Spec.t -> drive:int -> float array
+(** Absolute load axis of one cell, pF. *)
+
+val cell :
+  config ->
+  ?sample_for:(Vartune_stdcell.Spec.t -> drive:int -> Vartune_process.Mismatch.sample) ->
+  Vartune_stdcell.Spec.t ->
+  drive:int ->
+  Vartune_liberty.Cell.t
+(** Characterises one cell.  [sample_for] supplies the local-variation
+    sample applied to all of the cell's arcs (defaults to no variation). *)
+
+val library :
+  config ->
+  ?name:string ->
+  ?sample_for:(Vartune_stdcell.Spec.t -> drive:int -> Vartune_process.Mismatch.sample) ->
+  Vartune_stdcell.Spec.t list ->
+  Vartune_liberty.Library.t
+(** Characterises a whole catalog.  The default name is the corner tag. *)
+
+val nominal : ?specs:Vartune_stdcell.Spec.t list -> config -> Vartune_liberty.Library.t
+(** The nominal (no-variation) library of the full catalog. *)

@@ -1,0 +1,27 @@
+module Rng = Vartune_util.Rng
+module Mismatch = Vartune_process.Mismatch
+module Spec = Vartune_stdcell.Spec
+
+(* Every (sample index, cell) pair gets its own deterministic RNG stream so
+   sample libraries are reproducible and order-independent. *)
+let cell_rng ~seed ~index (spec : Spec.t) ~drive =
+  let h = Hashtbl.hash (spec.family, drive, index) in
+  Rng.create (seed lxor (h * 0x9E3779B9) lxor (index * 0x85EBCA6B))
+
+let sample_library config ~mismatch ~seed ~index ?(specs = Vartune_stdcell.Catalog.specs) () =
+  let sample_for spec ~drive =
+    let rng = cell_rng ~seed ~index spec ~drive in
+    Mismatch.draw mismatch rng ~stages:(Delay_model.stage_count spec) ~drive ()
+  in
+  let name = Printf.sprintf "%s_mc%03d" (Vartune_process.Corner.name config.Characterize.corner) index in
+  Characterize.library config ~name ~sample_for specs
+
+let sample_libraries config ~mismatch ~seed ~n ?specs () =
+  List.init n (fun index -> sample_library config ~mismatch ~seed ~index ?specs ())
+
+let fold_samples config ~mismatch ~seed ~n ?specs ~init ~f () =
+  let rec go acc index =
+    if index >= n then acc
+    else go (f acc (sample_library config ~mismatch ~seed ~index ?specs ())) (index + 1)
+  in
+  go init 0

@@ -1,0 +1,39 @@
+(** Monte-Carlo library sampling (Section III/IV of the paper).
+
+    Each sample library is the catalog re-characterised with one fresh
+    local-variation draw per cell; the set of N sample libraries is the
+    input to the statistical merge.  The paper uses N = 50. *)
+
+val sample_library :
+  Characterize.config ->
+  mismatch:Vartune_process.Mismatch.t ->
+  seed:int ->
+  index:int ->
+  ?specs:Vartune_stdcell.Spec.t list ->
+  unit ->
+  Vartune_liberty.Library.t
+(** The [index]-th sample library of the stream identified by [seed].
+    Sample k is identical whether generated alone or as part of a batch. *)
+
+val sample_libraries :
+  Characterize.config ->
+  mismatch:Vartune_process.Mismatch.t ->
+  seed:int ->
+  n:int ->
+  ?specs:Vartune_stdcell.Spec.t list ->
+  unit ->
+  Vartune_liberty.Library.t list
+(** N sample libraries, indices 0..n-1. *)
+
+val fold_samples :
+  Characterize.config ->
+  mismatch:Vartune_process.Mismatch.t ->
+  seed:int ->
+  n:int ->
+  ?specs:Vartune_stdcell.Spec.t list ->
+  init:'a ->
+  f:('a -> Vartune_liberty.Library.t -> 'a) ->
+  unit ->
+  'a
+(** Streams the N sample libraries through [f] without retaining them —
+    the memory-friendly path used to build statistical libraries. *)

@@ -1,0 +1,37 @@
+module Cell = Vartune_liberty.Cell
+module Arc = Vartune_liberty.Arc
+module Library = Vartune_liberty.Library
+
+type population = Per_cell | Per_drive_strength
+
+type t = { label : string; cells : Cell.t list }
+
+let sigma_luts cell = List.filter_map Arc.worst_sigma (Cell.arcs cell)
+
+let has_sigma cell = sigma_luts cell <> []
+
+let clusters lib population =
+  let cells = List.filter has_sigma (Library.cells lib) in
+  match population with
+  | Per_cell -> List.map (fun (c : Cell.t) -> { label = c.name; cells = [ c ] }) cells
+  | Per_drive_strength ->
+    let by_drive = Hashtbl.create 32 in
+    List.iter
+      (fun (c : Cell.t) ->
+        let existing = Option.value (Hashtbl.find_opt by_drive c.drive_strength) ~default:[] in
+        Hashtbl.replace by_drive c.drive_strength (c :: existing))
+      cells;
+    Hashtbl.fold
+      (fun drive members acc ->
+        { label = Printf.sprintf "drive_%d" drive; cells = List.rev members } :: acc)
+      by_drive []
+    |> List.sort (fun a b -> String.compare a.label b.label)
+
+let equivalent_lut t =
+  match List.concat_map sigma_luts t.cells with
+  | [] -> None
+  | luts -> Some (Slope.max_equivalent_by_index luts)
+
+let population_to_string = function
+  | Per_cell -> "cell"
+  | Per_drive_strength -> "strength"

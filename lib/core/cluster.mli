@@ -1,0 +1,28 @@
+(** Cell populations for threshold extraction (Section VI-A).
+
+    The paper considers two ways of grouping cells before extracting a
+    sigma threshold: each cell on its own, or all cells of one drive
+    strength together (larger transistors have lower mismatch, making
+    drive strength a natural clustering parameter). *)
+
+type population = Per_cell | Per_drive_strength
+
+type t = {
+  label : string;  (** e.g. ["ND2_4"] or ["drive_6"] *)
+  cells : Vartune_liberty.Cell.t list;
+}
+
+val clusters : Vartune_liberty.Library.t -> population -> t list
+(** Partition of the library's cells.  Cells without sigma-bearing arcs
+    (tie cells) are skipped. *)
+
+val sigma_luts : Vartune_liberty.Cell.t -> Vartune_liberty.Lut.t list
+(** All worst-case (max of rise/fall) delay-sigma tables of a cell, one
+    per arc.  Empty for cells without statistics. *)
+
+val equivalent_lut : t -> Vartune_liberty.Lut.t option
+(** The cluster's maximum-equivalent sigma LUT: entry-wise (by index)
+    maximum over every sigma table of every member cell.  [None] when no
+    member carries statistics. *)
+
+val population_to_string : population -> string

@@ -1,0 +1,74 @@
+type t = { row_lo : int; col_lo : int; row_hi : int; col_hi : int }
+
+let area r = (r.row_hi - r.row_lo + 1) * (r.col_hi - r.col_lo + 1)
+let contains r ~row ~col = row >= r.row_lo && row <= r.row_hi && col >= r.col_lo && col <= r.col_hi
+
+(* Algorithm 1 of the paper, transcribed: enumerate every candidate
+   rectangle in loop order and keep the first strictly-larger all-ones
+   one. *)
+let naive_largest mask =
+  let n = Binary_lut.rows mask and m = Binary_lut.cols mask in
+  let best = ref None in
+  let best_area = ref 0 in
+  for ll_row = 0 to n - 1 do
+    for ll_col = 0 to m - 1 do
+      for ur_row = ll_row to n - 1 do
+        for ur_col = ll_col to m - 1 do
+          let candidate = { row_lo = ll_row; col_lo = ll_col; row_hi = ur_row; col_hi = ur_col } in
+          let a = area candidate in
+          if
+            a > !best_area
+            && Binary_lut.all_true_in mask ~row_lo:ll_row ~col_lo:ll_col ~row_hi:ur_row
+                 ~col_hi:ur_col
+          then begin
+            best_area := a;
+            best := Some candidate
+          end
+        done
+      done
+    done
+  done;
+  !best
+
+(* Maximal rectangle via per-row histograms of consecutive ones above,
+   resolved with a monotonic stack. *)
+let largest mask =
+  let n = Binary_lut.rows mask and m = Binary_lut.cols mask in
+  let heights = Array.make m 0 in
+  let best = ref None in
+  let best_area = ref 0 in
+  let consider ~row ~col_lo ~col_hi ~height =
+    if height > 0 then begin
+      let a = height * (col_hi - col_lo + 1) in
+      if a > !best_area then begin
+        best_area := a;
+        best := Some { row_lo = row - height + 1; col_lo; row_hi = row; col_hi }
+      end
+    end
+  in
+  for row = 0 to n - 1 do
+    for col = 0 to m - 1 do
+      heights.(col) <- (if Binary_lut.get mask row col then heights.(col) + 1 else 0)
+    done;
+    (* stack of (start column, height), heights strictly increasing *)
+    let stack = ref [] in
+    for col = 0 to m - 1 do
+      let start = ref col in
+      let h = heights.(col) in
+      let rec pop () =
+        match !stack with
+        | (s, sh) :: rest when sh >= h ->
+          consider ~row ~col_lo:s ~col_hi:(col - 1) ~height:sh;
+          start := s;
+          stack := rest;
+          pop ()
+        | _ -> ()
+      in
+      pop ();
+      stack := (!start, h) :: !stack
+    done;
+    List.iter (fun (s, sh) -> consider ~row ~col_lo:s ~col_hi:(m - 1) ~height:sh) !stack
+  done;
+  !best
+
+let far_corner r = (r.row_hi, r.col_hi)

@@ -1,0 +1,33 @@
+(** Largest all-ones rectangle in a binary LUT (Algorithm 1, Fig. 6).
+
+    The rectangle found in the flat region of a binary LUT defines the
+    (slew, load) window a cell may operate in. *)
+
+type t = {
+  row_lo : int;
+  col_lo : int;
+  row_hi : int;  (** inclusive *)
+  col_hi : int;  (** inclusive *)
+}
+
+val area : t -> int
+
+val contains : t -> row:int -> col:int -> bool
+
+val naive_largest : Binary_lut.t -> t option
+(** Algorithm 1 verbatim: exhaustive enumeration of all rectangles in
+    loop order (lower-left coordinates outermost), keeping the first
+    rectangle strictly larger than the best so far — hence the result is
+    the maximal rectangle "starting as close as possible to the origin".
+    [None] when the mask has no ones.  O(n²m²) rectangles, each verified
+    in O(nm). *)
+
+val largest : Binary_lut.t -> t option
+(** Histogram-stack maximal-rectangle algorithm, O(nm).  Always returns a
+    rectangle of the same (maximal) area as {!naive_largest}; between
+    equal-area maxima the coordinates may differ from the naive
+    algorithm's choice. *)
+
+val far_corner : t -> int * int
+(** The (row, col) of the rectangle corner furthest from the LUT origin —
+    the entry whose sigma becomes the extracted threshold. *)

@@ -1,0 +1,85 @@
+module Lut = Vartune_liberty.Lut
+module Arc = Vartune_liberty.Arc
+module Pin = Vartune_liberty.Pin
+module Cell = Vartune_liberty.Cell
+module Library = Vartune_liberty.Library
+
+type window = { slew_min : float; slew_max : float; load_min : float; load_max : float }
+
+type status = Unrestricted | Window of window | Unusable
+
+type table = (string * string, status) Hashtbl.t
+
+let window_allows w ~slew ~load =
+  slew >= w.slew_min && slew <= w.slew_max && load >= w.load_min && load <= w.load_max
+
+let pin_window (pin : Pin.t) ~threshold =
+  match List.filter_map Arc.worst_sigma pin.arcs with
+  | [] -> Unrestricted
+  | sigmas -> begin
+    let equivalent = Slope.max_equivalent_by_index sigmas in
+    (* "Values in the equivalent table which are smaller than the
+       threshold will become a logic one" -- <= keeps the ceiling value
+       itself usable, matching the sigma-ceiling sweep's intent. *)
+    let mask = Binary_lut.of_ceiling equivalent ~ceiling:threshold in
+    match Rectangle.naive_largest mask with
+    | None -> Unusable
+    | Some rect ->
+      let slews = Lut.slews equivalent and loads = Lut.loads equivalent in
+      Window
+        {
+          slew_min = slews.(rect.Rectangle.row_lo);
+          slew_max = slews.(rect.Rectangle.row_hi);
+          load_min = loads.(rect.Rectangle.col_lo);
+          load_max = loads.(rect.Rectangle.col_hi);
+        }
+  end
+
+let empty_table () : table = Hashtbl.create 512
+let set table ~cell ~pin status = Hashtbl.replace table (cell, pin) status
+
+let find table ~cell ~pin =
+  Option.value (Hashtbl.find_opt table (cell, pin)) ~default:Unrestricted
+
+let allows table ~cell ~pin ~slew ~load =
+  match find table ~cell ~pin with
+  | Unrestricted -> true
+  | Unusable -> false
+  | Window w -> window_allows w ~slew ~load
+
+let usable_cell table (cell : Cell.t) =
+  List.for_all
+    (fun (p : Pin.t) -> find table ~cell:cell.name ~pin:p.name <> Unusable)
+    (Cell.output_pins cell)
+
+let restricted_pins table =
+  Hashtbl.fold (fun (cell, pin) status acc -> (cell, pin, status) :: acc) table []
+  |> List.sort compare
+
+let restriction_fraction table lib =
+  let total = ref 0 and removed = ref 0 in
+  List.iter
+    (fun (cell : Cell.t) ->
+      List.iter
+        (fun (p : Pin.t) ->
+          match p.arcs with
+          | [] -> ()
+          | arc :: _ ->
+            let rows, cols = Lut.dims arc.Arc.rise_delay in
+            let entries = rows * cols in
+            total := !total + entries;
+            (match find table ~cell:cell.name ~pin:p.name with
+            | Unrestricted -> ()
+            | Unusable -> removed := !removed + entries
+            | Window w ->
+              let slews = Lut.slews arc.Arc.rise_delay in
+              let loads = Lut.loads arc.Arc.rise_delay in
+              let kept = ref 0 in
+              Array.iter
+                (fun s ->
+                  Array.iter (fun l -> if window_allows w ~slew:s ~load:l then incr kept) loads)
+                slews;
+              removed := !removed + entries - !kept))
+        (Cell.output_pins cell))
+    (Library.cells lib);
+  if !total = 0 then 0.0 else float_of_int !removed /. float_of_int !total

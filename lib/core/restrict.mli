@@ -1,0 +1,46 @@
+(** Per-pin look-up-table restriction (Section VI-C).
+
+    Synthesis tools confine a LUT per output pin, so the worst case over
+    that pin's arcs is taken: the maximum-equivalent sigma LUT is
+    thresholded into a binary mask and the largest all-ones rectangle
+    becomes the pin's allowed (slew, load) window. *)
+
+type window = {
+  slew_min : float;
+  slew_max : float;
+  load_min : float;
+  load_max : float;
+}
+
+type status =
+  | Unrestricted  (** no statistics on the pin (e.g. tie cells) *)
+  | Window of window
+  | Unusable  (** no LUT entry satisfies the threshold *)
+
+type table
+(** Restriction table for a whole library: (cell, output pin) → status. *)
+
+val window_allows : window -> slew:float -> load:float -> bool
+
+val pin_window :
+  Vartune_liberty.Pin.t -> threshold:float -> status
+(** Stage-two restriction of one output pin. *)
+
+val empty_table : unit -> table
+
+val set : table -> cell:string -> pin:string -> status -> unit
+
+val find : table -> cell:string -> pin:string -> status
+(** Defaults to [Unrestricted] for absent entries. *)
+
+val allows : table -> cell:string -> pin:string -> slew:float -> load:float -> bool
+
+val usable_cell : table -> Vartune_liberty.Cell.t -> bool
+(** False iff some output pin of the cell is [Unusable]. *)
+
+val restricted_pins : table -> (string * string * status) list
+(** All entries, sorted, for reporting. *)
+
+val restriction_fraction : table -> Vartune_liberty.Library.t -> float
+(** Fraction of LUT entries removed from use across the library — a
+    coarse aggressiveness measure for reports. *)

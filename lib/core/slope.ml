@@ -1,0 +1,35 @@
+module Lut = Vartune_liberty.Lut
+module Grid = Vartune_util.Grid
+
+let slew_slope lut =
+  let slews = Lut.slews lut in
+  let rows, cols = Lut.dims lut in
+  let values =
+    Grid.init ~rows ~cols (fun i j ->
+        if i = 0 then 0.0
+        else (Lut.get lut i j -. Lut.get lut (i - 1) j) /. (slews.(i) -. slews.(i - 1)))
+  in
+  Lut.make ~slews ~loads:(Lut.loads lut) ~values
+
+let load_slope lut =
+  let loads = Lut.loads lut in
+  let rows, cols = Lut.dims lut in
+  let values =
+    Grid.init ~rows ~cols (fun i j ->
+        if j = 0 then 0.0
+        else (Lut.get lut i j -. Lut.get lut i (j - 1)) /. (loads.(j) -. loads.(j - 1)))
+  in
+  Lut.make ~slews:(Lut.slews lut) ~loads ~values
+
+let max_equivalent_by_index = function
+  | [] -> invalid_arg "Slope.max_equivalent_by_index: empty list"
+  | first :: rest ->
+    let rows, cols = Lut.dims first in
+    List.iter
+      (fun t -> if Lut.dims t <> (rows, cols) then invalid_arg "Slope: dimension mismatch")
+      rest;
+    let values =
+      Grid.init ~rows ~cols (fun i j ->
+          List.fold_left (fun acc t -> Float.max acc (Lut.get t i j)) (Lut.get first i j) rest)
+    in
+    Lut.make ~slews:(Lut.slews first) ~loads:(Lut.loads first) ~values

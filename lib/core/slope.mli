@@ -1,0 +1,21 @@
+(** Slope tables of a sigma LUT (Section VI-B, eqs. 12–13).
+
+    The slope in each axis direction flags regions where a small increase
+    in slew or load produces a large sigma increase; tuning avoids those
+    regions.  Following the paper, the first row (slew direction) or first
+    column (load direction) of a slope table is zero because the backward
+    difference has no predecessor there. *)
+
+val slew_slope : Vartune_liberty.Lut.t -> Vartune_liberty.Lut.t
+(** eq. (12): backward difference along the slew axis divided by the slew
+    step, in sigma-units per ns. *)
+
+val load_slope : Vartune_liberty.Lut.t -> Vartune_liberty.Lut.t
+(** eq. (13): backward difference along the load axis divided by the load
+    step, in sigma-units per pF. *)
+
+val max_equivalent_by_index : Vartune_liberty.Lut.t list -> Vartune_liberty.Lut.t
+(** Entry-wise maximum of same-dimension tables matched by index, not by
+    axis value — how the paper merges a cluster of cells whose load
+    ranges differ.  The result carries the first table's axes.
+    Raises [Invalid_argument] on an empty list or dimension mismatch. *)

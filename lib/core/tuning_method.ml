@@ -1,0 +1,61 @@
+module Cell = Vartune_liberty.Cell
+
+type t = { population : Cluster.population; criterion : Threshold.criterion }
+
+let name t =
+  Printf.sprintf "%s/%s"
+    (Cluster.population_to_string t.population)
+    (Threshold.criterion_to_string t.criterion)
+
+let short_name t =
+  match (t.population, t.criterion) with
+  | Cluster.Per_drive_strength, Threshold.Load_slope _ -> "Cell strength load"
+  | Cluster.Per_drive_strength, Threshold.Slew_slope _ -> "Cell strength slew"
+  | Cluster.Per_drive_strength, Threshold.Sigma_ceiling _ -> "Cell strength ceiling"
+  | Cluster.Per_cell, Threshold.Load_slope _ -> "Cell load"
+  | Cluster.Per_cell, Threshold.Slew_slope _ -> "Cell slew"
+  | Cluster.Per_cell, Threshold.Sigma_ceiling _ -> "Sigma ceiling"
+
+let paper_methods ~bound ~ceiling =
+  [
+    { population = Cluster.Per_drive_strength; criterion = Threshold.Slew_slope bound };
+    { population = Cluster.Per_drive_strength; criterion = Threshold.Load_slope bound };
+    { population = Cluster.Per_cell; criterion = Threshold.Slew_slope bound };
+    { population = Cluster.Per_cell; criterion = Threshold.Load_slope bound };
+    { population = Cluster.Per_cell; criterion = Threshold.Sigma_ceiling ceiling };
+  ]
+
+let restrictions ?defaults t lib =
+  let table = Restrict.empty_table () in
+  let clusters = Cluster.clusters lib t.population in
+  List.iter
+    (fun cluster ->
+      match Cluster.equivalent_lut cluster with
+      | None -> ()
+      | Some cluster_lut -> (
+        match Threshold.of_criterion ?defaults t.criterion ~cluster_lut with
+        | None -> ()
+        | Some threshold ->
+          List.iter
+            (fun (cell : Cell.t) ->
+              List.iter
+                (fun (pin : Vartune_liberty.Pin.t) ->
+                  Restrict.set table ~cell:cell.name ~pin:pin.name
+                    (Restrict.pin_window pin ~threshold))
+                (Cell.output_pins cell))
+            cluster.Cluster.cells))
+    clusters;
+  table
+
+let parameter t =
+  match t.criterion with
+  | Threshold.Load_slope b | Threshold.Slew_slope b | Threshold.Sigma_ceiling b -> b
+
+let with_parameter t p =
+  let criterion =
+    match t.criterion with
+    | Threshold.Load_slope _ -> Threshold.Load_slope p
+    | Threshold.Slew_slope _ -> Threshold.Slew_slope p
+    | Threshold.Sigma_ceiling _ -> Threshold.Sigma_ceiling p
+  in
+  { t with criterion }

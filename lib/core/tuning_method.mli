@@ -1,0 +1,37 @@
+(** The five library tuning methods (Section VI, Fig. 10).
+
+    A method pairs a cell population (per cell or per drive strength)
+    with a threshold criterion (load slope bound, slew slope bound or
+    sigma ceiling).  The paper evaluates:
+
+    - cell-strength-based slew slope bound,
+    - cell-strength-based load slope bound,
+    - cell-based slew slope bound,
+    - cell-based load slope bound,
+    - cell-based sigma ceiling. *)
+
+type t = {
+  population : Cluster.population;
+  criterion : Threshold.criterion;
+}
+
+val name : t -> string
+(** e.g. ["strength/load_slope<0.05"]. *)
+
+val short_name : t -> string
+(** The paper's labels: ["Cell strength load"], ["Cell slew"], ... *)
+
+val paper_methods : bound:float -> ceiling:float -> t list
+(** The five methods instantiated with the given sweep parameters. *)
+
+val restrictions :
+  ?defaults:Threshold.defaults -> t -> Vartune_liberty.Library.t -> Restrict.table
+(** Runs both tuning stages on a statistical library: cluster, extract a
+    threshold per cluster, then restrict every output pin of every member
+    cell.  Clusters with no extractable threshold leave their cells
+    unrestricted. *)
+
+val parameter : t -> float
+(** The sweep parameter embedded in the criterion. *)
+
+val with_parameter : t -> float -> t

@@ -1,0 +1,138 @@
+module Characterize = Vartune_charlib.Characterize
+module Statistical = Vartune_statlib.Statistical
+module Mismatch = Vartune_process.Mismatch
+module Mcu = Vartune_rtl.Microcontroller
+module Ir = Vartune_rtl.Ir
+module Library = Vartune_liberty.Library
+module Synthesis = Vartune_synth.Synthesis
+module Constraints = Vartune_synth.Constraints
+module Path = Vartune_sta.Path
+module Design_sigma = Vartune_stats.Design_sigma
+module Tuning_method = Vartune_tuning.Tuning_method
+
+let src = Logs.Src.create "vartune.flow" ~doc:"experiment flow"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type setup = {
+  char_config : Characterize.config;
+  mismatch : Mismatch.t;
+  seed : int;
+  samples : int;
+  design : Ir.t;
+  statlib : Library.t;
+  min_period : float;
+  periods : (string * float) list;
+}
+
+type run = {
+  label : string;
+  period : float;
+  result : Synthesis.result;
+  paths : Path.t list;
+  design_sigma : Design_sigma.t;
+}
+
+let paper_period_labels min_period =
+  (* Table 1 scaled: 2.41 (high), 2.5 (close to maximum check),
+     4 (medium), 10 (low) *)
+  let scale = min_period /. 2.41 in
+  [
+    ("high", min_period);
+    ("close", Float.round (2.5 *. scale *. 100.0) /. 100.0);
+    ("medium", Float.round (4.0 *. scale *. 100.0) /. 100.0);
+    ("low", Float.round (10.0 *. scale *. 100.0) /. 100.0);
+  ]
+
+let prepare ?(samples = 50) ?(seed = 42) ?(mcu_config = Mcu.default_config) () =
+  let char_config = Characterize.default_config in
+  let mismatch = Mismatch.default in
+  Log.info (fun m -> m "building statistical library (N=%d)" samples);
+  let statlib = Statistical.build char_config ~mismatch ~seed ~n:samples () in
+  let design = Mcu.generate ~config:mcu_config () in
+  Log.info (fun m -> m "design %s: %d IR nodes" (Ir.name design) (Ir.node_count design));
+  let min_period = Synthesis.min_period statlib design in
+  Log.info (fun m -> m "minimum period: %.2f ns" min_period);
+  {
+    char_config;
+    mismatch;
+    seed;
+    samples;
+    design;
+    statlib;
+    min_period;
+    periods = paper_period_labels min_period;
+  }
+
+(* Synthesis runs are deterministic in (setup identity, period, label);
+   the experiments re-visit baselines constantly, so memoise.  The design
+   size keys the cache too, so setups with different microcontroller
+   configurations never collide. *)
+let cache : (int * int * int * float * string, run) Hashtbl.t = Hashtbl.create 64
+
+let run_with setup ~period ~label ~restrictions =
+  let key = (setup.seed, setup.samples, Ir.node_count setup.design, period, label) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let cons = Constraints.make ~clock_period:period ?restrictions () in
+    let result = Synthesis.run cons setup.statlib setup.design in
+    let paths = Path.worst_per_endpoint result.Synthesis.timing result.Synthesis.netlist in
+    let design_sigma = Design_sigma.of_paths paths in
+    let r = { label; period; result; paths; design_sigma } in
+    Hashtbl.replace cache key r;
+    r
+
+let baseline setup ~period = run_with setup ~period ~label:"baseline" ~restrictions:None
+
+let tuned setup ~period ~tuning =
+  let label = Tuning_method.name tuning in
+  let restrictions = Tuning_method.restrictions tuning setup.statlib in
+  run_with setup ~period ~label ~restrictions:(Some restrictions)
+
+let sigma_reduction ~baseline ~tuned =
+  let b = baseline.design_sigma.Design_sigma.dist.Vartune_stats.Dist.sigma in
+  let t = tuned.design_sigma.Design_sigma.dist.Vartune_stats.Dist.sigma in
+  if b = 0.0 then 0.0 else (b -. t) /. b
+
+let area_increase ~baseline ~tuned =
+  let b = baseline.result.Synthesis.area in
+  let t = tuned.result.Synthesis.area in
+  if b = 0.0 then 0.0 else (t -. b) /. b
+
+type sweep_point = { parameter : float; run : run; reduction : float; area_delta : float }
+
+let sweep setup ~period ~tuning ~parameters =
+  let base = baseline setup ~period in
+  List.map
+    (fun parameter ->
+      let tuning = Tuning_method.with_parameter tuning parameter in
+      let run = tuned setup ~period ~tuning in
+      {
+        parameter;
+        run;
+        reduction = sigma_reduction ~baseline:base ~tuned:run;
+        area_delta = area_increase ~baseline:base ~tuned:run;
+      })
+    parameters
+
+let best_under_area_cap ?(cap = 0.10) points =
+  (* the paper's Fig 10 rule is a hard filter: feasible and under the
+     area cap; a method with no qualifying point shows no bar *)
+  points
+  |> List.filter (fun p -> p.run.result.Synthesis.feasible && p.area_delta < cap)
+  |> List.fold_left
+       (fun acc p ->
+         match acc with
+         | None -> Some p
+         | Some best -> if p.reduction > best.reduction then Some p else acc)
+       None
+
+let find_path_of_depth run ~depth =
+  List.fold_left
+    (fun acc p ->
+      match acc with
+      | None -> Some p
+      | Some best ->
+        if abs (Path.depth p - depth) < abs (Path.depth best - depth) then Some p else acc)
+    None run.paths

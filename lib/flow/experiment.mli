@@ -1,0 +1,79 @@
+(** Experiment orchestration for the paper's evaluation (Section VII).
+
+    A {!setup} bundles everything the experiments share: the statistical
+    library (built once from N Monte-Carlo characterisation samples), the
+    evaluation design, and the clock-period ladder derived from the
+    measured minimum period the way the paper's Table 1 derives its
+    constraints from 2.41 ns. *)
+
+type setup = {
+  char_config : Vartune_charlib.Characterize.config;
+  mismatch : Vartune_process.Mismatch.t;
+  seed : int;
+  samples : int;
+  design : Vartune_rtl.Ir.t;
+  statlib : Vartune_liberty.Library.t;
+  min_period : float;
+  periods : (string * float) list;
+  (** labelled ladder: high / close-to-max / medium / low performance *)
+}
+
+val prepare :
+  ?samples:int ->
+  ?seed:int ->
+  ?mcu_config:Vartune_rtl.Microcontroller.config ->
+  unit ->
+  setup
+(** Builds the statistical library (default 50 samples, seed 42),
+    elaborates the microcontroller and measures the minimum period. *)
+
+type run = {
+  label : string;
+  period : float;
+  result : Vartune_synth.Synthesis.result;
+  paths : Vartune_sta.Path.t list;  (** worst path per endpoint *)
+  design_sigma : Vartune_stats.Design_sigma.t;
+}
+
+val baseline : setup -> period:float -> run
+(** Synthesis with the untuned statistical library.  Results are memoised
+    per period within a setup. *)
+
+val tuned : setup -> period:float -> tuning:Vartune_tuning.Tuning_method.t -> run
+(** Synthesis with the given method's restrictions installed. *)
+
+val sigma_reduction : baseline:run -> tuned:run -> float
+(** Relative design-sigma decrease, e.g. [0.37] for -37 %. *)
+
+val area_increase : baseline:run -> tuned:run -> float
+(** Relative area increase, e.g. [0.07] for +7 %. *)
+
+type sweep_point = {
+  parameter : float;
+  run : run;
+  reduction : float;  (** vs the baseline at the same period *)
+  area_delta : float;
+}
+
+val sweep :
+  setup ->
+  period:float ->
+  tuning:Vartune_tuning.Tuning_method.t ->
+  parameters:float list ->
+  sweep_point list
+(** One tuning method across its constraint-parameter sweep (Table 2). *)
+
+val best_under_area_cap :
+  ?cap:float -> sweep_point list -> sweep_point option
+(** The paper's Fig. 10 selection rule: highest sigma reduction among
+    feasible points with area increase below [cap] (default 10 %); falls
+    back to the smallest area increase if none qualify. *)
+
+val paper_period_labels : float -> (string * float) list
+(** Scales the paper's Table 1 ladder (2.41 / 2.5 / 4 / 10 ns) to a
+    measured minimum period. *)
+
+val find_path_of_depth :
+  run -> depth:int -> Vartune_sta.Path.t option
+(** The extracted path whose depth is closest to [depth] — used to pick
+    the short/medium/long paths of Figs. 15–16. *)

@@ -1,0 +1,108 @@
+module Lut = Vartune_liberty.Lut
+
+let heading title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let sub_heading title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let pct v = Printf.sprintf "%.1f%%" (v *. 100.0)
+let ns v = Printf.sprintf "%.3f ns" v
+
+let table ~header ~rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        Printf.printf "%s%-*s" (if i = 0 then "  " else "  | ") widths.(i) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  let rule =
+    String.concat "-+-" (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Printf.printf "  %s\n" rule;
+  List.iter print_row rows
+
+let bar_chart ?(width = 48) ?(unit_label = "") entries =
+  let max_v = List.fold_left (fun acc (_, v) -> Float.max acc (Float.abs v)) 1e-30 entries in
+  let label_w = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries in
+  List.iter
+    (fun (label, v) ->
+      let n = int_of_float (Float.abs v /. max_v *. float_of_int width) in
+      Printf.printf "  %-*s | %s %g%s\n" label_w label (String.make n '#') v unit_label)
+    entries
+
+let shade_chars = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let surface lut =
+  let rows, cols = Lut.dims lut in
+  let lo = ref infinity and hi = ref neg_infinity in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let v = Lut.get lut i j in
+      if v < !lo then lo := v;
+      if v > !hi then hi := v
+    done
+  done;
+  let span = if !hi > !lo then !hi -. !lo else 1.0 in
+  Printf.printf "  (slew rows ↓, load cols →; ' '=%.4g .. '@'=%.4g)\n" !lo !hi;
+  for i = 0 to rows - 1 do
+    print_string "  ";
+    for j = 0 to cols - 1 do
+      let v = Lut.get lut i j in
+      let k = int_of_float ((v -. !lo) /. span *. 9.0) in
+      let k = if k < 0 then 0 else if k > 9 then 9 else k in
+      print_char shade_chars.(k);
+      print_char shade_chars.(k)
+    done;
+    print_newline ()
+  done
+
+let int_histogram ?(width = 48) buckets =
+  let max_c = List.fold_left (fun acc (_, c) -> max acc c) 1 buckets in
+  List.iter
+    (fun (bucket, count) ->
+      let n = count * width / max_c in
+      Printf.printf "  %4d | %s %d\n" bucket (String.make n '#') count)
+    buckets
+
+let binned_scatter ?(bins = 12) ~x_label ~y_label xs ys =
+  let n = Array.length xs in
+  if n = 0 || n <> Array.length ys then invalid_arg "Report.binned_scatter";
+  let x_lo, x_hi = Vartune_util.Stat.min_max xs in
+  let span = if x_hi > x_lo then x_hi -. x_lo else 1.0 in
+  let sums = Array.make bins 0.0 in
+  let maxs = Array.make bins neg_infinity in
+  let counts = Array.make bins 0 in
+  Array.iteri
+    (fun i x ->
+      let b = min (bins - 1) (int_of_float ((x -. x_lo) /. span *. float_of_int bins)) in
+      sums.(b) <- sums.(b) +. ys.(i);
+      maxs.(b) <- Float.max maxs.(b) ys.(i);
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  let rows = ref [] in
+  for b = bins - 1 downto 0 do
+    if counts.(b) > 0 then
+      rows :=
+        [
+          Printf.sprintf "%.1f-%.1f"
+            (x_lo +. (float_of_int b *. span /. float_of_int bins))
+            (x_lo +. (float_of_int (b + 1) *. span /. float_of_int bins));
+          string_of_int counts.(b);
+          Printf.sprintf "%.4f" (sums.(b) /. float_of_int counts.(b));
+          Printf.sprintf "%.4f" maxs.(b);
+        ]
+        :: !rows
+  done;
+  table
+    ~header:[ x_label; "paths"; "mean " ^ y_label; "max " ^ y_label ]
+    ~rows:!rows

@@ -1,0 +1,68 @@
+type sense = Positive_unate | Negative_unate | Non_unate
+
+type t = {
+  related_pin : string;
+  sense : sense;
+  rise_delay : Lut.t;
+  fall_delay : Lut.t;
+  rise_transition : Lut.t;
+  fall_transition : Lut.t;
+  rise_delay_sigma : Lut.t option;
+  fall_delay_sigma : Lut.t option;
+  internal_power : Lut.t option;
+}
+
+let make ~related_pin ~sense ~rise_delay ~fall_delay ~rise_transition ~fall_transition
+    ?rise_delay_sigma ?fall_delay_sigma ?internal_power () =
+  let check t =
+    if not (Lut.same_axes rise_delay t) then invalid_arg "Arc.make: table axis mismatch"
+  in
+  check fall_delay;
+  check rise_transition;
+  check fall_transition;
+  Option.iter check rise_delay_sigma;
+  Option.iter check fall_delay_sigma;
+  Option.iter check internal_power;
+  { related_pin; sense; rise_delay; fall_delay; rise_transition; fall_transition;
+    rise_delay_sigma; fall_delay_sigma; internal_power }
+
+let worst_delay t = Lut.max_equivalent [ t.rise_delay; t.fall_delay ]
+let worst_transition t = Lut.max_equivalent [ t.rise_transition; t.fall_transition ]
+
+let worst_sigma t =
+  match (t.rise_delay_sigma, t.fall_delay_sigma) with
+  | Some r, Some f -> Some (Lut.max_equivalent [ r; f ])
+  | Some r, None -> Some r
+  | None, Some f -> Some f
+  | None, None -> None
+
+let delay t ~slew ~load =
+  Float.max (Lut.lookup t.rise_delay ~slew ~load) (Lut.lookup t.fall_delay ~slew ~load)
+
+let min_delay t ~slew ~load =
+  Float.min (Lut.lookup t.rise_delay ~slew ~load) (Lut.lookup t.fall_delay ~slew ~load)
+
+let transition t ~slew ~load =
+  Float.max (Lut.lookup t.rise_transition ~slew ~load) (Lut.lookup t.fall_transition ~slew ~load)
+
+let sigma t ~slew ~load =
+  let look = function None -> 0.0 | Some lut -> Lut.lookup lut ~slew ~load in
+  Float.max (look t.rise_delay_sigma) (look t.fall_delay_sigma)
+
+let has_sigma t = Option.is_some t.rise_delay_sigma || Option.is_some t.fall_delay_sigma
+
+let energy t ~slew ~load =
+  match t.internal_power with
+  | None -> 0.0
+  | Some lut -> Lut.lookup lut ~slew ~load
+
+let sense_to_string = function
+  | Positive_unate -> "positive_unate"
+  | Negative_unate -> "negative_unate"
+  | Non_unate -> "non_unate"
+
+let sense_of_string = function
+  | "positive_unate" -> Some Positive_unate
+  | "negative_unate" -> Some Negative_unate
+  | "non_unate" -> Some Non_unate
+  | _ -> None

@@ -1,0 +1,137 @@
+type token =
+  | Ident of string
+  | Number of float
+  | String of string
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Colon
+  | Semi
+  | Comma
+  | Eof
+
+exception Error of { line : int; message : string }
+
+let error line message = raise (Error { line; message })
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '!' || c = '[' || c = ']'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_number_start src i =
+  let c = src.[i] in
+  is_digit c
+  || ((c = '-' || c = '+') && i + 1 < String.length src && (is_digit src.[i + 1] || src.[i + 1] = '.'))
+  || (c = '.' && i + 1 < String.length src && is_digit src.[i + 1])
+
+(* A number may continue with digits, '.', exponent markers and signs right
+   after an exponent marker. *)
+let number_end src i =
+  let n = String.length src in
+  let rec go j prev_exp =
+    if j >= n then j
+    else begin
+      let c = src.[j] in
+      if is_digit c || c = '.' then go (j + 1) false
+      else if c = 'e' || c = 'E' then go (j + 1) true
+      else if (c = '+' || c = '-') && prev_exp then go (j + 1) false
+      else j
+    end
+  in
+  go (i + 1) false
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let rec go i =
+    if i >= n then ()
+    else begin
+      match src.[i] with
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | ' ' | '\t' | '\r' | '\\' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec skip j =
+          if j + 1 >= n then error !line "unterminated comment"
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else begin
+            if src.[j] = '\n' then incr line;
+            skip (j + 1)
+          end
+        in
+        go (skip (i + 2))
+      | '(' ->
+        push Lparen;
+        go (i + 1)
+      | ')' ->
+        push Rparen;
+        go (i + 1)
+      | '{' ->
+        push Lbrace;
+        go (i + 1)
+      | '}' ->
+        push Rbrace;
+        go (i + 1)
+      | ':' ->
+        push Colon;
+        go (i + 1)
+      | ';' ->
+        push Semi;
+        go (i + 1)
+      | ',' ->
+        push Comma;
+        go (i + 1)
+      | '"' ->
+        let rec find j =
+          if j >= n then error !line "unterminated string"
+          else if src.[j] = '"' then j
+          else begin
+            if src.[j] = '\n' then incr line;
+            find (j + 1)
+          end
+        in
+        let close = find (i + 1) in
+        push (String (String.sub src (i + 1) (close - i - 1)));
+        go (close + 1)
+      | c when is_number_start src i ->
+        ignore c;
+        let stop = number_end src i in
+        let text = String.sub src i (stop - i) in
+        (match float_of_string_opt text with
+        | Some f -> push (Number f)
+        | None -> error !line (Printf.sprintf "bad number %S" text));
+        go stop
+      | c when is_ident_char c ->
+        let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+        let j = stop i in
+        push (Ident (String.sub src i (j - i)));
+        go j
+      | c -> error !line (Printf.sprintf "unexpected character %C" c)
+    end
+  in
+  go 0;
+  List.rev (Eof :: !toks)
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Number f -> Printf.sprintf "number %g" f
+  | String s -> Printf.sprintf "string %S" s
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Colon -> "':'"
+  | Semi -> "';'"
+  | Comma -> "','"
+  | Eof -> "end of input"

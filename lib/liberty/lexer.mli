@@ -1,0 +1,22 @@
+(** Tokeniser for the liberty-like text format. *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | String of string
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Colon
+  | Semi
+  | Comma
+  | Eof
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> token list
+(** Tokenises a whole document.  Comments ([/* ... */] and [// ...]) and
+    whitespace are skipped.  Raises {!Error} on malformed input. *)
+
+val token_to_string : token -> string

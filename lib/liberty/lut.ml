@@ -1,0 +1,117 @@
+module Grid = Vartune_util.Grid
+
+type t = { slews : float array; loads : float array; values : Grid.t }
+
+let strictly_increasing a =
+  let ok = ref (Array.length a > 0) in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) <= a.(i - 1) then ok := false
+  done;
+  !ok
+
+let make ~slews ~loads ~values =
+  if not (strictly_increasing slews) then invalid_arg "Lut.make: slew axis not increasing";
+  if not (strictly_increasing loads) then invalid_arg "Lut.make: load axis not increasing";
+  if Grid.rows values <> Array.length slews || Grid.cols values <> Array.length loads then
+    invalid_arg "Lut.make: grid does not match axes";
+  { slews = Array.copy slews; loads = Array.copy loads; values }
+
+let of_fn ~slews ~loads f =
+  let values =
+    Grid.init ~rows:(Array.length slews) ~cols:(Array.length loads) (fun i j ->
+        f ~slew:slews.(i) ~load:loads.(j))
+  in
+  make ~slews ~loads ~values
+
+let slews t = Array.copy t.slews
+let loads t = Array.copy t.loads
+let values t = t.values
+let dims t = (Array.length t.slews, Array.length t.loads)
+let get t i j = Grid.get t.values i j
+
+(* Index of the lower end of the axis segment bracketing [x]; out-of-range
+   queries use the outermost segment (linear extrapolation). *)
+let segment axis x =
+  let n = Array.length axis in
+  if n = 1 then 0
+  else if x <= axis.(0) then 0
+  else if x >= axis.(n - 1) then n - 2
+  else begin
+    let rec search lo hi =
+      if hi - lo <= 1 then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if axis.(mid) <= x then search mid hi else search lo mid
+      end
+    in
+    search 0 (n - 1)
+  end
+
+(* Paper eqs. (2)-(4): interpolate along the load axis first (P1, P2), then
+   along the slew axis. *)
+let lookup t ~slew ~load =
+  let i = segment t.slews slew and j = segment t.loads load in
+  let n_slew = Array.length t.slews and n_load = Array.length t.loads in
+  if n_slew = 1 && n_load = 1 then get t 0 0
+  else if n_slew = 1 then begin
+    let l0 = t.loads.(j) and l1 = t.loads.(j + 1) in
+    let wl = (load -. l0) /. (l1 -. l0) in
+    ((1.0 -. wl) *. get t 0 j) +. (wl *. get t 0 (j + 1))
+  end
+  else if n_load = 1 then begin
+    let s0 = t.slews.(i) and s1 = t.slews.(i + 1) in
+    let ws = (slew -. s0) /. (s1 -. s0) in
+    ((1.0 -. ws) *. get t i 0) +. (ws *. get t (i + 1) 0)
+  end
+  else begin
+    let l0 = t.loads.(j) and l1 = t.loads.(j + 1) in
+    let s0 = t.slews.(i) and s1 = t.slews.(i + 1) in
+    let wl = (load -. l0) /. (l1 -. l0) in
+    let p1 = ((1.0 -. wl) *. get t i j) +. (wl *. get t i (j + 1)) in
+    let p2 = ((1.0 -. wl) *. get t (i + 1) j) +. (wl *. get t (i + 1) (j + 1)) in
+    let ws = (slew -. s0) /. (s1 -. s0) in
+    ((1.0 -. ws) *. p1) +. (ws *. p2)
+  end
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let lookup_clamped t ~slew ~load =
+  let slew = clamp t.slews.(0) t.slews.(Array.length t.slews - 1) slew in
+  let load = clamp t.loads.(0) t.loads.(Array.length t.loads - 1) load in
+  lookup t ~slew ~load
+
+let map f t = { t with values = Grid.map f t.values }
+
+let same_axes a b = a.slews = b.slews && a.loads = b.loads
+
+let map2 f a b =
+  if not (same_axes a b) then invalid_arg "Lut.map2: axis mismatch";
+  { a with values = Grid.map2 f a.values b.values }
+
+let max_equivalent = function
+  | [] -> invalid_arg "Lut.max_equivalent: empty list"
+  | first :: rest -> List.fold_left (map2 Float.max) first rest
+
+let merge ts ~f =
+  match ts with
+  | [] -> invalid_arg "Lut.merge: empty list"
+  | first :: rest ->
+    List.iter (fun t -> if not (same_axes first t) then invalid_arg "Lut.merge: axis mismatch") rest;
+    let n = List.length ts in
+    let tables = Array.of_list ts in
+    let values =
+      Grid.init
+        ~rows:(Grid.rows first.values)
+        ~cols:(Grid.cols first.values)
+        (fun i j -> f (Array.init n (fun k -> get tables.(k) i j)))
+    in
+    { first with values }
+
+let equal ?eps a b = same_axes a b && Grid.equal ?eps a.values b.values
+
+let pp ppf t =
+  Format.fprintf ppf "slews: %a@\nloads: %a@\n%a"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_float)
+    (Array.to_list t.slews)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_float)
+    (Array.to_list t.loads) Grid.pp t.values

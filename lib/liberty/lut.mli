@@ -1,0 +1,64 @@
+(** Two-dimensional timing look-up tables (NLDM style).
+
+    A table maps an (input slew, output load) operating point to a value —
+    a delay, an output transition, or, in statistical libraries, the
+    standard deviation of a delay.  Rows follow the slew axis, columns the
+    load axis, matching the paper's Fig. 3. *)
+
+type t
+
+val make : slews:float array -> loads:float array -> values:Vartune_util.Grid.t -> t
+(** Builds a table.  Both axes must be strictly increasing and match the
+    grid dimensions ([rows = |slews|], [cols = |loads|]).
+    Raises [Invalid_argument] otherwise. *)
+
+val of_fn : slews:float array -> loads:float array -> (slew:float -> load:float -> float) -> t
+(** Tabulates a function over the axis cross-product. *)
+
+val slews : t -> float array
+(** Slew (row) axis values; fresh copy. *)
+
+val loads : t -> float array
+(** Load (column) axis values; fresh copy. *)
+
+val values : t -> Vartune_util.Grid.t
+(** Underlying grid (shared, do not mutate). *)
+
+val dims : t -> int * int
+(** [(rows, cols)] = [(slew points, load points)]. *)
+
+val get : t -> int -> int -> float
+(** [get t i j] is the value at slew index [i], load index [j]. *)
+
+val lookup : t -> slew:float -> load:float -> float
+(** Bilinear interpolation (paper eqs. 2–4).  Points outside the table are
+    linearly extrapolated from the outermost segment, as production timers
+    do. *)
+
+val lookup_clamped : t -> slew:float -> load:float -> float
+(** Like {!lookup} but the query point is first clamped into the table's
+    axis ranges — no extrapolation. *)
+
+val map : (float -> float) -> t -> t
+(** Pointwise transformation; axes preserved. *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Pointwise combination; requires identical axes.
+    Raises [Invalid_argument] on mismatch. *)
+
+val max_equivalent : t list -> t
+(** Pointwise maximum over a non-empty list of same-axes tables — the
+    "maximum equivalent LUT" of the paper's Sections VI-B/VI-C. *)
+
+val merge : t list -> f:(float array -> float) -> t
+(** [merge ts ~f] reduces the per-entry value vector across a non-empty
+    list of same-axes tables with [f] — the statistical-library merge of
+    Section IV (e.g. [f = Stat.mean] or [f = Stat.stddev]). *)
+
+val same_axes : t -> t -> bool
+(** Whether two tables share both axes exactly. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Axes equal exactly and values within [eps] (default [1e-12]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+(* Shortest decimal representation that round-trips the float exactly. *)
+let float_repr f =
+  let short = Printf.sprintf "%.12g" f in
+  if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+let pp_axis ppf axis =
+  let parts = Array.to_list (Array.map (float_repr) axis) in
+  Format.fprintf ppf "\"%s\"" (String.concat ", " parts)
+
+let pp_table ppf name lut =
+  Format.fprintf ppf "@[<v 2>%s() {@," name;
+  Format.fprintf ppf "index_1(%a);@," pp_axis (Lut.slews lut);
+  Format.fprintf ppf "index_2(%a);@," pp_axis (Lut.loads lut);
+  let rows, cols = Lut.dims lut in
+  Format.fprintf ppf "@[<v 2>values(";
+  for i = 0 to rows - 1 do
+    if i > 0 then Format.fprintf ppf ",@,";
+    let cells = List.init cols (fun j -> float_repr (Lut.get lut i j)) in
+    Format.fprintf ppf "\"%s\"" (String.concat ", " cells)
+  done;
+  Format.fprintf ppf ");@]";
+  Format.fprintf ppf "@]@,}"
+
+let pp_arc ppf (arc : Arc.t) =
+  Format.fprintf ppf "@[<v 2>timing() {@,";
+  Format.fprintf ppf "related_pin : \"%s\";@," arc.related_pin;
+  Format.fprintf ppf "timing_sense : %s;@," (Arc.sense_to_string arc.sense);
+  pp_table ppf "cell_rise" arc.rise_delay;
+  Format.pp_print_cut ppf ();
+  pp_table ppf "cell_fall" arc.fall_delay;
+  Format.pp_print_cut ppf ();
+  pp_table ppf "rise_transition" arc.rise_transition;
+  Format.pp_print_cut ppf ();
+  pp_table ppf "fall_transition" arc.fall_transition;
+  Option.iter
+    (fun lut ->
+      Format.pp_print_cut ppf ();
+      pp_table ppf "cell_rise_sigma" lut)
+    arc.rise_delay_sigma;
+  Option.iter
+    (fun lut ->
+      Format.pp_print_cut ppf ();
+      pp_table ppf "cell_fall_sigma" lut)
+    arc.fall_delay_sigma;
+  Option.iter
+    (fun lut ->
+      Format.pp_print_cut ppf ();
+      pp_table ppf "internal_power" lut)
+    arc.internal_power;
+  Format.fprintf ppf "@]@,}"
+
+let pp_pin ppf (pin : Pin.t) =
+  Format.fprintf ppf "@[<v 2>pin(%s) {@," pin.name;
+  Format.fprintf ppf "direction : %s;" (Pin.direction_to_string pin.direction);
+  (match pin.direction with
+  | Pin.Input -> Format.fprintf ppf "@,capacitance : %s;" (float_repr pin.capacitance)
+  | Pin.Output ->
+    Option.iter (fun m -> Format.fprintf ppf "@,max_capacitance : %s;" (float_repr m)) pin.max_capacitance;
+    List.iter
+      (fun arc ->
+        Format.pp_print_cut ppf ();
+        pp_arc ppf arc)
+      pin.arcs);
+  Format.fprintf ppf "@]@,}"
+
+let pp_cell ppf (cell : Cell.t) =
+  Format.fprintf ppf "@[<v 2>cell(%s) {@," cell.name;
+  Format.fprintf ppf "family : \"%s\";@," cell.family;
+  Format.fprintf ppf "drive_strength : %d;@," cell.drive_strength;
+  Format.fprintf ppf "kind : \"%s\";@," (Cell.kind_to_string cell.kind);
+  Format.fprintf ppf "area : %s;@," (float_repr cell.area);
+  Format.fprintf ppf "cell_leakage_power : %s;" (float_repr cell.leakage);
+  if Cell.is_sequential cell then begin
+    Format.fprintf ppf "@,setup_time : %s;" (float_repr cell.setup_time);
+    Format.fprintf ppf "@,hold_time : %s;" (float_repr cell.hold_time);
+    Option.iter (fun p -> Format.fprintf ppf "@,clock_pin : \"%s\";" p) cell.clock_pin
+  end;
+  List.iter
+    (fun pin ->
+      Format.pp_print_cut ppf ();
+      pp_pin ppf pin)
+    cell.pins;
+  Format.fprintf ppf "@]@,}"
+
+let pp_library ppf lib =
+  Format.fprintf ppf "@[<v 2>library(%s) {@," (Library.name lib);
+  Format.fprintf ppf "corner : \"%s\";" (Library.corner lib);
+  List.iter
+    (fun cell ->
+      Format.pp_print_cut ppf ();
+      pp_cell ppf cell)
+    (Library.cells lib);
+  Format.fprintf ppf "@]@,}@."
+
+let to_string lib = Format.asprintf "%a" pp_library lib
+
+let write_file path lib =
+  let oc = open_out_bin path in
+  let ppf = Format.formatter_of_out_channel oc in
+  pp_library ppf lib;
+  Format.pp_print_flush ppf ();
+  close_out oc

@@ -1,0 +1,8 @@
+(** Serialiser for the liberty-like text format; inverse of {!Parser}. *)
+
+val pp_library : Format.formatter -> Library.t -> unit
+
+val to_string : Library.t -> string
+
+val write_file : string -> Library.t -> unit
+(** Writes the library to the given path. *)

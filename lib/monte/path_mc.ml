@@ -1,0 +1,93 @@
+module Rng = Vartune_util.Rng
+module Stat = Vartune_util.Stat
+module Corner = Vartune_process.Corner
+module Mismatch = Vartune_process.Mismatch
+module Variation = Vartune_process.Variation
+module Delay_model = Vartune_charlib.Delay_model
+module Spec = Vartune_stdcell.Spec
+module Catalog = Vartune_stdcell.Catalog
+module Path = Vartune_sta.Path
+module Cell = Vartune_liberty.Cell
+
+type sample_config = {
+  n : int;
+  include_local : bool;
+  include_global : bool;
+  corner : Corner.t;
+  mismatch : Mismatch.t;
+  global_variation : Variation.t;
+  params : Delay_model.params;
+}
+
+let default_config =
+  {
+    n = 200;
+    include_local = true;
+    include_global = false;
+    corner = Corner.typical;
+    mismatch = Mismatch.default;
+    global_variation = Variation.default;
+    params = Delay_model.default;
+  }
+
+type result = { delays : float array; mean : float; sigma : float }
+
+type resolved_step = {
+  spec : Spec.t;
+  drive : int;
+  out_pin : string;
+  slew : float;
+  load : float;
+}
+
+let resolve (path : Path.t) =
+  List.map
+    (fun (s : Path.step) ->
+      match Catalog.find s.cell.Cell.family with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Path_mc: cell family %s not in catalog" s.cell.Cell.family)
+      | Some spec ->
+        { spec; drive = s.cell.Cell.drive_strength; out_pin = s.out_pin;
+          slew = s.input_slew; load = s.load })
+    path.Path.steps
+
+let step_delay cfg ~corner_factor ~sample step =
+  let delay edge =
+    Delay_model.delay cfg.params step.spec ~drive:step.drive ~output:step.out_pin ~edge
+      ~corner_factor ~sample ~slew:step.slew ~load:step.load
+  in
+  Float.max (delay Delay_model.Rise) (delay Delay_model.Fall)
+
+let simulate cfg ~seed (path : Path.t) =
+  let steps = resolve path in
+  let rng = Rng.create seed in
+  let corner_factor = Corner.delay_factor cfg.corner in
+  let delays =
+    Array.init cfg.n (fun _ ->
+        let global =
+          if cfg.include_global then Variation.draw_factor cfg.global_variation rng
+          else 1.0
+        in
+        List.fold_left
+          (fun acc step ->
+            let sample =
+              if cfg.include_local then
+                Mismatch.draw cfg.mismatch rng
+                  ~stages:(Delay_model.stage_count step.spec)
+                  ~drive:step.drive ()
+              else Mismatch.zero_sample
+            in
+            acc +. (global *. step_delay cfg ~corner_factor ~sample step))
+          0.0 steps)
+  in
+  { delays; mean = Stat.mean delays; sigma = Stat.stddev delays }
+
+let corner_sweep cfg ~seed path =
+  List.map (fun corner -> (corner, simulate { cfg with corner } ~seed path)) Corner.all
+
+let local_share cfg ~seed path =
+  let local = simulate { cfg with include_local = true; include_global = false } ~seed path in
+  let total = simulate { cfg with include_local = true; include_global = true } ~seed path in
+  if total.sigma = 0.0 then 0.0
+  else (local.sigma *. local.sigma) /. (total.sigma *. total.sigma)

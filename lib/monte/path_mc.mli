@@ -1,0 +1,46 @@
+(** Monte-Carlo simulation of extracted data-paths (Section VII-C).
+
+    The paper validates the statistical library by extracting short,
+    medium and long paths from the synthesised design and re-simulating
+    them transistor-level across process corners, with and without global
+    variation.  Here the "transistor level" is the analytic delay model
+    the library was characterised from, evaluated per sample with fresh
+    local (and optionally global) variation draws. *)
+
+type sample_config = {
+  n : int;  (** samples; the paper uses 200 *)
+  include_local : bool;
+  include_global : bool;
+  corner : Vartune_process.Corner.t;
+  mismatch : Vartune_process.Mismatch.t;
+  global_variation : Vartune_process.Variation.t;
+  params : Vartune_charlib.Delay_model.params;
+}
+
+val default_config : sample_config
+(** N = 200, local only, typical corner, default models. *)
+
+type result = {
+  delays : float array;  (** one simulated path delay per sample *)
+  mean : float;
+  sigma : float;
+}
+
+val simulate :
+  sample_config -> seed:int -> Vartune_sta.Path.t -> result
+(** Re-simulates the path: per sample, every cell draws one local
+    variation sample (plus one shared global factor when enabled) and the
+    step delays are re-evaluated at each step's recorded (slew, load)
+    operating point.  Raises [Invalid_argument] if a path cell is not in
+    the catalog. *)
+
+val corner_sweep :
+  sample_config -> seed:int -> Vartune_sta.Path.t ->
+  (Vartune_process.Corner.t * result) list
+(** Fig. 15: the same path across fast/typical/slow corners (same seed,
+    so the local draws are paired). *)
+
+val local_share :
+  sample_config -> seed:int -> Vartune_sta.Path.t -> float
+(** Fig. 16: fraction of total delay variance attributable to local
+    variation: [var_local / var_global_and_local]. *)

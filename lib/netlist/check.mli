@@ -1,0 +1,21 @@
+(** Structural validation and ordering of netlists. *)
+
+exception Combinational_loop of string
+
+val validate : Netlist.t -> (unit, string list) result
+(** Structural checks: every sunk net is driven (or is a primary input),
+    every cell pin of every instance is connected, sequential instances
+    see the clock net on their clock pin. *)
+
+val validate_exn : Netlist.t -> unit
+(** Raises [Failure] with the concatenated error report. *)
+
+val topological_order : Netlist.t -> Netlist.inst_id array
+(** All live instances ordered so that every combinational instance
+    appears after every instance driving one of its inputs.  Sequential
+    and source-only instances come first.  Raises {!Combinational_loop}
+    if combinational logic is cyclic. *)
+
+val logic_depths : Netlist.t -> (Netlist.inst_id * int) list
+(** Combinational depth (in cells) of each instance: 1 for instances fed
+    only by sources, growing along combinational paths. *)

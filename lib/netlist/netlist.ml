@@ -1,0 +1,155 @@
+module Vec = Vartune_util.Vec
+module Cell = Vartune_liberty.Cell
+
+type net_id = int
+type inst_id = int
+type pin_ref = { inst : inst_id; pin : string }
+
+type net = {
+  net_id : net_id;
+  net_name : string;
+  mutable driver : pin_ref option;
+  mutable sinks : pin_ref list;
+}
+
+type instance = {
+  inst_id : inst_id;
+  inst_name : string;
+  mutable cell : Cell.t;
+  mutable inputs : (string * net_id) list;
+  mutable outputs : (string * net_id) list;
+}
+
+type t = {
+  design_name : string;
+  nets : net Vec.t;
+  instances : instance option Vec.t;
+  mutable live_instances : int;
+  mutable pis : net_id list;
+  mutable pos : net_id list;
+  mutable clock_net : net_id option;
+  mutable name_counter : int;
+}
+
+let create ~name =
+  {
+    design_name = name;
+    nets = Vec.create ();
+    instances = Vec.create ();
+    live_instances = 0;
+    pis = [];
+    pos = [];
+    clock_net = None;
+    name_counter = 0;
+  }
+
+let name t = t.design_name
+
+let add_net t ?net_name () =
+  let net_id = Vec.length t.nets in
+  let net_name = Option.value net_name ~default:(Printf.sprintf "n%d" net_id) in
+  ignore (Vec.push t.nets { net_id; net_name; driver = None; sinks = [] });
+  net_id
+
+let net t id = Vec.get t.nets id
+let net_count t = Vec.length t.nets
+
+let check_pin_exists cell pin_name context =
+  match Cell.find_pin cell pin_name with
+  | Some _ -> ()
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Netlist: cell %s has no pin %s (%s)" cell.Cell.name pin_name context)
+
+let add_instance t ~inst_name ~cell ~inputs ~outputs =
+  let inst_id = Vec.length t.instances in
+  List.iter (fun (p, _) -> check_pin_exists cell p "input") inputs;
+  List.iter (fun (p, _) -> check_pin_exists cell p "output") outputs;
+  let inst = { inst_id; inst_name; cell; inputs; outputs } in
+  List.iter
+    (fun (pin, nid) ->
+      let n = net t nid in
+      n.sinks <- { inst = inst_id; pin } :: n.sinks)
+    inputs;
+  List.iter
+    (fun (pin, nid) ->
+      let n = net t nid in
+      if n.driver <> None then
+        invalid_arg (Printf.sprintf "Netlist: net %s already driven" n.net_name);
+      n.driver <- Some { inst = inst_id; pin })
+    outputs;
+  ignore (Vec.push t.instances (Some inst));
+  t.live_instances <- t.live_instances + 1;
+  inst_id
+
+let instance_opt t id =
+  if id < 0 || id >= Vec.length t.instances then None else Vec.get t.instances id
+
+let instance t id =
+  match instance_opt t id with
+  | Some inst -> inst
+  | None -> invalid_arg (Printf.sprintf "Netlist: no instance %d" id)
+
+let remove_instance t id =
+  let inst = instance t id in
+  List.iter
+    (fun (pin, nid) ->
+      let n = net t nid in
+      n.sinks <- List.filter (fun r -> not (r.inst = id && r.pin = pin)) n.sinks)
+    inst.inputs;
+  List.iter
+    (fun (_, nid) ->
+      let n = net t nid in
+      n.driver <- None)
+    inst.outputs;
+  Vec.set t.instances id None;
+  t.live_instances <- t.live_instances - 1
+
+let set_cell t id cell =
+  let inst = instance t id in
+  List.iter (fun (p, _) -> check_pin_exists cell p "input") inst.inputs;
+  List.iter (fun (p, _) -> check_pin_exists cell p "output") inst.outputs;
+  inst.cell <- cell
+
+let rewire_input t ~inst:id ~pin nid =
+  let inst = instance t id in
+  match List.assoc_opt pin inst.inputs with
+  | None -> invalid_arg (Printf.sprintf "Netlist: instance %s has no input %s" inst.inst_name pin)
+  | Some old_nid ->
+    let old_net = net t old_nid in
+    old_net.sinks <- List.filter (fun r -> not (r.inst = id && r.pin = pin)) old_net.sinks;
+    let new_net = net t nid in
+    new_net.sinks <- { inst = id; pin } :: new_net.sinks;
+    inst.inputs <- List.map (fun (p, n) -> if p = pin then (p, nid) else (p, n)) inst.inputs
+
+let iter_instances t ~f = Vec.iter (function Some inst -> f inst | None -> ()) t.instances
+
+let fold_instances t ~init ~f =
+  Vec.fold (fun acc -> function Some inst -> f acc inst | None -> acc) init t.instances
+
+let iter_nets t ~f = Vec.iter f t.nets
+let instance_count t = t.live_instances
+let mark_primary_input t nid = t.pis <- nid :: t.pis
+let mark_primary_output t nid = t.pos <- nid :: t.pos
+let set_clock t nid = t.clock_net <- Some nid
+let primary_inputs t = List.rev t.pis
+let primary_outputs t = List.rev t.pos
+let clock t = t.clock_net
+
+let total_area t = fold_instances t ~init:0.0 ~f:(fun acc inst -> acc +. inst.cell.Cell.area)
+
+let usage key_of t =
+  let counts = Hashtbl.create 64 in
+  iter_instances t ~f:(fun inst ->
+      let key = key_of inst.cell in
+      Hashtbl.replace counts key (1 + Option.value (Hashtbl.find_opt counts key) ~default:0));
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  |> List.sort (fun (na, ca) (nb, cb) ->
+         if ca <> cb then compare cb ca else String.compare na nb)
+
+let cell_usage t = usage (fun (c : Cell.t) -> c.name) t
+let family_usage t = usage (fun (c : Cell.t) -> c.family) t
+
+let fresh_name t ~prefix =
+  t.name_counter <- t.name_counter + 1;
+  Printf.sprintf "%s_%d" prefix t.name_counter

@@ -1,0 +1,86 @@
+(** Mutable gate-level netlists.
+
+    The synthesis flow builds a netlist once and then mutates it in place:
+    resizing swaps an instance's library cell within its family, buffering
+    inserts instances and rewires sinks, decomposition replaces one
+    instance with several.  Instances and nets are addressed by dense
+    integer ids; removed instances leave tombstones so ids stay stable. *)
+
+type net_id = int
+type inst_id = int
+
+type pin_ref = { inst : inst_id; pin : string }
+
+type net = {
+  net_id : net_id;
+  net_name : string;
+  mutable driver : pin_ref option;  (** [None] for primary inputs *)
+  mutable sinks : pin_ref list;
+}
+
+type instance = {
+  inst_id : inst_id;
+  inst_name : string;
+  mutable cell : Vartune_liberty.Cell.t;
+  mutable inputs : (string * net_id) list;  (** pin name → driven-by net *)
+  mutable outputs : (string * net_id) list;  (** pin name → driven net *)
+}
+
+type t
+
+val create : name:string -> t
+val name : t -> string
+
+val add_net : t -> ?net_name:string -> unit -> net_id
+val net : t -> net_id -> net
+val net_count : t -> int
+
+val add_instance :
+  t ->
+  inst_name:string ->
+  cell:Vartune_liberty.Cell.t ->
+  inputs:(string * net_id) list ->
+  outputs:(string * net_id) list ->
+  inst_id
+(** Creates an instance and hooks its pins onto the nets.  Raises
+    [Invalid_argument] if an output net already has a driver. *)
+
+val remove_instance : t -> inst_id -> unit
+(** Detaches the instance from all nets and tombstones it. *)
+
+val instance : t -> inst_id -> instance
+(** Raises [Invalid_argument] for removed or out-of-range ids. *)
+
+val instance_opt : t -> inst_id -> instance option
+
+val set_cell : t -> inst_id -> Vartune_liberty.Cell.t -> unit
+(** Swaps the library cell of an instance (resizing).  The new cell must
+    expose the pin names the instance uses. *)
+
+val rewire_input : t -> inst:inst_id -> pin:string -> net_id -> unit
+(** Moves one input pin of an instance onto a different net. *)
+
+val iter_instances : t -> f:(instance -> unit) -> unit
+(** Live instances only, in id order. *)
+
+val fold_instances : t -> init:'a -> f:('a -> instance -> 'a) -> 'a
+val iter_nets : t -> f:(net -> unit) -> unit
+
+val instance_count : t -> int
+(** Live instances. *)
+
+val mark_primary_input : t -> net_id -> unit
+val mark_primary_output : t -> net_id -> unit
+val set_clock : t -> net_id -> unit
+val primary_inputs : t -> net_id list
+val primary_outputs : t -> net_id list
+val clock : t -> net_id option
+
+val total_area : t -> float
+val cell_usage : t -> (string * int) list
+(** Instance count per cell name, sorted descending then by name. *)
+
+val family_usage : t -> (string * int) list
+
+val fresh_name : t -> prefix:string -> string
+(** A fresh, design-unique instance name. *)

@@ -1,0 +1,21 @@
+(** Structural Verilog interchange for mapped netlists.
+
+    Writes a gate-level module with named port connections — the form
+    every EDA tool exchanges — and reads the same subset back, resolving
+    cell names against a library.  [parse (to_string nl)] reconstructs
+    the netlist up to net/instance ids. *)
+
+val to_string : Netlist.t -> string
+
+val write_file : string -> Netlist.t -> unit
+
+exception Parse_error of string
+
+val parse : library:Vartune_liberty.Library.t -> string -> Netlist.t
+(** Parses a gate-level module.  Primary inputs/outputs come from the
+    port list; the clock is recognised as the input named [clk] (when
+    present).  Raises {!Parse_error} on malformed input and
+    [Not_found]-style errors when an instance references a cell absent
+    from [library]. *)
+
+val parse_file : library:Vartune_liberty.Library.t -> string -> Netlist.t

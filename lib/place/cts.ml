@@ -1,0 +1,149 @@
+module Netlist = Vartune_netlist.Netlist
+module Library = Vartune_liberty.Library
+module Cell = Vartune_liberty.Cell
+module Pin = Vartune_liberty.Pin
+module Arc = Vartune_liberty.Arc
+
+type node =
+  | Leaf of { sinks : Netlist.inst_id list; delay : float }
+  | Branch of { delay : float; children : node list }
+
+type result = {
+  tree : node;
+  buffers : int;
+  levels : int;
+  sinks : int;
+  min_insertion : float;
+  max_insertion : float;
+  skew : float;
+}
+
+type sink = { inst : Netlist.inst_id; x : float; y : float; cap : float }
+
+let centroid sinks =
+  let n = float_of_int (List.length sinks) in
+  let sx = List.fold_left (fun acc s -> acc +. s.x) 0.0 sinks in
+  let sy = List.fold_left (fun acc s -> acc +. s.y) 0.0 sinks in
+  (sx /. n, sy /. n)
+
+let group_hpwl sinks =
+  match sinks with
+  | [] | [ _ ] -> 0.0
+  | first :: rest ->
+    let lx, hx, ly, hy =
+      List.fold_left
+        (fun (lx, hx, ly, hy) s ->
+          (Float.min lx s.x, Float.max hx s.x, Float.min ly s.y, Float.max hy s.y))
+        (first.x, first.x, first.y, first.y)
+        rest
+    in
+    hx -. lx +. (hy -. ly)
+
+(* smallest buffer whose drive limit covers the load; largest otherwise *)
+let pick_buffer buffers load =
+  match List.find_opt (fun (c : Cell.t) -> load <= Cell.max_load c) buffers with
+  | Some c -> c
+  | None -> List.nth buffers (List.length buffers - 1)
+
+let buffer_delay (cell : Cell.t) ~load =
+  match Cell.arcs cell with
+  | arc :: _ -> Arc.delay arc ~slew:0.04 ~load
+  | [] -> invalid_arg "Cts: buffer without arcs"
+
+let synthesize ?(fanout = 8) ?(cap_per_um = 0.00018) placement nl ~library =
+  let buffers = Library.family_members library "BUF" in
+  if buffers = [] then invalid_arg "Cts.synthesize: library has no BUF family";
+  let sinks =
+    Netlist.fold_instances nl ~init:[] ~f:(fun acc inst ->
+        if Cell.is_sequential inst.Netlist.cell then begin
+          match inst.Netlist.cell.Cell.clock_pin with
+          | Some ck -> begin
+            match Cell.find_pin inst.Netlist.cell ck with
+            | Some pin ->
+              let x, y = Placement.position placement inst.Netlist.inst_id in
+              { inst = inst.Netlist.inst_id; x; y; cap = pin.Pin.capacitance } :: acc
+            | None -> acc
+          end
+          | None -> acc
+        end
+        else acc)
+  in
+  if sinks = [] then invalid_arg "Cts.synthesize: no sequential sinks";
+  let buffer_count = ref 0 in
+  let rec build sinks =
+    incr buffer_count;
+    if List.length sinks <= fanout then begin
+      let load =
+        List.fold_left (fun acc s -> acc +. s.cap) 0.0 sinks
+        +. (cap_per_um *. group_hpwl sinks)
+      in
+      let cell = pick_buffer buffers load in
+      (Leaf { sinks = List.map (fun s -> s.inst) sinks; delay = buffer_delay cell ~load }, 1)
+    end
+    else begin
+      (* bisect along the longer dimension at the median *)
+      let lx, hx, ly, hy =
+        match sinks with
+        | first :: rest ->
+          List.fold_left
+            (fun (lx, hx, ly, hy) s ->
+              (Float.min lx s.x, Float.max hx s.x, Float.min ly s.y, Float.max hy s.y))
+            (first.x, first.x, first.y, first.y)
+            rest
+        | [] -> assert false
+      in
+      let key = if hx -. lx >= hy -. ly then fun s -> s.x else fun s -> s.y in
+      let sorted = List.stable_sort (fun a b -> compare (key a) (key b)) sinks in
+      let n = List.length sorted in
+      let rec split i acc = function
+        | [] -> (List.rev acc, [])
+        | rest when i = 0 -> (List.rev acc, rest)
+        | s :: rest -> split (i - 1) (s :: acc) rest
+      in
+      let left, right = split (n / 2) [] sorted in
+      let left_node, left_depth = build left in
+      let right_node, right_depth = build right in
+      (* this buffer drives the two child buffers plus routing between
+         the group centroids *)
+      let child_cap =
+        match buffers with
+        | b :: _ -> 2.0 *. Cell.input_capacitance b "A"
+        | [] -> assert false
+      in
+      let lx_, ly_ = centroid left and rx_, ry_ = centroid right in
+      let wire = cap_per_um *. (Float.abs (lx_ -. rx_) +. Float.abs (ly_ -. ry_)) in
+      let load = child_cap +. wire in
+      let cell = pick_buffer buffers load in
+      ( Branch { delay = buffer_delay cell ~load; children = [ left_node; right_node ] },
+        1 + max left_depth right_depth )
+    end
+  in
+  let tree, levels = build sinks in
+  let insertions = ref [] in
+  let rec walk acc = function
+    | Leaf { sinks; delay } ->
+      List.iter (fun inst -> insertions := (inst, acc +. delay) :: !insertions) sinks
+    | Branch { delay; children } -> List.iter (walk (acc +. delay)) children
+  in
+  walk 0.0 tree;
+  let delays = List.map snd !insertions in
+  let min_insertion = List.fold_left Float.min infinity delays in
+  let max_insertion = List.fold_left Float.max neg_infinity delays in
+  {
+    tree;
+    buffers = !buffer_count;
+    levels;
+    sinks = List.length sinks;
+    min_insertion;
+    max_insertion;
+    skew = max_insertion -. min_insertion;
+  }
+
+let insertion_delays result =
+  let acc = ref [] in
+  let rec walk base = function
+    | Leaf { sinks; delay } -> List.iter (fun inst -> acc := (inst, base +. delay) :: !acc) sinks
+    | Branch { delay; children } -> List.iter (walk (base +. delay)) children
+  in
+  walk 0.0 result.tree;
+  !acc

@@ -1,0 +1,35 @@
+(** Clock tree synthesis (geometric, analytic).
+
+    The second half of the paper's future work: after placement, the
+    clock is distributed through a recursively bisected buffer tree.
+    Buffers sit at the centroid of the sink group they drive; insertion
+    delays come from the library's buffer arcs with HPWL-based wire
+    loads.  The resulting skew feeds timing as extra uncertainty. *)
+
+type node =
+  | Leaf of { sinks : Vartune_netlist.Netlist.inst_id list; delay : float }
+  | Branch of { delay : float; children : node list }
+
+type result = {
+  tree : node;
+  buffers : int;
+  levels : int;
+  sinks : int;
+  min_insertion : float;
+  max_insertion : float;
+  skew : float;  (** max - min insertion delay, ns *)
+}
+
+val synthesize :
+  ?fanout:int ->
+  ?cap_per_um:float ->
+  Placement.t ->
+  Vartune_netlist.Netlist.t ->
+  library:Vartune_liberty.Library.t ->
+  result
+(** Builds the tree over all sequential sinks.  [fanout] bounds the
+    sinks per leaf buffer (default 8).  Raises [Invalid_argument] if the
+    design has no sequential cells or the library has no BUF family. *)
+
+val insertion_delays : result -> (Vartune_netlist.Netlist.inst_id * float) list
+(** Per-sink clock insertion delay. *)

@@ -1,0 +1,29 @@
+type speed = Fast | Typical | Slow
+
+type t = { speed : speed; supply_voltage : float; temperature : float }
+
+let fast = { speed = Fast; supply_voltage = 1.21; temperature = -40.0 }
+let typical = { speed = Typical; supply_voltage = 1.1; temperature = 25.0 }
+let slow = { speed = Slow; supply_voltage = 0.99; temperature = 125.0 }
+let all = [ fast; typical; slow ]
+
+(* Alpha-power-law flavoured delay scaling: drive current grows like
+   (V - Vt)^alpha and degrades with temperature.  The final exponent is
+   an empirical fit compressing the raw V/T sensitivity to the corner
+   spread of a 40 nm-class logic process: fast ~ 0.80x, slow ~ 1.31x of
+   typical (gate delay is less V-sensitive than raw drive current because
+   the swing shrinks with the supply). *)
+let delay_factor t =
+  let vt = 0.45 and alpha = 1.3 in
+  let current v = v *. ((v -. vt) ** alpha) in
+  let temperature_factor = 1.0 +. (0.0009 *. (t.temperature -. typical.temperature)) in
+  let raw = current typical.supply_voltage /. current t.supply_voltage *. temperature_factor in
+  raw ** 0.62
+
+let speed_to_string = function Fast -> "FF" | Typical -> "TT" | Slow -> "SS"
+
+let name t =
+  let volts_tenths = int_of_float (Float.round (t.supply_voltage *. 10.0)) in
+  Format.sprintf "%s%dP%dV%dC" (speed_to_string t.speed) (volts_tenths / 10)
+    (volts_tenths mod 10)
+    (int_of_float t.temperature)

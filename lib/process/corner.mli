@@ -1,0 +1,36 @@
+(** Process–voltage–temperature corners.
+
+    The paper characterises at the typical corner (TT, 1.1 V, 25 °C) and
+    validates on fast and slow corners (Section VII-C).  A corner acts on
+    the delay model as a single multiplicative factor on drive resistance
+    and intrinsic delay, which is exactly why the paper observes mean and
+    sigma scaling by the same factor across corners. *)
+
+type speed = Fast | Typical | Slow
+
+type t = {
+  speed : speed;
+  supply_voltage : float;  (** volts *)
+  temperature : float;  (** °C *)
+}
+
+val fast : t
+(** FF, 1.21 V, -40 °C. *)
+
+val typical : t
+(** TT, 1.1 V, 25 °C — the paper's TT1P1V25C. *)
+
+val slow : t
+(** SS, 0.99 V, 125 °C. *)
+
+val all : t list
+
+val delay_factor : t -> float
+(** Multiplier on nominal (typical) delay: < 1 for fast, 1 for typical,
+    > 1 for slow.  Derived from the supply/temperature point with a simple
+    alpha-power-law style model. *)
+
+val name : t -> string
+(** Liberty-style corner tag, e.g. ["TT1P1V25C"]. *)
+
+val speed_to_string : speed -> string

@@ -1,0 +1,26 @@
+module Rng = Vartune_util.Rng
+
+type t = { sigma_resistance : float; sigma_intrinsic : float }
+
+(* Minimum-size devices at 40 nm: A_Vt ~ 2.5 mV.um over W.L ~ 0.12 x
+   0.04 um gives sigma(Vt) ~ 36 mV, i.e. ~25-35 % drive-current spread at
+   logic overdrive.  These defaults put the library's sigma surfaces in
+   the range the paper's Table-2 parameter grid was designed for. *)
+let default = { sigma_resistance = 0.36; sigma_intrinsic = 0.25 }
+
+let pelgrom base ~stages ~drive =
+  assert (drive > 0 && stages > 0);
+  base /. sqrt (float_of_int (drive * stages))
+
+let resistance_sigma t ?(stages = 1) ~drive () = pelgrom t.sigma_resistance ~stages ~drive
+let intrinsic_sigma t ?(stages = 1) ~drive () = pelgrom t.sigma_intrinsic ~stages ~drive
+
+type sample = { d_resistance : float; d_intrinsic : float }
+
+let zero_sample = { d_resistance = 0.0; d_intrinsic = 0.0 }
+
+let draw t rng ?(stages = 1) ~drive () =
+  {
+    d_resistance = Rng.gaussian rng ~mean:0.0 ~sigma:(resistance_sigma t ~stages ~drive ());
+    d_intrinsic = Rng.gaussian rng ~mean:0.0 ~sigma:(intrinsic_sigma t ~stages ~drive ());
+  }

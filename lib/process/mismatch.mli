@@ -1,0 +1,39 @@
+(** Local (intra-die) mismatch model.
+
+    Follows Pelgrom's law: the standard deviation of a matched device
+    parameter scales as [A / sqrt (W * L)].  In this project's cell-level
+    abstraction the device area grows linearly with drive strength, so the
+    relative sigma of a cell's electrical parameters scales as
+    [1 / sqrt drive].  Two independent parameters are perturbed per cell
+    sample: drive resistance (current factor) and threshold/intrinsic
+    delay. *)
+
+type t = {
+  sigma_resistance : float;
+  (** relative sigma of the drive resistance at drive strength 1 *)
+  sigma_intrinsic : float;
+  (** relative sigma of the intrinsic/threshold-linked delay at drive 1 *)
+}
+
+val default : t
+(** 40 nm-class figures for minimum-size devices: 36 % resistance, 25 %
+    intrinsic at drive 1 (single stage); large multi-stage cells see far
+    less through drive and stage averaging. *)
+
+val resistance_sigma : t -> ?stages:int -> drive:int -> unit -> float
+(** Pelgrom-scaled relative resistance sigma.  Device area grows with
+    [drive]; a cell built from [stages] series inversion stages averages
+    independent per-stage mismatch, so the relative sigma scales as
+    [1 / sqrt (drive * stages)]. *)
+
+val intrinsic_sigma : t -> ?stages:int -> drive:int -> unit -> float
+
+type sample = {
+  d_resistance : float;  (** relative deviation of drive resistance *)
+  d_intrinsic : float;  (** relative deviation of intrinsic delay *)
+}
+
+val zero_sample : sample
+
+val draw : t -> Vartune_util.Rng.t -> ?stages:int -> drive:int -> unit -> sample
+(** One local-variation sample for one cell instance. *)

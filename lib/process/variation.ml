@@ -1,0 +1,6 @@
+module Rng = Vartune_util.Rng
+
+type t = { sigma_global : float }
+
+let default = { sigma_global = 0.045 }
+let draw_factor t rng = 1.0 +. Rng.gaussian rng ~mean:0.0 ~sigma:t.sigma_global

@@ -1,0 +1,13 @@
+(** Global (inter-die) variation model.
+
+    Global variation shifts all cells on a die together; it is modelled as
+    one normally-distributed multiplicative delay factor shared by every
+    cell of a sample (Section VII-C, Fig. 16). *)
+
+type t = { sigma_global : float  (** relative sigma of the shared factor *) }
+
+val default : t
+(** 4.5 % — a typical inter-die delay spread for a 40 nm-class process. *)
+
+val draw_factor : t -> Vartune_util.Rng.t -> float
+(** One die-level delay factor, centred on 1. *)

@@ -1,0 +1,207 @@
+type config = {
+  xlen : int;
+  reg_count : int;
+  mul_width : int;
+  irq_lines : int;
+  bus_slaves : int;
+}
+
+let default_config = { xlen = 32; reg_count = 32; mul_width = 16; irq_lines = 8; bus_slaves = 4 }
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+
+(* Carry-save array multiplier: rows of partial products are reduced with
+   3:2 compressors, one final ripple adder resolves the redundant form.
+   This is the design's deepest combinational structure. *)
+let csa_multiply g a b =
+  let wa = Array.length a and wb = Array.length b in
+  let width = wa + wb in
+  let zero = Word.const g ~width 0 in
+  let row k =
+    Array.init width (fun i ->
+        let j = i - k in
+        if j < 0 || j >= wa then Ir.const0 g else Ir.and2 g a.(j) b.(k))
+  in
+  let shift_left_one w =
+    Array.init width (fun i -> if i = 0 then Ir.const0 g else w.(i - 1))
+  in
+  let rec reduce sum carry k =
+    if k >= wb then (sum, carry)
+    else begin
+      let r = row k in
+      let sum' = Array.init width (fun i -> Ir.xor3 g sum.(i) carry.(i) r.(i)) in
+      let carry' = shift_left_one (Array.init width (fun i -> Ir.maj3 g sum.(i) carry.(i) r.(i))) in
+      reduce sum' carry' (k + 1)
+    end
+  in
+  let sum, carry = reduce (row 0) zero 1 in
+  fst (Word.add_fast g sum carry)
+
+let sign_extend ~width w =
+  let sign = w.(Array.length w - 1) in
+  Array.init width (fun i -> if i < Array.length w then w.(i) else sign)
+
+let zero_extend g ~width w =
+  Array.init width (fun i -> if i < Array.length w then w.(i) else Ir.const0 g)
+
+let slice w lo len = Array.sub w lo len
+
+let generate ?(config = default_config) () =
+  let { xlen; reg_count; mul_width; irq_lines; bus_slaves } = config in
+  let g = Ir.create ~name:"mcu32" in
+  let sel_bits = log2 reg_count in
+
+  (* ---------------- external interface ---------------- *)
+  let hrdata = Word.inputs g ~prefix:"hrdata" ~width:xlen in
+  let hready = Ir.input g "hready" in
+  let irq = Array.init irq_lines (fun i -> Ir.input g (Printf.sprintf "irq[%d]" i)) in
+
+  (* ---------------- fetch / instruction register ---------------- *)
+  let fetch_en = hready in
+  let ir = Word.reg g ~enable:fetch_en ~name:"ir" hrdata in
+
+  (* instruction fields (RISC-ish fixed encoding) *)
+  let opcode = slice ir 0 5 in
+  let rd_sel = slice ir 5 sel_bits in
+  let rs1_sel = slice ir 11 sel_bits in
+  let rs2_sel = slice ir 17 sel_bits in
+  let funct = slice ir 23 3 in
+  let imm12 = slice ir 20 12 in
+
+  (* ---------------- decode ---------------- *)
+  let op_lines = Word.decoder g opcode in
+  let op i = op_lines.(i land (Array.length op_lines - 1)) in
+  let is_alu_reg = op 0 and is_alu_imm = op 1 in
+  let is_load = op 2 and is_store = op 3 in
+  let is_branch = op 4 and is_jump = op 5 in
+  let is_mul = op 6 and is_mac = op 7 in
+  let is_csr = op 8 in
+  let alu_src_imm = Ir.or2 g is_alu_imm (Ir.or2 g is_load is_store) in
+  let reg_write =
+    Word.reduce_or g [| is_alu_reg; is_alu_imm; is_load; is_mul; is_mac; is_jump; is_csr |]
+  in
+
+  (* ---------------- register file ---------------- *)
+  (* Single-cycle core: read -> ALU -> writeback closes within the cycle,
+     so the register flops are forward-declared and their D side is wired
+     after the datapath is built. *)
+  let rd_lines = Word.decoder g rd_sel in
+  let registers =
+    Array.init reg_count (fun r ->
+        Array.init xlen (fun i ->
+            Ir.ff_forward g ~name:(Printf.sprintf "x%d[%d]" r i) ()))
+  in
+  (* read ports: one-hot AND-OR networks, as a synthesis tool would
+     build them (NAND/NOR-rich after decomposition) *)
+  let read_port sel = Word.one_hot_mux g ~onehot:(Word.decoder g sel) (Array.to_list registers) in
+  let rs1_val = read_port rs1_sel in
+  let rs2_val = read_port rs2_sel in
+  let imm = sign_extend ~width:xlen imm12 in
+
+  (* ---------------- ALU ---------------- *)
+  let operand_b = Word.mux g ~sel:alu_src_imm rs2_val imm in
+  let sub_mode = funct.(0) in
+  let b_eff = Word.mux g ~sel:sub_mode operand_b (Word.lognot g operand_b) in
+  let adder_out, carry = Word.add_fast g ~carry_in:sub_mode rs1_val b_eff in
+  let and_out = Word.logand g rs1_val operand_b in
+  let or_out = Word.logor g rs1_val operand_b in
+  let xor_out = Word.logxor g rs1_val operand_b in
+  let shamt = slice operand_b 0 (log2 xlen) in
+  let sll_out = Word.barrel_shift_left g rs1_val ~amount:shamt in
+  let srl_out = Word.barrel_shift_right g rs1_val ~amount:shamt in
+  let slt = Ir.not_ g carry in
+  let slt_out = zero_extend g ~width:xlen [| slt |] in
+  let pass_b = operand_b in
+  let alu_out =
+    Word.mux_tree g ~sel:funct
+      [ adder_out; and_out; or_out; xor_out; sll_out; srl_out; slt_out; pass_b ]
+  in
+
+  (* ---------------- multiplier / MAC ---------------- *)
+  let mul_a = slice rs1_val 0 mul_width in
+  let mul_b = slice rs2_val 0 mul_width in
+  let product = csa_multiply g mul_a mul_b in
+  let product_x = zero_extend g ~width:xlen product in
+  let acc = Array.init xlen (fun i -> Ir.ff_forward g ~name:(Printf.sprintf "acc[%d]" i) ()) in
+  let mac_out, _ = Word.add_fast g product_x acc in
+  Array.iteri
+    (fun i bit -> Ir.set_ff_data g acc.(i) (Ir.mux2 g ~a:acc.(i) ~b:bit ~s:is_mac))
+    mac_out;
+
+  (* ---------------- branch and PC ---------------- *)
+  let eq = Word.equal g rs1_val operand_b in
+  let lt = Word.less_than g rs1_val operand_b in
+  let cond = Ir.mux2 g ~a:eq ~b:lt ~s:funct.(1) in
+  let cond = Ir.xor2 g cond funct.(2) in
+  let take_branch = Ir.and2 g is_branch cond in
+  let pc = Array.init xlen (fun _ -> Ir.ff_forward g ()) in
+  let pc_plus4 = fst (Word.add_fast g pc (Word.const g ~width:xlen 4)) in
+  let branch_target = fst (Word.add_fast g pc (sign_extend ~width:xlen imm12)) in
+  let jump_target = adder_out in
+
+  (* interrupt controller: masked pending requests, priority encoded *)
+  let irq_mask = Word.reg g ~enable:is_csr ~name:"irq_mask" (slice alu_out 0 irq_lines) in
+  let pending = Array.mapi (fun i line -> Ir.and2 g line irq_mask.(i)) irq in
+  let irq_index, irq_valid = Word.priority_encode g pending in
+  let vector_base = Word.const g ~width:xlen 0x40 in
+  let irq_vector =
+    fst (Word.add g vector_base (zero_extend g ~width:xlen irq_index))
+  in
+
+  let pc_seq = Word.mux g ~sel:take_branch pc_plus4 branch_target in
+  let pc_ctl = Word.mux g ~sel:is_jump pc_seq jump_target in
+  let pc_next = Word.mux g ~sel:irq_valid pc_ctl irq_vector in
+  Array.iteri (fun i bit -> Ir.set_ff_data g pc.(i) (Ir.mux2 g ~a:pc.(i) ~b:bit ~s:hready)) pc_next;
+
+  (* ---------------- writeback ---------------- *)
+  let wb_sel = [| Ir.or2 g is_load is_csr; Ir.or2 g is_mul is_mac |] in
+  let mul_or_mac = Word.mux g ~sel:is_mac product_x mac_out in
+  let wb_next =
+    Word.mux_tree g ~sel:wb_sel [ alu_out; hrdata; mul_or_mac; mul_or_mac ]
+  in
+  (* close the register-file write loop *)
+  Array.iteri
+    (fun r q ->
+      let we = Ir.and2 g reg_write rd_lines.(r) in
+      Array.iteri
+        (fun i qbit -> Ir.set_ff_data g qbit (Ir.mux2 g ~a:qbit ~b:wb_next.(i) ~s:we))
+        q)
+    registers;
+
+  (* ---------------- AHB-like bus fabric ---------------- *)
+  let data_access = Ir.or2 g is_load is_store in
+  let haddr = Word.mux g ~sel:data_access pc adder_out in
+  let haddr_r = Word.reg g ~enable:hready ~name:"haddr" haddr in
+  let slave_bits = log2 bus_slaves in
+  let hsel = Word.decoder g (slice haddr_r (xlen - slave_bits) slave_bits) in
+  let hwrite = (Word.reg g [| is_store |]).(0) in
+  let hwdata = Word.reg g ~enable:hready ~name:"hwdata" rs2_val in
+  (* per-slave write buffers: slaves latch bus writes locally *)
+  let slave_bufs =
+    Array.init bus_slaves (fun s ->
+        let we = Ir.and2 g hwrite hsel.(s) in
+        Word.reg g ~enable:we ~name:(Printf.sprintf "slv%d" s) hwdata)
+  in
+
+  (* ---------------- SRAM interface glue ---------------- *)
+  let sram_addr = Word.reg g ~enable:hready ~name:"sram_addr" (slice haddr_r 0 15) in
+  let byte_en = Word.decoder g (slice haddr_r 0 2) in
+  let sram_wdata =
+    Array.init xlen (fun i ->
+        let lane = byte_en.(i / 8) in
+        Ir.mux2 g ~a:hrdata.(i) ~b:hwdata.(i) ~s:(Ir.and2 g lane hwrite))
+  in
+  let sram_wdata_r = Word.reg g ~name:"sram_wdata" sram_wdata in
+
+  (* ---------------- outputs ---------------- *)
+  Word.outputs g ~prefix:"haddr" haddr_r;
+  Word.outputs g ~prefix:"hwdata" hwdata;
+  Ir.output g "hwrite" hwrite;
+  Array.iteri (fun s line -> Ir.output g (Printf.sprintf "hsel[%d]" s) line) hsel;
+  Word.outputs g ~prefix:"sram_a" sram_addr;
+  Word.outputs g ~prefix:"sram_d" sram_wdata_r;
+  Array.iteri
+    (fun s buf -> Ir.output g (Printf.sprintf "slv%d_q" s) (Word.reduce_or g buf))
+    slave_bufs;
+  Ir.output g "irq_taken" irq_valid;
+  g

@@ -1,0 +1,25 @@
+(** Synthetic 32-bit microcontroller — the evaluation design.
+
+    Stands in for the paper's "widely used microprocessor design" (32-bit
+    CPU, AHB bus, 32KB SRAM, ~20k gates).  The generator produces a
+    single-issue core with a register file, ALU with barrel shifter, an
+    array multiplier with carry-save reduction (the deep paths), a PC and
+    branch unit, an AHB-like bus fabric with address decoding and write
+    buffers, SRAM interface glue and an interrupt controller.  Path-depth
+    statistics — many shallow control paths, a tail of deep arithmetic
+    paths — mirror the paper's Fig. 12/14 profile. *)
+
+type config = {
+  xlen : int;  (** datapath width *)
+  reg_count : int;  (** architectural registers (power of two) *)
+  mul_width : int;  (** multiplier operand width *)
+  irq_lines : int;
+  bus_slaves : int;  (** power of two *)
+}
+
+val default_config : config
+(** 32-bit, 32 registers, 16×16 multiplier, 8 IRQs, 4 bus slaves —
+    elaborates to roughly 20k gate equivalents. *)
+
+val generate : ?config:config -> unit -> Ir.t
+(** Elaborates the core to a generic gate network. *)

@@ -1,0 +1,32 @@
+(** Average power estimation over a mapped netlist.
+
+    Uses the activity-factor model standard in EDA power reports:
+
+    - {b switching}: [alpha · C_net · Vdd² · f] per net;
+    - {b internal}: [alpha · E_int(slew, load) · f] per cell, from the
+      library's internal-power LUTs;
+    - {b leakage}: the cells' static leakage, activity-independent.
+
+    Clock nets toggle every cycle (activity 1); data nets default to the
+    given activity factor. *)
+
+type report = {
+  switching_mw : float;
+  internal_mw : float;
+  leakage_mw : float;
+  total_mw : float;
+  clock_period : float;
+  activity : float;
+}
+
+val estimate :
+  ?activity:float ->
+  ?supply:float ->
+  Timing.t ->
+  Vartune_netlist.Netlist.t ->
+  report
+(** [estimate timing nl] evaluates power at the timing run's clock
+    period.  [activity] is the average data toggle rate per cycle
+    (default 0.15); [supply] defaults to 1.1 V. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,269 @@
+module Netlist = Vartune_netlist.Netlist
+module Check = Vartune_netlist.Check
+module Cell = Vartune_liberty.Cell
+module Pin = Vartune_liberty.Pin
+module Arc = Vartune_liberty.Arc
+
+type config = {
+  clock_period : float;
+  guard_band : float;
+  input_slew : float;
+  clock_slew : float;
+  output_load : float;
+  wire_cap_base : float;
+  wire_cap_per_sink : float;
+  wire_caps : (Netlist.net_id -> float) option;
+}
+
+let default_config ~clock_period =
+  {
+    clock_period;
+    guard_band = 0.3;
+    input_slew = 0.05;
+    clock_slew = 0.04;
+    output_load = 0.004;
+    wire_cap_base = 0.0002;
+    wire_cap_per_sink = 0.00015;
+    wire_caps = None;
+  }
+
+type endpoint =
+  | Reg_data of { inst : Netlist.inst_id; pin : string }
+  | Primary_output of Netlist.net_id
+
+type endpoint_timing = {
+  endpoint : endpoint;
+  arrival : float;
+  required : float;
+  slack : float;
+}
+
+type t = {
+  cfg : config;
+  loads : float array;  (* per net *)
+  arrivals : float array;
+  slews : float array;
+  requireds : float array;
+  min_arrivals : float array;  (* earliest register-launched arrival *)
+  crit : (Netlist.inst_id * string, string * Arc.t * float) Hashtbl.t;
+  eps : endpoint_timing list;
+  hold_eps : endpoint_timing list;
+}
+
+let config t = t.cfg
+
+(* Netlist edits made after an analysis may create nets the arrays don't
+   cover; those read as neutral defaults until the next [run]. *)
+let in_range t nid = nid >= 0 && nid < Array.length t.loads
+let net_load t nid = if in_range t nid then t.loads.(nid) else 0.0
+let net_arrival t nid = if in_range t nid then t.arrivals.(nid) else 0.0
+let net_slew t nid = if in_range t nid then t.slews.(nid) else t.cfg.input_slew
+let net_required t nid = if in_range t nid then t.requireds.(nid) else infinity
+let net_slack t nid = net_required t nid -. net_arrival t nid
+let net_min_arrival t nid = if in_range t nid then t.min_arrivals.(nid) else infinity
+let hold_endpoints t = t.hold_eps
+
+let worst_hold_slack t =
+  List.fold_left (fun acc ep -> Float.min acc ep.slack) infinity t.hold_eps
+let critical_input t inst ~out_pin = Hashtbl.find_opt t.crit (inst, out_pin)
+let endpoints t = t.eps
+
+let compute_loads cfg nl =
+  let loads = Array.make (Netlist.net_count nl) 0.0 in
+  let po = Hashtbl.create 16 in
+  List.iter (fun nid -> Hashtbl.replace po nid ()) (Netlist.primary_outputs nl);
+  Netlist.iter_nets nl ~f:(fun net ->
+      let nid = net.Netlist.net_id in
+      let sink_caps =
+        List.fold_left
+          (fun acc (r : Netlist.pin_ref) ->
+            let inst = Netlist.instance nl r.inst in
+            match Cell.find_pin inst.cell r.pin with
+            | Some p -> acc +. p.Pin.capacitance
+            | None -> acc)
+          0.0 net.sinks
+      in
+      let n_sinks = List.length net.sinks in
+      let wire =
+        if n_sinks = 0 then 0.0
+        else
+          match cfg.wire_caps with
+          | Some f -> f nid
+          | None -> cfg.wire_cap_base +. (cfg.wire_cap_per_sink *. float_of_int n_sinks)
+      in
+      let external_load = if Hashtbl.mem po nid then cfg.output_load else 0.0 in
+      loads.(nid) <- sink_caps +. wire +. external_load);
+  loads
+
+let run cfg nl =
+  let n_nets = Netlist.net_count nl in
+  let loads = compute_loads cfg nl in
+  let arrivals = Array.make n_nets 0.0 in
+  let slews = Array.make n_nets cfg.input_slew in
+  List.iter (fun nid -> slews.(nid) <- cfg.input_slew) (Netlist.primary_inputs nl);
+  let crit = Hashtbl.create 1024 in
+  let order = Check.topological_order nl in
+  let process_output inst (out_pin_name, out_net) =
+    let inst_id = inst.Netlist.inst_id in
+    let cell = inst.Netlist.cell in
+    let load = loads.(out_net) in
+    match Cell.find_pin cell out_pin_name with
+    | None | Some { Pin.direction = Pin.Input; _ } -> ()
+    | Some out_pin ->
+      if out_pin.Pin.arcs = [] then begin
+        (* tie cells: constant output, clean edge *)
+        arrivals.(out_net) <- 0.0;
+        slews.(out_net) <- cfg.input_slew
+      end
+      else begin
+        let best = ref neg_infinity in
+        let best_slew = ref 0.0 in
+        List.iter
+          (fun (arc : Arc.t) ->
+            let in_arrival, in_slew =
+              if Cell.is_sequential cell then (0.0, cfg.clock_slew)
+              else
+                match List.assoc_opt arc.related_pin inst.inputs with
+                | Some in_net -> (arrivals.(in_net), slews.(in_net))
+                | None -> (0.0, cfg.input_slew)
+            in
+            let delay = Arc.delay arc ~slew:in_slew ~load in
+            let out_slew = Arc.transition arc ~slew:in_slew ~load in
+            if in_arrival +. delay > !best then begin
+              best := in_arrival +. delay;
+              Hashtbl.replace crit (inst_id, out_pin_name) (arc.related_pin, arc, delay)
+            end;
+            if out_slew > !best_slew then best_slew := out_slew)
+          out_pin.Pin.arcs;
+        arrivals.(out_net) <- !best;
+        slews.(out_net) <- !best_slew
+      end
+  in
+  Array.iter
+    (fun inst_id ->
+      let inst = Netlist.instance nl inst_id in
+      List.iter (process_output inst) inst.outputs)
+    order;
+  (* endpoints: sequential data pins and primary outputs *)
+  let eps = ref [] in
+  let data_required cell =
+    cfg.clock_period -. cfg.guard_band -. cell.Cell.setup_time
+  in
+  Netlist.iter_instances nl ~f:(fun inst ->
+      if Cell.is_sequential inst.Netlist.cell then
+        List.iter
+          (fun (pin_name, nid) ->
+            if Some pin_name <> inst.cell.Cell.clock_pin then begin
+              let arrival = arrivals.(nid) in
+              let required = data_required inst.cell in
+              eps :=
+                { endpoint = Reg_data { inst = inst.inst_id; pin = pin_name };
+                  arrival; required; slack = required -. arrival }
+                :: !eps
+            end)
+          inst.inputs);
+  List.iter
+    (fun nid ->
+      let arrival = arrivals.(nid) in
+      let required = cfg.clock_period -. cfg.guard_band in
+      eps :=
+        { endpoint = Primary_output nid; arrival; required; slack = required -. arrival }
+        :: !eps)
+    (Netlist.primary_outputs nl);
+  (* min-delay (hold) pass: earliest register-launched arrivals.  Nets
+     reached only from primary inputs stay at infinity — without input
+     delays they are unconstrained for hold. *)
+  let min_arrivals = Array.make n_nets infinity in
+  Array.iter
+    (fun inst_id ->
+      let inst = Netlist.instance nl inst_id in
+      let cell = inst.Netlist.cell in
+      List.iter
+        (fun (out_pin_name, out_net) ->
+          match Cell.find_pin cell out_pin_name with
+          | None | Some { Pin.direction = Pin.Input; _ } -> ()
+          | Some out_pin ->
+            let load = loads.(out_net) in
+            List.iter
+              (fun (arc : Arc.t) ->
+                let in_arrival, in_slew =
+                  if Cell.is_sequential cell then (0.0, cfg.clock_slew)
+                  else
+                    match List.assoc_opt arc.related_pin inst.inputs with
+                    | Some in_net -> (min_arrivals.(in_net), slews.(in_net))
+                    | None -> (infinity, cfg.input_slew)
+                in
+                if in_arrival < infinity then begin
+                  let d = Arc.min_delay arc ~slew:in_slew ~load in
+                  if in_arrival +. d < min_arrivals.(out_net) then
+                    min_arrivals.(out_net) <- in_arrival +. d
+                end)
+              out_pin.Pin.arcs)
+        inst.outputs)
+    order;
+  let hold_eps = ref [] in
+  Netlist.iter_instances nl ~f:(fun inst ->
+      if Cell.is_sequential inst.Netlist.cell then
+        List.iter
+          (fun (pin_name, nid) ->
+            if Some pin_name <> inst.cell.Cell.clock_pin && min_arrivals.(nid) < infinity
+            then begin
+              let arrival = min_arrivals.(nid) in
+              let required = inst.cell.Cell.hold_time in
+              hold_eps :=
+                { endpoint = Reg_data { inst = inst.inst_id; pin = pin_name };
+                  arrival; required; slack = arrival -. required }
+                :: !hold_eps
+            end)
+          inst.inputs);
+  (* backward pass: required times tighten from endpoints toward sources *)
+  let requireds = Array.make n_nets infinity in
+  List.iter
+    (fun ep ->
+      let nid =
+        match ep.endpoint with
+        | Reg_data { inst; pin } -> List.assoc pin (Netlist.instance nl inst).inputs
+        | Primary_output nid -> nid
+      in
+      requireds.(nid) <- Float.min requireds.(nid) ep.required)
+    !eps;
+  Array.iter
+    (fun inst_id ->
+      let inst = Netlist.instance nl inst_id in
+      if not (Cell.is_sequential inst.Netlist.cell) then
+        List.iter
+          (fun (out_pin_name, out_net) ->
+            match Cell.find_pin inst.cell out_pin_name with
+            | None | Some { Pin.direction = Pin.Input; _ } -> ()
+            | Some out_pin ->
+              let load = loads.(out_net) in
+              List.iter
+                (fun (arc : Arc.t) ->
+                  match List.assoc_opt arc.related_pin inst.inputs with
+                  | None -> ()
+                  | Some in_net ->
+                    let delay = Arc.delay arc ~slew:slews.(in_net) ~load in
+                    requireds.(in_net) <-
+                      Float.min requireds.(in_net) (requireds.(out_net) -. delay))
+                out_pin.Pin.arcs)
+          inst.outputs)
+    (Array.of_list (List.rev (Array.to_list order)));
+  { cfg; loads; arrivals; slews; requireds; min_arrivals; crit;
+    eps = List.rev !eps; hold_eps = List.rev !hold_eps }
+
+let worst_slack t =
+  List.fold_left (fun acc ep -> Float.min acc ep.slack) infinity t.eps
+
+let worst_endpoint t =
+  match t.eps with
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (fun acc ep -> if ep.slack < acc.slack then ep else acc) first rest)
+
+let total_negative_slack t =
+  List.fold_left (fun acc ep -> if ep.slack < 0.0 then acc +. ep.slack else acc) 0.0 t.eps
+
+let endpoint_name nl = function
+  | Reg_data { inst; pin } ->
+    Printf.sprintf "%s/%s" (Netlist.instance nl inst).inst_name pin
+  | Primary_output nid -> (Netlist.net nl nid).net_name

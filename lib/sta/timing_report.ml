@@ -1,0 +1,55 @@
+module Netlist = Vartune_netlist.Netlist
+module Cell = Vartune_liberty.Cell
+
+let path_report (p : Path.t) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "  %-12s %-4s %8s %9s %8s %9s\n" "cell" "pin" "incr" "arrival" "slew" "load(pF)";
+  let arrival = ref 0.0 in
+  List.iter
+    (fun (s : Path.step) ->
+      arrival := !arrival +. s.Path.delay;
+      add "  %-12s %-4s %8.4f %9.4f %8.4f %9.5f\n" s.Path.cell.Cell.name s.Path.out_pin
+        s.Path.delay !arrival s.Path.input_slew s.Path.load)
+    p.Path.steps;
+  add "  data arrival %.4f  required %.4f  slack %+.4f (%s)\n" p.Path.arrival
+    p.Path.required p.Path.slack
+    (if p.Path.slack >= 0.0 then "MET" else "VIOLATED");
+  Buffer.contents buf
+
+let take n xs =
+  let rec go n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n xs
+
+let summary timing =
+  Printf.sprintf
+    "endpoints: %d | worst setup slack: %+.4f ns | TNS: %.4f ns | worst hold slack: %s"
+    (List.length (Timing.endpoints timing))
+    (Timing.worst_slack timing)
+    (Timing.total_negative_slack timing)
+    (let h = Timing.worst_hold_slack timing in
+     if h = infinity then "n/a" else Printf.sprintf "%+.4f ns" h)
+
+let report ?(max_paths = 5) timing nl =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s\n\n" (summary timing);
+  let worst =
+    Timing.endpoints timing
+    |> List.sort (fun (a : Timing.endpoint_timing) b -> compare a.Timing.slack b.Timing.slack)
+    |> take max_paths
+  in
+  List.iteri
+    (fun i ep ->
+      let p = Path.extract timing nl ep in
+      add "Path %d: endpoint %s, depth %d\n" (i + 1)
+        (Timing.endpoint_name nl ep.Timing.endpoint)
+        (Path.depth p);
+      Buffer.add_string buf (path_report p);
+      Buffer.add_char buf '\n')
+    worst;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Statistical library construction (Section IV, Fig. 2 of the paper).
+
+    N Monte-Carlo sample libraries are merged entry-by-entry: each LUT
+    entry of the result holds the mean of that entry across the samples,
+    and a parallel sigma table holds the standard deviation.  The result
+    is a normal library file "with identical tables as a nominal library
+    but which contains local variation statistics instead". *)
+
+val of_libraries : Vartune_liberty.Library.t list -> Vartune_liberty.Library.t
+(** Merges a non-empty list of structurally identical libraries.  Delay
+    tables become (mean, sigma) pairs; transition tables are averaged.
+    Raises [Invalid_argument] on an empty list or structural mismatch. *)
+
+val of_stream : n:int -> (int -> Vartune_liberty.Library.t) -> Vartune_liberty.Library.t
+(** Streaming merge: [of_stream ~n gen] folds over [gen 0 .. gen (n-1)]
+    with Welford accumulation, never holding more than one sample library
+    plus the accumulator.  Equivalent to
+    [of_libraries (List.init n gen)]. *)
+
+val build :
+  Vartune_charlib.Characterize.config ->
+  mismatch:Vartune_process.Mismatch.t ->
+  seed:int ->
+  n:int ->
+  ?specs:Vartune_stdcell.Spec.t list ->
+  unit ->
+  Vartune_liberty.Library.t
+(** Characterise-and-merge convenience: N mismatch samples of the catalog
+    streamed into one statistical library. *)
+
+val is_statistical : Vartune_liberty.Library.t -> bool
+(** Whether every non-trivial arc carries sigma tables. *)

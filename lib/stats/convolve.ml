@@ -1,0 +1,36 @@
+module Arc = Vartune_liberty.Arc
+module Path = Vartune_sta.Path
+
+let path_variance_cov matrix =
+  let n = Array.length matrix in
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Convolve: matrix not square")
+    matrix;
+  Array.fold_left (fun acc row -> Array.fold_left ( +. ) acc row) 0.0 matrix
+
+let covariance_matrix ~sigmas ~rho =
+  let n = Array.length sigmas in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          if i = j then sigmas.(i) *. sigmas.(i) else rho *. sigmas.(i) *. sigmas.(j)))
+
+let path_dist_rho ~rho cells =
+  if rho < 0.0 || rho > 1.0 then invalid_arg "Convolve.path_dist_rho: rho out of range";
+  let mean = List.fold_left (fun acc (m, _) -> acc +. m) 0.0 cells in
+  let sigmas = Array.of_list (List.map snd cells) in
+  let variance = path_variance_cov (covariance_matrix ~sigmas ~rho) in
+  Dist.make ~mean ~sigma:(sqrt variance)
+
+let path_dist cells =
+  let mean = List.fold_left (fun acc (m, _) -> acc +. m) 0.0 cells in
+  let variance = List.fold_left (fun acc (_, s) -> acc +. (s *. s)) 0.0 cells in
+  Dist.make ~mean ~sigma:(sqrt variance)
+
+let cell_dists (path : Path.t) =
+  List.map
+    (fun (s : Path.step) ->
+      (s.delay, Arc.sigma s.arc ~slew:s.input_slew ~load:s.load))
+    path.steps
+
+let of_path path = path_dist (cell_dists path)
+let of_path_rho ~rho path = path_dist_rho ~rho (cell_dists path)

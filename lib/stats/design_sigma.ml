@@ -1,0 +1,15 @@
+module Path = Vartune_sta.Path
+module Timing = Vartune_sta.Timing
+
+type t = { dist : Dist.t; paths : int; worst_path_3sigma : float }
+
+let of_dists dists = Dist.sum_independent dists
+
+let of_paths paths =
+  let dists = List.map Convolve.of_path paths in
+  let worst =
+    List.fold_left (fun acc d -> Float.max acc (Dist.quantile_3sigma d)) neg_infinity dists
+  in
+  { dist = of_dists dists; paths = List.length paths; worst_path_3sigma = worst }
+
+let measure timing nl = of_paths (Path.worst_per_endpoint timing nl)

@@ -1,0 +1,20 @@
+(** Design-level local-variation metric (Section V, eq. 11).
+
+    The design distribution aggregates the worst path to every unique
+    endpoint: means sum, variances sum.  It is the figure the tuning
+    methods are judged by (Figs. 10–11). *)
+
+type t = {
+  dist : Dist.t;  (** the design's aggregate (mean, sigma) *)
+  paths : int;  (** number of endpoint paths aggregated *)
+  worst_path_3sigma : float;  (** max over paths of mean + 3 sigma *)
+}
+
+val of_paths : Vartune_sta.Path.t list -> t
+(** Aggregates pre-extracted critical paths (eq. 11). *)
+
+val of_dists : Dist.t list -> Dist.t
+(** eq. (11) over already-convolved path distributions. *)
+
+val measure : Vartune_sta.Timing.t -> Vartune_netlist.Netlist.t -> t
+(** Extracts the worst path per endpoint and aggregates. *)

@@ -1,0 +1,44 @@
+type t = { mean : float; sigma : float }
+
+let make ~mean ~sigma =
+  if sigma < 0.0 then invalid_arg "Dist.make: negative sigma";
+  { mean; sigma }
+
+let variability t =
+  if t.mean = 0.0 then invalid_arg "Dist.variability: zero mean";
+  t.sigma /. t.mean
+
+let pdf t x =
+  if t.sigma = 0.0 then if x = t.mean then infinity else 0.0
+  else begin
+    let z = (x -. t.mean) /. t.sigma in
+    exp (-0.5 *. z *. z) /. (t.sigma *. sqrt (2.0 *. Float.pi))
+  end
+
+(* Abramowitz & Stegun 7.1.26 *)
+let erf x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let y =
+    1.0
+    -. ((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t -. 0.284496736)
+          *. t
+       +. 0.254829592)
+       *. t
+       *. exp (-.x *. x)
+  in
+  sign *. y
+
+let cdf t x =
+  if t.sigma = 0.0 then if x >= t.mean then 1.0 else 0.0
+  else 0.5 *. (1.0 +. erf ((x -. t.mean) /. (t.sigma *. sqrt 2.0)))
+
+let quantile_3sigma t = t.mean +. (3.0 *. t.sigma)
+
+let sum_independent dists =
+  let mean = List.fold_left (fun acc d -> acc +. d.mean) 0.0 dists in
+  let var = List.fold_left (fun acc d -> acc +. (d.sigma *. d.sigma)) 0.0 dists in
+  { mean; sigma = sqrt var }
+
+let scale t k = { mean = t.mean *. k; sigma = t.sigma *. Float.abs k }

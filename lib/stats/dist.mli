@@ -1,0 +1,24 @@
+(** Normal delay distributions. *)
+
+type t = { mean : float; sigma : float }
+
+val make : mean:float -> sigma:float -> t
+(** Raises [Invalid_argument] on negative sigma. *)
+
+val variability : t -> float
+(** Coefficient of variation sigma/mean — the paper's eq. (1).  This is
+    the metric Section III *rejects* for cell selection (Fig. 1): two
+    distributions can share it while having very different dispersions. *)
+
+val pdf : t -> float -> float
+val cdf : t -> float -> float
+(** Via an Abramowitz–Stegun erf approximation, |error| < 1.5e-7. *)
+
+val quantile_3sigma : t -> float
+(** [mean + 3 sigma] — the paper's path-failure criterion (Fig. 14). *)
+
+val sum_independent : t list -> t
+(** Convolution of independent normals: means add, variances add. *)
+
+val scale : t -> float -> t
+(** Multiplies both mean and sigma — corner scaling (Section VII-C). *)

@@ -1,0 +1,30 @@
+let path_yield dist ~period = Dist.cdf dist period
+
+let parametric_yield dists ~period =
+  let log_yield =
+    List.fold_left
+      (fun acc d ->
+        let p = Dist.cdf d period in
+        if p <= 0.0 then neg_infinity else acc +. log p)
+      0.0 dists
+  in
+  if log_yield = neg_infinity then 0.0 else exp log_yield
+
+let yield_curve dists ~periods =
+  List.map (fun period -> (period, parametric_yield dists ~period)) periods
+
+let period_for_yield dists ~target ~lo ~hi =
+  if target <= 0.0 || target >= 1.0 then invalid_arg "Yield.period_for_yield: bad target";
+  if lo >= hi then invalid_arg "Yield.period_for_yield: bad range";
+  if parametric_yield dists ~period:hi < target then hi
+  else begin
+    let rec bisect lo hi n =
+      if n = 0 then hi
+      else begin
+        let mid = (lo +. hi) /. 2.0 in
+        if parametric_yield dists ~period:mid >= target then bisect lo mid (n - 1)
+        else bisect mid hi (n - 1)
+      end
+    in
+    bisect lo hi 40
+  end

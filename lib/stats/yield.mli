@@ -1,0 +1,24 @@
+(** Parametric timing yield.
+
+    A die passes when every endpoint path meets the clock.  Treating the
+    worst paths as independent normals (the same ρ=0 assumption as
+    eq. 10), the yield at a clock period is the product of per-path
+    probabilities Φ((T_eff − μ)/σ) — the quantity the guard band in
+    Section III exists to protect. *)
+
+val path_yield : Dist.t -> period:float -> float
+(** Probability one path meets the (effective) period. *)
+
+val parametric_yield : Dist.t list -> period:float -> float
+(** Product over paths, computed in log space for numerical stability.
+    [1.0] for an empty list. *)
+
+val yield_curve :
+  Dist.t list -> periods:float list -> (float * float) list
+(** [(period, yield)] samples of the yield curve. *)
+
+val period_for_yield :
+  Dist.t list -> target:float -> lo:float -> hi:float -> float
+(** Smallest period in [\[lo, hi\]] achieving the target yield, by
+    bisection (yield is monotone in the period); [hi] if unreachable.
+    Raises [Invalid_argument] unless [0 < target < 1] and [lo < hi]. *)

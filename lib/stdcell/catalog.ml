@@ -1,0 +1,144 @@
+let v = Spec.v
+
+(* Drive-strength ladders.  Denser ladders for the workhorse families. *)
+let ladder19 = [ 1; 2; 3; 4; 5; 6; 7; 8; 10; 12; 14; 16; 18; 20; 22; 24; 26; 28; 32 ]
+let ladder12 = [ 1; 2; 3; 4; 5; 6; 7; 8; 10; 12; 14; 16 ]
+let ladder10 = [ 1; 2; 3; 4; 5; 6; 7; 8; 10; 12 ]
+let ladder9 = [ 1; 2; 3; 4; 5; 6; 7; 8; 10 ]
+let ladder8 = [ 1; 2; 3; 4; 5; 6; 8; 12 ]
+let ladder8c = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+let ladder7 = [ 1; 2; 3; 4; 5; 6; 8 ]
+let ladder6 = [ 1; 2; 3; 4; 6; 8 ]
+
+let inverters = [ v ~family:"INV" ~func:Func.Inv ~drives:ladder19 ~g:1.0 ~p:1.0 ~transistors:2 () ]
+
+let or_group =
+  [
+    v ~family:"OR2" ~func:(Func.Or 2) ~drives:ladder6 ~g:1.8 ~p:2.8 ~transistors:6 ();
+    v ~family:"OR3" ~func:(Func.Or 3) ~drives:ladder6 ~g:2.2 ~p:3.6 ~transistors:8 ();
+    v ~family:"OR4" ~func:(Func.Or 4) ~drives:ladder6 ~g:2.6 ~p:4.4 ~transistors:10 ();
+    v ~family:"AN2" ~func:(Func.And 2) ~drives:ladder6 ~g:1.5 ~p:2.6 ~transistors:6 ();
+    v ~family:"AN3" ~func:(Func.And 3) ~drives:ladder6 ~g:1.9 ~p:3.3 ~transistors:8 ();
+    v ~family:"AN4" ~func:(Func.And 4) ~drives:ladder6 ~g:2.3 ~p:4.0 ~transistors:10 ();
+  ]
+
+let nand_group =
+  [
+    v ~family:"ND2" ~func:(Func.Nand 2) ~drives:ladder10 ~g:1.33 ~p:1.7 ~transistors:4 ();
+    v ~family:"ND2B" ~func:(Func.Nand_b 2) ~drives:ladder8 ~g:1.48 ~p:2.2 ~transistors:6 ();
+    v ~family:"ND3" ~func:(Func.Nand 3) ~drives:ladder8 ~g:1.67 ~p:2.4 ~transistors:6 ();
+    v ~family:"ND3B" ~func:(Func.Nand_b 3) ~drives:ladder6 ~g:1.82 ~p:2.9 ~transistors:8 ();
+    v ~family:"ND4" ~func:(Func.Nand 4) ~drives:ladder8 ~g:2.0 ~p:3.1 ~transistors:8 ();
+    v ~family:"ND4B" ~func:(Func.Nand_b 4) ~drives:ladder6 ~g:2.15 ~p:3.6 ~transistors:10 ();
+  ]
+
+let nor_group =
+  [
+    v ~family:"NR2" ~func:(Func.Nor 2) ~drives:ladder9 ~g:1.67 ~p:1.9 ~transistors:4 ();
+    v ~family:"NR2B" ~func:(Func.Nor_b 2) ~drives:ladder8 ~g:1.82 ~p:2.4 ~transistors:6 ();
+    v ~family:"NR3" ~func:(Func.Nor 3) ~drives:ladder7 ~g:2.33 ~p:2.8 ~transistors:6 ();
+    v ~family:"NR3B" ~func:(Func.Nor_b 3) ~drives:ladder6 ~g:2.48 ~p:3.3 ~transistors:8 ();
+    v ~family:"NR4" ~func:(Func.Nor 4) ~drives:ladder7 ~g:3.0 ~p:3.7 ~transistors:8 ();
+    v ~family:"NR4B" ~func:(Func.Nor_b 4) ~drives:ladder6 ~g:3.15 ~p:4.2 ~transistors:10 ();
+  ]
+
+let xnor_group =
+  [
+    v ~family:"XN2" ~func:(Func.Xnor 2) ~drives:ladder8 ~g:3.0 ~p:3.9 ~rise_skew:0.02
+      ~transistors:10 ();
+    v ~family:"XN3" ~func:(Func.Xnor 3) ~drives:ladder6 ~g:4.5 ~p:5.7 ~rise_skew:0.02
+      ~transistors:16 ();
+    v ~family:"XO2" ~func:(Func.Xor 2) ~drives:ladder9 ~g:3.0 ~p:3.7 ~rise_skew:0.02
+      ~transistors:10 ();
+    v ~family:"XO3" ~func:(Func.Xor 3) ~drives:ladder6 ~g:4.5 ~p:5.5 ~rise_skew:0.02
+      ~transistors:16 ();
+  ]
+
+let adder_group =
+  [
+    v ~family:"FA1" ~func:Func.Full_adder ~drives:ladder12 ~g:4.0 ~p:6.5 ~rise_skew:0.02
+      ~transistors:28
+      ~output_factors:[ ("S", 1.3); ("CO", 1.0) ]
+      ();
+    v ~family:"HA1" ~func:Func.Half_adder ~drives:ladder10 ~g:2.5 ~p:4.0 ~rise_skew:0.02
+      ~transistors:14
+      ~output_factors:[ ("S", 1.2); ("CO", 1.0) ]
+      ();
+    v ~family:"MAJ3" ~func:Func.Maj3 ~drives:ladder12 ~g:2.0 ~p:3.0 ~transistors:12 ();
+  ]
+
+let mux_group =
+  [
+    v ~family:"MU2" ~func:Func.Mux2 ~drives:ladder10 ~g:2.2 ~p:3.4 ~transistors:10 ();
+    v ~family:"MU2I" ~func:Func.Mux2_inv ~drives:ladder9 ~g:2.0 ~p:2.9 ~transistors:8 ();
+    v ~family:"MU4" ~func:Func.Mux4 ~drives:ladder8c ~g:3.2 ~p:5.8 ~transistors:22 ();
+  ]
+
+let ff ?(reset = false) ?(set = false) ?(enable = false) ?(scan = false) () =
+  Func.Dff { reset; set; enable; scan }
+
+let flip_flop_group =
+  [
+    v ~family:"DFF" ~func:(ff ()) ~drives:ladder10 ~g:1.2 ~p:6.0 ~transistors:22
+      ~setup_time:0.055 ~hold_time:0.02 ();
+    v ~family:"DFFR" ~func:(ff ~reset:true ()) ~drives:ladder9 ~g:1.25 ~p:6.3 ~transistors:24
+      ~setup_time:0.06 ~hold_time:0.02 ();
+    v ~family:"DFFS" ~func:(ff ~set:true ()) ~drives:ladder8c ~g:1.25 ~p:6.3 ~transistors:24
+      ~setup_time:0.06 ~hold_time:0.02 ();
+    v ~family:"DFFRS" ~func:(ff ~reset:true ~set:true ()) ~drives:ladder8c ~g:1.3 ~p:6.6
+      ~transistors:26 ~setup_time:0.065 ~hold_time:0.022 ();
+    v ~family:"DFFE" ~func:(ff ~enable:true ()) ~drives:ladder8c ~g:1.3 ~p:6.6 ~transistors:26
+      ~setup_time:0.065 ~hold_time:0.022 ();
+    v ~family:"SDFFR" ~func:(ff ~reset:true ~scan:true ()) ~drives:ladder8c ~g:1.35 ~p:6.9
+      ~transistors:30 ~setup_time:0.07 ~hold_time:0.024 ();
+  ]
+
+let latch_group =
+  [
+    v ~family:"LAT" ~func:(Func.Dlat { reset = false }) ~drives:ladder6 ~g:1.2 ~p:3.6
+      ~transistors:12 ~setup_time:0.04 ~hold_time:0.03 ();
+    v ~family:"LATR" ~func:(Func.Dlat { reset = true }) ~drives:ladder6 ~g:1.25 ~p:3.9
+      ~transistors:14 ~setup_time:0.045 ~hold_time:0.03 ();
+  ]
+
+let other_group =
+  [
+    v ~family:"BUF" ~func:Func.Buf ~drives:[ 2; 4; 8; 16 ] ~g:1.1 ~p:2.2 ~transistors:4 ();
+    v ~family:"DLY1" ~func:Func.Delay_buf ~drives:[ 1 ] ~g:1.4 ~p:9.0 ~transistors:8 ();
+    v ~family:"TIE0" ~func:Func.Tie_low ~drives:[ 1 ] ~g:1.0 ~p:0.0 ~transistors:2 ();
+    v ~family:"TIE1" ~func:Func.Tie_high ~drives:[ 1 ] ~g:1.0 ~p:0.0 ~transistors:2 ();
+  ]
+
+let groups =
+  [
+    ("Inverter", inverters);
+    ("Or", or_group);
+    ("Nand", nand_group);
+    ("Nor", nor_group);
+    ("Xnor", xnor_group);
+    ("Adder", adder_group);
+    ("Multiplexer", mux_group);
+    ("Flip-flop", flip_flop_group);
+    ("Latch", latch_group);
+    ("Other", other_group);
+  ]
+
+let specs = List.concat_map snd groups
+
+let find family = List.find_opt (fun (s : Spec.t) -> s.family = family) specs
+
+let find_func func = List.find_opt (fun (s : Spec.t) -> Func.equal s.func func) specs
+
+let count_cells spec_list =
+  List.fold_left (fun acc (s : Spec.t) -> acc + List.length s.drives) 0 spec_list
+
+let total_cells = count_cells specs
+
+let census = List.map (fun (group_name, group) -> (group_name, count_cells group)) groups
+
+let group_of_family family =
+  match
+    List.find_opt (fun (_, group) -> List.exists (fun (s : Spec.t) -> s.family = family) group) groups
+  with
+  | Some (group_name, _) -> group_name
+  | None -> "Unknown"

@@ -1,0 +1,24 @@
+(** The 304-cell catalog.
+
+    Matches the census of the paper's appendix:
+    19 inverters, 36 OR-type, 46 NAND, 43 NOR, 29 XNOR-type, 34 adders,
+    27 multiplexers, 51 flip-flops, 12 latches and 7 other cells. *)
+
+val specs : Spec.t list
+(** All cell-family specifications. *)
+
+val find : string -> Spec.t option
+(** Family by name. *)
+
+val find_func : Func.t -> Spec.t option
+(** First family implementing the given function. *)
+
+val total_cells : int
+(** Number of (family, drive) pairs — 304. *)
+
+val census : (string * int) list
+(** Cells per paper appendix group, e.g. [("Inverter", 19)]. *)
+
+val group_of_family : string -> string
+(** Appendix group of a family name, e.g. [group_of_family "ND2B" =
+    "Nand"]. *)

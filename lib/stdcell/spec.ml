@@ -1,0 +1,45 @@
+type t = {
+  family : string;
+  func : Func.t;
+  drives : int list;
+  logical_effort : float;
+  parasitic : float;
+  rise_skew : float;
+  transistors : int;
+  output_factors : (string * float) list;
+  setup_time : float;
+  hold_time : float;
+}
+
+let c_unit = 0.001 (* pF: 1 fF, the INV_1 input capacitance *)
+
+let increasing_positive drives =
+  let rec check prev = function
+    | [] -> true
+    | d :: rest -> d > prev && check d rest
+  in
+  check 0 drives
+
+let v ~family ~func ~drives ~g ~p ?(rise_skew = 0.05) ~transistors ?(output_factors = [])
+    ?(setup_time = 0.0) ?(hold_time = 0.0) () =
+  if drives = [] || not (increasing_positive drives) then
+    invalid_arg (Printf.sprintf "Spec.v %s: drives must be positive and increasing" family);
+  if g <= 0.0 || p < 0.0 then invalid_arg (Printf.sprintf "Spec.v %s: bad effort" family);
+  { family; func; drives; logical_effort = g; parasitic = p; rise_skew; transistors;
+    output_factors; setup_time; hold_time }
+
+let cell_name t ~drive = Printf.sprintf "%s_%d" t.family drive
+
+(* Cell height is fixed by the row architecture; width grows with device
+   count and with drive strength.  Shared diffusion and folded fingers
+   make the per-drive increment well below proportional. *)
+let area t ~drive =
+  float_of_int t.transistors *. (0.21 +. (0.075 *. float_of_int drive))
+
+let input_capacitance t ~drive = c_unit *. t.logical_effort *. float_of_int drive
+
+(* A cell can drive roughly 12x its own drive-1 input load per drive unit
+   before its output edge degrades beyond characterisation range. *)
+let max_capacitance _t ~drive = c_unit *. 12.0 *. float_of_int drive
+
+let output_factor t name = Option.value (List.assoc_opt name t.output_factors) ~default:1.0

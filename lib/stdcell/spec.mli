@@ -1,0 +1,57 @@
+(** Electrical and physical specification of a cell family.
+
+    A family (e.g. [ND2]) is one logic function with one topology, offered
+    at several drive strengths.  The characteriser expands a spec into one
+    liberty cell per drive strength.
+
+    Units: time ns, capacitance pF, area µm². *)
+
+type t = {
+  family : string;  (** catalog name, e.g. ["ND2B"] *)
+  func : Func.t;
+  drives : int list;  (** available drive strengths, increasing *)
+  logical_effort : float;
+  (** input capacitance per drive unit, in units of the INV_1 input cap *)
+  parasitic : float;  (** intrinsic delay in units of the technology tau *)
+  rise_skew : float;
+  (** rise/fall asymmetry: rise delay scales by [1 + rise_skew], fall by
+      [1 - rise_skew] *)
+  transistors : int;  (** device count at drive 1, drives the area model *)
+  output_factors : (string * float) list;
+  (** per-output delay factor for multi-output cells (e.g. an adder's sum
+      output is slower than its carry); defaults to 1 *)
+  setup_time : float;  (** ns; sequential families only *)
+  hold_time : float;
+}
+
+val v :
+  family:string ->
+  func:Func.t ->
+  drives:int list ->
+  g:float ->
+  p:float ->
+  ?rise_skew:float ->
+  transistors:int ->
+  ?output_factors:(string * float) list ->
+  ?setup_time:float ->
+  ?hold_time:float ->
+  unit ->
+  t
+(** Smart constructor; validates drives are positive and increasing. *)
+
+val cell_name : t -> drive:int -> string
+(** Paper-convention instance name, e.g. [cell_name nd2b ~drive:4 = "ND2B_4"]. *)
+
+val area : t -> drive:int -> float
+(** Layout area of one drive strength, µm². *)
+
+val input_capacitance : t -> drive:int -> float
+(** Input pin capacitance, pF. *)
+
+val max_capacitance : t -> drive:int -> float
+(** Output drive limit, pF. *)
+
+val output_factor : t -> string -> float
+
+val c_unit : float
+(** Input capacitance of INV_1, pF. *)

@@ -1,0 +1,36 @@
+module Library = Vartune_liberty.Library
+module Cell = Vartune_liberty.Cell
+
+let family_ladder lib ~family =
+  match Library.family_members lib family with
+  | [] -> failwith (Printf.sprintf "Choice: library has no family %s" family)
+  | members -> members
+
+let fits cons (cell : Cell.t) ~load ~slew =
+  load <= Cell.max_load cell && Constraints.allows cons ~cell ~slew ~load
+
+let pick cons lib ~family ~load ~slew =
+  let ladder = family_ladder lib ~family in
+  let usable = List.filter (Constraints.usable cons) ladder in
+  let candidates = if usable = [] then ladder else usable in
+  match List.find_opt (fun c -> fits cons c ~load ~slew) candidates with
+  | Some c -> c
+  | None -> List.nth candidates (List.length candidates - 1)
+
+let upsize cons lib (cell : Cell.t) ~load ~slew =
+  family_ladder lib ~family:cell.family
+  |> List.find_opt (fun (c : Cell.t) ->
+         c.drive_strength > cell.drive_strength
+         && Constraints.usable cons c
+         && fits cons c ~load ~slew)
+
+let downsize cons lib (cell : Cell.t) ~load ~slew =
+  family_ladder lib ~family:cell.family
+  |> List.filter (fun (c : Cell.t) ->
+         c.drive_strength < cell.drive_strength
+         && Constraints.usable cons c
+         && fits cons c ~load ~slew)
+  |> List.rev
+  |> function
+  | [] -> None
+  | c :: _ -> Some c

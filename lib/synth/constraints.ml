@@ -1,0 +1,67 @@
+module Timing = Vartune_sta.Timing
+module Restrict = Vartune_tuning.Restrict
+module Cell = Vartune_liberty.Cell
+module Pin = Vartune_liberty.Pin
+
+type t = {
+  clock_period : float;
+  guard_band : float;
+  input_slew : float;
+  clock_slew : float;
+  output_load : float;
+  max_fanout : int;
+  max_transition : float;
+  restrictions : Restrict.table option;
+  max_iterations : int;
+  area_recovery : bool;
+}
+
+let make ~clock_period ?(guard_band = 0.3) ?(input_slew = 0.05) ?(clock_slew = 0.04)
+    ?(output_load = 0.004) ?(max_fanout = 16) ?(max_transition = 1.0) ?restrictions
+    ?(max_iterations = 48) ?(area_recovery = true) () =
+  { clock_period; guard_band; input_slew; clock_slew; output_load; max_fanout;
+    max_transition; restrictions; max_iterations; area_recovery }
+
+let timing_config t =
+  {
+    Timing.clock_period = t.clock_period;
+    guard_band = t.guard_band;
+    input_slew = t.input_slew;
+    clock_slew = t.clock_slew;
+    output_load = t.output_load;
+    wire_cap_base = 0.0002;
+    wire_cap_per_sink = 0.00015;
+    wire_caps = None;
+  }
+
+let allows t ~cell ~slew ~load =
+  match t.restrictions with
+  | None -> true
+  | Some table ->
+    List.for_all
+      (fun (p : Pin.t) ->
+        Restrict.allows table ~cell:cell.Cell.name ~pin:p.name ~slew ~load)
+      (Cell.output_pins cell)
+
+let usable t cell =
+  match t.restrictions with
+  | None -> true
+  | Some table -> Restrict.usable_cell table cell
+
+let fold_windows t cell ~init ~f =
+  match t.restrictions with
+  | None -> init
+  | Some table ->
+    List.fold_left
+      (fun acc (p : Pin.t) ->
+        match Restrict.find table ~cell:cell.Cell.name ~pin:p.name with
+        | Restrict.Unrestricted -> acc
+        | Restrict.Unusable -> f acc 0.0 0.0
+        | Restrict.Window w -> f acc w.Restrict.load_max w.Restrict.slew_max)
+      init (Cell.output_pins cell)
+
+let window_load_max t cell =
+  fold_windows t cell ~init:infinity ~f:(fun acc load_max _ -> Float.min acc load_max)
+
+let window_slew_max t cell =
+  fold_windows t cell ~init:infinity ~f:(fun acc _ slew_max -> Float.min acc slew_max)

@@ -1,0 +1,313 @@
+module Ir = Vartune_rtl.Ir
+module Netlist = Vartune_netlist.Netlist
+module Library = Vartune_liberty.Library
+module Cell = Vartune_liberty.Cell
+
+type style = Area | Delay
+
+(* A cover assigns one or two library cells to a visible IR node.  Pins
+   reference IR nodes whose nets feed the cell. *)
+type shape =
+  | Tie of string  (* family *)
+  | Gate of { family : string; pins : (string * Ir.node_id) list }
+  | Gate_inv of { family : string; pins : (string * Ir.node_id) list }
+    (* gate followed by an inverter; used by Delay style for AND/OR *)
+  | Adder of { pins : (string * Ir.node_id) list; carry : Ir.node_id }
+    (* full adder rooted at the sum node; [carry] is the fused Maj3 *)
+  | Flop of { d : Ir.node_id }
+
+let letters = [| "A"; "B"; "C"; "D" |]
+
+let letter_pins nodes = List.mapi (fun i n -> (letters.(i), n)) nodes
+
+let wide_family base n = Printf.sprintf "%s%d" base n
+
+(* ------------------------------------------------------------------ *)
+(* Cover selection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type cover_state = {
+  graph : Ir.t;
+  refs : int array;
+  absorbed : bool array;
+  covers : (Ir.node_id, shape) Hashtbl.t;
+  fused_carry : (Ir.node_id, Ir.node_id) Hashtbl.t;  (* carry node -> sum root *)
+  style : style;
+}
+
+(* Nodes reachable from a primary output (through FF data inputs) — dead
+   speculative logic must not become dangling instances. *)
+let liveness graph =
+  let live = Array.make (Ir.node_count graph) false in
+  let rec visit n =
+    if n >= 0 && not live.(n) then begin
+      live.(n) <- true;
+      Array.iter visit (Ir.fanins graph n)
+    end
+  in
+  List.iter (fun (_, n) -> visit n) (Ir.outputs graph);
+  live
+
+let count_refs graph live =
+  let refs = Array.make (Ir.node_count graph) 0 in
+  Ir.iter_nodes graph ~f:(fun id _ fanins ->
+      if live.(id) then Array.iter (fun f -> if f >= 0 then refs.(f) <- refs.(f) + 1) fanins);
+  List.iter (fun (_, n) -> refs.(n) <- refs.(n) + 1) (Ir.outputs graph);
+  refs
+
+(* Collapse a same-op tree below [node] into at most [limit] leaves,
+   returning the leaves and the interior nodes consumed. *)
+let collect_tree st op node ~limit =
+  let expandable n =
+    Ir.op_of st.graph n = op && st.refs.(n) = 1 && not st.absorbed.(n)
+  in
+  let rec expand leaves interior =
+    if List.length leaves >= limit then (leaves, interior)
+    else
+      match List.find_opt expandable leaves with
+      | None -> (leaves, interior)
+      | Some n ->
+        if List.length leaves - 1 + 2 > limit then (leaves, interior)
+        else begin
+          let fi = Ir.fanins st.graph n in
+          let leaves' =
+            List.concat_map (fun l -> if l = n then [ fi.(0); fi.(1) ] else [ l ]) leaves
+          in
+          expand leaves' (n :: interior)
+        end
+  in
+  let fi = Ir.fanins st.graph node in
+  expand [ fi.(0); fi.(1) ] []
+
+let mark_absorbed st nodes = List.iter (fun n -> st.absorbed.(n) <- true) nodes
+
+let is_single_use_not st n = Ir.op_of st.graph n = Ir.Not && st.refs.(n) = 1 && not st.absorbed.(n)
+
+let not_fanin st n = (Ir.fanins st.graph n).(0)
+
+(* Cover an AND/OR rooted at [node]. [negated] = the cover's consumer wants
+   the complement (a Not parent is absorbing). *)
+let cover_and_or st node op ~negated =
+  let base_pos, base_neg, bubble_family =
+    match op with
+    | Ir.And2 -> ("AN", "ND", "NR2B")
+    | Ir.Or2 -> ("OR", "NR", "ND2B")
+    | Ir.Input _ | Ir.Const0 | Ir.Const1 | Ir.Not | Ir.Buf | Ir.Xor2 | Ir.Xnor2
+    | Ir.Mux2 | Ir.Xor3 | Ir.Maj3 | Ir.Ff _ ->
+      assert false
+  in
+  let leaves, interior = collect_tree st op node ~limit:4 in
+  let n = List.length leaves in
+  if n = 2 && not negated then begin
+    (* bubble patterns on plain 2-input gates *)
+    match leaves with
+    | [ x; y ] when is_single_use_not st x && is_single_use_not st y ->
+      (* De Morgan: and(!x,!y) = nor(x,y); or(!x,!y) = nand(x,y) *)
+      mark_absorbed st (interior @ [ x; y ]);
+      let demorgan = match op with Ir.And2 -> "NR2" | _ -> "ND2" in
+      Gate { family = demorgan; pins = letter_pins [ not_fanin st x; not_fanin st y ] }
+    | [ x; y ] when is_single_use_not st y ->
+      mark_absorbed st (interior @ [ y ]);
+      Gate { family = bubble_family; pins = [ ("A", x); ("B", not_fanin st y) ] }
+    | [ x; y ] when is_single_use_not st x ->
+      mark_absorbed st (interior @ [ x ]);
+      Gate { family = bubble_family; pins = [ ("A", y); ("B", not_fanin st x) ] }
+    | _ ->
+      mark_absorbed st interior;
+      (match st.style with
+      | Area -> Gate { family = wide_family base_pos 2; pins = letter_pins leaves }
+      | Delay -> Gate_inv { family = wide_family base_neg 2; pins = letter_pins leaves })
+  end
+  else begin
+    mark_absorbed st interior;
+    if negated then Gate { family = wide_family base_neg n; pins = letter_pins leaves }
+    else
+      match st.style with
+      | Area -> Gate { family = wide_family base_pos n; pins = letter_pins leaves }
+      | Delay -> Gate_inv { family = wide_family base_neg n; pins = letter_pins leaves }
+  end
+
+let assign_covers graph style =
+  let live = liveness graph in
+  let refs = count_refs graph live in
+  let st =
+    {
+      graph;
+      refs;
+      absorbed = Array.make (Ir.node_count graph) false;
+      covers = Hashtbl.create (Ir.node_count graph);
+      fused_carry = Hashtbl.create 256;
+      style;
+    }
+  in
+  (* Xor3 lookup for full-adder fusion *)
+  let xor3_by_fanins = Hashtbl.create 256 in
+  Ir.iter_nodes graph ~f:(fun id op fanins ->
+      if op = Ir.Xor3 then Hashtbl.replace xor3_by_fanins (Array.to_list fanins) id);
+  (* Parents before children: descending id order (fanins have smaller
+     ids for combinational nodes). *)
+  for id = Ir.node_count graph - 1 downto 0 do
+    if
+      live.(id)
+      && (not st.absorbed.(id))
+      && (not (Hashtbl.mem st.fused_carry id))
+      && not (Hashtbl.mem st.covers id)
+    then begin
+      let cover =
+        match Ir.op_of graph id with
+        | Ir.Input _ -> None
+        | Ir.Const0 -> Some (Tie "TIE0")
+        | Ir.Const1 -> Some (Tie "TIE1")
+        | Ir.Ff _ -> Some (Flop { d = (Ir.fanins graph id).(0) })
+        | Ir.Buf -> Some (Gate { family = "BUF"; pins = [ ("A", (Ir.fanins graph id).(0)) ] })
+        | Ir.Not -> begin
+          let f = (Ir.fanins graph id).(0) in
+          let absorbable = st.refs.(f) = 1 && not st.absorbed.(f) in
+          match Ir.op_of graph f with
+          | Ir.And2 when absorbable ->
+            st.absorbed.(f) <- true;
+            Some (cover_and_or st f Ir.And2 ~negated:true)
+          | Ir.Or2 when absorbable ->
+            st.absorbed.(f) <- true;
+            Some (cover_and_or st f Ir.Or2 ~negated:true)
+          | Ir.Xor2 when absorbable ->
+            st.absorbed.(f) <- true;
+            Some (Gate { family = "XN2"; pins = letter_pins (Array.to_list (Ir.fanins graph f)) })
+          | Ir.Xnor2 when absorbable ->
+            st.absorbed.(f) <- true;
+            Some (Gate { family = "XO2"; pins = letter_pins (Array.to_list (Ir.fanins graph f)) })
+          | Ir.Mux2 when absorbable ->
+            st.absorbed.(f) <- true;
+            let fi = Ir.fanins graph f in
+            Some (Gate { family = "MU2I"; pins = [ ("A", fi.(0)); ("B", fi.(1)); ("S", fi.(2)) ] })
+          | Ir.Input _ | Ir.Const0 | Ir.Const1 | Ir.Not | Ir.Buf | Ir.And2 | Ir.Or2
+          | Ir.Xor2 | Ir.Xnor2 | Ir.Mux2 | Ir.Xor3 | Ir.Maj3 | Ir.Ff _ ->
+            Some (Gate { family = "INV"; pins = [ ("A", f) ] })
+        end
+        | Ir.And2 -> Some (cover_and_or st id Ir.And2 ~negated:false)
+        | Ir.Or2 -> Some (cover_and_or st id Ir.Or2 ~negated:false)
+        | Ir.Xor2 -> Some (Gate { family = "XO2"; pins = letter_pins (Array.to_list (Ir.fanins graph id)) })
+        | Ir.Xnor2 -> Some (Gate { family = "XN2"; pins = letter_pins (Array.to_list (Ir.fanins graph id)) })
+        | Ir.Mux2 ->
+          let fi = Ir.fanins graph id in
+          Some (Gate { family = "MU2"; pins = [ ("A", fi.(0)); ("B", fi.(1)); ("S", fi.(2)) ] })
+        | Ir.Xor3 ->
+          let fi = Ir.fanins graph id in
+          Some (Gate { family = "XO3"; pins = letter_pins (Array.to_list fi) })
+        | Ir.Maj3 -> begin
+          let fi = Ir.fanins graph id in
+          let adder_pins = [ ("A", fi.(0)); ("B", fi.(1)); ("CI", fi.(2)) ] in
+          match
+            (style, Hashtbl.find_opt xor3_by_fanins (Array.to_list fi))
+          with
+          | Area, Some sum_id
+            when live.(sum_id)
+                 && (not st.absorbed.(sum_id))
+                 && not (Hashtbl.mem st.covers sum_id) ->
+            (* fuse: the sum node will carry the Adder cover *)
+            Hashtbl.replace st.fused_carry id sum_id;
+            Hashtbl.replace st.covers sum_id (Adder { pins = adder_pins; carry = id });
+            None
+          | (Area | Delay), _ -> Some (Gate { family = "MAJ3"; pins = adder_pins })
+        end
+      in
+      match cover with
+      | Some shape -> Hashtbl.replace st.covers id shape
+      | None -> ()
+    end
+  done;
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Netlist construction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let map ?(style = Area) cons lib graph =
+  let st = assign_covers graph style in
+  let nl = Netlist.create ~name:(Ir.name graph) in
+  let clock = Netlist.add_net nl ~net_name:"clk" () in
+  Netlist.set_clock nl clock;
+  let nets = Hashtbl.create (Ir.node_count graph) in
+  let net_of id =
+    match Hashtbl.find_opt nets id with
+    | Some n -> n
+    | None ->
+      let n = Netlist.add_net nl () in
+      Hashtbl.replace nets id n;
+      n
+  in
+  (* nets for primary inputs *)
+  List.iter
+    (fun (_, id) ->
+      let n = net_of id in
+      Netlist.mark_primary_input nl n)
+    (Ir.inputs graph);
+  (* estimate loads from fanout counts; refined by the sizer *)
+  let unit_cap =
+    match Library.find_opt lib "INV_1" with
+    | Some inv -> Cell.input_capacitance inv "A"
+    | None -> 0.001
+  in
+  let est_load id = (float_of_int (max 1 st.refs.(id)) *. 1.8 *. unit_cap) +. 0.0004 in
+  let est_slew = 0.1 in
+  let pick family ~load = Choice.pick cons lib ~family ~load ~slew:est_slew in
+  let emit id shape =
+    match shape with
+    | Tie family ->
+      let cell = pick family ~load:(est_load id) in
+      ignore
+        (Netlist.add_instance nl
+           ~inst_name:(Netlist.fresh_name nl ~prefix:"tie")
+           ~cell ~inputs:[] ~outputs:[ ("Z", net_of id) ])
+    | Gate { family; pins } ->
+      let cell = pick family ~load:(est_load id) in
+      let inputs = List.map (fun (p, n) -> (p, net_of n)) pins in
+      let out_pin =
+        match Cell.output_pins cell with
+        | p :: _ -> p.Vartune_liberty.Pin.name
+        | [] -> "Z"
+      in
+      ignore
+        (Netlist.add_instance nl
+           ~inst_name:(Netlist.fresh_name nl ~prefix:(String.lowercase_ascii family))
+           ~cell ~inputs
+           ~outputs:[ (out_pin, net_of id) ])
+    | Gate_inv { family; pins } ->
+      let mid = Netlist.add_net nl () in
+      let gate_cell = pick family ~load:(2.2 *. unit_cap) in
+      let inputs = List.map (fun (p, n) -> (p, net_of n)) pins in
+      ignore
+        (Netlist.add_instance nl
+           ~inst_name:(Netlist.fresh_name nl ~prefix:(String.lowercase_ascii family))
+           ~cell:gate_cell ~inputs ~outputs:[ ("Z", mid) ]);
+      let inv_cell = pick "INV" ~load:(est_load id) in
+      ignore
+        (Netlist.add_instance nl
+           ~inst_name:(Netlist.fresh_name nl ~prefix:"inv")
+           ~cell:inv_cell ~inputs:[ ("A", mid) ] ~outputs:[ ("Z", net_of id) ])
+    | Adder { pins; carry } ->
+      let load = Float.max (est_load id) (est_load carry) in
+      let cell = pick "FA1" ~load in
+      let inputs = List.map (fun (p, n) -> (p, net_of n)) pins in
+      ignore
+        (Netlist.add_instance nl
+           ~inst_name:(Netlist.fresh_name nl ~prefix:"fa")
+           ~cell ~inputs
+           ~outputs:[ ("S", net_of id); ("CO", net_of carry) ])
+    | Flop { d } ->
+      let cell = pick "DFF" ~load:(est_load id) in
+      let ck = Option.value cell.Cell.clock_pin ~default:"CK" in
+      ignore
+        (Netlist.add_instance nl
+           ~inst_name:(Netlist.fresh_name nl ~prefix:"dff")
+           ~cell
+           ~inputs:[ ("D", net_of d); (ck, clock) ]
+           ~outputs:[ ("Q", net_of id) ])
+  in
+  (* all nets first (covers may reference forward FF outputs), then
+     instances *)
+  Hashtbl.iter (fun id _ -> ignore (net_of id)) st.covers;
+  Hashtbl.iter (fun carry _ -> ignore (net_of carry)) st.fused_carry;
+  Hashtbl.iter emit st.covers;
+  List.iter (fun (_, id) -> Netlist.mark_primary_output nl (net_of id)) (Ir.outputs graph);
+  nl

@@ -1,0 +1,23 @@
+(** Technology mapping: generic gate network → mapped netlist.
+
+    The mapper covers IR nodes with library cells using local pattern
+    matching:
+
+    - AND/OR trees collapse into up-to-4-input gates;
+    - inverters absorb into NAND/NOR/XNOR/inverting-mux covers
+      (De Morgan double bubbles become plain NAND/NOR, single bubbles
+      become the B-variant cells);
+    - Xor3/Maj3 pairs over the same fanins fuse into full-adder cells
+      ([Area] style) or stay as dedicated XOR3/MAJ3 cells ([Delay]
+      style).
+
+    Initial drive strengths are chosen from fanout estimates; the sizer
+    refines them.  Cells marked unusable by tuning restrictions are
+    avoided whenever a usable alternative exists. *)
+
+type style = Area | Delay
+
+val map :
+  ?style:style -> Constraints.t -> Vartune_liberty.Library.t -> Vartune_rtl.Ir.t ->
+  Vartune_netlist.Netlist.t
+(** Maps the network.  The result passes {!Vartune_netlist.Check.validate}. *)

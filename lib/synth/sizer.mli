@@ -1,0 +1,40 @@
+(** Post-mapping netlist optimisation.
+
+    Iterates static timing with local moves:
+
+    - {b electrical repair}: upsize or buffer drivers whose load exceeds
+      the cell's drive limit (or its tuning window's load bound), split
+      high-fanout nets with buffer trees;
+    - {b timing recovery}: upsize cells on violating paths; when a cell
+      is already at (or blocked from) its top drive, decompose complex
+      cells into faster simple-cell networks (full adders into
+      XOR3+MAJ3, AND/OR into NAND/NOR+INV, muxes into inverting muxes) —
+      the mechanism behind the paper's observation that tight timing
+      yields a larger variety of simple cells;
+    - {b window repair}: when tuning restricts a cell to a slew window,
+      upsize the driver of any input whose slew exceeds it;
+    - {b area recovery}: downsize off-critical cells while their path
+      slack allows. *)
+
+type report = {
+  iterations : int;
+  resized : int;
+  buffered : int;
+  decomposed : int;
+  downsized : int;
+  window_violations : int;  (** remaining hard window violations *)
+}
+
+val worst_input_slew :
+  Vartune_sta.Timing.t -> Vartune_netlist.Netlist.t -> Vartune_netlist.Netlist.instance ->
+  float
+(** Worst slew over the instance's data inputs (clock pin excluded);
+    falls back to the analysis input slew for source-only cells. *)
+
+val count_window_violations :
+  Constraints.t -> Vartune_sta.Timing.t -> Vartune_netlist.Netlist.t -> int
+
+val optimize :
+  Constraints.t -> Vartune_liberty.Library.t -> Vartune_netlist.Netlist.t ->
+  Vartune_sta.Timing.t * report
+(** Runs the full loop and returns the final timing analysis. *)

@@ -1,0 +1,56 @@
+module Netlist = Vartune_netlist.Netlist
+module Check = Vartune_netlist.Check
+module Timing = Vartune_sta.Timing
+
+let src = Logs.Src.create "vartune.synth" ~doc:"synthesis driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type result = {
+  netlist : Netlist.t;
+  timing : Timing.t;
+  feasible : bool;
+  worst_slack : float;
+  area : float;
+  instances : int;
+  sizer : Sizer.report;
+}
+
+let run ?style cons lib ir =
+  let nl = Mapper.map ?style cons lib ir in
+  Check.validate_exn nl;
+  let timing, sizer = Sizer.optimize cons lib nl in
+  let worst_slack = Timing.worst_slack timing in
+  let result =
+    {
+      netlist = nl;
+      timing;
+      feasible = worst_slack >= 0.0;
+      worst_slack;
+      area = Netlist.total_area nl;
+      instances = Netlist.instance_count nl;
+      sizer;
+    }
+  in
+  Log.debug (fun m ->
+      m "synth %s: period=%.3f slack=%.3f area=%.0f cells=%d" (Netlist.name nl)
+        cons.Constraints.clock_period worst_slack result.area result.instances);
+  result
+
+let min_period ?(lo = 0.5) ?(hi = 20.0) ?(tolerance = 0.02) lib ir =
+  let feasible_at period =
+    let cons = Constraints.make ~clock_period:period ~area_recovery:false () in
+    (run cons lib ir).feasible
+  in
+  if not (feasible_at hi) then hi
+  else begin
+    let rec bisect lo hi =
+      (* invariant: hi feasible, lo infeasible *)
+      if hi -. lo <= tolerance then hi
+      else begin
+        let mid = (lo +. hi) /. 2.0 in
+        if feasible_at mid then bisect lo mid else bisect mid hi
+      end
+    in
+    if feasible_at lo then lo else bisect lo hi
+  end

@@ -1,0 +1,33 @@
+(** Synthesis driver: map, optimise, report.
+
+    Mirrors the paper's flow: the design is synthesised against a
+    (statistical) library under a clock constraint, optionally with
+    tuning restrictions installed, and judged on feasibility (positive
+    slack), area and — downstream — design sigma. *)
+
+type result = {
+  netlist : Vartune_netlist.Netlist.t;
+  timing : Vartune_sta.Timing.t;
+  feasible : bool;  (** non-negative worst slack *)
+  worst_slack : float;
+  area : float;  (** total cell area, µm² *)
+  instances : int;
+  sizer : Sizer.report;
+}
+
+val run :
+  ?style:Mapper.style ->
+  Constraints.t ->
+  Vartune_liberty.Library.t ->
+  Vartune_rtl.Ir.t ->
+  result
+
+val min_period :
+  ?lo:float ->
+  ?hi:float ->
+  ?tolerance:float ->
+  Vartune_liberty.Library.t ->
+  Vartune_rtl.Ir.t ->
+  float
+(** Smallest feasible clock period, by bisection on {!run} feasibility
+    (the paper reduces the clock until synthesis fails to close). *)

@@ -1,0 +1,46 @@
+(** Dense two-dimensional float grids.
+
+    The project indexes grids as [(row, col)] where, for look-up tables,
+    rows follow the input-slew axis and columns the output-load axis. *)
+
+type t
+(** A rectangular grid of floats. *)
+
+val create : rows:int -> cols:int -> float -> t
+(** [create ~rows ~cols v] is a grid filled with [v].  Dimensions must be
+    positive. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+(** [init ~rows ~cols f] fills cell [(i, j)] with [f i j]. *)
+
+val of_arrays : float array array -> t
+(** Copies a non-ragged, non-empty array of rows.  Raises
+    [Invalid_argument] otherwise. *)
+
+val to_arrays : t -> float array array
+(** Fresh row-major copy. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+(** [get g i j]; bounds-checked. *)
+
+val set : t -> int -> int -> float -> unit
+
+val map : (float -> float) -> t -> t
+val mapi : (int -> int -> float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Pointwise combination; dimensions must agree. *)
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+val iteri : (int -> int -> float -> unit) -> t -> unit
+
+val max_value : t -> float
+val min_value : t -> float
+
+val equal : ?eps:float -> t -> t -> bool
+(** Pointwise equality within [eps] (default [1e-12]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Fixed-width tabular rendering, one row per line. *)

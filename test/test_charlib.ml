@@ -1,0 +1,225 @@
+(* Tests for Vartune_charlib: Delay_model, Characterize, Sampler. *)
+
+module Delay_model = Vartune_charlib.Delay_model
+module Characterize = Vartune_charlib.Characterize
+module Sampler = Vartune_charlib.Sampler
+module Catalog = Vartune_stdcell.Catalog
+module Spec = Vartune_stdcell.Spec
+module Corner = Vartune_process.Corner
+module Mismatch = Vartune_process.Mismatch
+module Library = Vartune_liberty.Library
+module Cell = Vartune_liberty.Cell
+module Pin = Vartune_liberty.Pin
+module Arc = Vartune_liberty.Arc
+module Lut = Vartune_liberty.Lut
+
+let check_float = Helpers.check_float
+let params = Delay_model.default
+let inv = Option.get (Catalog.find "INV")
+let fa = Option.get (Catalog.find "FA1")
+let zero = Mismatch.zero_sample
+
+let nominal_delay ?(spec = inv) ?(drive = 1) ?(corner = 1.0) ~slew ~load () =
+  Delay_model.delay params spec ~drive ~output:"Z" ~edge:Delay_model.Rise
+    ~corner_factor:corner ~sample:zero ~slew ~load
+
+(* --------------------------- Delay model ---------------------------- *)
+
+let test_delay_monotone_in_load =
+  Helpers.qtest "delay monotone in load"
+    QCheck2.Gen.(pair (float_range 0.001 0.011) (float_range 0.01 1.0))
+    (fun (load, slew) ->
+      nominal_delay ~slew ~load () < nominal_delay ~slew ~load:(load +. 0.001) ())
+
+let test_delay_monotone_in_slew =
+  Helpers.qtest "delay monotone in slew"
+    QCheck2.Gen.(pair (float_range 0.001 0.012) (float_range 0.01 0.9))
+    (fun (load, slew) ->
+      nominal_delay ~slew ~load () < nominal_delay ~slew:(slew +. 0.05) ~load ())
+
+let test_delay_drive_speedup () =
+  let d1 = nominal_delay ~drive:1 ~slew:0.05 ~load:0.008 () in
+  let d8 = nominal_delay ~drive:8 ~slew:0.05 ~load:0.008 () in
+  Alcotest.(check bool) "bigger drive faster at same load" true (d8 < d1)
+
+let test_corner_scales_delay_and_sigma () =
+  (* the Fig 15 property holds exactly in the model: corner multiplies
+     both the mean and the sigma *)
+  let slow = Corner.delay_factor Corner.slow in
+  check_float "mean scales"
+    (slow *. nominal_delay ~slew:0.1 ~load:0.005 ())
+    (nominal_delay ~corner:slow ~slew:0.1 ~load:0.005 ());
+  let sigma c =
+    Delay_model.delay_sigma params inv ~mismatch:Mismatch.default ~drive:1 ~output:"Z"
+      ~edge:Delay_model.Rise ~corner_factor:c ~slew:0.1 ~load:0.005
+  in
+  check_float "sigma scales" (slow *. sigma 1.0) (sigma slow)
+
+let test_sigma_decreases_with_drive () =
+  let sigma drive load =
+    Delay_model.delay_sigma params inv ~mismatch:Mismatch.default ~drive ~output:"Z"
+      ~edge:Delay_model.Rise ~corner_factor:1.0 ~slew:0.1 ~load
+  in
+  (* compare at proportional loads (each drive at half its max cap) *)
+  Alcotest.(check bool) "Fig 4: high drive lower sigma" true
+    (sigma 32 (0.5 *. Spec.max_capacitance inv ~drive:32)
+    < sigma 1 (0.5 *. Spec.max_capacitance inv ~drive:1))
+
+let test_sigma_monotone_in_operating_point =
+  Helpers.qtest "sigma monotone"
+    QCheck2.Gen.(pair (float_range 0.001 0.011) (float_range 0.01 0.9))
+    (fun (load, slew) ->
+      let sigma ~slew ~load =
+        Delay_model.delay_sigma params inv ~mismatch:Mismatch.default ~drive:2 ~output:"Z"
+          ~edge:Delay_model.Rise ~corner_factor:1.0 ~slew ~load
+      in
+      sigma ~slew ~load <= sigma ~slew:(slew +. 0.05) ~load:(load +. 0.001))
+
+let test_stage_count_lowers_sigma () =
+  (* multi-stage cells average mismatch: FA1 stage count > 1 *)
+  Alcotest.(check bool) "fa stages" true (Delay_model.stage_count fa > 1);
+  Alcotest.(check int) "inv single stage" 1 (Delay_model.stage_count inv)
+
+let test_rise_fall_skew () =
+  let rise =
+    Delay_model.delay params inv ~drive:2 ~output:"Z" ~edge:Delay_model.Rise
+      ~corner_factor:1.0 ~sample:zero ~slew:0.1 ~load:0.005
+  in
+  let fall =
+    Delay_model.delay params inv ~drive:2 ~output:"Z" ~edge:Delay_model.Fall
+      ~corner_factor:1.0 ~sample:zero ~slew:0.1 ~load:0.005
+  in
+  Alcotest.(check bool) "rise slower (positive skew)" true (rise > fall)
+
+let test_transition_monotone () =
+  let tr load =
+    Delay_model.transition params inv ~drive:1 ~output:"Z" ~edge:Delay_model.Rise
+      ~corner_factor:1.0 ~sample:zero ~slew:0.1 ~load
+  in
+  Alcotest.(check bool) "transition grows with load" true (tr 0.01 > tr 0.001)
+
+let test_power_model () =
+  let e slew drive = Delay_model.internal_energy params inv ~drive ~slew ~load:0.005 in
+  Alcotest.(check bool) "energy grows with slew" true (e 0.5 1 > e 0.05 1);
+  Alcotest.(check bool) "energy grows with drive" true (e 0.1 8 > e 0.1 1);
+  Alcotest.(check bool) "leakage grows with drive" true
+    (Delay_model.leakage inv ~drive:8 > Delay_model.leakage inv ~drive:1);
+  Alcotest.(check bool) "complex cells leak more" true
+    (Delay_model.leakage fa ~drive:1 > Delay_model.leakage inv ~drive:1)
+
+(* --------------------------- Characterise --------------------------- *)
+
+let nominal = Lazy.force Helpers.nominal_small
+
+let test_characterize_structure () =
+  let cell = Library.find nominal "ND2_1" in
+  Alcotest.(check int) "two arcs" 2 (List.length (Cell.arcs cell));
+  Alcotest.(check (list string)) "inputs" [ "A"; "B" ] (Cell.data_input_names cell);
+  let arc = List.hd (Cell.arcs cell) in
+  let rows, cols = Lut.dims arc.Arc.rise_delay in
+  Alcotest.(check (pair int int)) "8x8 grids" (8, 8) (rows, cols)
+
+let test_characterize_ff () =
+  let ff = Library.find nominal "DFF_1" in
+  Alcotest.(check bool) "sequential" true (Cell.is_sequential ff);
+  Alcotest.(check bool) "clock pin" true (ff.Cell.clock_pin = Some "CK");
+  (* the only arc launches from the clock *)
+  (match Cell.arcs ff with
+  | [ arc ] -> Alcotest.(check string) "arc from CK" "CK" arc.Arc.related_pin
+  | _ -> Alcotest.fail "expected one arc");
+  Alcotest.(check bool) "setup > 0" true (ff.Cell.setup_time > 0.0)
+
+let test_characterize_tie () =
+  let full = Characterize.library Characterize.default_config
+      (List.filter_map Catalog.find [ "TIE0"; "TIE1" ]) in
+  let tie = Library.find full "TIE0_1" in
+  Alcotest.(check int) "no arcs" 0 (List.length (Cell.arcs tie))
+
+let test_load_axis_scales_with_drive () =
+  let config = Characterize.default_config in
+  let axis1 = Characterize.load_axis config inv ~drive:1 in
+  let axis8 = Characterize.load_axis config inv ~drive:8 in
+  check_float "8x range" (8.0 *. axis1.(7)) axis8.(7);
+  Alcotest.(check int) "8 points" 8 (Array.length axis1)
+
+let test_characterize_power () =
+  let cell = Library.find nominal "ND2_2" in
+  let arc = List.hd (Cell.arcs cell) in
+  Alcotest.(check bool) "power table present" true (Option.is_some arc.Arc.internal_power);
+  Alcotest.(check bool) "energy positive" true (Arc.energy arc ~slew:0.1 ~load:0.005 > 0.0);
+  Alcotest.(check bool) "cell leakage set" true (cell.Cell.leakage > 0.0)
+
+let test_lut_values_match_model () =
+  let cell = Library.find nominal "INV_2" in
+  let arc = List.hd (Cell.arcs cell) in
+  let slews = Lut.slews arc.Arc.rise_delay and loads = Lut.loads arc.Arc.rise_delay in
+  let expected =
+    Delay_model.delay params inv ~drive:2 ~output:"Z" ~edge:Delay_model.Rise
+      ~corner_factor:(Corner.delay_factor Corner.typical)
+      ~sample:zero ~slew:slews.(3) ~load:loads.(5)
+  in
+  check_float "table entry = model" expected (Lut.get arc.Arc.rise_delay 3 5)
+
+(* ----------------------------- Sampler ------------------------------ *)
+
+let specs = Helpers.small_specs
+
+let test_sampler_deterministic () =
+  let config = Characterize.default_config in
+  let a = Sampler.sample_library config ~mismatch:Mismatch.default ~seed:9 ~index:3 ~specs () in
+  let b = Sampler.sample_library config ~mismatch:Mismatch.default ~seed:9 ~index:3 ~specs () in
+  let lut lib = (List.hd (Cell.arcs (Library.find lib "INV_1"))).Arc.rise_delay in
+  Alcotest.(check bool) "identical" true (Lut.equal ~eps:0.0 (lut a) (lut b))
+
+let test_sampler_index_sensitivity () =
+  let config = Characterize.default_config in
+  let a = Sampler.sample_library config ~mismatch:Mismatch.default ~seed:9 ~index:0 ~specs () in
+  let b = Sampler.sample_library config ~mismatch:Mismatch.default ~seed:9 ~index:1 ~specs () in
+  let lut lib = (List.hd (Cell.arcs (Library.find lib "INV_1"))).Arc.rise_delay in
+  Alcotest.(check bool) "different" false (Lut.equal (lut a) (lut b))
+
+let test_fold_matches_list () =
+  let config = Characterize.default_config in
+  let inv_only = List.filter_map Catalog.find [ "INV" ] in
+  let names_from_fold =
+    Sampler.fold_samples config ~mismatch:Mismatch.default ~seed:2 ~n:3 ~specs:inv_only
+      ~init:[] ~f:(fun acc lib -> Library.name lib :: acc) ()
+  in
+  let names_from_list =
+    List.map Library.name
+      (Sampler.sample_libraries config ~mismatch:Mismatch.default ~seed:2 ~n:3 ~specs:inv_only ())
+  in
+  Alcotest.(check (list string)) "same stream" names_from_list (List.rev names_from_fold)
+
+let () =
+  Alcotest.run "charlib"
+    [
+      ( "delay_model",
+        [
+          test_delay_monotone_in_load;
+          test_delay_monotone_in_slew;
+          Alcotest.test_case "drive speedup" `Quick test_delay_drive_speedup;
+          Alcotest.test_case "corner scales mean+sigma" `Quick test_corner_scales_delay_and_sigma;
+          Alcotest.test_case "sigma vs drive (Fig 4)" `Quick test_sigma_decreases_with_drive;
+          test_sigma_monotone_in_operating_point;
+          Alcotest.test_case "stage counts" `Quick test_stage_count_lowers_sigma;
+          Alcotest.test_case "rise/fall skew" `Quick test_rise_fall_skew;
+          Alcotest.test_case "transition monotone" `Quick test_transition_monotone;
+          Alcotest.test_case "power model" `Quick test_power_model;
+        ] );
+      ( "characterize",
+        [
+          Alcotest.test_case "structure" `Quick test_characterize_structure;
+          Alcotest.test_case "flip-flop" `Quick test_characterize_ff;
+          Alcotest.test_case "tie cells" `Quick test_characterize_tie;
+          Alcotest.test_case "load axis scaling" `Quick test_load_axis_scales_with_drive;
+          Alcotest.test_case "power tables" `Quick test_characterize_power;
+          Alcotest.test_case "table matches model" `Quick test_lut_values_match_model;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "deterministic" `Quick test_sampler_deterministic;
+          Alcotest.test_case "index sensitivity" `Quick test_sampler_index_sensitivity;
+          Alcotest.test_case "fold matches list" `Quick test_fold_matches_list;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+(* Tests for Vartune_flow: Report rendering and Experiment plumbing that
+   doesn't need a full-size setup. *)
+
+module Report = Vartune_flow.Report
+module Experiment = Vartune_flow.Experiment
+module Lut = Vartune_liberty.Lut
+
+let check_float = Helpers.check_float
+
+let capture f =
+  (* Report prints to stdout; capture via a temp file redirect *)
+  let path = Filename.temp_file "vartune_test" ".txt" in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close fd)
+    f;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  s
+
+let test_pct_ns () =
+  Alcotest.(check string) "pct" "37.1%" (Report.pct 0.371);
+  Alcotest.(check string) "negative pct" "-5.0%" (Report.pct (-0.05));
+  Alcotest.(check string) "ns" "2.410 ns" (Report.ns 2.41)
+
+let test_table_rendering () =
+  let out =
+    capture (fun () ->
+        Report.table ~header:[ "name"; "value" ]
+          ~rows:[ [ "alpha"; "1" ]; [ "longer-name"; "22" ] ])
+  in
+  Alcotest.(check bool) "header present" true
+    (String.length out > 0
+    && Option.is_some (String.index_opt out 'n')
+    &&
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    contains out "alpha" && contains out "longer-name" && contains out "22")
+
+let test_bar_chart () =
+  let out =
+    capture (fun () -> Report.bar_chart ~width:10 [ ("a", 10.0); ("b", 5.0); ("c", 0.0) ])
+  in
+  let lines = String.split_on_char '\n' out in
+  let count_hash line = String.fold_left (fun acc ch -> if ch = '#' then acc + 1 else acc) 0 line in
+  match List.filter (fun l -> String.length l > 0) lines with
+  | [ la; lb; lc ] ->
+    Alcotest.(check int) "full bar" 10 (count_hash la);
+    Alcotest.(check int) "half bar" 5 (count_hash lb);
+    Alcotest.(check int) "zero bar" 0 (count_hash lc)
+  | _ -> Alcotest.fail "expected three lines"
+
+let test_surface_rendering () =
+  let lut =
+    Lut.of_fn ~slews:[| 0.0; 1.0 |] ~loads:[| 0.0; 1.0 |] (fun ~slew ~load -> slew +. load)
+  in
+  let out = capture (fun () -> Report.surface lut) in
+  Alcotest.(check bool) "low marker" true (String.contains out ' ');
+  Alcotest.(check bool) "high marker" true (String.contains out '@')
+
+let test_int_histogram () =
+  let out = capture (fun () -> Report.int_histogram ~width:8 [ (1, 4); (2, 8) ]) in
+  let lines = List.filter (fun l -> String.length l > 0) (String.split_on_char '\n' out) in
+  Alcotest.(check int) "two lines" 2 (List.length lines)
+
+let test_binned_scatter () =
+  let xs = Array.init 50 (fun i -> float_of_int i) in
+  let ys = Array.map (fun x -> x *. 2.0) xs in
+  let out =
+    capture (fun () -> Report.binned_scatter ~bins:5 ~x_label:"x" ~y_label:"y" xs ys)
+  in
+  Alcotest.(check bool) "non-empty" true (String.length out > 40)
+
+let test_paper_period_labels () =
+  let ladder = Experiment.paper_period_labels 2.41 in
+  check_float ~eps:1e-6 "high" 2.41 (List.assoc "high" ladder);
+  check_float ~eps:0.01 "close" 2.5 (List.assoc "close" ladder);
+  check_float ~eps:0.01 "medium" 4.0 (List.assoc "medium" ladder);
+  check_float ~eps:0.01 "low" 10.0 (List.assoc "low" ladder);
+  (* scales linearly with the measured minimum *)
+  let scaled = Experiment.paper_period_labels 4.82 in
+  check_float ~eps:0.02 "scaled medium" 8.0 (List.assoc "medium" scaled)
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "pct/ns" `Quick test_pct_ns;
+          Alcotest.test_case "table" `Quick test_table_rendering;
+          Alcotest.test_case "bar chart" `Quick test_bar_chart;
+          Alcotest.test_case "surface" `Quick test_surface_rendering;
+          Alcotest.test_case "int histogram" `Quick test_int_histogram;
+          Alcotest.test_case "binned scatter" `Quick test_binned_scatter;
+        ] );
+      ( "experiment",
+        [ Alcotest.test_case "paper period ladder" `Quick test_paper_period_labels ] );
+    ]

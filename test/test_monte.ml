@@ -1,0 +1,149 @@
+(* Tests for Vartune_monte: path Monte Carlo, corners, variance shares. *)
+
+module Path_mc = Vartune_monte.Path_mc
+module Corner = Vartune_process.Corner
+module Timing = Vartune_sta.Timing
+module Path = Vartune_sta.Path
+module Netlist = Vartune_netlist.Netlist
+module Library = Vartune_liberty.Library
+module Convolve = Vartune_stats.Convolve
+module Dist = Vartune_stats.Dist
+
+(* an inverter-chain path extracted from a real timing run over the small
+   statistical library *)
+let chain_path depth =
+  let lib = Lazy.force Helpers.small_statlib in
+  let inv = Library.find lib "INV_2" in
+  let dff = Library.find lib "DFF_1" in
+  let nl = Netlist.create ~name:"mc" in
+  let clk = Netlist.add_net nl ~net_name:"clk" () in
+  Netlist.set_clock nl clk;
+  let a = Netlist.add_net nl () in
+  Netlist.mark_primary_input nl a;
+  let last =
+    List.fold_left
+      (fun prev i ->
+        let out = Netlist.add_net nl () in
+        ignore
+          (Netlist.add_instance nl
+             ~inst_name:(Printf.sprintf "i%d" i)
+             ~cell:inv ~inputs:[ ("A", prev) ] ~outputs:[ ("Z", out) ]);
+        out)
+      a
+      (List.init depth Fun.id)
+  in
+  let q = Netlist.add_net nl () in
+  ignore
+    (Netlist.add_instance nl ~inst_name:"ff" ~cell:dff
+       ~inputs:[ ("D", last); ("CK", clk) ]
+       ~outputs:[ ("Q", q) ]);
+  let timing = Timing.run (Timing.default_config ~clock_period:5.0) nl in
+  List.hd (Path.worst_per_endpoint timing nl)
+
+let cfg = { Path_mc.default_config with n = 400 }
+
+let test_deterministic () =
+  let path = chain_path 5 in
+  let a = Path_mc.simulate cfg ~seed:4 path in
+  let b = Path_mc.simulate cfg ~seed:4 path in
+  Alcotest.(check bool) "same seed same delays" true (a.Path_mc.delays = b.Path_mc.delays);
+  let c = Path_mc.simulate cfg ~seed:5 path in
+  Alcotest.(check bool) "different seed differs" false (a.Path_mc.delays = c.Path_mc.delays)
+
+let test_mean_near_sta () =
+  (* MC mean should land close to the STA mean (same model underneath) *)
+  let path = chain_path 6 in
+  let r = Path_mc.simulate cfg ~seed:11 path in
+  let sta_mean = Path.mean_delay path in
+  Alcotest.(check bool)
+    (Printf.sprintf "MC mean %.4f vs STA %.4f" r.Path_mc.mean sta_mean)
+    true
+    (Float.abs (r.Path_mc.mean -. sta_mean) /. sta_mean < 0.08)
+
+let test_sigma_near_convolution () =
+  (* MC sigma should approximate the eq-10 convolution of library sigmas *)
+  let path = chain_path 8 in
+  let r = Path_mc.simulate cfg ~seed:13 path in
+  let conv = (Convolve.of_path path).Dist.sigma in
+  Alcotest.(check bool)
+    (Printf.sprintf "MC sigma %.4f vs conv %.4f" r.Path_mc.sigma conv)
+    true
+    (Float.abs (r.Path_mc.sigma -. conv) /. conv < 0.35)
+
+let test_no_variation_is_deterministic () =
+  let path = chain_path 4 in
+  let quiet = { cfg with include_local = false; include_global = false } in
+  let r = Path_mc.simulate quiet ~seed:3 path in
+  Alcotest.(check bool) "zero sigma" true (r.Path_mc.sigma < 1e-12)
+
+let test_corner_sweep_scaling () =
+  (* Fig 15: mean and sigma scale by (nearly) the same factor *)
+  let path = chain_path 10 in
+  let sweep = Path_mc.corner_sweep cfg ~seed:7 path in
+  let typical = List.assoc Corner.typical sweep in
+  List.iter
+    (fun ((corner : Corner.t), (r : Path_mc.result)) ->
+      let mean_ratio = r.Path_mc.mean /. typical.Path_mc.mean in
+      let sigma_ratio = r.Path_mc.sigma /. typical.Path_mc.sigma in
+      let expected = Corner.delay_factor corner in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mean ratio %.3f = factor %.3f" (Corner.name corner) mean_ratio
+           expected)
+        true
+        (Float.abs (mean_ratio -. expected) < 0.02);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s sigma tracks mean (%.3f vs %.3f)" (Corner.name corner)
+           sigma_ratio mean_ratio)
+        true
+        (Float.abs (sigma_ratio -. mean_ratio) < 0.08))
+    sweep
+
+let test_local_share_bounds_and_decay () =
+  (* Fig 16: the local share lies in (0,1] and decays with path depth *)
+  let short = chain_path 3 in
+  let long = chain_path 30 in
+  let share_short = Path_mc.local_share cfg ~seed:19 short in
+  let share_long = Path_mc.local_share cfg ~seed:19 long in
+  Alcotest.(check bool) "short in range" true (share_short > 0.0 && share_short <= 1.05);
+  Alcotest.(check bool) "long in range" true (share_long > 0.0 && share_long <= 1.05);
+  Alcotest.(check bool)
+    (Printf.sprintf "decays: %.2f (3 cells) > %.2f (30 cells)" share_short share_long)
+    true (share_short > share_long)
+
+let test_global_widens_distribution () =
+  let path = chain_path 12 in
+  let local_only = Path_mc.simulate { cfg with include_global = false } ~seed:23 path in
+  let both = Path_mc.simulate { cfg with include_global = true } ~seed:23 path in
+  Alcotest.(check bool) "global adds variance" true (both.Path_mc.sigma > local_only.Path_mc.sigma)
+
+let test_unknown_family_rejected () =
+  let path = chain_path 2 in
+  (* forge a path step with a cell whose family is not in the catalog *)
+  let module Cell = Vartune_liberty.Cell in
+  let bogus_cell =
+    Cell.make ~name:"ZZZ_1" ~family:"ZZZ" ~drive_strength:1 ~kind:Cell.Combinational
+      ~area:1.0 ~pins:[] ()
+  in
+  let step = { (List.hd path.Path.steps) with Path.cell = bogus_cell } in
+  let bogus = { path with Path.steps = [ step ] } in
+  Alcotest.(check bool) "invalid family rejected" true
+    (try
+       ignore (Path_mc.simulate cfg ~seed:1 bogus);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "monte"
+    [
+      ( "path_mc",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "mean near STA" `Quick test_mean_near_sta;
+          Alcotest.test_case "sigma near convolution" `Quick test_sigma_near_convolution;
+          Alcotest.test_case "no variation" `Quick test_no_variation_is_deterministic;
+          Alcotest.test_case "corner scaling (Fig 15)" `Quick test_corner_sweep_scaling;
+          Alcotest.test_case "local share decay (Fig 16)" `Quick test_local_share_bounds_and_decay;
+          Alcotest.test_case "global widens" `Quick test_global_widens_distribution;
+          Alcotest.test_case "unknown family" `Quick test_unknown_family_rejected;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Tests for Vartune_place: Placement and Cts — the paper's future-work
+   substrate. *)
+
+module Netlist = Vartune_netlist.Netlist
+module Library = Vartune_liberty.Library
+module Cell = Vartune_liberty.Cell
+module Placement = Vartune_place.Placement
+module Cts = Vartune_place.Cts
+module Timing = Vartune_sta.Timing
+module Ir = Vartune_rtl.Ir
+module Word = Vartune_rtl.Word
+module Synthesis = Vartune_synth.Synthesis
+module Constraints = Vartune_synth.Constraints
+
+let lib = lazy (Vartune_charlib.Characterize.nominal Vartune_charlib.Characterize.default_config)
+
+let small_design () =
+  let g = Ir.create ~name:"pl" in
+  let a = Word.inputs g ~prefix:"a" ~width:8 in
+  let b = Word.inputs g ~prefix:"b" ~width:8 in
+  let sum, _ = Word.add g a b in
+  Word.outputs g ~prefix:"s" (Word.reg g (Word.logxor g sum (Word.logand g a b)));
+  g
+
+let synthesized = lazy (Synthesis.run (Constraints.make ~clock_period:5.0 ()) (Lazy.force lib) (small_design ()))
+
+let test_all_instances_placed () =
+  let r = Lazy.force synthesized in
+  let p = Placement.place r.Synthesis.netlist in
+  Netlist.iter_instances r.Synthesis.netlist ~f:(fun inst ->
+      let x, y = Placement.position p inst.Netlist.inst_id in
+      let w, h = Placement.die p in
+      Alcotest.(check bool) "inside die" true (x >= 0.0 && x <= w && y >= 0.0 && y <= h))
+
+let test_legal_placement () =
+  let r = Lazy.force synthesized in
+  let p = Placement.place r.Synthesis.netlist in
+  Alcotest.(check bool) "no overlaps" true (Placement.overlap_free p r.Synthesis.netlist)
+
+let test_die_respects_utilization () =
+  let r = Lazy.force synthesized in
+  let nl = r.Synthesis.netlist in
+  let p = Placement.place ~utilization:0.5 nl in
+  let w, h = Placement.die p in
+  Alcotest.(check bool) "die area >= cells/util" true
+    (w *. h >= Netlist.total_area nl /. 0.5 -. 1e-6)
+
+let test_deterministic () =
+  let r = Lazy.force synthesized in
+  let p1 = Placement.place r.Synthesis.netlist in
+  let p2 = Placement.place r.Synthesis.netlist in
+  Netlist.iter_instances r.Synthesis.netlist ~f:(fun inst ->
+      Alcotest.(check bool) "same position" true
+        (Placement.position p1 inst.Netlist.inst_id
+        = Placement.position p2 inst.Netlist.inst_id))
+
+let test_refinement_reduces_wirelength () =
+  let r = Lazy.force synthesized in
+  let rough = Placement.place ~passes:0 r.Synthesis.netlist in
+  let refined = Placement.place ~passes:4 r.Synthesis.netlist in
+  let w0 = Placement.total_wirelength rough r.Synthesis.netlist in
+  let w4 = Placement.total_wirelength refined r.Synthesis.netlist in
+  Alcotest.(check bool)
+    (Printf.sprintf "refined %.0f <= rough %.0f um" w4 w0)
+    true (w4 <= w0)
+
+let test_hpwl_and_wire_caps () =
+  let r = Lazy.force synthesized in
+  let nl = r.Synthesis.netlist in
+  let p = Placement.place nl in
+  let some_net = ref (-1) in
+  Netlist.iter_nets nl ~f:(fun net ->
+      if !some_net < 0 && net.Netlist.driver <> None && net.Netlist.sinks <> [] then
+        some_net := net.Netlist.net_id);
+  let wl = Placement.hpwl p nl !some_net in
+  Alcotest.(check bool) "hpwl >= 0" true (wl >= 0.0);
+  Helpers.check_float ~eps:1e-9 "cap = hpwl * c"
+    (0.00018 *. wl)
+    (Placement.wire_caps p nl !some_net)
+
+let test_placed_timing_runs () =
+  let r = Lazy.force synthesized in
+  let nl = r.Synthesis.netlist in
+  let p = Placement.place nl in
+  let cfg =
+    { (Timing.default_config ~clock_period:5.0) with
+      Timing.wire_caps = Some (Placement.wire_caps p nl) }
+  in
+  let placed = Timing.run cfg nl in
+  let unplaced = Timing.run (Timing.default_config ~clock_period:5.0) nl in
+  Alcotest.(check bool) "placed analysis completes with endpoints" true
+    (List.length (Timing.endpoints placed) = List.length (Timing.endpoints unplaced))
+
+(* -------------------------------- CTS -------------------------------- *)
+
+let test_cts_covers_all_flops () =
+  let r = Lazy.force synthesized in
+  let nl = r.Synthesis.netlist in
+  let p = Placement.place nl in
+  let cts = Cts.synthesize p nl ~library:(Lazy.force lib) in
+  let flops =
+    Netlist.fold_instances nl ~init:0 ~f:(fun acc inst ->
+        if Cell.is_sequential inst.Netlist.cell then acc + 1 else acc)
+  in
+  Alcotest.(check int) "every flop is a sink" flops cts.Cts.sinks;
+  Alcotest.(check int) "insertion list covers sinks" flops
+    (List.length (Cts.insertion_delays cts))
+
+let test_cts_structure () =
+  let r = Lazy.force synthesized in
+  let nl = r.Synthesis.netlist in
+  let p = Placement.place nl in
+  let cts = Cts.synthesize ~fanout:4 p nl ~library:(Lazy.force lib) in
+  Alcotest.(check bool) "buffers >= leaves" true (cts.Cts.buffers >= cts.Cts.sinks / 4);
+  Alcotest.(check bool) "levels >= 1" true (cts.Cts.levels >= 1);
+  Alcotest.(check bool) "skew = max - min" true
+    (Float.abs (cts.Cts.skew -. (cts.Cts.max_insertion -. cts.Cts.min_insertion)) < 1e-12);
+  Alcotest.(check bool) "skew non-negative" true (cts.Cts.skew >= 0.0);
+  Alcotest.(check bool) "insertion positive" true (cts.Cts.min_insertion > 0.0)
+
+let test_cts_skew_small_relative_to_insertion () =
+  (* a balanced tree's skew should be a small fraction of its depth *)
+  let r = Lazy.force synthesized in
+  let nl = r.Synthesis.netlist in
+  let p = Placement.place nl in
+  let cts = Cts.synthesize p nl ~library:(Lazy.force lib) in
+  Alcotest.(check bool)
+    (Printf.sprintf "skew %.4f < insertion %.4f" cts.Cts.skew cts.Cts.max_insertion)
+    true
+    (cts.Cts.skew < cts.Cts.max_insertion)
+
+let test_cts_requires_sequential () =
+  let g = Ir.create ~name:"comb" in
+  let a = Ir.input g "a" in
+  Ir.output g "z" (Ir.not_ g a);
+  let r = Synthesis.run (Constraints.make ~clock_period:5.0 ()) (Lazy.force lib) g in
+  let p = Placement.place r.Synthesis.netlist in
+  Alcotest.(check bool) "no flops rejected" true
+    (try
+       ignore (Cts.synthesize p r.Synthesis.netlist ~library:(Lazy.force lib));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "place"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "all placed in die" `Quick test_all_instances_placed;
+          Alcotest.test_case "legal (no overlap)" `Quick test_legal_placement;
+          Alcotest.test_case "utilization" `Quick test_die_respects_utilization;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "refinement helps" `Quick test_refinement_reduces_wirelength;
+          Alcotest.test_case "hpwl / wire caps" `Quick test_hpwl_and_wire_caps;
+          Alcotest.test_case "placed timing" `Quick test_placed_timing_runs;
+        ] );
+      ( "cts",
+        [
+          Alcotest.test_case "covers all flops" `Quick test_cts_covers_all_flops;
+          Alcotest.test_case "structure" `Quick test_cts_structure;
+          Alcotest.test_case "skew < insertion" `Quick test_cts_skew_small_relative_to_insertion;
+          Alcotest.test_case "requires sequential" `Quick test_cts_requires_sequential;
+        ] );
+    ]

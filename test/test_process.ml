@@ -1,0 +1,85 @@
+(* Tests for Vartune_process: Corner, Mismatch, Variation. *)
+
+module Corner = Vartune_process.Corner
+module Mismatch = Vartune_process.Mismatch
+module Variation = Vartune_process.Variation
+module Rng = Vartune_util.Rng
+module Stat = Vartune_util.Stat
+
+let check_float = Helpers.check_float
+
+let test_corner_ordering () =
+  let f = Corner.delay_factor Corner.fast in
+  let t = Corner.delay_factor Corner.typical in
+  let s = Corner.delay_factor Corner.slow in
+  Alcotest.(check bool) "fast < typical" true (f < t);
+  Alcotest.(check bool) "typical < slow" true (t < s);
+  check_float "typical is 1" 1.0 t
+
+let test_corner_spread () =
+  (* a 40 nm-class spread: fast ~0.75-0.9x, slow ~1.15-1.45x *)
+  let f = Corner.delay_factor Corner.fast in
+  let s = Corner.delay_factor Corner.slow in
+  Alcotest.(check bool) "fast plausible" true (f > 0.7 && f < 0.92);
+  Alcotest.(check bool) "slow plausible" true (s > 1.1 && s < 1.5)
+
+let test_corner_names () =
+  Alcotest.(check string) "typical tag" "TT1P1V25C" (Corner.name Corner.typical);
+  Alcotest.(check string) "fast speed" "FF" (Corner.speed_to_string Corner.Fast);
+  Alcotest.(check int) "all corners" 3 (List.length Corner.all)
+
+let test_pelgrom_scaling () =
+  let m = Mismatch.default in
+  let s1 = Mismatch.resistance_sigma m ~drive:1 () in
+  let s4 = Mismatch.resistance_sigma m ~drive:4 () in
+  let s16 = Mismatch.resistance_sigma m ~drive:16 () in
+  check_float "1/sqrt(4)" (s1 /. 2.0) s4;
+  check_float "1/sqrt(16)" (s1 /. 4.0) s16
+
+let test_stage_averaging () =
+  let m = Mismatch.default in
+  let one = Mismatch.intrinsic_sigma m ~stages:1 ~drive:1 () in
+  let four = Mismatch.intrinsic_sigma m ~stages:4 ~drive:1 () in
+  check_float "1/sqrt(stages)" (one /. 2.0) four;
+  (* stage and drive scaling compose *)
+  check_float "composed" (one /. 4.0) (Mismatch.intrinsic_sigma m ~stages:4 ~drive:4 ())
+
+let test_mismatch_draw_moments () =
+  let m = Mismatch.default in
+  let rng = Rng.create 31 in
+  let draws = Array.init 8000 (fun _ -> (Mismatch.draw m rng ~drive:2 ()).Mismatch.d_resistance) in
+  let expected = Mismatch.resistance_sigma m ~drive:2 () in
+  Alcotest.(check bool) "zero mean" true (Float.abs (Stat.mean draws) < 0.01);
+  Alcotest.(check bool) "sigma matches model" true
+    (Float.abs (Stat.stddev draws -. expected) < 0.01)
+
+let test_zero_sample () =
+  check_float "zero dR" 0.0 Mismatch.zero_sample.Mismatch.d_resistance;
+  check_float "zero dI" 0.0 Mismatch.zero_sample.Mismatch.d_intrinsic
+
+let test_global_variation () =
+  let rng = Rng.create 77 in
+  let v = Variation.default in
+  let draws = Array.init 8000 (fun _ -> Variation.draw_factor v rng) in
+  Alcotest.(check bool) "centred on 1" true (Float.abs (Stat.mean draws -. 1.0) < 0.01);
+  Alcotest.(check bool) "sigma matches" true
+    (Float.abs (Stat.stddev draws -. v.Variation.sigma_global) < 0.01)
+
+let () =
+  Alcotest.run "process"
+    [
+      ( "corner",
+        [
+          Alcotest.test_case "ordering" `Quick test_corner_ordering;
+          Alcotest.test_case "spread" `Quick test_corner_spread;
+          Alcotest.test_case "names" `Quick test_corner_names;
+        ] );
+      ( "mismatch",
+        [
+          Alcotest.test_case "pelgrom scaling" `Quick test_pelgrom_scaling;
+          Alcotest.test_case "stage averaging" `Quick test_stage_averaging;
+          Alcotest.test_case "draw moments" `Slow test_mismatch_draw_moments;
+          Alcotest.test_case "zero sample" `Quick test_zero_sample;
+        ] );
+      ("variation", [ Alcotest.test_case "global factor" `Slow test_global_variation ]);
+    ]

@@ -1,0 +1,315 @@
+(* Tests for Vartune_rtl: Ir (hash-consing, simplification), Word
+   (arithmetic semantics vs OCaml integers), Microcontroller. *)
+
+module Ir = Vartune_rtl.Ir
+module Word = Vartune_rtl.Word
+module Mcu = Vartune_rtl.Microcontroller
+
+let eval = Helpers.eval_ir
+let bits_of_int = Helpers.bits_of_int
+let word_inputs = Helpers.word_inputs
+let eval_word = Helpers.eval_word
+
+(* ------------------------------- Ir --------------------------------- *)
+
+let test_hashcons_dedup () =
+  let g = Ir.create ~name:"t" in
+  let a = Ir.input g "a" and b = Ir.input g "b" in
+  let x = Ir.and2 g a b in
+  let y = Ir.and2 g b a in
+  Alcotest.(check int) "commutative cse" x y;
+  let n1 = Ir.not_ g a in
+  let n2 = Ir.not_ g a in
+  Alcotest.(check int) "not cse" n1 n2
+
+let test_ff_not_hashconsed () =
+  let g = Ir.create ~name:"t" in
+  let a = Ir.input g "a" in
+  let f1 = Ir.ff g ~d:a () in
+  let f2 = Ir.ff g ~d:a () in
+  Alcotest.(check bool) "distinct flops" true (f1 <> f2)
+
+let test_simplifications () =
+  let g = Ir.create ~name:"t" in
+  let a = Ir.input g "a" in
+  let c0 = Ir.const0 g and c1 = Ir.const1 g in
+  Alcotest.(check int) "not not" a (Ir.not_ g (Ir.not_ g a));
+  Alcotest.(check int) "and a a" a (Ir.and2 g a a);
+  Alcotest.(check int) "and a 0" c0 (Ir.and2 g a c0);
+  Alcotest.(check int) "and a 1" a (Ir.and2 g a c1);
+  Alcotest.(check int) "or a 1" c1 (Ir.or2 g a c1);
+  Alcotest.(check int) "xor a a" c0 (Ir.xor2 g a a);
+  Alcotest.(check int) "xor a 0" a (Ir.xor2 g a c0);
+  Alcotest.(check int) "xor a 1" (Ir.not_ g a) (Ir.xor2 g a c1);
+  Alcotest.(check int) "xnor a a" c1 (Ir.xnor2 g a a);
+  Alcotest.(check int) "mux s=0" a (Ir.mux2 g ~a ~b:c1 ~s:c0);
+  Alcotest.(check int) "mux s=1" c1 (Ir.mux2 g ~a ~b:c1 ~s:c1);
+  Alcotest.(check int) "mux same" a (Ir.mux2 g ~a ~b:a ~s:(Ir.input g "s"));
+  Alcotest.(check int) "maj const0" a (Ir.maj3 g a a (Ir.input g "z"))
+
+let test_mux_to_selector () =
+  let g = Ir.create ~name:"t" in
+  let s = Ir.input g "s" in
+  Alcotest.(check int) "mux 0 1 s = s" s (Ir.mux2 g ~a:(Ir.const0 g) ~b:(Ir.const1 g) ~s);
+  Alcotest.(check int) "mux 1 0 s = !s" (Ir.not_ g s)
+    (Ir.mux2 g ~a:(Ir.const1 g) ~b:(Ir.const0 g) ~s)
+
+let test_ff_forward () =
+  let g = Ir.create ~name:"t" in
+  let q = Ir.ff_forward g () in
+  Alcotest.(check bool) "unconnected" false (Ir.ff_data_connected g q);
+  let d = Ir.not_ g q in
+  Ir.set_ff_data g q d;
+  Alcotest.(check bool) "connected" true (Ir.ff_data_connected g q);
+  Alcotest.(check bool) "double connect rejected" true
+    (try
+       Ir.set_ff_data g q d;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "set on non-ff rejected" true
+    (try
+       Ir.set_ff_data g d d;
+       false
+     with Invalid_argument _ -> true)
+
+(* simplification preserves semantics on random 3-input expressions *)
+let test_simplify_semantics =
+  Helpers.qtest ~count:300 "random expression semantics"
+    QCheck2.Gen.(pair (list_size (int_range 1 30) (int_range 0 6)) (int_range 0 7))
+    (fun (ops, assignment) ->
+      let g = Ir.create ~name:"q" in
+      let a = Ir.input g "a" and b = Ir.input g "b" and c = Ir.input g "c" in
+      let av = assignment land 1 = 1
+      and bv = assignment land 2 = 2
+      and cv = assignment land 4 = 4 in
+      (* build a random dag over a stack discipline, keeping a shadow
+         stack of directly-computed booleans — the unsimplified reference *)
+      let stack = ref [ (a, av); (b, bv); (c, cv); (Ir.const0 g, false); (Ir.const1 g, true) ] in
+      let pick k = List.nth !stack (k mod List.length !stack) in
+      List.iteri
+        (fun i op ->
+          let x, xv = pick i and y, yv = pick (i + 1) and z, zv = pick (i + 2) in
+          let node =
+            match op with
+            | 0 -> (Ir.and2 g x y, xv && yv)
+            | 1 -> (Ir.or2 g x y, xv || yv)
+            | 2 -> (Ir.xor2 g x y, xv <> yv)
+            | 3 -> (Ir.not_ g x, not xv)
+            | 4 -> (Ir.mux2 g ~a:x ~b:y ~s:z, if zv then yv else xv)
+            | 5 -> (Ir.xor3 g x y z, xv <> yv <> zv)
+            | _ -> (Ir.maj3 g x y z, (xv && yv) || (xv && zv) || (yv && zv))
+          in
+          stack := node :: !stack)
+        ops;
+      let top, expected = List.hd !stack in
+      Ir.output g "out" top;
+      let inputs = [ ("a", av); ("b", bv); ("c", cv) ] in
+      (eval g ~inputs ()).(top) = expected)
+
+(* ------------------------------- Word ------------------------------- *)
+
+let width = 8
+let mask = (1 lsl width) - 1
+
+let binop_gen = QCheck2.Gen.(pair (int_range 0 mask) (int_range 0 mask))
+
+let check_binop name build reference =
+  Helpers.qtest ~count:200 name binop_gen (fun (x, y) ->
+      let g = Ir.create ~name:"w" in
+      let a = Word.inputs g ~prefix:"a" ~width in
+      let b = Word.inputs g ~prefix:"b" ~width in
+      let result = build g a b in
+      let inputs = word_inputs "a" (bits_of_int ~width x) @ word_inputs "b" (bits_of_int ~width y) in
+      let values = eval g ~inputs () in
+      eval_word values result = reference x y land mask)
+
+let test_word_add = check_binop "add" (fun g a b -> fst (Word.add g a b)) ( + )
+let test_word_add_fast = check_binop "add_fast" (fun g a b -> fst (Word.add_fast g a b)) ( + )
+
+let test_word_add_fast_group2 =
+  check_binop "add_fast group 2" (fun g a b -> fst (Word.add_fast ~group:2 g a b)) ( + )
+
+let test_word_sub = check_binop "sub" (fun g a b -> fst (Word.sub g a b)) ( - )
+let test_word_and = check_binop "logand" Word.logand ( land )
+let test_word_or = check_binop "logor" Word.logor ( lor )
+let test_word_xor = check_binop "logxor" Word.logxor ( lxor )
+
+let test_word_mul =
+  Helpers.qtest ~count:100 "multiply" QCheck2.Gen.(pair (int_range 0 63) (int_range 0 63))
+    (fun (x, y) ->
+      let g = Ir.create ~name:"w" in
+      let a = Word.inputs g ~prefix:"a" ~width:6 in
+      let b = Word.inputs g ~prefix:"b" ~width:6 in
+      let p = Word.multiply g a b in
+      let inputs =
+        word_inputs "a" (bits_of_int ~width:6 x) @ word_inputs "b" (bits_of_int ~width:6 y)
+      in
+      eval_word (eval g ~inputs ()) p = x * y)
+
+let test_word_compare =
+  Helpers.qtest ~count:200 "equal/less_than" binop_gen (fun (x, y) ->
+      let g = Ir.create ~name:"w" in
+      let a = Word.inputs g ~prefix:"a" ~width in
+      let b = Word.inputs g ~prefix:"b" ~width in
+      let eq = Word.equal g a b in
+      let lt = Word.less_than g a b in
+      let inputs =
+        word_inputs "a" (bits_of_int ~width x) @ word_inputs "b" (bits_of_int ~width y)
+      in
+      let values = eval g ~inputs () in
+      values.(eq) = (x = y) && values.(lt) = (x < y))
+
+let test_word_shifts =
+  Helpers.qtest ~count:200 "barrel shifts"
+    QCheck2.Gen.(pair (int_range 0 mask) (int_range 0 (width - 1)))
+    (fun (x, amount) ->
+      let g = Ir.create ~name:"w" in
+      let a = Word.inputs g ~prefix:"a" ~width in
+      let amt = Word.inputs g ~prefix:"s" ~width:3 in
+      let left = Word.barrel_shift_left g a ~amount:amt in
+      let right = Word.barrel_shift_right g a ~amount:amt in
+      let inputs =
+        word_inputs "a" (bits_of_int ~width x) @ word_inputs "s" (bits_of_int ~width:3 amount)
+      in
+      let values = eval g ~inputs () in
+      eval_word values left = (x lsl amount) land mask
+      && eval_word values right = (x lsr amount) land mask)
+
+let test_word_mux_tree =
+  Helpers.qtest ~count:200 "mux_tree"
+    QCheck2.Gen.(pair (int_range 0 3) (int_range 0 mask))
+    (fun (sel, seed) ->
+      let g = Ir.create ~name:"w" in
+      let words = List.init 4 (fun k -> Word.const g ~width ((seed + (k * 37)) land mask)) in
+      let s = Word.inputs g ~prefix:"s" ~width:2 in
+      let out = Word.mux_tree g ~sel:s words in
+      let inputs = word_inputs "s" (bits_of_int ~width:2 sel) in
+      let values = eval g ~inputs () in
+      eval_word values out = (seed + (sel * 37)) land mask)
+
+let test_word_one_hot_mux =
+  Helpers.qtest ~count:100 "one_hot_mux"
+    QCheck2.Gen.(pair (int_range 0 3) (int_range 0 mask))
+    (fun (sel, seed) ->
+      let g = Ir.create ~name:"w" in
+      let words = List.init 4 (fun k -> Word.const g ~width ((seed + (k * 91)) land mask)) in
+      let s = Word.inputs g ~prefix:"s" ~width:2 in
+      let onehot = Word.decoder g s in
+      let out = Word.one_hot_mux g ~onehot words in
+      let inputs = word_inputs "s" (bits_of_int ~width:2 sel) in
+      let values = eval g ~inputs () in
+      eval_word values out = (seed + (sel * 91)) land mask)
+
+let test_word_decoder =
+  Helpers.qtest ~count:64 "decoder one-hot" QCheck2.Gen.(int_range 0 7) (fun sel ->
+      let g = Ir.create ~name:"w" in
+      let s = Word.inputs g ~prefix:"s" ~width:3 in
+      let lines = Word.decoder g s in
+      let inputs = word_inputs "s" (bits_of_int ~width:3 sel) in
+      let values = eval g ~inputs () in
+      Array.for_all Fun.id (Array.mapi (fun k line -> values.(line) = (k = sel)) lines))
+
+let test_word_priority_encode =
+  Helpers.qtest ~count:200 "priority encoder" QCheck2.Gen.(int_range 0 255) (fun req ->
+      let g = Ir.create ~name:"w" in
+      let lines = Array.init 8 (fun i -> Ir.input g (Printf.sprintf "r[%d]" i)) in
+      let index, valid = Word.priority_encode g lines in
+      let inputs = word_inputs "r" (bits_of_int ~width:8 req) in
+      let values = eval g ~inputs () in
+      if req = 0 then values.(valid) = false
+      else begin
+        let rec lowest i = if (req lsr i) land 1 = 1 then i else lowest (i + 1) in
+        values.(valid) && eval_word values index = lowest 0
+      end)
+
+let test_word_reg_enable () =
+  let g = Ir.create ~name:"w" in
+  let d = Word.inputs g ~prefix:"d" ~width:4 in
+  let en = Ir.input g "en" in
+  let q = Word.reg g ~enable:en d in
+  (* every q bit is a connected flop whose D is a mux of q and d *)
+  Array.iter
+    (fun bit ->
+      Alcotest.(check bool) "connected" true (Ir.ff_data_connected g bit);
+      match Ir.op_of g bit with
+      | Ir.Ff _ -> (
+        let mux = (Ir.fanins g bit).(0) in
+        match Ir.op_of g mux with
+        | Ir.Mux2 -> ()
+        | _ -> Alcotest.fail "expected recirculation mux")
+      | _ -> Alcotest.fail "expected flop")
+    q
+
+(* --------------------------- Microcontroller ------------------------ *)
+
+let test_mcu_generates () =
+  let ir = Mcu.generate () in
+  Alcotest.(check bool) "size plausible" true (Ir.node_count ir > 5000);
+  let stats = Ir.stats ir in
+  let count tag = Option.value (List.assoc_opt tag stats) ~default:0 in
+  Alcotest.(check bool) "has flops" true (count "ff" > 1000);
+  Alcotest.(check bool) "has adders" true (count "xor3" > 100 && count "maj3" > 100);
+  Alcotest.(check bool) "has outputs" true (List.length (Ir.outputs ir) > 50)
+
+let test_mcu_all_ffs_connected () =
+  let ir = Mcu.generate () in
+  let ok = ref true in
+  Ir.iter_nodes ir ~f:(fun id op _ ->
+      match op with
+      | Ir.Ff _ -> if not (Ir.ff_data_connected ir id) then ok := false
+      | _ -> ());
+  Alcotest.(check bool) "all flops driven" true !ok
+
+let test_mcu_deterministic () =
+  let a = Mcu.generate () in
+  let b = Mcu.generate () in
+  Alcotest.(check int) "same node count" (Ir.node_count a) (Ir.node_count b)
+
+let test_mcu_config_scales () =
+  let small =
+    Mcu.generate
+      ~config:{ Mcu.default_config with reg_count = 8; mul_width = 8 }
+      ()
+  in
+  let big = Mcu.generate () in
+  Alcotest.(check bool) "smaller config smaller netlist" true
+    (Ir.node_count small < Ir.node_count big)
+
+let () =
+  Alcotest.run "rtl"
+    [
+      ( "ir",
+        [
+          Alcotest.test_case "hashcons dedup" `Quick test_hashcons_dedup;
+          Alcotest.test_case "ff not hashconsed" `Quick test_ff_not_hashconsed;
+          Alcotest.test_case "simplifications" `Quick test_simplifications;
+          Alcotest.test_case "mux to selector" `Quick test_mux_to_selector;
+          Alcotest.test_case "ff forward" `Quick test_ff_forward;
+          test_simplify_semantics;
+        ] );
+      ( "word",
+        [
+          test_word_add;
+          test_word_add_fast;
+          test_word_add_fast_group2;
+          test_word_sub;
+          test_word_and;
+          test_word_or;
+          test_word_xor;
+          test_word_mul;
+          test_word_compare;
+          test_word_shifts;
+          test_word_mux_tree;
+          test_word_one_hot_mux;
+          test_word_decoder;
+          test_word_priority_encode;
+          Alcotest.test_case "enabled register" `Quick test_word_reg_enable;
+        ] );
+      ( "microcontroller",
+        [
+          Alcotest.test_case "generates" `Quick test_mcu_generates;
+          Alcotest.test_case "flops connected" `Quick test_mcu_all_ffs_connected;
+          Alcotest.test_case "deterministic" `Quick test_mcu_deterministic;
+          Alcotest.test_case "config scales" `Quick test_mcu_config_scales;
+        ] );
+    ]

@@ -1,0 +1,341 @@
+(* Tests for Vartune_sta: Timing and Path, on hand-built netlists where
+   arrival times can be computed by hand from the library LUTs. *)
+
+module Netlist = Vartune_netlist.Netlist
+module Timing = Vartune_sta.Timing
+module Path = Vartune_sta.Path
+module Library = Vartune_liberty.Library
+module Cell = Vartune_liberty.Cell
+module Pin = Vartune_liberty.Pin
+module Arc = Vartune_liberty.Arc
+
+let lib = Lazy.force Helpers.nominal_small
+let inv = Library.find lib "INV_1"
+let dff = Library.find lib "DFF_1"
+
+let config = Timing.default_config ~clock_period:2.0
+
+(* PI -> k inverters -> DFF.D *)
+let inverter_chain k =
+  let nl = Netlist.create ~name:"chain" in
+  let clk = Netlist.add_net nl ~net_name:"clk" () in
+  Netlist.set_clock nl clk;
+  let a = Netlist.add_net nl ~net_name:"a" () in
+  Netlist.mark_primary_input nl a;
+  let last =
+    List.fold_left
+      (fun prev i ->
+        let out = Netlist.add_net nl () in
+        ignore
+          (Netlist.add_instance nl
+             ~inst_name:(Printf.sprintf "inv%d" i)
+             ~cell:inv ~inputs:[ ("A", prev) ] ~outputs:[ ("Z", out) ]);
+        out)
+      a
+      (List.init k Fun.id)
+  in
+  let q = Netlist.add_net nl () in
+  ignore
+    (Netlist.add_instance nl ~inst_name:"capture" ~cell:dff
+       ~inputs:[ ("D", last); ("CK", clk) ]
+       ~outputs:[ ("Q", q) ]);
+  nl
+
+let test_arrival_matches_manual () =
+  let nl = inverter_chain 3 in
+  let timing = Timing.run config nl in
+  (* replay the propagation by hand *)
+  let inv_arc = List.hd (Cell.arcs inv) in
+  let dff_d_cap = Cell.input_capacitance dff "D" in
+  let inv_a_cap = Cell.input_capacitance inv "A" in
+  let wire = config.Timing.wire_cap_base +. config.Timing.wire_cap_per_sink in
+  let mid_load = inv_a_cap +. wire in
+  let last_load = dff_d_cap +. wire in
+  let slew = ref config.Timing.input_slew in
+  let arrival = ref 0.0 in
+  List.iteri
+    (fun i () ->
+      let load = if i = 2 then last_load else mid_load in
+      arrival := !arrival +. Arc.delay inv_arc ~slew:!slew ~load;
+      slew := Arc.transition inv_arc ~slew:!slew ~load)
+    [ (); (); () ];
+  match Timing.endpoints timing with
+  | [ ep ] ->
+    Helpers.check_float ~eps:1e-9 "arrival" !arrival ep.Timing.arrival;
+    Helpers.check_float ~eps:1e-9 "required"
+      (config.Timing.clock_period -. config.Timing.guard_band -. dff.Cell.setup_time)
+      ep.Timing.required;
+    Helpers.check_float ~eps:1e-9 "slack" (ep.Timing.required -. ep.Timing.arrival)
+      ep.Timing.slack
+  | eps -> Alcotest.failf "expected 1 endpoint, got %d" (List.length eps)
+
+let test_worst_slack_and_tns () =
+  let nl = inverter_chain 2 in
+  let timing = Timing.run config nl in
+  let ws = Timing.worst_slack timing in
+  Alcotest.(check bool) "positive at 2ns" true (ws > 0.0);
+  Helpers.check_float "tns zero when met" 0.0 (Timing.total_negative_slack timing);
+  (* impossibly tight clock: negative slack and negative tns *)
+  let tight = Timing.run (Timing.default_config ~clock_period:0.31) nl in
+  Alcotest.(check bool) "negative at 0.31ns" true (Timing.worst_slack tight < 0.0);
+  Alcotest.(check bool) "tns negative" true (Timing.total_negative_slack tight < 0.0)
+
+let test_path_backtrace () =
+  let nl = inverter_chain 5 in
+  let timing = Timing.run config nl in
+  let paths = Path.worst_per_endpoint timing nl in
+  match paths with
+  | [ p ] ->
+    Alcotest.(check int) "depth = chain length" 5 (Path.depth p);
+    Helpers.check_float ~eps:1e-9 "mean = arrival (eq 5)" p.Path.arrival (Path.mean_delay p);
+    (* steps come launch-to-capture: loads decrease only at the end *)
+    let cells = List.map (fun (s : Path.step) -> s.Path.cell.Cell.name) p.Path.steps in
+    Alcotest.(check (list string)) "all inverters"
+      [ "INV_1"; "INV_1"; "INV_1"; "INV_1"; "INV_1" ]
+      cells
+  | other -> Alcotest.failf "expected 1 path, got %d" (List.length other)
+
+let test_launch_from_register () =
+  (* DFF -> INV -> DFF: the path starts with the launching flop's CK->Q *)
+  let nl = Netlist.create ~name:"reg2reg" in
+  let clk = Netlist.add_net nl ~net_name:"clk" () in
+  Netlist.set_clock nl clk;
+  let d0 = Netlist.add_net nl () in
+  Netlist.mark_primary_input nl d0;
+  let q0 = Netlist.add_net nl () in
+  let z = Netlist.add_net nl () in
+  let q1 = Netlist.add_net nl () in
+  ignore
+    (Netlist.add_instance nl ~inst_name:"launch" ~cell:dff
+       ~inputs:[ ("D", d0); ("CK", clk) ]
+       ~outputs:[ ("Q", q0) ]);
+  ignore
+    (Netlist.add_instance nl ~inst_name:"mid" ~cell:inv ~inputs:[ ("A", q0) ]
+       ~outputs:[ ("Z", z) ]);
+  ignore
+    (Netlist.add_instance nl ~inst_name:"capture" ~cell:dff
+       ~inputs:[ ("D", z); ("CK", clk) ]
+       ~outputs:[ ("Q", q1) ]);
+  let timing = Timing.run config nl in
+  let capture_ep =
+    List.find
+      (fun (ep : Timing.endpoint_timing) ->
+        match ep.Timing.endpoint with
+        | Timing.Reg_data { pin = "D"; inst } ->
+          (Netlist.instance nl inst).Netlist.inst_name = "capture"
+        | _ -> false)
+      (Timing.endpoints timing)
+  in
+  let p = Path.extract timing nl capture_ep in
+  Alcotest.(check int) "depth includes launch flop" 2 (Path.depth p);
+  (match p.Path.steps with
+  | first :: _ ->
+    Alcotest.(check string) "launches from DFF" "DFF" first.Path.cell.Cell.family;
+    Helpers.check_float "launch slew is the clock slew" config.Timing.clock_slew
+      first.Path.input_slew
+  | [] -> Alcotest.fail "empty path");
+  (* the launch flop's own D is also an endpoint: 2 endpoints total *)
+  Alcotest.(check int) "endpoint count" 2 (List.length (Timing.endpoints timing))
+
+let test_net_required_consistency () =
+  let nl = inverter_chain 4 in
+  let timing = Timing.run config nl in
+  (* on a single path, net slack equals the endpoint slack everywhere *)
+  let ws = Timing.worst_slack timing in
+  Netlist.iter_nets nl ~f:(fun net ->
+      let nid = net.Netlist.net_id in
+      if net.Netlist.sinks <> [] && Some nid <> Netlist.clock nl then
+        Helpers.check_float ~eps:1e-9 "uniform slack on a chain" ws (Timing.net_slack timing nid))
+
+let test_out_of_range_net_defaults () =
+  let nl = inverter_chain 1 in
+  let timing = Timing.run config nl in
+  let fresh = Netlist.add_net nl () in
+  Helpers.check_float "load default" 0.0 (Timing.net_load timing fresh);
+  Helpers.check_float "slew default" config.Timing.input_slew (Timing.net_slew timing fresh);
+  Alcotest.(check bool) "required default" true (Timing.net_required timing fresh = infinity)
+
+let test_fanout_raises_load () =
+  (* one inverter driving 1 vs 4 sinks: load and delay grow *)
+  let build sinks =
+    let nl = Netlist.create ~name:"fan" in
+    let a = Netlist.add_net nl () in
+    Netlist.mark_primary_input nl a;
+    let z = Netlist.add_net nl () in
+    ignore
+      (Netlist.add_instance nl ~inst_name:"drv" ~cell:inv ~inputs:[ ("A", a) ]
+         ~outputs:[ ("Z", z) ]);
+    for i = 0 to sinks - 1 do
+      let out = Netlist.add_net nl () in
+      ignore
+        (Netlist.add_instance nl
+           ~inst_name:(Printf.sprintf "sink%d" i)
+           ~cell:inv ~inputs:[ ("A", z) ] ~outputs:[ ("Z", out) ]);
+      Netlist.mark_primary_output nl out
+    done;
+    let timing = Timing.run config nl in
+    (Timing.net_load timing z, Timing.net_arrival timing z)
+  in
+  let load1, arr1 = build 1 in
+  let load4, arr4 = build 4 in
+  Alcotest.(check bool) "load grows" true (load4 > load1);
+  Alcotest.(check bool) "arrival grows" true (arr4 > arr1)
+
+(* ------------------------------- Hold -------------------------------- *)
+
+let test_hold_unconstrained_from_pi () =
+  (* a D pin fed only from a primary input has no hold check *)
+  let nl = inverter_chain 2 in
+  let timing = Timing.run config nl in
+  Alcotest.(check int) "no hold endpoints" 0 (List.length (Timing.hold_endpoints timing));
+  Alcotest.(check bool) "worst hold n/a" true (Timing.worst_hold_slack timing = infinity)
+
+let reg2reg k =
+  (* DFF -> k inverters -> DFF *)
+  let nl = Netlist.create ~name:"r2r" in
+  let clk = Netlist.add_net nl ~net_name:"clk" () in
+  Netlist.set_clock nl clk;
+  let d0 = Netlist.add_net nl () in
+  Netlist.mark_primary_input nl d0;
+  let q0 = Netlist.add_net nl () in
+  ignore
+    (Netlist.add_instance nl ~inst_name:"launch" ~cell:dff
+       ~inputs:[ ("D", d0); ("CK", clk) ]
+       ~outputs:[ ("Q", q0) ]);
+  let last =
+    List.fold_left
+      (fun prev i ->
+        let out = Netlist.add_net nl () in
+        ignore
+          (Netlist.add_instance nl
+             ~inst_name:(Printf.sprintf "i%d" i)
+             ~cell:inv ~inputs:[ ("A", prev) ] ~outputs:[ ("Z", out) ]);
+        out)
+      q0
+      (List.init k Fun.id)
+  in
+  let q1 = Netlist.add_net nl () in
+  ignore
+    (Netlist.add_instance nl ~inst_name:"capture" ~cell:dff
+       ~inputs:[ ("D", last); ("CK", clk) ]
+       ~outputs:[ ("Q", q1) ]);
+  nl
+
+let test_hold_register_launched () =
+  let nl = reg2reg 1 in
+  let timing = Timing.run config nl in
+  (* only the capture flop's D has a register-launched fanin *)
+  match Timing.hold_endpoints timing with
+  | [ ep ] ->
+    Alcotest.(check bool) "hold met (clk->q + inv > hold)" true (ep.Timing.slack > 0.0);
+    Helpers.check_float "required is the hold time" dff.Cell.hold_time ep.Timing.required;
+    Alcotest.(check bool) "min arrival below max arrival" true
+      (ep.Timing.arrival
+      <= (List.hd (List.filter
+                     (fun (e : Timing.endpoint_timing) -> e.Timing.endpoint = ep.Timing.endpoint)
+                     (Timing.endpoints timing))).Timing.arrival
+         +. 1e-12)
+  | eps -> Alcotest.failf "expected 1 hold endpoint, got %d" (List.length eps)
+
+let test_hold_min_arrival_grows_with_depth () =
+  let min_at k =
+    let nl = reg2reg k in
+    let timing = Timing.run config nl in
+    match Timing.hold_endpoints timing with
+    | [ ep ] -> ep.Timing.arrival
+    | _ -> Alcotest.fail "one hold endpoint expected"
+  in
+  Alcotest.(check bool) "monotone" true (min_at 1 < min_at 4)
+
+(* ------------------------------- Power ------------------------------- *)
+
+let test_power_positive_and_composed () =
+  let nl = reg2reg 3 in
+  let timing = Timing.run config nl in
+  let module Power = Vartune_sta.Power in
+  let r = Power.estimate timing nl in
+  Alcotest.(check bool) "switching > 0" true (r.Power.switching_mw > 0.0);
+  Alcotest.(check bool) "internal > 0" true (r.Power.internal_mw > 0.0);
+  Alcotest.(check bool) "leakage > 0" true (r.Power.leakage_mw > 0.0);
+  Helpers.check_float ~eps:1e-9 "total is the sum"
+    (r.Power.switching_mw +. r.Power.internal_mw +. r.Power.leakage_mw)
+    r.Power.total_mw
+
+let test_power_scales_with_frequency () =
+  let nl = reg2reg 3 in
+  let module Power = Vartune_sta.Power in
+  let at period =
+    Power.estimate (Timing.run (Timing.default_config ~clock_period:period) nl) nl
+  in
+  let fast = at 1.0 and slow = at 2.0 in
+  (* dynamic power doubles at half the period; leakage is unchanged *)
+  Helpers.check_float ~eps:1e-6 "switching x2" (2.0 *. slow.Power.switching_mw)
+    fast.Power.switching_mw;
+  Helpers.check_float ~eps:1e-9 "leakage constant" slow.Power.leakage_mw fast.Power.leakage_mw
+
+let test_power_scales_with_activity () =
+  let nl = reg2reg 3 in
+  let module Power = Vartune_sta.Power in
+  let timing = Timing.run config nl in
+  let lo = Power.estimate ~activity:0.1 timing nl in
+  let hi = Power.estimate ~activity:0.2 timing nl in
+  Alcotest.(check bool) "more activity more power" true
+    (hi.Power.total_mw > lo.Power.total_mw);
+  Helpers.check_float ~eps:1e-9 "leakage unchanged" lo.Power.leakage_mw hi.Power.leakage_mw
+
+(* --------------------------- Timing report --------------------------- *)
+
+let test_timing_report () =
+  let module TR = Vartune_sta.Timing_report in
+  let nl = reg2reg 4 in
+  let timing = Timing.run config nl in
+  let text = TR.report ~max_paths:2 timing nl in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length text && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has summary" true (contains "worst setup slack");
+  Alcotest.(check bool) "has path header" true (contains "Path 1:");
+  Alcotest.(check bool) "has cells" true (contains "INV_1");
+  Alcotest.(check bool) "states MET" true (contains "MET");
+  Alcotest.(check bool) "summary mentions hold" true (contains "hold")
+
+let test_depth_histogram () =
+  let nl = inverter_chain 3 in
+  let timing = Timing.run config nl in
+  let paths = Path.worst_per_endpoint timing nl in
+  Alcotest.(check (list (pair int int))) "histogram" [ (3, 1) ] (Path.depth_histogram paths)
+
+let () =
+  Alcotest.run "sta"
+    [
+      ( "timing",
+        [
+          Alcotest.test_case "arrival matches manual" `Quick test_arrival_matches_manual;
+          Alcotest.test_case "worst slack / tns" `Quick test_worst_slack_and_tns;
+          Alcotest.test_case "required consistency" `Quick test_net_required_consistency;
+          Alcotest.test_case "fresh net defaults" `Quick test_out_of_range_net_defaults;
+          Alcotest.test_case "fanout raises load" `Quick test_fanout_raises_load;
+        ] );
+      ( "path",
+        [
+          Alcotest.test_case "backtrace" `Quick test_path_backtrace;
+          Alcotest.test_case "launch from register" `Quick test_launch_from_register;
+          Alcotest.test_case "depth histogram" `Quick test_depth_histogram;
+        ] );
+      ( "hold",
+        [
+          Alcotest.test_case "pi fanin unconstrained" `Quick test_hold_unconstrained_from_pi;
+          Alcotest.test_case "register launched" `Quick test_hold_register_launched;
+          Alcotest.test_case "min arrival monotone" `Quick test_hold_min_arrival_grows_with_depth;
+        ] );
+      ( "power",
+        [
+          Alcotest.test_case "positive and composed" `Quick test_power_positive_and_composed;
+          Alcotest.test_case "scales with frequency" `Quick test_power_scales_with_frequency;
+          Alcotest.test_case "scales with activity" `Quick test_power_scales_with_activity;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "timing report" `Quick test_timing_report ] );
+    ]

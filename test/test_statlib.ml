@@ -1,0 +1,146 @@
+(* Tests for Vartune_statlib: the entry-wise statistical merge of
+   Section IV / Fig 2. *)
+
+module Statistical = Vartune_statlib.Statistical
+module Characterize = Vartune_charlib.Characterize
+module Sampler = Vartune_charlib.Sampler
+module Delay_model = Vartune_charlib.Delay_model
+module Catalog = Vartune_stdcell.Catalog
+module Corner = Vartune_process.Corner
+module Mismatch = Vartune_process.Mismatch
+module Library = Vartune_liberty.Library
+module Cell = Vartune_liberty.Cell
+module Arc = Vartune_liberty.Arc
+module Lut = Vartune_liberty.Lut
+module Stat = Vartune_util.Stat
+
+let config = Characterize.default_config
+let mismatch = Mismatch.default
+let inv_only = List.filter_map Catalog.find [ "INV" ]
+
+let sample index =
+  Sampler.sample_library config ~mismatch ~seed:21 ~index ~specs:inv_only ()
+
+let first_arc lib name = List.hd (Cell.arcs (Library.find lib name))
+
+let test_merge_matches_manual () =
+  (* Welford accumulation must equal a direct mean/stddev over samples *)
+  let n = 8 in
+  let libs = List.init n sample in
+  let merged = Statistical.of_libraries libs in
+  let samples_at i j =
+    Array.of_list (List.map (fun lib -> Lut.get (first_arc lib "INV_2").Arc.rise_delay i j) libs)
+  in
+  let merged_arc = first_arc merged "INV_2" in
+  let sigma_lut = Option.get merged_arc.Arc.rise_delay_sigma in
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      let values = samples_at i j in
+      Helpers.check_float ~eps:1e-9 "mean entry" (Stat.mean values)
+        (Lut.get merged_arc.Arc.rise_delay i j);
+      Helpers.check_float ~eps:1e-9 "sigma entry" (Stat.stddev values) (Lut.get sigma_lut i j)
+    done
+  done
+
+let test_stream_equals_list () =
+  let n = 6 in
+  let by_list = Statistical.of_libraries (List.init n sample) in
+  let by_stream = Statistical.of_stream ~n sample in
+  List.iter2
+    (fun (a : Cell.t) (b : Cell.t) ->
+      List.iter2
+        (fun (x : Arc.t) (y : Arc.t) ->
+          Alcotest.(check bool) "mean tables" true
+            (Lut.equal ~eps:1e-12 x.Arc.rise_delay y.Arc.rise_delay);
+          Alcotest.(check bool) "sigma tables" true
+            (Lut.equal ~eps:1e-12
+               (Option.get x.Arc.rise_delay_sigma)
+               (Option.get y.Arc.rise_delay_sigma)))
+        (Cell.arcs a) (Cell.arcs b))
+    (Library.cells by_list) (Library.cells by_stream)
+
+let test_is_statistical () =
+  let merged = Statistical.of_stream ~n:3 sample in
+  Alcotest.(check bool) "statistical" true (Statistical.is_statistical merged);
+  let nominal = Characterize.library config inv_only in
+  Alcotest.(check bool) "nominal is not" false (Statistical.is_statistical nominal)
+
+let test_merge_rejects_empty_and_mismatch () =
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Statistical.of_libraries []);
+       false
+     with Invalid_argument _ -> true);
+  let a = sample 0 in
+  let other =
+    Characterize.library config (List.filter_map Catalog.find [ "ND2" ])
+  in
+  Alcotest.(check bool) "structure mismatch rejected" true
+    (try
+       ignore (Statistical.of_libraries [ a; other ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sigma_close_to_analytic () =
+  (* the merged sigma approximates the closed-form model sigma; with
+     N = 40 the sampling error of a stddev is ~11%, test at 4 sigma *)
+  let n = 40 in
+  let merged = Statistical.build config ~mismatch ~seed:3 ~n ~specs:inv_only () in
+  let spec = Option.get (Catalog.find "INV") in
+  let arc = first_arc merged "INV_4" in
+  let sigma_lut = Option.get arc.Arc.rise_delay_sigma in
+  let slews = Lut.slews sigma_lut and loads = Lut.loads sigma_lut in
+  let total_err = ref 0.0 and count = ref 0 in
+  Array.iteri
+    (fun i slew ->
+      Array.iteri
+        (fun j load ->
+          let analytic =
+            Delay_model.delay_sigma config.Characterize.params spec ~mismatch ~drive:4
+              ~output:"Z" ~edge:Delay_model.Rise
+              ~corner_factor:(Corner.delay_factor Corner.typical)
+              ~slew ~load
+          in
+          total_err := !total_err +. Float.abs ((Lut.get sigma_lut i j /. analytic) -. 1.0);
+          incr count)
+        loads)
+    slews;
+  let mean_err = !total_err /. float_of_int !count in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean relative error %.3f < 0.4" mean_err)
+    true (mean_err < 0.4)
+
+let test_mean_close_to_nominal () =
+  let merged = Statistical.build config ~mismatch ~seed:3 ~n:40 ~specs:inv_only () in
+  let nominal = Characterize.library config inv_only in
+  let m = (first_arc merged "INV_4").Arc.rise_delay in
+  let o = (first_arc nominal "INV_4").Arc.rise_delay in
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      let rel = Float.abs ((Lut.get m i j /. Lut.get o i j) -. 1.0) in
+      Alcotest.(check bool) "mean within 6%" true (rel < 0.06)
+    done
+  done
+
+let test_metadata_preserved () =
+  let merged = Statistical.of_stream ~n:3 sample in
+  let cell = Library.find merged "INV_8" in
+  Alcotest.(check int) "drive" 8 cell.Cell.drive_strength;
+  Alcotest.(check string) "family" "INV" cell.Cell.family;
+  let nominal_cell = Library.find (Characterize.library config inv_only) "INV_8" in
+  Helpers.check_float "area preserved" nominal_cell.Cell.area cell.Cell.area
+
+let () =
+  Alcotest.run "statlib"
+    [
+      ( "merge",
+        [
+          Alcotest.test_case "matches manual stats" `Quick test_merge_matches_manual;
+          Alcotest.test_case "stream equals list" `Quick test_stream_equals_list;
+          Alcotest.test_case "is_statistical" `Quick test_is_statistical;
+          Alcotest.test_case "rejects bad input" `Quick test_merge_rejects_empty_and_mismatch;
+          Alcotest.test_case "sigma near analytic" `Slow test_sigma_close_to_analytic;
+          Alcotest.test_case "mean near nominal" `Slow test_mean_close_to_nominal;
+          Alcotest.test_case "metadata preserved" `Quick test_metadata_preserved;
+        ] );
+    ]

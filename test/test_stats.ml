@@ -1,0 +1,228 @@
+(* Tests for Vartune_stats: Dist, Convolve (eqs 5-11), Design_sigma. *)
+
+module Dist = Vartune_stats.Dist
+module Convolve = Vartune_stats.Convolve
+module Design_sigma = Vartune_stats.Design_sigma
+
+let check_float = Helpers.check_float
+
+(* ------------------------------- Dist ------------------------------- *)
+
+let test_dist_basics () =
+  let d = Dist.make ~mean:2.0 ~sigma:0.5 in
+  check_float "variability" 0.25 (Dist.variability d);
+  check_float "3 sigma" 3.5 (Dist.quantile_3sigma d);
+  Alcotest.(check bool) "negative sigma rejected" true
+    (try
+       ignore (Dist.make ~mean:1.0 ~sigma:(-0.1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_dist_pdf_cdf () =
+  let d = Dist.make ~mean:0.0 ~sigma:1.0 in
+  check_float ~eps:1e-6 "pdf peak" (1.0 /. sqrt (2.0 *. Float.pi)) (Dist.pdf d 0.0);
+  check_float ~eps:1e-6 "cdf median" 0.5 (Dist.cdf d 0.0);
+  Alcotest.(check bool) "cdf(1.96) ~ 0.975" true (Float.abs (Dist.cdf d 1.96 -. 0.975) < 1e-3);
+  Alcotest.(check bool) "symmetric" true
+    (Float.abs (Dist.cdf d (-1.0) +. Dist.cdf d 1.0 -. 1.0) < 1e-6)
+
+let test_dist_cdf_monotone =
+  Helpers.qtest "cdf monotone"
+    QCheck2.Gen.(pair (float_range (-5.0) 5.0) (float_range 0.0 2.0))
+    (fun (x, dx) ->
+      let d = Dist.make ~mean:0.3 ~sigma:0.8 in
+      Dist.cdf d x <= Dist.cdf d (x +. dx) +. 1e-9)
+
+let test_dist_degenerate () =
+  let d = Dist.make ~mean:1.0 ~sigma:0.0 in
+  check_float "cdf below" 0.0 (Dist.cdf d 0.999);
+  check_float "cdf above" 1.0 (Dist.cdf d 1.0);
+  check_float "pdf off-mean" 0.0 (Dist.pdf d 0.5)
+
+let test_dist_sum_scale () =
+  let a = Dist.make ~mean:1.0 ~sigma:0.3 in
+  let b = Dist.make ~mean:2.0 ~sigma:0.4 in
+  let s = Dist.sum_independent [ a; b ] in
+  check_float "sum mean" 3.0 s.Dist.mean;
+  check_float "sum sigma" 0.5 s.Dist.sigma;
+  let scaled = Dist.scale a 2.0 in
+  check_float "scale mean" 2.0 scaled.Dist.mean;
+  check_float "scale sigma" 0.6 scaled.Dist.sigma
+
+(* ------------------------------ Convolve ----------------------------- *)
+
+let cells = [ (1.0, 0.1); (2.0, 0.2); (0.5, 0.05) ]
+
+let test_eq5_eq10 () =
+  let d = Convolve.path_dist cells in
+  (* eq 5: means add *)
+  check_float "path mean" 3.5 d.Dist.mean;
+  (* eq 10: rho = 0 -> rss of sigmas *)
+  check_float "path sigma" (sqrt ((0.1 ** 2.0) +. (0.2 ** 2.0) +. (0.05 ** 2.0))) d.Dist.sigma
+
+let test_eq8_eq9_consistency =
+  (* summing the full covariance matrix (eq 8) equals the uniform-rho
+     closed form (eq 9) *)
+  Helpers.qtest "eq8 = eq9"
+    QCheck2.Gen.(
+      pair (float_range 0.0 1.0) (list_size (int_range 1 10) (float_range 0.001 0.3)))
+    (fun (rho, sigmas) ->
+      let sig_arr = Array.of_list sigmas in
+      let var_cov = Convolve.path_variance_cov (Convolve.covariance_matrix ~sigmas:sig_arr ~rho) in
+      let sum_sq = Array.fold_left (fun acc s -> acc +. (s *. s)) 0.0 sig_arr in
+      let cross = ref 0.0 in
+      Array.iteri
+        (fun i si ->
+          Array.iteri (fun j sj -> if i <> j then cross := !cross +. (rho *. si *. sj)) sig_arr)
+        sig_arr;
+      Helpers.feq ~eps:1e-9 var_cov (sum_sq +. !cross))
+
+let test_rho_zero_matches_path_dist =
+  Helpers.qtest "rho=0 reduces to eq 10"
+    QCheck2.Gen.(list_size (int_range 1 12) (pair (float_range 0.0 2.0) (float_range 0.0 0.3)))
+    (fun cells ->
+      let a = Convolve.path_dist cells in
+      let b = Convolve.path_dist_rho ~rho:0.0 cells in
+      Helpers.feq ~eps:1e-9 a.Dist.mean b.Dist.mean
+      && Helpers.feq ~eps:1e-9 a.Dist.sigma b.Dist.sigma)
+
+let test_rho_monotone () =
+  let sigma rho = (Convolve.path_dist_rho ~rho cells).Dist.sigma in
+  Alcotest.(check bool) "sigma grows with rho" true
+    (sigma 0.0 < sigma 0.3 && sigma 0.3 < sigma 1.0);
+  (* rho = 1: sigmas add linearly *)
+  check_float ~eps:1e-9 "full correlation" 0.35 (sigma 1.0)
+
+let test_rho_validation () =
+  Alcotest.(check bool) "rho out of range" true
+    (try
+       ignore (Convolve.path_dist_rho ~rho:1.5 cells);
+       false
+     with Invalid_argument _ -> true)
+
+let test_matrix_validation () =
+  Alcotest.(check bool) "non-square rejected" true
+    (try
+       ignore (Convolve.path_variance_cov [| [| 1.0; 2.0 |]; [| 1.0 |] |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --------------------------- Design sigma ---------------------------- *)
+
+let test_eq11 () =
+  let paths =
+    [ Dist.make ~mean:1.0 ~sigma:0.1; Dist.make ~mean:2.0 ~sigma:0.2 ]
+  in
+  let d = Design_sigma.of_dists paths in
+  check_float "design mean" 3.0 d.Dist.mean;
+  check_float "design sigma" (sqrt 0.05) d.Dist.sigma
+
+let test_design_sigma_on_netlist () =
+  (* end-to-end through a real timing run over the small statistical lib *)
+  let lib = Lazy.force Helpers.small_statlib in
+  let module Netlist = Vartune_netlist.Netlist in
+  let module Timing = Vartune_sta.Timing in
+  let module Library = Vartune_liberty.Library in
+  let nl = Netlist.create ~name:"t" in
+  let clk = Netlist.add_net nl ~net_name:"clk" () in
+  Netlist.set_clock nl clk;
+  let a = Netlist.add_net nl () in
+  Netlist.mark_primary_input nl a;
+  let inv = Library.find lib "INV_1" in
+  let dff = Library.find lib "DFF_1" in
+  let z = Netlist.add_net nl () in
+  let q = Netlist.add_net nl () in
+  ignore (Netlist.add_instance nl ~inst_name:"u1" ~cell:inv ~inputs:[ ("A", a) ] ~outputs:[ ("Z", z) ]);
+  ignore
+    (Netlist.add_instance nl ~inst_name:"ff" ~cell:dff
+       ~inputs:[ ("D", z); ("CK", clk) ]
+       ~outputs:[ ("Q", q) ]);
+  let timing = Timing.run (Timing.default_config ~clock_period:3.0) nl in
+  let ds = Design_sigma.measure timing nl in
+  Alcotest.(check int) "one path" 1 ds.Design_sigma.paths;
+  Alcotest.(check bool) "sigma positive (statistical lib)" true
+    (ds.Design_sigma.dist.Dist.sigma > 0.0);
+  Alcotest.(check bool) "worst 3sigma > mean" true
+    (ds.Design_sigma.worst_path_3sigma > ds.Design_sigma.dist.Dist.mean)
+
+(* ------------------------------- Yield -------------------------------- *)
+
+module Yield = Vartune_stats.Yield
+
+let test_yield_basics () =
+  let d = Dist.make ~mean:2.0 ~sigma:0.1 in
+  check_float ~eps:1e-6 "median path" 0.5 (Yield.path_yield d ~period:2.0);
+  Alcotest.(check bool) "slow clock ~1" true (Yield.path_yield d ~period:3.0 > 0.999);
+  Alcotest.(check bool) "fast clock ~0" true (Yield.path_yield d ~period:1.0 < 0.001);
+  check_float "empty design" 1.0 (Yield.parametric_yield [] ~period:1.0)
+
+let test_yield_product () =
+  let d = Dist.make ~mean:2.0 ~sigma:0.1 in
+  let y1 = Yield.parametric_yield [ d ] ~period:2.05 in
+  let y3 = Yield.parametric_yield [ d; d; d ] ~period:2.05 in
+  check_float ~eps:1e-9 "independent product" (y1 ** 3.0) y3
+
+let test_yield_monotone =
+  Helpers.qtest "yield monotone in period"
+    QCheck2.Gen.(pair (float_range 1.0 3.0) (float_range 0.0 1.0))
+    (fun (period, dt) ->
+      let dists =
+        [ Dist.make ~mean:2.0 ~sigma:0.2; Dist.make ~mean:1.5 ~sigma:0.05 ]
+      in
+      Yield.parametric_yield dists ~period
+      <= Yield.parametric_yield dists ~period:(period +. dt) +. 1e-12)
+
+let test_yield_curve_and_inverse () =
+  let dists = [ Dist.make ~mean:2.0 ~sigma:0.1; Dist.make ~mean:1.8 ~sigma:0.15 ] in
+  let curve = Yield.yield_curve dists ~periods:[ 1.5; 2.0; 2.5; 3.0 ] in
+  Alcotest.(check int) "points" 4 (List.length curve);
+  let p = Yield.period_for_yield dists ~target:0.99 ~lo:1.0 ~hi:4.0 in
+  Alcotest.(check bool) "achieves target" true
+    (Yield.parametric_yield dists ~period:p >= 0.989);
+  Alcotest.(check bool) "tight" true
+    (Yield.parametric_yield dists ~period:(p -. 0.05) < 0.99);
+  (* unreachable target returns hi *)
+  check_float "unreachable" 1.7
+    (Yield.period_for_yield [ Dist.make ~mean:2.0 ~sigma:0.01 ] ~target:0.9 ~lo:1.0 ~hi:1.7)
+
+let test_yield_validation () =
+  Alcotest.(check bool) "bad target" true
+    (try
+       ignore (Yield.period_for_yield [] ~target:1.5 ~lo:1.0 ~hi:2.0);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "dist",
+        [
+          Alcotest.test_case "basics" `Quick test_dist_basics;
+          Alcotest.test_case "pdf/cdf" `Quick test_dist_pdf_cdf;
+          test_dist_cdf_monotone;
+          Alcotest.test_case "degenerate" `Quick test_dist_degenerate;
+          Alcotest.test_case "sum/scale" `Quick test_dist_sum_scale;
+        ] );
+      ( "convolve",
+        [
+          Alcotest.test_case "eq5/eq10" `Quick test_eq5_eq10;
+          test_eq8_eq9_consistency;
+          test_rho_zero_matches_path_dist;
+          Alcotest.test_case "rho monotone" `Quick test_rho_monotone;
+          Alcotest.test_case "rho validation" `Quick test_rho_validation;
+          Alcotest.test_case "matrix validation" `Quick test_matrix_validation;
+        ] );
+      ( "design_sigma",
+        [
+          Alcotest.test_case "eq 11" `Quick test_eq11;
+          Alcotest.test_case "on netlist" `Quick test_design_sigma_on_netlist;
+        ] );
+      ( "yield",
+        [
+          Alcotest.test_case "basics" `Quick test_yield_basics;
+          Alcotest.test_case "product" `Quick test_yield_product;
+          test_yield_monotone;
+          Alcotest.test_case "curve and inverse" `Quick test_yield_curve_and_inverse;
+          Alcotest.test_case "validation" `Quick test_yield_validation;
+        ] );
+    ]

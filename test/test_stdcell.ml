@@ -1,0 +1,159 @@
+(* Tests for Vartune_stdcell: Func, Spec, Catalog — including the paper's
+   appendix census. *)
+
+module Func = Vartune_stdcell.Func
+module Spec = Vartune_stdcell.Spec
+module Catalog = Vartune_stdcell.Catalog
+module Cell = Vartune_liberty.Cell
+module Arc = Vartune_liberty.Arc
+
+let check_float = Helpers.check_float
+
+(* ------------------------------- Func ------------------------------- *)
+
+let test_func_pin_names () =
+  Alcotest.(check (list string)) "inv" [ "A" ] (Func.input_names Func.Inv);
+  Alcotest.(check (list string)) "nand3" [ "A"; "B"; "C" ] (Func.input_names (Func.Nand 3));
+  Alcotest.(check (list string)) "mux2" [ "A"; "B"; "S" ] (Func.input_names Func.Mux2);
+  Alcotest.(check (list string)) "fa in" [ "A"; "B"; "CI" ] (Func.input_names Func.Full_adder);
+  Alcotest.(check (list string)) "fa out" [ "S"; "CO" ] (Func.output_names Func.Full_adder);
+  Alcotest.(check (list string)) "tie" [] (Func.input_names Func.Tie_low)
+
+let test_func_ff_pins () =
+  let ff = Func.Dff { reset = true; set = false; enable = true; scan = false } in
+  Alcotest.(check (list string)) "ff inputs" [ "D"; "E"; "RN" ] (Func.input_names ff);
+  Alcotest.(check bool) "clock" true (Func.clock_name ff = Some "CK");
+  Alcotest.(check bool) "sequential" true (Func.is_sequential ff);
+  Alcotest.(check bool) "comb not" false (Func.is_sequential (Func.Nand 2))
+
+let test_func_senses () =
+  Alcotest.(check bool) "inv negative" true
+    (Func.arc_sense Func.Inv ~input:"A" ~output:"Z" = Arc.Negative_unate);
+  Alcotest.(check bool) "and positive" true
+    (Func.arc_sense (Func.And 2) ~input:"A" ~output:"Z" = Arc.Positive_unate);
+  Alcotest.(check bool) "xor non-unate" true
+    (Func.arc_sense (Func.Xor 2) ~input:"A" ~output:"Z" = Arc.Non_unate);
+  (* bubbled input of a B-variant flips the sense *)
+  Alcotest.(check bool) "nand_b A positive" true
+    (Func.arc_sense (Func.Nand_b 2) ~input:"A" ~output:"Z" = Arc.Positive_unate);
+  Alcotest.(check bool) "nand_b B negative" true
+    (Func.arc_sense (Func.Nand_b 2) ~input:"B" ~output:"Z" = Arc.Negative_unate)
+
+let test_func_inversions () =
+  Alcotest.(check int) "inv" 1 (Func.inversions Func.Inv);
+  Alcotest.(check bool) "complex cells have more stages" true
+    (Func.inversions Func.Full_adder > Func.inversions (Func.Nand 2))
+
+(* ------------------------------- Spec ------------------------------- *)
+
+let inv_spec = Option.get (Catalog.find "INV")
+
+let test_spec_cell_name () =
+  Alcotest.(check string) "name" "INV_4" (Spec.cell_name inv_spec ~drive:4)
+
+let test_spec_area_monotone () =
+  let areas = List.map (fun d -> Spec.area inv_spec ~drive:d) [ 1; 2; 4; 8; 16 ] in
+  let rec increasing = function
+    | a :: b :: rest -> a < b && increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (increasing areas)
+
+let test_spec_caps () =
+  let c1 = Spec.input_capacitance inv_spec ~drive:1 in
+  let c4 = Spec.input_capacitance inv_spec ~drive:4 in
+  check_float "cap scales with drive" (4.0 *. c1) c4;
+  check_float "c_unit" Spec.c_unit c1;
+  Alcotest.(check bool) "max cap scales" true
+    (Spec.max_capacitance inv_spec ~drive:8 = 8.0 *. Spec.max_capacitance inv_spec ~drive:1)
+
+let test_spec_validation () =
+  Alcotest.(check bool) "bad drives rejected" true
+    (try
+       ignore (Spec.v ~family:"Z" ~func:Func.Inv ~drives:[ 2; 1 ] ~g:1.0 ~p:1.0 ~transistors:2 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_spec_output_factor () =
+  let fa = Option.get (Catalog.find "FA1") in
+  Alcotest.(check bool) "S slower than CO" true
+    (Spec.output_factor fa "S" > Spec.output_factor fa "CO");
+  check_float "default is 1" 1.0 (Spec.output_factor inv_spec "Z")
+
+(* ------------------------------ Catalog ----------------------------- *)
+
+let test_census_totals () =
+  (* the paper's appendix: 304 cells in ten groups *)
+  Alcotest.(check int) "total" 304 Catalog.total_cells;
+  let expected =
+    [
+      ("Inverter", 19); ("Or", 36); ("Nand", 46); ("Nor", 43); ("Xnor", 29); ("Adder", 34);
+      ("Multiplexer", 27); ("Flip-flop", 51); ("Latch", 12); ("Other", 7);
+    ]
+  in
+  List.iter
+    (fun (group, n) ->
+      Alcotest.(check int) group n (List.assoc group Catalog.census))
+    expected
+
+let test_catalog_find () =
+  Alcotest.(check bool) "INV present" true (Catalog.find "INV" <> None);
+  Alcotest.(check bool) "missing" true (Catalog.find "NOPE" = None);
+  (match Catalog.find_func (Func.Nand 2) with
+  | Some spec -> Alcotest.(check string) "nand2 family" "ND2" spec.Spec.family
+  | None -> Alcotest.fail "no nand2");
+  Alcotest.(check string) "group" "Nand" (Catalog.group_of_family "ND2B");
+  Alcotest.(check string) "unknown group" "Unknown" (Catalog.group_of_family "NOPE")
+
+let test_paper_cells_exist () =
+  (* cells the paper names: NR4_6, NR2B_1..3, INV_1, INV_32 *)
+  let exists family drive =
+    match Catalog.find family with
+    | Some spec -> List.mem drive spec.Spec.drives
+    | None -> false
+  in
+  Alcotest.(check bool) "NR4_6" true (exists "NR4" 6);
+  Alcotest.(check bool) "NR2B_1" true (exists "NR2B" 1);
+  Alcotest.(check bool) "NR2B_3" true (exists "NR2B" 3);
+  Alcotest.(check bool) "INV_1" true (exists "INV" 1);
+  Alcotest.(check bool) "INV_32" true (exists "INV" 32)
+
+let test_unique_families () =
+  let names = List.map (fun (s : Spec.t) -> s.Spec.family) Catalog.specs in
+  Alcotest.(check int) "no duplicate families" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_drive6_cluster_size () =
+  (* Fig 5 needs a populated drive-6 cluster *)
+  let with6 =
+    List.filter (fun (s : Spec.t) -> List.mem 6 s.Spec.drives) Catalog.specs
+  in
+  Alcotest.(check bool) "many drive-6 families" true (List.length with6 > 20)
+
+let () =
+  Alcotest.run "stdcell"
+    [
+      ( "func",
+        [
+          Alcotest.test_case "pin names" `Quick test_func_pin_names;
+          Alcotest.test_case "ff pins" `Quick test_func_ff_pins;
+          Alcotest.test_case "senses" `Quick test_func_senses;
+          Alcotest.test_case "inversions" `Quick test_func_inversions;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "cell name" `Quick test_spec_cell_name;
+          Alcotest.test_case "area monotone" `Quick test_spec_area_monotone;
+          Alcotest.test_case "capacitances" `Quick test_spec_caps;
+          Alcotest.test_case "validation" `Quick test_spec_validation;
+          Alcotest.test_case "output factor" `Quick test_spec_output_factor;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "census totals (appendix)" `Quick test_census_totals;
+          Alcotest.test_case "find" `Quick test_catalog_find;
+          Alcotest.test_case "paper cells exist" `Quick test_paper_cells_exist;
+          Alcotest.test_case "unique families" `Quick test_unique_families;
+          Alcotest.test_case "drive-6 cluster" `Quick test_drive6_cluster_size;
+        ] );
+    ]
