@@ -5,10 +5,19 @@
    micro-benchmarks over the hot kernels, including the naive-vs-
    optimised largest-rectangle ablation.
 
+   Part 3 times the domain-parallel pipeline stages (statistical library
+   build, tuning-parameter sweep, path Monte Carlo) serially and on the
+   worker pool, and writes the measurements to BENCH_parallel.json so
+   the perf trajectory is tracked across PRs.
+
    Environment:
-     VARTUNE_SAMPLES     Monte-Carlo sample libraries (default 50, paper's N)
-     VARTUNE_SEED        random seed (default 42)
-     VARTUNE_SKIP_MICRO  set to skip the Bechamel section *)
+     VARTUNE_SAMPLES        Monte-Carlo sample libraries (default 50, paper's N)
+     VARTUNE_SEED           random seed (default 42)
+     VARTUNE_JOBS           pool size for the parallel measurements
+                            (default: recommended domain count)
+     VARTUNE_SKIP_MICRO     set to skip the Bechamel section
+     VARTUNE_SKIP_PARALLEL  set to skip the parallel-scaling section
+     VARTUNE_SKIP_FIGURES   set to skip the table/figure regeneration *)
 
 module Experiment = Vartune_flow.Experiment
 module Figures = Vartune_flow.Figures
@@ -23,6 +32,11 @@ module Cell = Vartune_liberty.Cell
 module Arc = Vartune_liberty.Arc
 module Lut = Vartune_liberty.Lut
 module Rng = Vartune_util.Rng
+module Pool = Vartune_util.Pool
+module Path_mc = Vartune_monte.Path_mc
+module Tuning_method = Vartune_tuning.Tuning_method
+module Cluster = Vartune_tuning.Cluster
+module Threshold = Vartune_tuning.Threshold
 module Binary_lut = Vartune_tuning.Binary_lut
 module Rectangle = Vartune_tuning.Rectangle
 module Timing = Vartune_sta.Timing
@@ -108,6 +122,96 @@ let micro_benchmarks () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Part 3: parallel scaling                                            *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Serial vs pool wall-clock per pipeline stage.  Each measurement pair
+   runs the same deterministic workload (same seeds, fresh caches), so
+   the only variable is the pool size; results are asserted bit-identical
+   before being reported. *)
+let parallel_benchmarks (setup : Experiment.setup) ~samples ~seed =
+  Report.heading "Parallel scaling (serial vs worker pool)";
+  let jobs =
+    match Sys.getenv_opt "VARTUNE_JOBS" with
+    | Some v -> (try max 2 (int_of_string (String.trim v)) with _ -> 4)
+    | None -> max 2 (Domain.recommended_domain_count ())
+  in
+  let serial = Pool.create ~jobs:1 () in
+  let par = Pool.create ~jobs () in
+  Printf.printf "  pool size: %d domains (1 = serial reference)\n%!" jobs;
+  let stages = ref [] in
+  let stage name ~check run =
+    let a, t_serial = time (fun () -> run serial) in
+    let b, t_par = time (fun () -> run par) in
+    if not (check a b) then
+      failwith (Printf.sprintf "parallel stage %s diverged from serial output" name);
+    let speedup = if t_par > 0.0 then t_serial /. t_par else 0.0 in
+    Printf.printf "  %-24s serial %7.2f s   %d jobs %7.2f s   speedup %.2fx\n%!" name
+      t_serial jobs t_par speedup;
+    stages := (name, t_serial, t_par, speedup) :: !stages
+  in
+  let statlib_equal a b =
+    List.for_all2
+      (fun (x : Cell.t) (y : Cell.t) ->
+        List.for_all2
+          (fun (p : Arc.t) (q : Arc.t) ->
+            Lut.equal ~eps:0.0 p.Arc.rise_delay q.Arc.rise_delay
+            && Lut.equal ~eps:0.0
+                 (Option.get p.Arc.rise_delay_sigma)
+                 (Option.get q.Arc.rise_delay_sigma))
+          (Cell.arcs x) (Cell.arcs y))
+      (Library.cells a) (Library.cells b)
+  in
+  stage "statlib_build" ~check:statlib_equal (fun pool ->
+      Statistical.build ~pool Characterize.default_config ~mismatch:Mismatch.default ~seed
+        ~n:samples ());
+  let tuning =
+    { Tuning_method.population = Cluster.Per_cell; criterion = Threshold.Sigma_ceiling 0.02 }
+  in
+  let parameters = [ 0.005; 0.01; 0.02; 0.03; 0.05; 0.08 ] in
+  let period = setup.Experiment.min_period *. 1.5 in
+  stage "experiment_sweep"
+    ~check:(fun a b ->
+      List.for_all2
+        (fun (x : Experiment.sweep_point) (y : Experiment.sweep_point) ->
+          x.Experiment.reduction = y.Experiment.reduction
+          && x.Experiment.area_delta = y.Experiment.area_delta)
+        a b)
+    (fun pool ->
+      Experiment.sweep ~pool (Experiment.fresh_cache setup) ~period ~tuning ~parameters);
+  let base = Experiment.baseline setup ~period:setup.Experiment.min_period in
+  let mc_path =
+    let paths = base.Experiment.paths in
+    List.nth paths (List.length paths / 2)
+  in
+  let mc_config = { Path_mc.default_config with n = 20_000 } in
+  stage "path_mc"
+    ~check:(fun (a : Path_mc.result) (b : Path_mc.result) ->
+      a.Path_mc.delays = b.Path_mc.delays)
+    (fun pool -> Path_mc.simulate ~pool mc_config ~seed:7 mc_path);
+  Pool.shutdown serial;
+  Pool.shutdown par;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"samples\": %d,\n  \"seed\": %d,\n  \"stages\": [\n"
+    jobs samples seed;
+  let rows = List.rev !stages in
+  List.iteri
+    (fun i (name, t_serial, t_par, speedup) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"serial_s\": %.6f, \"parallel_s\": %.6f, \"speedup\": %.3f}%s\n"
+        name t_serial t_par speedup
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_parallel.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -118,5 +222,7 @@ let () =
   Printf.printf "vartune reproduction harness — N=%d samples, seed %d\n%!" samples seed;
   if Sys.getenv_opt "VARTUNE_SKIP_MICRO" = None then micro_benchmarks ();
   let setup = Experiment.prepare ~samples ~seed () in
-  Figures.run_all setup;
+  if Sys.getenv_opt "VARTUNE_SKIP_PARALLEL" = None then
+    parallel_benchmarks setup ~samples ~seed;
+  if Sys.getenv_opt "VARTUNE_SKIP_FIGURES" = None then Figures.run_all setup;
   Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

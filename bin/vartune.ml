@@ -29,13 +29,30 @@ module Verilog = Vartune_netlist.Verilog
 module Experiment = Vartune_flow.Experiment
 module Figures = Vartune_flow.Figures
 module Report = Vartune_flow.Report
+module Pool = Vartune_util.Pool
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
+(* Logging + worker-pool size in one step so every subcommand applies
+   --jobs before its first parallel stage. *)
+let setup_run verbose jobs =
+  setup_logs verbose;
+  Option.iter Pool.set_default_jobs jobs
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker-pool size for the parallel stages (default: $(b,VARTUNE_JOBS), else the \
+           recommended domain count; 1 forces serial execution). Output is bit-identical \
+           at any value.")
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
@@ -69,8 +86,8 @@ let characterize_cmd =
     Term.(const run $ verbose_arg $ output_arg)
 
 let statlib_cmd =
-  let run verbose output samples seed =
-    setup_logs verbose;
+  let run verbose jobs output samples seed =
+    setup_run verbose jobs;
     let lib =
       Statistical.build Characterize.default_config ~mismatch:Mismatch.default ~seed
         ~n:samples ()
@@ -80,7 +97,7 @@ let statlib_cmd =
   Cmd.v
     (Cmd.info "statlib"
        ~doc:"Build the statistical library (entry-wise mean/sigma over N samples).")
-    Term.(const run $ verbose_arg $ output_arg $ samples_arg $ seed_arg)
+    Term.(const run $ verbose_arg $ jobs_arg $ output_arg $ samples_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -124,8 +141,8 @@ let period_arg =
     & info [ "p"; "period" ] ~docv:"NS" ~doc:"Clock period in ns (default: measured minimum).")
 
 let tune_cmd =
-  let run verbose samples seed tuning =
-    setup_logs verbose;
+  let run verbose jobs samples seed tuning =
+    setup_run verbose jobs;
     let tuning =
       Option.value tuning
         ~default:
@@ -152,7 +169,7 @@ let tune_cmd =
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Extract per-pin slew/load restrictions from a tuning method.")
-    Term.(const run $ verbose_arg $ samples_arg $ seed_arg $ method_arg)
+    Term.(const run $ verbose_arg $ jobs_arg $ samples_arg $ seed_arg $ method_arg)
 
 let timing_report_arg =
   Arg.(value & flag & info [ "timing-report" ] ~doc:"Print the worst-path timing report.")
@@ -166,8 +183,8 @@ let verilog_arg =
     & info [ "verilog" ] ~docv:"FILE" ~doc:"Export the synthesised netlist as structural Verilog.")
 
 let synth_cmd =
-  let run verbose samples seed period tuning timing_report power verilog =
-    setup_logs verbose;
+  let run verbose jobs samples seed period tuning timing_report power verilog =
+    setup_run verbose jobs;
     let setup = Experiment.prepare ~samples ~seed () in
     let period = Option.value period ~default:setup.Experiment.min_period in
     let base = Experiment.baseline setup ~period in
@@ -206,12 +223,12 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesise the evaluation design, optionally with tuning.")
     Term.(
-      const run $ verbose_arg $ samples_arg $ seed_arg $ period_arg $ method_arg
+      const run $ verbose_arg $ jobs_arg $ samples_arg $ seed_arg $ period_arg $ method_arg
       $ timing_report_arg $ power_arg $ verilog_arg)
 
 let min_period_cmd =
-  let run verbose samples seed =
-    setup_logs verbose;
+  let run verbose jobs samples seed =
+    setup_run verbose jobs;
     let setup = Experiment.prepare ~samples ~seed () in
     Printf.printf "minimum clock period: %.2f ns\n" setup.Experiment.min_period;
     List.iter
@@ -220,7 +237,7 @@ let min_period_cmd =
   in
   Cmd.v
     (Cmd.info "min-period" ~doc:"Measure the minimum feasible clock period (Table 1).")
-    Term.(const run $ verbose_arg $ samples_arg $ seed_arg)
+    Term.(const run $ verbose_arg $ jobs_arg $ samples_arg $ seed_arg)
 
 let figure_names =
   [
@@ -241,8 +258,8 @@ let report_cmd =
       & pos 0 (enum figure_names) `All
       & info [] ~docv:"FIGURE" ~doc:"Exhibit to regenerate (fig1..fig16, table1..table3, all).")
   in
-  let run verbose samples seed figure =
-    setup_logs verbose;
+  let run verbose jobs samples seed figure =
+    setup_run verbose jobs;
     let setup = Experiment.prepare ~samples ~seed () in
     match figure with
     | `All -> Figures.run_all setup
@@ -275,7 +292,7 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate a table or figure from the paper's evaluation.")
-    Term.(const run $ verbose_arg $ samples_arg $ seed_arg $ figure_arg)
+    Term.(const run $ verbose_arg $ jobs_arg $ samples_arg $ seed_arg $ figure_arg)
 
 let parse_cmd =
   let file_arg =

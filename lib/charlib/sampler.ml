@@ -1,12 +1,19 @@
 module Rng = Vartune_util.Rng
+module Pool = Vartune_util.Pool
 module Mismatch = Vartune_process.Mismatch
 module Spec = Vartune_stdcell.Spec
 
-(* Every (sample index, cell) pair gets its own deterministic RNG stream so
-   sample libraries are reproducible and order-independent. *)
+(* Stream derivation: sample [index] owns the [index]-th split of the
+   root generator for [seed]; within a sample, each (family, drive) cell
+   owns a hash-indexed split of the sample stream.  Both hops use
+   Rng.stream, so any (seed, index, cell) triple yields the same draws
+   no matter which domain characterises it or in what order — sample
+   libraries are reproducible and order-independent, which is what makes
+   the parallel fan-out below bit-deterministic. *)
+let sample_stream ~seed ~index = Rng.stream (Rng.create seed) index
+
 let cell_rng ~seed ~index (spec : Spec.t) ~drive =
-  let h = Hashtbl.hash (spec.family, drive, index) in
-  Rng.create (seed lxor (h * 0x9E3779B9) lxor (index * 0x85EBCA6B))
+  Rng.stream (sample_stream ~seed ~index) (Hashtbl.hash (spec.Spec.family, drive))
 
 let sample_library config ~mismatch ~seed ~index ?(specs = Vartune_stdcell.Catalog.specs) () =
   let sample_for spec ~drive =
@@ -16,8 +23,11 @@ let sample_library config ~mismatch ~seed ~index ?(specs = Vartune_stdcell.Catal
   let name = Printf.sprintf "%s_mc%03d" (Vartune_process.Corner.name config.Characterize.corner) index in
   Characterize.library config ~name ~sample_for specs
 
-let sample_libraries config ~mismatch ~seed ~n ?specs () =
-  List.init n (fun index -> sample_library config ~mismatch ~seed ~index ?specs ())
+let sample_libraries ?pool config ~mismatch ~seed ~n ?specs () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  Pool.map pool
+    (fun index -> sample_library config ~mismatch ~seed ~index ?specs ())
+    (List.init n Fun.id)
 
 let fold_samples config ~mismatch ~seed ~n ?specs ~init ~f () =
   let rec go acc index =

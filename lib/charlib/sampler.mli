@@ -13,9 +13,12 @@ val sample_library :
   unit ->
   Vartune_liberty.Library.t
 (** The [index]-th sample library of the stream identified by [seed].
-    Sample k is identical whether generated alone or as part of a batch. *)
+    Every cell draws from an {!Vartune_util.Rng.stream} generator derived
+    from [(seed, index, cell)], so sample k is identical whether
+    generated alone, as part of a batch, or on a worker domain. *)
 
 val sample_libraries :
+  ?pool:Vartune_util.Pool.t ->
   Characterize.config ->
   mismatch:Vartune_process.Mismatch.t ->
   seed:int ->
@@ -23,7 +26,9 @@ val sample_libraries :
   ?specs:Vartune_stdcell.Spec.t list ->
   unit ->
   Vartune_liberty.Library.t list
-(** N sample libraries, indices 0..n-1. *)
+(** N sample libraries, indices 0..n-1, characterised across the pool
+    (default {!Vartune_util.Pool.default}) and returned in index order;
+    output is independent of the pool size. *)
 
 val fold_samples :
   Characterize.config ->

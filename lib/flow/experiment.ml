@@ -1,4 +1,5 @@
 module Characterize = Vartune_charlib.Characterize
+module Pool = Vartune_util.Pool
 module Statistical = Vartune_statlib.Statistical
 module Mismatch = Vartune_process.Mismatch
 module Mcu = Vartune_rtl.Microcontroller
@@ -14,23 +15,28 @@ let src = Logs.Src.create "vartune.flow" ~doc:"experiment flow"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type setup = {
-  char_config : Characterize.config;
-  mismatch : Mismatch.t;
-  seed : int;
-  samples : int;
-  design : Ir.t;
-  statlib : Library.t;
-  min_period : float;
-  periods : (string * float) list;
-}
-
 type run = {
   label : string;
   period : float;
   result : Synthesis.result;
   paths : Path.t list;
   design_sigma : Design_sigma.t;
+}
+
+type cache_key = int * float * string
+
+type setup = {
+  char_config : Characterize.config;
+  mismatch : Mismatch.t;
+  seed : int;
+  samples : int;
+  design : Ir.t;
+  design_fp : int;
+  statlib : Library.t;
+  min_period : float;
+  periods : (string * float) list;
+  cache : (cache_key, run) Hashtbl.t;
+  cache_lock : Mutex.t;
 }
 
 let paper_period_labels min_period =
@@ -59,20 +65,30 @@ let prepare ?(samples = 50) ?(seed = 42) ?(mcu_config = Mcu.default_config) () =
     seed;
     samples;
     design;
+    design_fp = Ir.fingerprint design;
     statlib;
     min_period;
     periods = paper_period_labels min_period;
+    cache = Hashtbl.create 64;
+    cache_lock = Mutex.create ();
   }
 
-(* Synthesis runs are deterministic in (setup identity, period, label);
-   the experiments re-visit baselines constantly, so memoise.  The design
-   size keys the cache too, so setups with different microcontroller
-   configurations never collide. *)
-let cache : (int * int * int * float * string, run) Hashtbl.t = Hashtbl.create 64
+let fresh_cache setup = { setup with cache = Hashtbl.create 64; cache_lock = Mutex.create () }
 
+(* Synthesis runs are deterministic in (setup identity, period, label);
+   the experiments re-visit baselines constantly, so memoise.  The cache
+   lives in the setup — so two setups never share entries — and is keyed
+   on the structural design fingerprint, so two mcu_configs that happen
+   to elaborate to the same node count still cannot collide.  The mutex
+   makes the memo table safe under Pool.map; a miss is synthesised
+   outside the lock (concurrent first requests may duplicate the work,
+   but the result is deterministic so either insert is correct). *)
 let run_with setup ~period ~label ~restrictions =
-  let key = (setup.seed, setup.samples, Ir.node_count setup.design, period, label) in
-  match Hashtbl.find_opt cache key with
+  let key = (setup.design_fp, period, label) in
+  let cached =
+    Mutex.protect setup.cache_lock (fun () -> Hashtbl.find_opt setup.cache key)
+  in
+  match cached with
   | Some r -> r
   | None ->
     let cons = Constraints.make ~clock_period:period ?restrictions () in
@@ -80,8 +96,12 @@ let run_with setup ~period ~label ~restrictions =
     let paths = Path.worst_per_endpoint result.Synthesis.timing result.Synthesis.netlist in
     let design_sigma = Design_sigma.of_paths paths in
     let r = { label; period; result; paths; design_sigma } in
-    Hashtbl.replace cache key r;
-    r
+    Mutex.protect setup.cache_lock (fun () ->
+        match Hashtbl.find_opt setup.cache key with
+        | Some earlier -> earlier
+        | None ->
+          Hashtbl.replace setup.cache key r;
+          r)
 
 let baseline setup ~period = run_with setup ~period ~label:"baseline" ~restrictions:None
 
@@ -102,9 +122,10 @@ let area_increase ~baseline ~tuned =
 
 type sweep_point = { parameter : float; run : run; reduction : float; area_delta : float }
 
-let sweep setup ~period ~tuning ~parameters =
+let sweep ?pool setup ~period ~tuning ~parameters =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let base = baseline setup ~period in
-  List.map
+  Pool.map pool
     (fun parameter ->
       let tuning = Tuning_method.with_parameter tuning parameter in
       let run = tuned setup ~period ~tuning in

@@ -6,16 +6,32 @@
     measured minimum period the way the paper's Table 1 derives its
     constraints from 2.41 ns. *)
 
+type run = {
+  label : string;
+  period : float;
+  result : Vartune_synth.Synthesis.result;
+  paths : Vartune_sta.Path.t list;  (** worst path per endpoint *)
+  design_sigma : Vartune_stats.Design_sigma.t;
+}
+
+type cache_key = int * float * string
+(** (structural design fingerprint, period, label) *)
+
 type setup = {
   char_config : Vartune_charlib.Characterize.config;
   mismatch : Vartune_process.Mismatch.t;
   seed : int;
   samples : int;
   design : Vartune_rtl.Ir.t;
+  design_fp : int;  (** {!Vartune_rtl.Ir.fingerprint} of [design] *)
   statlib : Vartune_liberty.Library.t;
   min_period : float;
   periods : (string * float) list;
   (** labelled ladder: high / close-to-max / medium / low performance *)
+  cache : (cache_key, run) Hashtbl.t;
+  (** per-setup synthesis memo table; guarded by [cache_lock] so sweep
+      points may run on pool workers *)
+  cache_lock : Mutex.t;
 }
 
 val prepare :
@@ -24,16 +40,13 @@ val prepare :
   ?mcu_config:Vartune_rtl.Microcontroller.config ->
   unit ->
   setup
-(** Builds the statistical library (default 50 samples, seed 42),
-    elaborates the microcontroller and measures the minimum period. *)
+(** Builds the statistical library (default 50 samples, seed 42) across
+    the default pool's domains, elaborates the microcontroller and
+    measures the minimum period. *)
 
-type run = {
-  label : string;
-  period : float;
-  result : Vartune_synth.Synthesis.result;
-  paths : Vartune_sta.Path.t list;  (** worst path per endpoint *)
-  design_sigma : Vartune_stats.Design_sigma.t;
-}
+val fresh_cache : setup -> setup
+(** The same setup with an empty memo table — for timing comparisons
+    that must not hit earlier runs' entries. *)
 
 val baseline : setup -> period:float -> run
 (** Synthesis with the untuned statistical library.  Results are memoised
@@ -56,12 +69,16 @@ type sweep_point = {
 }
 
 val sweep :
+  ?pool:Vartune_util.Pool.t ->
   setup ->
   period:float ->
   tuning:Vartune_tuning.Tuning_method.t ->
   parameters:float list ->
   sweep_point list
-(** One tuning method across its constraint-parameter sweep (Table 2). *)
+(** One tuning method across its constraint-parameter sweep (Table 2).
+    The points are synthesised in parallel on the pool (default
+    {!Vartune_util.Pool.default}) and returned in parameter order; the
+    result is independent of the pool size. *)
 
 val best_under_area_cap :
   ?cap:float -> sweep_point list -> sweep_point option

@@ -1,4 +1,5 @@
 module Rng = Vartune_util.Rng
+module Pool = Vartune_util.Pool
 module Stat = Vartune_util.Stat
 module Corner = Vartune_process.Corner
 module Mismatch = Vartune_process.Mismatch
@@ -59,12 +60,20 @@ let step_delay cfg ~corner_factor ~sample step =
   in
   Float.max (delay Delay_model.Rise) (delay Delay_model.Fall)
 
-let simulate cfg ~seed (path : Path.t) =
+(* Samples per pool task; granularity only, never affects results. *)
+let sample_chunk = 32
+
+let simulate ?pool cfg ~seed (path : Path.t) =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let steps = resolve path in
-  let rng = Rng.create seed in
+  let base = Rng.stream (Rng.create seed) 0 in
   let corner_factor = Corner.delay_factor cfg.corner in
+  (* Sample i draws from its own stream derived from (seed, i), so the
+     per-sample loop parallelises with bit-identical output at any job
+     count, and corner sweeps at the same seed stay draw-paired. *)
   let delays =
-    Array.init cfg.n (fun _ ->
+    Pool.init pool ~chunk:sample_chunk cfg.n (fun i ->
+        let rng = Rng.stream base i in
         let global =
           if cfg.include_global then Variation.draw_factor cfg.global_variation rng
           else 1.0
@@ -83,11 +92,15 @@ let simulate cfg ~seed (path : Path.t) =
   in
   { delays; mean = Stat.mean delays; sigma = Stat.stddev delays }
 
-let corner_sweep cfg ~seed path =
-  List.map (fun corner -> (corner, simulate { cfg with corner } ~seed path)) Corner.all
+let corner_sweep ?pool cfg ~seed path =
+  List.map (fun corner -> (corner, simulate ?pool { cfg with corner } ~seed path)) Corner.all
 
-let local_share cfg ~seed path =
-  let local = simulate { cfg with include_local = true; include_global = false } ~seed path in
-  let total = simulate { cfg with include_local = true; include_global = true } ~seed path in
+let local_share ?pool cfg ~seed path =
+  let local =
+    simulate ?pool { cfg with include_local = true; include_global = false } ~seed path
+  in
+  let total =
+    simulate ?pool { cfg with include_local = true; include_global = true } ~seed path
+  in
   if total.sigma = 0.0 then 0.0
   else (local.sigma *. local.sigma) /. (total.sigma *. total.sigma)

@@ -27,20 +27,24 @@ type result = {
 }
 
 val simulate :
-  sample_config -> seed:int -> Vartune_sta.Path.t -> result
+  ?pool:Vartune_util.Pool.t -> sample_config -> seed:int -> Vartune_sta.Path.t -> result
 (** Re-simulates the path: per sample, every cell draws one local
     variation sample (plus one shared global factor when enabled) and the
     step delays are re-evaluated at each step's recorded (slew, load)
-    operating point.  Raises [Invalid_argument] if a path cell is not in
+    operating point.  Sample [i] draws from its own
+    {!Vartune_util.Rng.stream} generator derived from [(seed, i)], and the
+    sample loop runs across the pool (default
+    {!Vartune_util.Pool.default}) — the delays array is bit-identical at
+    any job count.  Raises [Invalid_argument] if a path cell is not in
     the catalog. *)
 
 val corner_sweep :
-  sample_config -> seed:int -> Vartune_sta.Path.t ->
+  ?pool:Vartune_util.Pool.t -> sample_config -> seed:int -> Vartune_sta.Path.t ->
   (Vartune_process.Corner.t * result) list
 (** Fig. 15: the same path across fast/typical/slow corners (same seed,
     so the local draws are paired). *)
 
 val local_share :
-  sample_config -> seed:int -> Vartune_sta.Path.t -> float
+  ?pool:Vartune_util.Pool.t -> sample_config -> seed:int -> Vartune_sta.Path.t -> float
 (** Fig. 16: fraction of total delay variance attributable to local
     variation: [var_local / var_global_and_local]. *)

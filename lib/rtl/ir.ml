@@ -198,6 +198,24 @@ let inputs t = List.rev t.ins
 
 let iter_nodes t ~f = Vec.iteri (fun id node -> f id node.op node.fanins) t.nodes
 
+let fingerprint t =
+  (* FNV-1a over the full structure: every node's op and fanins plus the
+     output bindings.  Two designs collide only if they are structurally
+     identical (modulo 62-bit hash collisions) — unlike node_count, which
+     conflates any two configurations of equal size. *)
+  let h = ref 0x3bf29ce484222325 (* FNV offset basis truncated to 62 bits *) in
+  let mix v = h := (!h lxor v) * 0x100000001b3 land max_int in
+  iter_nodes t ~f:(fun id op fanins ->
+      mix id;
+      mix (Hashtbl.hash op);
+      Array.iter mix fanins);
+  List.iter
+    (fun (port, id) ->
+      mix (Hashtbl.hash port);
+      mix id)
+    (outputs t);
+  !h
+
 let op_tag = function
   | Input _ -> "input"
   | Const0 | Const1 -> "const"

@@ -71,5 +71,11 @@ val inputs : t -> (string * node_id) list
 val iter_nodes : t -> f:(node_id -> op -> node_id array -> unit) -> unit
 (** Visits every node in creation (topological) order. *)
 
+val fingerprint : t -> int
+(** Structural hash over every node (op, fanins) and the output bindings.
+    Designs that differ anywhere in the graph get different fingerprints
+    (up to hash collisions), making it a safe memoisation key where the
+    node count alone is not. *)
+
 val stats : t -> (string * int) list
 (** Node count per op tag. *)

@@ -1,4 +1,5 @@
 module Grid = Vartune_util.Grid
+module Pool = Vartune_util.Pool
 module Lut = Vartune_liberty.Lut
 module Arc = Vartune_liberty.Arc
 module Pin = Vartune_liberty.Pin
@@ -31,6 +32,41 @@ let acc_update acc lut =
       Grid.set acc.m2 i j (Grid.get acc.m2 i j +. (delta *. (x -. m')))
     done
   done
+
+(* Chan et al. pairwise combination of two Welford partials, entry-wise
+   over the grids.  [a] is the left (lower-index) sample block and
+   absorbs [b].  Same formula as Vartune_util.Stat.Welford.merge. *)
+let acc_merge a b =
+  if not (Lut.same_axes a.template b.template) then
+    invalid_arg "Statistical: sample library has mismatched table axes";
+  if b.count > 0 then begin
+    if a.count = 0 then begin
+      a.count <- b.count;
+      let rows, cols = Lut.dims a.template in
+      for i = 0 to rows - 1 do
+        for j = 0 to cols - 1 do
+          Grid.set a.mean i j (Grid.get b.mean i j);
+          Grid.set a.m2 i j (Grid.get b.m2 i j)
+        done
+      done
+    end
+    else begin
+      let na = float_of_int a.count and nb = float_of_int b.count in
+      let n = na +. nb in
+      let rows, cols = Lut.dims a.template in
+      for i = 0 to rows - 1 do
+        for j = 0 to cols - 1 do
+          let ma = Grid.get a.mean i j and mb = Grid.get b.mean i j in
+          let delta = mb -. ma in
+          Grid.set a.mean i j (ma +. (delta *. (nb /. n)));
+          Grid.set a.m2 i j
+            (Grid.get a.m2 i j +. Grid.get b.m2 i j
+            +. (delta *. delta *. (na *. nb /. n)))
+        done
+      done;
+      a.count <- a.count + b.count
+    end
+  end
 
 let acc_mean acc =
   Lut.make ~slews:(Lut.slews acc.template) ~loads:(Lut.loads acc.template) ~values:acc.mean
@@ -71,6 +107,14 @@ let arc_acc_update acc (a : Arc.t) =
   acc_update acc.rise_transition a.rise_transition;
   acc_update acc.fall_transition a.fall_transition
 
+let arc_acc_merge a b =
+  if b.proto.Arc.related_pin <> a.proto.Arc.related_pin then
+    invalid_arg "Statistical: sample library has mismatched arc order";
+  acc_merge a.rise_delay b.rise_delay;
+  acc_merge a.fall_delay b.fall_delay;
+  acc_merge a.rise_transition b.rise_transition;
+  acc_merge a.fall_transition b.fall_transition
+
 let arc_acc_finish acc =
   Arc.make ~related_pin:acc.proto.related_pin ~sense:acc.proto.sense
     ~rise_delay:(acc_mean acc.rise_delay)
@@ -92,6 +136,13 @@ let cell_acc_update acc (c : Cell.t) =
   if Array.length arcs <> Array.length acc.arcs then
     invalid_arg "Statistical: sample library has mismatched arc count";
   Array.iteri (fun i a -> arc_acc_update acc.arcs.(i) a) arcs
+
+let cell_acc_merge a b =
+  if b.proto_cell.Cell.name <> a.proto_cell.Cell.name then
+    invalid_arg "Statistical: sample library has mismatched cell order";
+  if Array.length b.arcs <> Array.length a.arcs then
+    invalid_arg "Statistical: sample library has mismatched arc count";
+  Array.iteri (fun i arc -> arc_acc_merge a.arcs.(i) arc) b.arcs
 
 let cell_acc_finish acc =
   (* Rebuild the cell, swapping each output pin's arcs for the merged
@@ -117,9 +168,16 @@ let cell_acc_finish acc =
     ~area:c.area ~pins ~setup_time:c.setup_time ~hold_time:c.hold_time
     ?clock_pin:c.clock_pin ~leakage:c.leakage ()
 
-let of_stream ~n gen =
-  if n <= 0 then invalid_arg "Statistical.of_stream: n must be positive";
-  let first = gen 0 in
+(* Samples per worker task.  The block partition of [0, n) is fixed by
+   this constant — never by the job count — so the chunked merge below
+   produces bit-identical libraries at any parallelism, including the
+   jobs = 1 serial fallback. *)
+let merge_chunk = 4
+
+type chunk_acc = { first_name : string; first_corner : string; cell_accs : cell_acc array }
+
+let accumulate_chunk gen ~lo ~hi =
+  let first = gen lo in
   let cell_accs = Array.of_list (List.map cell_acc_create (Library.cells first)) in
   let feed lib =
     let cells = Array.of_list (Library.cells lib) in
@@ -128,13 +186,37 @@ let of_stream ~n gen =
     Array.iteri (fun i c -> cell_acc_update cell_accs.(i) c) cells
   in
   feed first;
-  for index = 1 to n - 1 do
+  for index = lo + 1 to hi - 1 do
     feed (gen index)
   done;
-  let cells = Array.to_list (Array.map cell_acc_finish cell_accs) in
-  Library.make
-    ~name:(Library.name first ^ "_stat")
-    ~corner:(Library.corner first) ~cells
+  { first_name = Library.name first; first_corner = Library.corner first; cell_accs }
+
+let chunk_merge a b =
+  if Array.length b.cell_accs <> Array.length a.cell_accs then
+    invalid_arg "Statistical: sample library has mismatched cell count";
+  Array.iteri (fun i c -> cell_acc_merge a.cell_accs.(i) c) b.cell_accs;
+  a
+
+let of_stream ?pool ~n gen =
+  if n <= 0 then invalid_arg "Statistical.of_stream: n must be positive";
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let nchunks = (n + merge_chunk - 1) / merge_chunk in
+  let chunks =
+    Pool.map pool
+      (fun c ->
+        let lo = c * merge_chunk in
+        accumulate_chunk gen ~lo ~hi:(min n (lo + merge_chunk)))
+      (List.init nchunks Fun.id)
+  in
+  (* Ordered left-to-right pairwise merge: partials cover fixed index
+     blocks, so this fold is scheduling-independent. *)
+  let merged =
+    match chunks with
+    | [] -> assert false
+    | head :: rest -> List.fold_left chunk_merge head rest
+  in
+  let cells = Array.to_list (Array.map cell_acc_finish merged.cell_accs) in
+  Library.make ~name:(merged.first_name ^ "_stat") ~corner:merged.first_corner ~cells
 
 let of_libraries = function
   | [] -> invalid_arg "Statistical.of_libraries: empty list"
@@ -142,8 +224,8 @@ let of_libraries = function
     let arr = Array.of_list libs in
     of_stream ~n:(Array.length arr) (fun i -> arr.(i))
 
-let build config ~mismatch ~seed ~n ?specs () =
-  of_stream ~n (fun index ->
+let build ?pool config ~mismatch ~seed ~n ?specs () =
+  of_stream ?pool ~n (fun index ->
       Vartune_charlib.Sampler.sample_library config ~mismatch ~seed ~index ?specs ())
 
 let is_statistical lib =

@@ -11,13 +11,24 @@ val of_libraries : Vartune_liberty.Library.t list -> Vartune_liberty.Library.t
     tables become (mean, sigma) pairs; transition tables are averaged.
     Raises [Invalid_argument] on an empty list or structural mismatch. *)
 
-val of_stream : n:int -> (int -> Vartune_liberty.Library.t) -> Vartune_liberty.Library.t
-(** Streaming merge: [of_stream ~n gen] folds over [gen 0 .. gen (n-1)]
-    with Welford accumulation, never holding more than one sample library
-    plus the accumulator.  Equivalent to
-    [of_libraries (List.init n gen)]. *)
+val of_stream :
+  ?pool:Vartune_util.Pool.t ->
+  n:int ->
+  (int -> Vartune_liberty.Library.t) ->
+  Vartune_liberty.Library.t
+(** Chunked merge: [of_stream ~n gen] partitions [gen 0 .. gen (n-1)]
+    into fixed contiguous sample blocks, streams each block through a
+    Welford accumulator on a [pool] worker (default {!Vartune_util.Pool.default}),
+    and combines the per-block partials left-to-right with the pairwise
+    mean/M2 merge of Chan et al.  The block partition depends only on
+    [n], so the result is bit-for-bit identical at any pool size —
+    including the serial jobs = 1 fallback.  Equivalent (within the
+    accumulation scheme) to [of_libraries (List.init n gen)]; [gen] must
+    be safe to call from worker domains.  No more than one block of
+    sample libraries per worker is live at a time. *)
 
 val build :
+  ?pool:Vartune_util.Pool.t ->
   Vartune_charlib.Characterize.config ->
   mismatch:Vartune_process.Mismatch.t ->
   seed:int ->
@@ -26,7 +37,10 @@ val build :
   unit ->
   Vartune_liberty.Library.t
 (** Characterise-and-merge convenience: N mismatch samples of the catalog
-    streamed into one statistical library. *)
+    characterised across the pool's domains and merged into one
+    statistical library.  Deterministic in [(seed, n)] regardless of the
+    pool size, because each sample index draws from its own
+    {!Vartune_util.Rng.stream}-derived generator. *)
 
 val is_statistical : Vartune_liberty.Library.t -> bool
 (** Whether every non-trivial arc carries sigma tables. *)

@@ -1,0 +1,178 @@
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let env_jobs () =
+  match Sys.getenv_opt "VARTUNE_JOBS" with
+  | None -> None
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some j when j >= 1 -> Some j
+    | _ -> None)
+
+let resolve_jobs = function
+  | Some j -> max 1 j
+  | None -> (
+    match env_jobs () with
+    | Some j -> j
+    | None -> Domain.recommended_domain_count ())
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  let rec next () =
+    match Queue.take_opt pool.queue with
+    | Some task -> Some task
+    | None ->
+      if pool.closed then None
+      else begin
+        Condition.wait pool.nonempty pool.lock;
+        next ()
+      end
+  in
+  let task = next () in
+  Mutex.unlock pool.lock;
+  match task with
+  | None -> ()
+  | Some task ->
+    task ();
+    worker_loop pool
+
+let create ?jobs () =
+  let jobs = resolve_jobs jobs in
+  let pool =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  (* The submitting domain drains the queue too, so jobs - 1 extra
+     domains give jobs-way concurrency; jobs = 1 spawns nothing and is
+     the exact serial path. *)
+  if jobs > 1 then
+    pool.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* Pops one queued task and runs it; [false] when the queue is empty. *)
+let try_run_one t =
+  Mutex.lock t.lock;
+  let task = Queue.take_opt t.queue in
+  Mutex.unlock t.lock;
+  match task with
+  | None -> false
+  | Some task ->
+    task ();
+    true
+
+let map_array pool f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if pool.jobs <= 1 || n = 1 then Array.map f xs
+  else begin
+    if pool.closed then invalid_arg "Pool: pool is shut down";
+    let results = Array.make n None in
+    let remaining = Atomic.make n in
+    let done_lock = Mutex.create () in
+    let done_cond = Condition.create () in
+    let task i () =
+      let r =
+        try Ok (f xs.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- Some r;
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock done_lock;
+        Condition.broadcast done_cond;
+        Mutex.unlock done_lock
+      end
+    in
+    Mutex.lock pool.lock;
+    for i = 0 to n - 1 do
+      Queue.add (task i) pool.queue
+    done;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock;
+    (* Help drain the queue (our tasks or anyone else's), then wait for
+       the stragglers still running on other domains. *)
+    while try_run_one pool do
+      ()
+    done;
+    Mutex.lock done_lock;
+    while Atomic.get remaining > 0 do
+      Condition.wait done_cond done_lock
+    done;
+    Mutex.unlock done_lock;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end
+
+let map pool f xs = Array.to_list (map_array pool f (Array.of_list xs))
+
+let init pool ?(chunk = 16) n f =
+  if n <= 0 then [||]
+  else begin
+    let chunk = max 1 chunk in
+    let nchunks = (n + chunk - 1) / chunk in
+    if nchunks = 1 then Array.init n f
+    else
+      let parts =
+        map_array pool
+          (fun c ->
+            let lo = c * chunk in
+            let hi = min n (lo + chunk) in
+            Array.init (hi - lo) (fun k -> f (lo + k)))
+          (Array.init nchunks Fun.id)
+      in
+      Array.concat (Array.to_list parts)
+  end
+
+let map_reduce pool ~map:f ~combine ~init xs =
+  List.fold_left combine init (map pool f xs)
+
+(* ------------------------------------------------------------------ *)
+(* Shared default pool                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let default_lock = Mutex.create ()
+let default_pool = ref None
+
+let default () =
+  Mutex.lock default_lock;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+      let p = create () in
+      default_pool := Some p;
+      p
+  in
+  Mutex.unlock default_lock;
+  pool
+
+let set_default_jobs jobs =
+  Mutex.lock default_lock;
+  let old = !default_pool in
+  default_pool := Some (create ~jobs ());
+  Mutex.unlock default_lock;
+  Option.iter shutdown old

@@ -1,0 +1,62 @@
+(** Fixed-size domain worker pool with a deterministic ordered map API.
+
+    Every parallel stage of the pipeline routes through this module.  The
+    contract that makes parallelism safe to adopt everywhere is
+    {e scheduling-independence}: [map]/[init]/[map_reduce] return results
+    in input order, re-raise the lowest-index exception, and never let the
+    number of workers influence which element is computed from which
+    input.  Combined with per-item RNG streams ({!Rng.stream}) the whole
+    pipeline is bit-for-bit identical at any job count.
+
+    A pool of [jobs = 1] spawns no domains at all and executes every task
+    in the calling domain — the exact serial fallback.  With [jobs = n]
+    the pool runs [n - 1] worker domains and the submitting domain also
+    drains the queue, so [n] tasks execute concurrently.
+
+    Tasks must not block on external conditions; they may submit nested
+    work to the same pool (the submitting domain helps drain the queue,
+    so nested maps cannot deadlock the pool). *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns a pool of [jobs] workers (clamped to >= 1).
+    Without [jobs], the size comes from the [VARTUNE_JOBS] environment
+    variable, falling back to [Domain.recommended_domain_count ()]. *)
+
+val jobs : t -> int
+(** Worker count the pool was created with. *)
+
+val shutdown : t -> unit
+(** Terminates the worker domains.  Outstanding tasks are drained first;
+    using the pool after shutdown raises [Invalid_argument]. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] is [List.map f xs] with the applications distributed
+    across the pool.  Results are in input order.  If any application
+    raises, the exception of the lowest-index failing element is
+    re-raised in the caller (after all tasks have settled). *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Array counterpart of {!map}. *)
+
+val init : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [init pool ~chunk n f] is [Array.init n f] evaluated in parallel.
+    Indices are grouped into contiguous blocks of [chunk] (default [16])
+    so cheap per-index work amortises task overhead; chunking never
+    affects the result, only the granularity of dispatch. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> combine:('acc -> 'b -> 'acc) -> init:'acc -> 'a list -> 'acc
+(** [map_reduce pool ~map ~combine ~init xs] applies [map] in parallel
+    and folds [combine] over the results {e in input order} — the
+    reduction itself is sequential and deterministic. *)
+
+val default : unit -> t
+(** The process-wide shared pool, created on first use with [create ()].
+    Thread-safe. *)
+
+val set_default_jobs : int -> unit
+(** Replaces the default pool with one of the given size (shutting the
+    old one down).  Used by the [--jobs] command-line flag; call it
+    before heavy work starts. *)

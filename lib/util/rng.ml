@@ -19,6 +19,16 @@ let split t =
   let seed = bits64 t in
   { state = mix64 seed; spare = None }
 
+(* Closed form of the k-th [split]: after k prior splits the state has
+   advanced k times, so split number k (0-based) observes
+   state + (k+1) * gamma and returns mix64 (mix64 of that).  Keeping this
+   in lock-step with [split] is what lets parallel consumers derive the
+   i-th stream in O(1) without touching a shared generator. *)
+let stream t k =
+  if k < 0 then invalid_arg "Rng.stream: negative index";
+  let s = Int64.add t.state (Int64.mul (Int64.of_int (k + 1)) golden_gamma) in
+  { state = mix64 (mix64 s); spare = None }
+
 (* Top 53 bits of the 64-bit output, scaled into [0,1). *)
 let uniform t =
   let u = Int64.shift_right_logical (bits64 t) 11 in

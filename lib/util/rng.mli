@@ -18,6 +18,15 @@ val split : t -> t
 (** [split t] derives a new generator whose stream is independent of the
     continuation of [t]'s stream.  Advances [t]. *)
 
+val stream : t -> int -> t
+(** [stream t k] is the generator the [(k+1)]-th call of {!split} on a
+    [copy] of [t] would return, computed in O(1) without advancing [t].
+    This is the parallel-safe way to fan one seed out into indexed
+    independent streams: [stream (create seed) i] depends only on
+    [(seed, i)], so work item [i] draws the same deviates no matter
+    which domain runs it or in what order.
+    Raises [Invalid_argument] on a negative index. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

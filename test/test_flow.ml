@@ -4,6 +4,9 @@
 module Report = Vartune_flow.Report
 module Experiment = Vartune_flow.Experiment
 module Lut = Vartune_liberty.Lut
+module Ir = Vartune_rtl.Ir
+module Mcu = Vartune_rtl.Microcontroller
+module Pool = Vartune_util.Pool
 
 let check_float = Helpers.check_float
 
@@ -94,6 +97,59 @@ let test_paper_period_labels () =
   let scaled = Experiment.paper_period_labels 4.82 in
   check_float ~eps:0.02 "scaled medium" 8.0 (List.assoc "medium" scaled)
 
+(* ------------------------- experiment cache ------------------------- *)
+
+(* small config: the fixed 32-bit instruction encoding pins xlen, but a
+   narrow multiplier and register file keep elaboration cheap *)
+let tiny_config = { Mcu.xlen = 32; reg_count = 8; mul_width = 4; irq_lines = 2; bus_slaves = 2 }
+
+let test_fingerprint_distinguishes_designs () =
+  (* the memo key must separate designs the node count conflates *)
+  let a = Mcu.generate ~config:tiny_config () in
+  let a' = Mcu.generate ~config:tiny_config () in
+  let b = Mcu.generate ~config:{ tiny_config with irq_lines = 4 } () in
+  Alcotest.(check int) "same config same fingerprint" (Ir.fingerprint a) (Ir.fingerprint a');
+  Alcotest.(check bool) "different config differs" false
+    (Ir.fingerprint a = Ir.fingerprint b)
+
+let tiny_setup =
+  lazy (Experiment.prepare ~samples:2 ~seed:7 ~mcu_config:tiny_config ())
+
+let test_cache_scoped_to_setup () =
+  let setup = Lazy.force tiny_setup in
+  let period = setup.Experiment.min_period in
+  let a = Experiment.baseline setup ~period in
+  let b = Experiment.baseline setup ~period in
+  Alcotest.(check bool) "memoised within a setup" true (a == b);
+  let fresh = Experiment.fresh_cache setup in
+  let c = Experiment.baseline fresh ~period in
+  Alcotest.(check bool) "fresh cache recomputes" false (a == c);
+  Helpers.check_float "recomputation deterministic"
+    a.Experiment.design_sigma.Vartune_stats.Design_sigma.dist.Vartune_stats.Dist.sigma
+    c.Experiment.design_sigma.Vartune_stats.Design_sigma.dist.Vartune_stats.Dist.sigma
+
+let test_sweep_pool_invariant () =
+  let setup = Lazy.force tiny_setup in
+  let period = setup.Experiment.min_period *. 1.5 in
+  let tuning =
+    { Vartune_tuning.Tuning_method.population = Vartune_tuning.Cluster.Per_cell;
+      criterion = Vartune_tuning.Threshold.Sigma_ceiling 0.02 }
+  in
+  let parameters = [ 0.01; 0.02; 0.05 ] in
+  let run pool setup = Experiment.sweep ~pool setup ~period ~tuning ~parameters in
+  let with_jobs jobs f =
+    let pool = Pool.create ~jobs () in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+  in
+  let serial = with_jobs 1 (fun pool -> run pool (Experiment.fresh_cache setup)) in
+  let parallel = with_jobs 4 (fun pool -> run pool (Experiment.fresh_cache setup)) in
+  List.iter2
+    (fun (s : Experiment.sweep_point) (p : Experiment.sweep_point) ->
+      Helpers.check_float ~eps:0.0 "parameter" s.Experiment.parameter p.Experiment.parameter;
+      Helpers.check_float ~eps:0.0 "reduction" s.Experiment.reduction p.Experiment.reduction;
+      Helpers.check_float ~eps:0.0 "area delta" s.Experiment.area_delta p.Experiment.area_delta)
+    serial parallel
+
 let () =
   Alcotest.run "flow"
     [
@@ -107,5 +163,10 @@ let () =
           Alcotest.test_case "binned scatter" `Quick test_binned_scatter;
         ] );
       ( "experiment",
-        [ Alcotest.test_case "paper period ladder" `Quick test_paper_period_labels ] );
+        [
+          Alcotest.test_case "paper period ladder" `Quick test_paper_period_labels;
+          Alcotest.test_case "design fingerprint" `Quick test_fingerprint_distinguishes_designs;
+          Alcotest.test_case "cache scoped to setup" `Slow test_cache_scoped_to_setup;
+          Alcotest.test_case "sweep pool invariant" `Slow test_sweep_pool_invariant;
+        ] );
     ]

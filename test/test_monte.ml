@@ -50,6 +50,24 @@ let test_deterministic () =
   let c = Path_mc.simulate cfg ~seed:5 path in
   Alcotest.(check bool) "different seed differs" false (a.Path_mc.delays = c.Path_mc.delays)
 
+let test_jobs_invariant () =
+  (* per-sample split streams: the delays array is bit-identical at any
+     pool size *)
+  let path = chain_path 5 in
+  let with_jobs jobs f =
+    let pool = Vartune_util.Pool.create ~jobs () in
+    Fun.protect ~finally:(fun () -> Vartune_util.Pool.shutdown pool) (fun () -> f pool)
+  in
+  let serial = with_jobs 1 (fun pool -> Path_mc.simulate ~pool cfg ~seed:4 path) in
+  List.iter
+    (fun jobs ->
+      let parallel = with_jobs jobs (fun pool -> Path_mc.simulate ~pool cfg ~seed:4 path) in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d bit-identical" jobs)
+        true
+        (serial.Path_mc.delays = parallel.Path_mc.delays))
+    [ 2; 7 ]
+
 let test_mean_near_sta () =
   (* MC mean should land close to the STA mean (same model underneath) *)
   let path = chain_path 6 in
@@ -138,6 +156,7 @@ let () =
       ( "path_mc",
         [
           Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "pool-size invariant" `Quick test_jobs_invariant;
           Alcotest.test_case "mean near STA" `Quick test_mean_near_sta;
           Alcotest.test_case "sigma near convolution" `Quick test_sigma_near_convolution;
           Alcotest.test_case "no variation" `Quick test_no_variation_is_deterministic;

@@ -1,0 +1,145 @@
+(* Tests for Vartune_util.Pool (ordered deterministic parallel map) and
+   the pairwise Welford merge that underpins the parallel statistical
+   library builder. *)
+
+module Pool = Vartune_util.Pool
+module Rng = Vartune_util.Rng
+module Stat = Vartune_util.Stat
+
+let with_pool jobs f =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_map_ordering () =
+  let xs = List.init 500 Fun.id in
+  let expected = List.map (fun x -> x * x) xs in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "ordered at jobs=%d" jobs)
+            expected
+            (Pool.map pool (fun x -> x * x) xs)))
+    [ 1; 2; 7 ]
+
+let test_map_empty_and_singleton () =
+  with_pool 3 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 4 ] (Pool.map pool (( * ) 2) [ 2 ]))
+
+let test_exception_propagation () =
+  (* the lowest-index failure wins, deterministically, and the pool
+     survives for later use *)
+  with_pool 4 (fun pool ->
+      let boom x = if x = 17 || x = 42 then failwith (Printf.sprintf "boom%d" x) else x in
+      let observed =
+        try
+          ignore (Pool.map pool boom (List.init 100 Fun.id));
+          "no exception"
+        with Failure m -> m
+      in
+      Alcotest.(check string) "lowest index re-raised" "boom17" observed;
+      Alcotest.(check (list int)) "pool still usable" [ 0; 1; 2 ]
+        (Pool.map pool Fun.id [ 0; 1; 2 ]))
+
+let test_init_chunking () =
+  let f i = (i * 31) mod 97 in
+  let expected = Array.init 1000 f in
+  List.iter
+    (fun (jobs, chunk) ->
+      with_pool jobs (fun pool ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "init jobs=%d chunk=%d" jobs chunk)
+            expected
+            (Pool.init pool ~chunk 1000 f)))
+    [ (1, 1); (2, 16); (5, 7); (3, 1000); (4, 1500) ]
+
+let test_map_reduce_ordered () =
+  (* combine is non-commutative, so any reordering would change the
+     result *)
+  let xs = List.init 50 (fun i -> string_of_int i) in
+  let expected = String.concat "," xs in
+  with_pool 6 (fun pool ->
+      let got =
+        Pool.map_reduce pool ~map:Fun.id
+          ~combine:(fun acc s -> if acc = "" then s else acc ^ "," ^ s)
+          ~init:"" xs
+      in
+      Alcotest.(check string) "ordered reduction" expected got)
+
+let test_jobs_accessor_and_serial_fallback () =
+  with_pool 1 (fun pool ->
+      Alcotest.(check int) "jobs" 1 (Pool.jobs pool);
+      (* serial pool must run tasks in the calling domain *)
+      let self = Domain.self () in
+      let domains = Pool.map pool (fun _ -> Domain.self ()) (List.init 8 Fun.id) in
+      Alcotest.(check bool) "all in caller" true (List.for_all (( = ) self) domains))
+
+(* --------------------- pairwise Welford merge ----------------------- *)
+
+let test_welford_merge_matches_streaming =
+  (* partials over fixed blocks, merged left-to-right, must agree with
+     the streaming oracle that saw every sample in order *)
+  Helpers.qtest ~count:200 "pairwise merge = streaming oracle"
+    QCheck2.Gen.(pair int (int_range 1 200))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let xs = Array.init n (fun _ -> 1.0 +. Rng.normal rng) in
+      let streaming = Stat.Welford.create () in
+      Array.iter (Stat.Welford.add streaming) xs;
+      (* deterministic but irregular block sizes *)
+      let block_rng = Rng.create (seed lxor 0x55) in
+      let merged = ref (Stat.Welford.create ()) in
+      let i = ref 0 in
+      while !i < n do
+        let len = min (n - !i) (1 + Rng.int block_rng 7) in
+        let block = Stat.Welford.create () in
+        for k = !i to !i + len - 1 do
+          Stat.Welford.add block xs.(k)
+        done;
+        merged := Stat.Welford.merge !merged block;
+        i := !i + len
+      done;
+      let close a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a) in
+      Stat.Welford.count !merged = Stat.Welford.count streaming
+      && close (Stat.Welford.mean !merged) (Stat.Welford.mean streaming)
+      && close (Stat.Welford.variance !merged) (Stat.Welford.variance streaming))
+
+let test_welford_merge_empty_sides () =
+  let w = Stat.Welford.create () in
+  List.iter (Stat.Welford.add w) [ 1.0; 2.0; 3.0 ];
+  let e = Stat.Welford.create () in
+  let le = Stat.Welford.merge e w and re = Stat.Welford.merge w e in
+  Alcotest.(check int) "left empty count" 3 (Stat.Welford.count le);
+  Helpers.check_float "left empty mean" 2.0 (Stat.Welford.mean le);
+  Helpers.check_float "right empty mean" 2.0 (Stat.Welford.mean re);
+  Helpers.check_float "variance survives" (Stat.Welford.variance w) (Stat.Welford.variance le)
+
+let test_welford_against_stat () =
+  let rng = Rng.create 77 in
+  let xs = Array.init 500 (fun _ -> Rng.gaussian rng ~mean:4.0 ~sigma:0.3) in
+  let w = Stat.Welford.create () in
+  Array.iter (Stat.Welford.add w) xs;
+  Helpers.check_float ~eps:1e-9 "mean" (Stat.mean xs) (Stat.Welford.mean w);
+  Helpers.check_float ~eps:1e-9 "variance" (Stat.variance xs) (Stat.Welford.variance w);
+  Helpers.check_float ~eps:1e-9 "stddev" (Stat.stddev xs) (Stat.Welford.stddev w)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map ordering" `Quick test_map_ordering;
+          Alcotest.test_case "map empty/singleton" `Quick test_map_empty_and_singleton;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "init chunking" `Quick test_init_chunking;
+          Alcotest.test_case "map_reduce ordered" `Quick test_map_reduce_ordered;
+          Alcotest.test_case "serial fallback" `Quick test_jobs_accessor_and_serial_fallback;
+        ] );
+      ( "welford",
+        [
+          test_welford_merge_matches_streaming;
+          Alcotest.test_case "merge with empty" `Quick test_welford_merge_empty_sides;
+          Alcotest.test_case "matches Stat" `Quick test_welford_against_stat;
+        ] );
+    ]

@@ -32,6 +32,28 @@ let test_rng_split_independent () =
   let ys = Array.init 50 (fun _ -> Rng.bits64 b) in
   Alcotest.(check bool) "split streams differ" false (xs = ys)
 
+let test_rng_stream_matches_split =
+  (* the O(1) closed form must stay in lock-step with repeated split *)
+  Helpers.qtest ~count:50 "stream k = k-th split"
+    QCheck2.Gen.(pair int (int_range 0 200))
+    (fun (seed, k) ->
+      let by_split =
+        let g = Rng.create seed in
+        let rec go i = let s = Rng.split g in if i = k then s else go (i + 1) in
+        go 0
+      in
+      let by_stream = Rng.stream (Rng.create seed) k in
+      Array.init 20 (fun _ -> Rng.bits64 by_split)
+      = Array.init 20 (fun _ -> Rng.bits64 by_stream))
+
+let test_rng_stream_pure () =
+  let a = Rng.create 11 in
+  ignore (Rng.stream a 5);
+  let b = Rng.create 11 in
+  Alcotest.(check int64) "stream does not advance" (Rng.bits64 b) (Rng.bits64 a);
+  Alcotest.(check bool) "negative index rejected" true
+    (try ignore (Rng.stream a (-1)); false with Invalid_argument _ -> true)
+
 let test_rng_uniform_range =
   Helpers.qtest "uniform in [0,1)" QCheck2.Gen.int (fun seed ->
       let rng = Rng.create seed in
@@ -227,6 +249,8 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
           Alcotest.test_case "copy" `Quick test_rng_copy;
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          test_rng_stream_matches_split;
+          Alcotest.test_case "stream purity" `Quick test_rng_stream_pure;
           test_rng_uniform_range;
           test_rng_int_range;
           Alcotest.test_case "normal moments" `Slow test_rng_normal_moments;
