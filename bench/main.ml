@@ -15,6 +15,8 @@
      VARTUNE_SEED           random seed (default 42)
      VARTUNE_JOBS           pool size for the parallel measurements
                             (default: recommended domain count)
+     VARTUNE_TRACE          write a Chrome trace-event JSON of the run here
+     VARTUNE_METRICS_OUT    write the telemetry metrics JSON here
      VARTUNE_SKIP_MICRO     set to skip the Bechamel section
      VARTUNE_SKIP_PARALLEL  set to skip the parallel-scaling section
      VARTUNE_SKIP_FIGURES   set to skip the table/figure regeneration *)
@@ -44,6 +46,11 @@ module Path = Vartune_sta.Path
 module Convolve = Vartune_stats.Convolve
 module Mapper = Vartune_synth.Mapper
 module Constraints = Vartune_synth.Constraints
+module Obs = Vartune_obs.Obs
+
+let src = Logs.Src.create "vartune.bench" ~doc:"benchmark harness"
+
+module Log = (val Logs.src_log src : Logs.LOG)
 
 let env_int name default =
   match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
@@ -143,14 +150,26 @@ let parallel_benchmarks (setup : Experiment.setup) ~samples ~seed =
   in
   let serial = Pool.create ~jobs:1 () in
   let par = Pool.create ~jobs () in
-  Printf.printf "  pool size: %d domains (1 = serial reference)\n%!" jobs;
+  Log.app (fun m -> m "pool size: %d domains (1 = serial reference)" jobs);
   let stages = ref [] in
+  (* Sub-microsecond timings are clock noise: a near-zero serial
+     measurement would turn the ratio into garbage (or a division by
+     zero), so such pairs report a neutral 1.0x. *)
+  let min_meaningful_s = 1e-6 in
   let stage name ~check run =
     let a, t_serial = time (fun () -> run serial) in
     let b, t_par = time (fun () -> run par) in
     if not (check a b) then
       failwith (Printf.sprintf "parallel stage %s diverged from serial output" name);
-    let speedup = if t_par > 0.0 then t_serial /. t_par else 0.0 in
+    let speedup =
+      if t_serial > min_meaningful_s && t_par > min_meaningful_s then t_serial /. t_par
+      else begin
+        Log.warn (fun m ->
+            m "stage %s: timings too small to ratio (serial %.3g s, parallel %.3g s)" name
+              t_serial t_par);
+        1.0
+      end
+    in
     Printf.printf "  %-24s serial %7.2f s   %d jobs %7.2f s   speedup %.2fx\n%!" name
       t_serial jobs t_par speedup;
     stages := (name, t_serial, t_par, speedup) :: !stages
@@ -197,8 +216,17 @@ let parallel_benchmarks (setup : Experiment.setup) ~samples ~seed =
   Pool.shutdown serial;
   Pool.shutdown par;
   let oc = open_out "BENCH_parallel.json" in
-  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"samples\": %d,\n  \"seed\": %d,\n  \"stages\": [\n"
-    jobs samples seed;
+  (* Run metadata rides along so trajectory comparisons across PRs know
+     what produced each measurement. *)
+  Printf.fprintf oc
+    "{\n\
+    \  \"jobs\": %d,\n\
+    \  \"samples\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"ocaml_version\": \"%s\",\n\
+    \  \"word_size\": %d,\n\
+    \  \"stages\": [\n"
+    jobs samples seed Sys.ocaml_version Sys.word_size;
   let rows = List.rev !stages in
   List.iteri
     (fun i (name, t_serial, t_par, speedup) ->
@@ -209,20 +237,42 @@ let parallel_benchmarks (setup : Experiment.setup) ~samples ~seed =
     rows;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
-  Printf.printf "  wrote BENCH_parallel.json\n%!"
+  Log.app (fun m -> m "wrote BENCH_parallel.json")
 
 (* ------------------------------------------------------------------ *)
+
+(* Same telemetry outputs as the CLI's --trace / --metrics-out, driven
+   by environment variables so `dune exec bench/main.exe` stays
+   flag-free. *)
+let setup_telemetry () =
+  let trace = Sys.getenv_opt "VARTUNE_TRACE" in
+  let metrics = Sys.getenv_opt "VARTUNE_METRICS_OUT" in
+  if trace <> None || metrics <> None then begin
+    Obs.set_enabled true;
+    at_exit (fun () ->
+        Option.iter
+          (fun path ->
+            Obs.write_trace path;
+            Log.app (fun m -> m "wrote Chrome trace to %s (load in Perfetto)" path))
+          trace;
+        Option.iter
+          (fun path ->
+            Obs.write_metrics path;
+            Log.app (fun m -> m "wrote metrics to %s" path))
+          metrics)
+  end
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Info);
+  setup_telemetry ();
   let samples = env_int "VARTUNE_SAMPLES" 50 in
   let seed = env_int "VARTUNE_SEED" 42 in
   let t0 = Unix.gettimeofday () in
-  Printf.printf "vartune reproduction harness — N=%d samples, seed %d\n%!" samples seed;
+  Log.app (fun m -> m "vartune reproduction harness — N=%d samples, seed %d" samples seed);
   if Sys.getenv_opt "VARTUNE_SKIP_MICRO" = None then micro_benchmarks ();
   let setup = Experiment.prepare ~samples ~seed () in
   if Sys.getenv_opt "VARTUNE_SKIP_PARALLEL" = None then
     parallel_benchmarks setup ~samples ~seed;
   if Sys.getenv_opt "VARTUNE_SKIP_FIGURES" = None then Figures.run_all setup;
-  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  Log.app (fun m -> m "total wall time: %.1f s" (Unix.gettimeofday () -. t0))

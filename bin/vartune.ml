@@ -30,19 +30,67 @@ module Experiment = Vartune_flow.Experiment
 module Figures = Vartune_flow.Figures
 module Report = Vartune_flow.Report
 module Pool = Vartune_util.Pool
+module Path_mc = Vartune_monte.Path_mc
+module Obs = Vartune_obs.Obs
+
+let src = Logs.Src.create "vartune.cli" ~doc:"vartune command line"
+
+module Log = (val Logs.src_log src : Logs.LOG)
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-(* Logging + worker-pool size in one step so every subcommand applies
-   --jobs before its first parallel stage. *)
-let setup_run verbose jobs =
+(* Telemetry is enabled the moment either output file is requested, and
+   the exporters run from at_exit so every subcommand — and every exit
+   path — flushes its trace. *)
+let setup_obs (trace, metrics) =
+  if trace <> None || metrics <> None then begin
+    Obs.set_enabled true;
+    at_exit (fun () ->
+        Option.iter
+          (fun path ->
+            Obs.write_trace path;
+            Log.info (fun m -> m "wrote Chrome trace to %s (load in Perfetto)" path))
+          trace;
+        Option.iter
+          (fun path ->
+            Obs.write_metrics path;
+            Log.info (fun m -> m "wrote metrics to %s" path))
+          metrics)
+  end
+
+(* Logging + worker-pool size + telemetry in one step so every
+   subcommand applies --jobs before its first parallel stage. *)
+let setup_run verbose jobs obs_opts =
   setup_logs verbose;
+  setup_obs obs_opts;
   Option.iter Pool.set_default_jobs jobs
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace-event JSON file of the run (spans per pipeline stage, one \
+           track per worker domain). Load it in Perfetto or chrome://tracing. Telemetry \
+           never changes pipeline outputs.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON summary of telemetry counters, gauges and histograms (cells \
+           characterised, LUT entries merged, synthesis-cache hits/misses, pool \
+           utilisation, ...).")
+
+let obs_args = Term.(const (fun trace metrics -> (trace, metrics)) $ trace_arg $ metrics_arg)
 
 let jobs_arg =
   Arg.(
@@ -86,8 +134,8 @@ let characterize_cmd =
     Term.(const run $ verbose_arg $ output_arg)
 
 let statlib_cmd =
-  let run verbose jobs output samples seed =
-    setup_run verbose jobs;
+  let run verbose jobs obs output samples seed =
+    setup_run verbose jobs obs;
     let lib =
       Statistical.build Characterize.default_config ~mismatch:Mismatch.default ~seed
         ~n:samples ()
@@ -97,7 +145,7 @@ let statlib_cmd =
   Cmd.v
     (Cmd.info "statlib"
        ~doc:"Build the statistical library (entry-wise mean/sigma over N samples).")
-    Term.(const run $ verbose_arg $ jobs_arg $ output_arg $ samples_arg $ seed_arg)
+    Term.(const run $ verbose_arg $ jobs_arg $ obs_args $ output_arg $ samples_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -141,8 +189,8 @@ let period_arg =
     & info [ "p"; "period" ] ~docv:"NS" ~doc:"Clock period in ns (default: measured minimum).")
 
 let tune_cmd =
-  let run verbose jobs samples seed tuning =
-    setup_run verbose jobs;
+  let run verbose jobs obs samples seed tuning =
+    setup_run verbose jobs obs;
     let tuning =
       Option.value tuning
         ~default:
@@ -169,7 +217,7 @@ let tune_cmd =
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Extract per-pin slew/load restrictions from a tuning method.")
-    Term.(const run $ verbose_arg $ jobs_arg $ samples_arg $ seed_arg $ method_arg)
+    Term.(const run $ verbose_arg $ jobs_arg $ obs_args $ samples_arg $ seed_arg $ method_arg)
 
 let timing_report_arg =
   Arg.(value & flag & info [ "timing-report" ] ~doc:"Print the worst-path timing report.")
@@ -183,8 +231,8 @@ let verilog_arg =
     & info [ "verilog" ] ~docv:"FILE" ~doc:"Export the synthesised netlist as structural Verilog.")
 
 let synth_cmd =
-  let run verbose jobs samples seed period tuning timing_report power verilog =
-    setup_run verbose jobs;
+  let run verbose jobs obs samples seed period tuning timing_report power verilog =
+    setup_run verbose jobs obs;
     let setup = Experiment.prepare ~samples ~seed () in
     let period = Option.value period ~default:setup.Experiment.min_period in
     let base = Experiment.baseline setup ~period in
@@ -223,12 +271,12 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesise the evaluation design, optionally with tuning.")
     Term.(
-      const run $ verbose_arg $ jobs_arg $ samples_arg $ seed_arg $ period_arg $ method_arg
-      $ timing_report_arg $ power_arg $ verilog_arg)
+      const run $ verbose_arg $ jobs_arg $ obs_args $ samples_arg $ seed_arg $ period_arg
+      $ method_arg $ timing_report_arg $ power_arg $ verilog_arg)
 
 let min_period_cmd =
-  let run verbose jobs samples seed =
-    setup_run verbose jobs;
+  let run verbose jobs obs samples seed =
+    setup_run verbose jobs obs;
     let setup = Experiment.prepare ~samples ~seed () in
     Printf.printf "minimum clock period: %.2f ns\n" setup.Experiment.min_period;
     List.iter
@@ -237,7 +285,7 @@ let min_period_cmd =
   in
   Cmd.v
     (Cmd.info "min-period" ~doc:"Measure the minimum feasible clock period (Table 1).")
-    Term.(const run $ verbose_arg $ jobs_arg $ samples_arg $ seed_arg)
+    Term.(const run $ verbose_arg $ jobs_arg $ obs_args $ samples_arg $ seed_arg)
 
 let figure_names =
   [
@@ -258,8 +306,8 @@ let report_cmd =
       & pos 0 (enum figure_names) `All
       & info [] ~docv:"FIGURE" ~doc:"Exhibit to regenerate (fig1..fig16, table1..table3, all).")
   in
-  let run verbose jobs samples seed figure =
-    setup_run verbose jobs;
+  let run verbose jobs obs samples seed figure =
+    setup_run verbose jobs obs;
     let setup = Experiment.prepare ~samples ~seed () in
     match figure with
     | `All -> Figures.run_all setup
@@ -292,7 +340,67 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate a table or figure from the paper's evaluation.")
-    Term.(const run $ verbose_arg $ jobs_arg $ samples_arg $ seed_arg $ figure_arg)
+    Term.(const run $ verbose_arg $ jobs_arg $ obs_args $ samples_arg $ seed_arg $ figure_arg)
+
+(* One subcommand that touches every instrumented stage — characterise,
+   statistical merge, synthesis + STA (baseline and tuned), a tuning
+   parameter sweep and a path-level Monte Carlo — so a single
+   `vartune experiment --trace t.json` yields a trace with the complete
+   span vocabulary. *)
+let experiment_cmd =
+  let mc_samples_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "mc-samples" ] ~docv:"N"
+          ~doc:"Monte-Carlo samples for the path-level validation stage.")
+  in
+  let run verbose jobs obs samples seed period tuning mc_samples =
+    setup_run verbose jobs obs;
+    let setup = Experiment.prepare ~samples ~seed () in
+    Printf.printf "minimum clock period: %.2f ns\n" setup.Experiment.min_period;
+    let period = Option.value period ~default:setup.Experiment.min_period in
+    let tuning =
+      Option.value tuning
+        ~default:
+          { Tuning_method.population = Cluster.Per_cell;
+            criterion = Threshold.Sigma_ceiling 0.02 }
+    in
+    let base = Experiment.baseline setup ~period in
+    let print_run label (run : Experiment.run) =
+      let r = run.Experiment.result in
+      Printf.printf "%-24s feasible=%b slack=%+.3f area=%.0f um^2 cells=%d sigma=%.4f ns\n"
+        label r.Synthesis.feasible r.Synthesis.worst_slack r.Synthesis.area
+        r.Synthesis.instances
+        run.Experiment.design_sigma.Design_sigma.dist.Vartune_stats.Dist.sigma
+    in
+    print_run "baseline" base;
+    let parameters = [ 0.01; 0.02; 0.05 ] in
+    let points = Experiment.sweep setup ~period ~tuning ~parameters in
+    Printf.printf "sweep (%s):\n" (Tuning_method.name tuning);
+    List.iter
+      (fun (p : Experiment.sweep_point) ->
+        Printf.printf "  parameter %.4g  sigma %s  area %s\n" p.Experiment.parameter
+          (Report.pct p.Experiment.reduction)
+          (Report.pct p.Experiment.area_delta))
+      points;
+    let mc_path =
+      let paths = base.Experiment.paths in
+      List.nth paths (List.length paths / 2)
+    in
+    let mc =
+      Path_mc.simulate { Path_mc.default_config with n = mc_samples } ~seed mc_path
+    in
+    Printf.printf "path MC (depth %d, N=%d): mean %.4f ns  sigma %.4f ns\n"
+      (Path.depth mc_path) mc_samples mc.Path_mc.mean mc.Path_mc.sigma
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:
+         "Run the full characterise/merge/tune/synthesise/STA/Monte-Carlo pipeline once — \
+          the natural target for $(b,--trace) and $(b,--metrics-out).")
+    Term.(
+      const run $ verbose_arg $ jobs_arg $ obs_args $ samples_arg $ seed_arg $ period_arg
+      $ method_arg $ mc_samples_arg)
 
 let parse_cmd =
   let file_arg =
@@ -313,6 +421,9 @@ let parse_cmd =
 let main_cmd =
   let doc = "standard cell library tuning for variability tolerant designs" in
   Cmd.group (Cmd.info "vartune" ~version:"1.0.0" ~doc)
-    [ characterize_cmd; statlib_cmd; tune_cmd; synth_cmd; min_period_cmd; report_cmd; parse_cmd ]
+    [
+      characterize_cmd; statlib_cmd; tune_cmd; synth_cmd; min_period_cmd; experiment_cmd;
+      report_cmd; parse_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -13,7 +13,14 @@ module Path_mc = Vartune_monte.Path_mc
 module Corner = Vartune_process.Corner
 module Report = Vartune_flow.Report
 
+let src = Logs.Src.create "vartune.examples.corners" ~doc:"corner validation example"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Info);
+  Log.app (fun m -> m "preparing experiment setup and baseline synthesis...");
   let setup = Experiment.prepare ~samples:20 () in
   let period = List.assoc "high" setup.Experiment.periods in
   let base = Experiment.baseline setup ~period in

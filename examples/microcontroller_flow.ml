@@ -19,22 +19,30 @@ module Tuning_method = Vartune_tuning.Tuning_method
 module Cluster = Vartune_tuning.Cluster
 module Threshold = Vartune_tuning.Threshold
 
+let src = Logs.Src.create "vartune.examples.mcu" ~doc:"microcontroller flow example"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 let samples =
   match Sys.getenv_opt "VARTUNE_SAMPLES" with
   | Some s -> int_of_string s
   | None -> 30
 
 let () =
-  Printf.printf "preparing experiment setup (N=%d sample libraries)...\n%!" samples;
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Info);
+  Log.app (fun m -> m "preparing experiment setup (N=%d sample libraries)..." samples);
   let setup = Experiment.prepare ~samples () in
   Printf.printf "minimum clock period: %.2f ns (paper: 2.41 ns on their 40 nm flow)\n"
     setup.Experiment.min_period;
   let period = List.assoc "high" setup.Experiment.periods in
 
+  Log.app (fun m -> m "synthesising baseline at %.2f ns..." period);
   let base = Experiment.baseline setup ~period in
   let tuning =
     { Tuning_method.population = Cluster.Per_cell; criterion = Threshold.Sigma_ceiling 0.02 }
   in
+  Log.app (fun m -> m "re-synthesising with sigma-ceiling restriction...");
   let tuned = Experiment.tuned setup ~period ~tuning in
 
   let describe label (run : Experiment.run) =

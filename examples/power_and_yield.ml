@@ -34,7 +34,14 @@ let datapath () =
   Word.outputs g ~prefix:"q" (Word.reg g sel);
   g
 
+let src = Logs.Src.create "vartune.examples.power" ~doc:"power and yield example"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Info);
+  Log.app (fun m -> m "building statistical library (25 samples)...");
   let statlib =
     Statistical.build Characterize.default_config ~mismatch:Mismatch.default ~seed:8 ~n:25 ()
   in

@@ -22,26 +22,32 @@ module Threshold = Vartune_tuning.Threshold
 module Restrict = Vartune_tuning.Restrict
 module Report = Vartune_flow.Report
 
+let src = Logs.Src.create "vartune.examples.quickstart" ~doc:"quickstart example"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Info);
   (* a small catalog subset keeps this instant *)
   let specs =
     List.filter_map Catalog.find [ "INV"; "ND2"; "NR2"; "XO2"; "DFF" ]
   in
   let config = Characterize.default_config in
-  print_endline "1. building a statistical library from 30 Monte-Carlo samples...";
+  Log.app (fun m -> m "1. building a statistical library from 30 Monte-Carlo samples...");
   let statlib =
     Statistical.build config ~mismatch:Mismatch.default ~seed:7 ~n:30 ~specs ()
   in
   Printf.printf "   %d cells, statistical = %b\n" (Library.size statlib)
     (Statistical.is_statistical statlib);
 
-  print_endline "\n2. delay-sigma surface of ND2_1 (local variation per LUT entry):";
+  Log.app (fun m -> m "@.2. delay-sigma surface of ND2_1 (local variation per LUT entry):");
   let nd2 = Library.find statlib "ND2_1" in
   (match List.filter_map Arc.worst_sigma (Cell.arcs nd2) with
   | lut :: _ -> Report.surface lut
   | [] -> ());
 
-  print_endline "\n3. tuning with a sigma ceiling of 0.02 ns:";
+  Log.app (fun m -> m "@.3. tuning with a sigma ceiling of 0.02 ns:");
   let tuning =
     { Tuning_method.population = Cluster.Per_cell;
       criterion = Threshold.Sigma_ceiling 0.02 }

@@ -7,6 +7,10 @@ module Corner = Vartune_process.Corner
 module Mismatch = Vartune_process.Mismatch
 module Spec = Vartune_stdcell.Spec
 module Func = Vartune_stdcell.Func
+module Obs = Vartune_obs.Obs
+
+let c_cells = Obs.Counter.make "charlib.cells"
+let c_arcs = Obs.Counter.make "charlib.arcs"
 
 type config = {
   params : Delay_model.params;
@@ -45,6 +49,7 @@ let arc config spec ~drive ~sample ~input ~output =
   let energy ~slew ~load =
     Delay_model.internal_energy config.params spec ~drive ~slew ~load
   in
+  Obs.Counter.incr c_arcs;
   Arc.make ~related_pin:input
     ~sense:(Func.arc_sense spec.func ~input ~output)
     ~rise_delay:(table (delay Delay_model.Rise))
@@ -54,6 +59,7 @@ let arc config spec ~drive ~sample ~input ~output =
     ~internal_power:(table energy) ()
 
 let cell config ?(sample_for = no_sample) (spec : Spec.t) ~drive =
+  Obs.Counter.incr c_cells;
   let sample = sample_for spec ~drive in
   let func = spec.func in
   let cap = Spec.input_capacitance spec ~drive in
@@ -100,12 +106,15 @@ let cell config ?(sample_for = no_sample) (spec : Spec.t) ~drive =
 
 let library config ?name ?sample_for specs =
   let name = Option.value name ~default:(Corner.name config.corner) in
-  let cells =
-    List.concat_map
-      (fun (spec : Spec.t) ->
-        List.map (fun drive -> cell config ?sample_for spec ~drive) spec.drives)
-      specs
-  in
-  Library.make ~name ~corner:(Corner.name config.corner) ~cells
+  Obs.span "charlib.library"
+    ~attrs:(fun () -> [ ("library", name); ("families", string_of_int (List.length specs)) ])
+    (fun () ->
+      let cells =
+        List.concat_map
+          (fun (spec : Spec.t) ->
+            List.map (fun drive -> cell config ?sample_for spec ~drive) spec.drives)
+          specs
+      in
+      Library.make ~name ~corner:(Corner.name config.corner) ~cells)
 
 let nominal ?(specs = Vartune_stdcell.Catalog.specs) config = library config specs

@@ -10,10 +10,15 @@ module Constraints = Vartune_synth.Constraints
 module Path = Vartune_sta.Path
 module Design_sigma = Vartune_stats.Design_sigma
 module Tuning_method = Vartune_tuning.Tuning_method
+module Obs = Vartune_obs.Obs
 
 let src = Logs.Src.create "vartune.flow" ~doc:"experiment flow"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+let c_cache_hits = Obs.Counter.make "synth.cache.hits"
+let c_cache_misses = Obs.Counter.make "synth.cache.misses"
+let c_sweep_points = Obs.Counter.make "sweep.points"
 
 type run = {
   label : string;
@@ -51,6 +56,8 @@ let paper_period_labels min_period =
   ]
 
 let prepare ?(samples = 50) ?(seed = 42) ?(mcu_config = Mcu.default_config) () =
+  Obs.span "flow.prepare" ~attrs:(fun () -> [ ("samples", string_of_int samples) ])
+  @@ fun () ->
   let char_config = Characterize.default_config in
   let mismatch = Mismatch.default in
   Log.info (fun m -> m "building statistical library (N=%d)" samples);
@@ -89,8 +96,11 @@ let run_with setup ~period ~label ~restrictions =
     Mutex.protect setup.cache_lock (fun () -> Hashtbl.find_opt setup.cache key)
   in
   match cached with
-  | Some r -> r
+  | Some r ->
+    Obs.Counter.incr c_cache_hits;
+    r
   | None ->
+    Obs.Counter.incr c_cache_misses;
     let cons = Constraints.make ~clock_period:period ?restrictions () in
     let result = Synthesis.run cons setup.statlib setup.design in
     let paths = Path.worst_per_endpoint result.Synthesis.timing result.Synthesis.netlist in
@@ -124,9 +134,19 @@ type sweep_point = { parameter : float; run : run; reduction : float; area_delta
 
 let sweep ?pool setup ~period ~tuning ~parameters =
   let pool = match pool with Some p -> p | None -> Pool.default () in
+  Obs.span "sweep.run"
+    ~attrs:(fun () ->
+      [
+        ("method", Tuning_method.name tuning);
+        ("points", string_of_int (List.length parameters));
+      ])
+  @@ fun () ->
   let base = baseline setup ~period in
   Pool.map pool
     (fun parameter ->
+      Obs.span "sweep.point" ~attrs:(fun () -> [ ("parameter", string_of_float parameter) ])
+      @@ fun () ->
+      Obs.Counter.incr c_sweep_points;
       let tuning = Tuning_method.with_parameter tuning parameter in
       let run = tuned setup ~period ~tuning in
       {

@@ -9,6 +9,9 @@ module Spec = Vartune_stdcell.Spec
 module Catalog = Vartune_stdcell.Catalog
 module Path = Vartune_sta.Path
 module Cell = Vartune_liberty.Cell
+module Obs = Vartune_obs.Obs
+
+let c_samples = Obs.Counter.make "mc.samples"
 
 type sample_config = {
   n : int;
@@ -65,6 +68,11 @@ let sample_chunk = 32
 
 let simulate ?pool cfg ~seed (path : Path.t) =
   let pool = match pool with Some p -> p | None -> Pool.default () in
+  Obs.span "mc.simulate"
+    ~attrs:(fun () ->
+      [ ("samples", string_of_int cfg.n); ("depth", string_of_int (Path.depth path)) ])
+  @@ fun () ->
+  Obs.Counter.add c_samples cfg.n;
   let steps = resolve path in
   let base = Rng.stream (Rng.create seed) 0 in
   let corner_factor = Corner.delay_factor cfg.corner in

@@ -1,0 +1,121 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Fail of int * string
+
+let fail pos msg = raise (Fail (pos, msg))
+
+let parse_string_body s pos =
+  let buf = Buffer.create 16 in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then fail i "unterminated string"
+    else
+      match s.[i] with
+      | '"' -> (Buffer.contents buf, i + 1)
+      | '\\' ->
+        if i + 1 >= n then fail i "dangling escape"
+        else (
+          (match s.[i + 1] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            if i + 5 >= n then fail i "truncated \\u escape";
+            let code = int_of_string ("0x" ^ String.sub s (i + 2) 4) in
+            (* BMP only; good enough for ASCII telemetry output *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
+          | c -> fail i (Printf.sprintf "bad escape \\%c" c));
+          if s.[i + 1] = 'u' then go (i + 6) else go (i + 2))
+      | c -> Buffer.add_char buf c; go (i + 1)
+  in
+  go pos
+
+let parse src =
+  let n = String.length src in
+  let rec skip_ws i =
+    if i < n && (src.[i] = ' ' || src.[i] = '\t' || src.[i] = '\n' || src.[i] = '\r') then
+      skip_ws (i + 1)
+    else i
+  in
+  let expect c i =
+    if i < n && src.[i] = c then i + 1
+    else fail i (Printf.sprintf "expected %c" c)
+  in
+  let rec value i =
+    let i = skip_ws i in
+    if i >= n then fail i "unexpected end of input"
+    else
+      match src.[i] with
+      | '{' -> obj (i + 1) []
+      | '[' -> arr (i + 1) []
+      | '"' ->
+        let s, j = parse_string_body src (i + 1) in
+        (String s, j)
+      | 't' ->
+        if i + 4 <= n && String.sub src i 4 = "true" then (Bool true, i + 4)
+        else fail i "bad literal"
+      | 'f' ->
+        if i + 5 <= n && String.sub src i 5 = "false" then (Bool false, i + 5)
+        else fail i "bad literal"
+      | 'n' ->
+        if i + 4 <= n && String.sub src i 4 = "null" then (Null, i + 4)
+        else fail i "bad literal"
+      | _ ->
+        let j = ref i in
+        let numchar c =
+          (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+        in
+        while !j < n && numchar src.[!j] do incr j done;
+        if !j = i then fail i "unexpected character";
+        (match float_of_string_opt (String.sub src i (!j - i)) with
+        | Some f -> (Number f, !j)
+        | None -> fail i "bad number")
+  and obj i acc =
+    let i = skip_ws i in
+    if i < n && src.[i] = '}' then (Object (List.rev acc), i + 1)
+    else begin
+      let i = expect '"' (skip_ws i) in
+      let key, i = parse_string_body src i in
+      let i = expect ':' (skip_ws i) in
+      let v, i = value i in
+      let i = skip_ws i in
+      if i < n && src.[i] = ',' then obj (i + 1) ((key, v) :: acc)
+      else (Object (List.rev ((key, v) :: acc)), expect '}' i)
+    end
+  and arr i acc =
+    let i = skip_ws i in
+    if i < n && src.[i] = ']' then (Array (List.rev acc), i + 1)
+    else begin
+      let v, i = value i in
+      let i = skip_ws i in
+      if i < n && src.[i] = ',' then arr (i + 1) (v :: acc)
+      else (Array (List.rev (v :: acc)), expect ']' i)
+    end
+  in
+  try
+    let v, i = value 0 in
+    let i = skip_ws i in
+    if i <> n then Error (Printf.sprintf "trailing garbage at byte %d" i) else Ok v
+  with
+  | Fail (pos, msg) -> Error (Printf.sprintf "%s at byte %d" msg pos)
+  | Failure msg -> Error msg
+
+let member key = function
+  | Object kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_float = function Number f -> Some f | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_list = function Array l -> Some l | _ -> None

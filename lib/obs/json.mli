@@ -1,0 +1,25 @@
+(** Minimal JSON reader for validating the telemetry exporters.
+
+    Recursive-descent parser over the full JSON grammar minus exotic
+    number forms; enough to round-trip everything {!Obs} emits and the
+    bench harness writes.  No external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parses a complete JSON document; the error string carries a byte
+    offset. *)
+
+val member : string -> t -> t option
+(** [member key (Object _)] looks up [key]; [None] on missing key or
+    non-object. *)
+
+val to_float : t -> float option
+val to_string_opt : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,307 @@
+external now_ns : unit -> int64 = "vartune_obs_monotonic_ns"
+external wall_ns : unit -> int64 = "vartune_obs_realtime_ns"
+
+(* ------------------------------------------------------------------ *)
+(* Recording state                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+type event = {
+  name : string;
+  dom : int;
+  ts_us : float;
+  dur_us : float;
+  wall_start_ns : int64;
+  attrs : (string * string) list;
+}
+
+(* One global event sink.  Span events are recorded once per span (at
+   exit), so contention on this mutex is bounded by span frequency —
+   coarse stage/chunk granularity by design, never per inner iteration. *)
+let state_lock = Mutex.create ()
+let recorded : event list ref = ref []
+let origin_ns = ref (now_ns ())
+
+let to_us t0 t = Int64.to_float (Int64.sub t t0) /. 1_000.0
+
+let record ev =
+  Mutex.lock state_lock;
+  recorded := ev :: !recorded;
+  Mutex.unlock state_lock
+
+let span ?attrs name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = now_ns () in
+    let w0 = wall_ns () in
+    Fun.protect f ~finally:(fun () ->
+        let t1 = now_ns () in
+        (* origin_ns only moves on [reset]; a plain read is safe. *)
+        let origin = !origin_ns in
+        record
+          {
+            name;
+            dom = (Domain.self () :> int);
+            ts_us = to_us origin t0;
+            dur_us = to_us t0 t1;
+            wall_start_ns = w0;
+            attrs = (match attrs with None -> [] | Some g -> g ());
+          })
+  end
+
+(* Sort key: per-domain tracks, monotone start times, and at equal start
+   the longer (enclosing) span first so stack-based nesting checks and
+   trace viewers see parents before children. *)
+let event_order a b =
+  let c = compare a.dom b.dom in
+  if c <> 0 then c
+  else
+    let c = compare a.ts_us b.ts_us in
+    if c <> 0 then c else compare b.dur_us a.dur_us
+
+let events () =
+  Mutex.lock state_lock;
+  let evs = !recorded in
+  Mutex.unlock state_lock;
+  List.sort event_order evs
+
+(* ------------------------------------------------------------------ *)
+(* Counters (lock-free handles)                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = { cname : string; cell : int Atomic.t }
+
+  let registry_lock = Mutex.create ()
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    Mutex.protect registry_lock (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some c -> c
+        | None ->
+          let c = { cname = name; cell = Atomic.make 0 } in
+          Hashtbl.replace registry name c;
+          c)
+
+  let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.cell n)
+  let incr c = add c 1
+  let value c = Atomic.get c.cell
+
+  let snapshot () =
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) registry [])
+
+  let reset () =
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry)
+end
+
+let incr ?(by = 1) name = Counter.add (Counter.make name) by
+
+let counter_value name =
+  Mutex.protect Counter.registry_lock (fun () ->
+      match Hashtbl.find_opt Counter.registry name with
+      | Some c -> Atomic.get c.cell
+      | None -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Gauges and histograms (mutex registry, cold paths)                  *)
+(* ------------------------------------------------------------------ *)
+
+type histogram_stats = { count : int; sum : float; min_v : float; max_v : float }
+
+type mutable_metric =
+  | Mgauge of { mutable v : float }
+  | Mhisto of {
+      mutable count : int;
+      mutable sum : float;
+      mutable min_v : float;
+      mutable max_v : float;
+    }
+
+type metric_value = Count of int | Value of float | Stats of histogram_stats
+
+let metrics_lock = Mutex.create ()
+let metrics_tbl : (string, mutable_metric) Hashtbl.t = Hashtbl.create 32
+
+let gauge name v =
+  if Atomic.get enabled_flag then
+    Mutex.protect metrics_lock (fun () ->
+        match Hashtbl.find_opt metrics_tbl name with
+        | Some (Mgauge g) -> g.v <- v
+        | Some (Mhisto _) -> invalid_arg ("Obs.gauge: " ^ name ^ " is a histogram")
+        | None -> Hashtbl.replace metrics_tbl name (Mgauge { v }))
+
+let observe name v =
+  if Atomic.get enabled_flag then
+    Mutex.protect metrics_lock (fun () ->
+        match Hashtbl.find_opt metrics_tbl name with
+        | Some (Mhisto h) ->
+          h.count <- h.count + 1;
+          h.sum <- h.sum +. v;
+          h.min_v <- Float.min h.min_v v;
+          h.max_v <- Float.max h.max_v v
+        | Some (Mgauge _) -> invalid_arg ("Obs.observe: " ^ name ^ " is a gauge")
+        | None ->
+          Hashtbl.replace metrics_tbl name
+            (Mhisto { count = 1; sum = v; min_v = v; max_v = v }))
+
+let metrics () =
+  let counters = List.map (fun (n, v) -> (n, Count v)) (Counter.snapshot ()) in
+  let others =
+    Mutex.protect metrics_lock (fun () ->
+        Hashtbl.fold
+          (fun name m acc ->
+            let v =
+              match m with
+              | Mgauge g -> Value g.v
+              | Mhisto h ->
+                Stats { count = h.count; sum = h.sum; min_v = h.min_v; max_v = h.max_v }
+            in
+            (name, v) :: acc)
+          metrics_tbl [])
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) (counters @ others)
+
+let reset () =
+  Mutex.protect state_lock (fun () ->
+      recorded := [];
+      origin_ns := now_ns ());
+  Counter.reset ();
+  Mutex.protect metrics_lock (fun () -> Hashtbl.reset metrics_tbl)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let escape_json buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  escape_json buf s;
+  Buffer.add_char buf '"'
+
+(* JSON has no 64-bit integers; wall-clock ns go out as strings. *)
+let add_args buf ~wall attrs =
+  Buffer.add_string buf "{\"wall_start_ns\":";
+  add_str buf (Int64.to_string wall);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ',';
+      add_str buf k;
+      Buffer.add_char buf ':';
+      add_str buf v)
+    attrs;
+  Buffer.add_char buf '}'
+
+let trace_json () =
+  let evs = events () in
+  let doms = List.sort_uniq compare (List.map (fun e -> e.dom) evs) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n  "
+  in
+  List.iter
+    (fun dom ->
+      sep ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"domain-%d\"}}"
+           dom dom))
+    doms;
+  List.iter
+    (fun e ->
+      sep ();
+      Buffer.add_string buf "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+      Buffer.add_string buf (string_of_int e.dom);
+      Buffer.add_string buf ",\"name\":";
+      add_str buf e.name;
+      Buffer.add_string buf ",\"cat\":\"vartune\",\"ts\":";
+      Buffer.add_string buf (Printf.sprintf "%.3f" e.ts_us);
+      Buffer.add_string buf ",\"dur\":";
+      Buffer.add_string buf (Printf.sprintf "%.3f" e.dur_us);
+      Buffer.add_string buf ",\"args\":";
+      add_args buf ~wall:e.wall_start_ns e.attrs;
+      Buffer.add_char buf '}')
+    evs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let float_json v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let metrics_json () =
+  let all = metrics () in
+  let section buf label filter render =
+    Buffer.add_string buf (Printf.sprintf "\"%s\":{" label);
+    let first = ref true in
+    List.iter
+      (fun (name, v) ->
+        match filter v with
+        | None -> ()
+        | Some payload ->
+          if !first then first := false else Buffer.add_char buf ',';
+          Buffer.add_string buf "\n    ";
+          add_str buf name;
+          Buffer.add_char buf ':';
+          Buffer.add_string buf (render payload))
+      all;
+    Buffer.add_string buf "\n  }"
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  ";
+  section buf "counters"
+    (function Count c -> Some c | _ -> None)
+    string_of_int;
+  Buffer.add_string buf ",\n  ";
+  section buf "gauges" (function Value v -> Some v | _ -> None) float_json;
+  Buffer.add_string buf ",\n  ";
+  section buf "histograms"
+    (function Stats s -> Some s | _ -> None)
+    (fun s ->
+      Printf.sprintf "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"mean\":%s}" s.count
+        (float_json s.sum) (float_json s.min_v) (float_json s.max_v)
+        (float_json (if s.count = 0 then 0.0 else s.sum /. float_of_int s.count)));
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let metrics_text () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Count c -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" name c)
+      | Value v -> Buffer.add_string buf (Printf.sprintf "%-40s %g\n" name v)
+      | Stats s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-40s count=%d sum=%g min=%g max=%g mean=%g\n" name s.count s.sum
+             s.min_v s.max_v
+             (if s.count = 0 then 0.0 else s.sum /. float_of_int s.count)))
+    (metrics ());
+  Buffer.contents buf
+
+let write_string path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let write_trace path = write_string path (trace_json ())
+let write_metrics path = write_string path (metrics_json ())

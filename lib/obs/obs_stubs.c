@@ -1,0 +1,29 @@
+/* Clock sources for Vartune_obs.
+
+   CLOCK_MONOTONIC orders span begin/end pairs within and across
+   domains; CLOCK_REALTIME stamps each span with wall-clock time so
+   traces from different runs can be correlated with external logs. */
+
+#include <time.h>
+#include <stdint.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+static value ns_of(clockid_t clock)
+{
+  struct timespec ts;
+  clock_gettime(clock, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}
+
+CAMLprim value vartune_obs_monotonic_ns(value unit)
+{
+  (void)unit;
+  return ns_of(CLOCK_MONOTONIC);
+}
+
+CAMLprim value vartune_obs_realtime_ns(value unit)
+{
+  (void)unit;
+  return ns_of(CLOCK_REALTIME);
+}

@@ -1,0 +1,133 @@
+type stats = { total : int; spans : int; domains : int; names : string list }
+
+(* Timestamps are exported with %.3f (nanosecond) precision, so parent
+   and child endpoints can each be off by half an ulp of that grid. *)
+let eps = 0.002
+
+type span = { sname : string; tid : int; ts : float; dur : float }
+
+let ( let* ) = Result.bind
+
+let event_fields idx ev =
+  let fail msg = Error (Printf.sprintf "event %d: %s" idx msg) in
+  match Json.member "ph" ev with
+  | None -> fail "missing ph"
+  | Some ph -> (
+    match Json.to_string_opt ph with
+    | None -> fail "ph is not a string"
+    | Some ph ->
+      let str key = Option.bind (Json.member key ev) Json.to_string_opt in
+      let num key = Option.bind (Json.member key ev) Json.to_float in
+      if str "name" = None then fail "missing string name"
+      else if num "pid" = None then fail "missing numeric pid"
+      else if num "tid" = None then fail "missing numeric tid"
+      else (
+        match ph with
+        | "M" | "C" -> Ok None
+        | "X" -> (
+          match (num "ts", num "dur") with
+          | Some ts, Some dur when dur >= 0.0 ->
+            Ok
+              (Some
+                 {
+                   sname = Option.get (str "name");
+                   tid = int_of_float (Option.get (num "tid"));
+                   ts;
+                   dur;
+                 })
+          | Some _, Some _ -> fail "negative dur"
+          | _ -> fail "X event missing numeric ts/dur")
+        | other -> fail (Printf.sprintf "unsupported phase %S" other)))
+
+(* File order within a track must already be monotone in ts. *)
+let check_monotone spans =
+  let tracks = Hashtbl.create 8 in
+  let rec go = function
+    | [] -> Ok ()
+    | s :: rest -> (
+      match Hashtbl.find_opt tracks s.tid with
+      | Some prev when s.ts < prev -. eps ->
+        Error
+          (Printf.sprintf "track %d: ts %.3f goes backwards (previous %.3f)" s.tid s.ts prev)
+      | _ ->
+        Hashtbl.replace tracks s.tid s.ts;
+        go rest)
+  in
+  go spans
+
+(* Within a track, spans sorted by (start, -dur) must nest: each span
+   ends no later than the innermost span still open at its start. *)
+let check_nesting spans =
+  let by_track = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let cur = Option.value (Hashtbl.find_opt by_track s.tid) ~default:[] in
+      Hashtbl.replace by_track s.tid (s :: cur))
+    spans;
+  Hashtbl.fold
+    (fun tid track acc ->
+      let* () = acc in
+      let sorted =
+        List.sort
+          (fun a b ->
+            let c = compare a.ts b.ts in
+            if c <> 0 then c else compare b.dur a.dur)
+          track
+      in
+      let rec go stack = function
+        | [] -> Ok ()
+        | s :: rest ->
+          let fin = s.ts +. s.dur in
+          let stack = List.filter (fun open_end -> open_end > s.ts +. eps) stack in
+          (match stack with
+          | open_end :: _ when fin > open_end +. eps ->
+            Error
+              (Printf.sprintf
+                 "track %d: span %s [%.3f, %.3f] overlaps its enclosing span ending at %.3f"
+                 tid s.sname s.ts fin open_end)
+          | _ -> go (fin :: stack) rest)
+      in
+      go [] sorted)
+    by_track (Ok ())
+
+let validate json =
+  match Json.member "traceEvents" json with
+  | None -> Error "root object has no traceEvents"
+  | Some evs -> (
+    match Json.to_list evs with
+    | None -> Error "traceEvents is not an array"
+    | Some evs ->
+      let* spans =
+        List.fold_left
+          (fun acc (idx, ev) ->
+            let* spans = acc in
+            let* parsed = event_fields idx ev in
+            Ok (match parsed with Some s -> s :: spans | None -> spans))
+          (Ok [])
+          (List.mapi (fun i e -> (i, e)) evs)
+      in
+      let spans = List.rev spans in
+      if spans = [] then Error "trace contains no complete (X) span events"
+      else
+        let* () = check_monotone spans in
+        let* () = check_nesting spans in
+        Ok
+          {
+            total = List.length evs;
+            spans = List.length spans;
+            domains = List.length (List.sort_uniq compare (List.map (fun s -> s.tid) spans));
+            names = List.sort_uniq compare (List.map (fun s -> s.sname) spans);
+          })
+
+let validate_string s =
+  let* json = Json.parse s in
+  validate json
+
+let validate_file path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  validate_string s

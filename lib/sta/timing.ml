@@ -95,7 +95,13 @@ let compute_loads cfg nl =
       loads.(nid) <- sink_caps +. wire +. external_load);
   loads
 
+let c_sta_runs = Vartune_obs.Obs.Counter.make "sta.runs"
+
 let run cfg nl =
+  Vartune_obs.Obs.span "sta.run"
+    ~attrs:(fun () -> [ ("nets", string_of_int (Netlist.net_count nl)) ])
+  @@ fun () ->
+  Vartune_obs.Obs.Counter.incr c_sta_runs;
   let n_nets = Netlist.net_count nl in
   let loads = compute_loads cfg nl in
   let arrivals = Array.make n_nets 0.0 in

@@ -5,6 +5,10 @@ module Arc = Vartune_liberty.Arc
 module Pin = Vartune_liberty.Pin
 module Cell = Vartune_liberty.Cell
 module Library = Vartune_liberty.Library
+module Obs = Vartune_obs.Obs
+
+let c_samples = Obs.Counter.make "statlib.samples"
+let c_entries = Obs.Counter.make "statlib.lut_entries_merged"
 
 (* ------------------------------------------------------------------ *)
 (* Welford accumulation over LUT entries                               *)
@@ -31,7 +35,8 @@ let acc_update acc lut =
       Grid.set acc.mean i j m';
       Grid.set acc.m2 i j (Grid.get acc.m2 i j +. (delta *. (x -. m')))
     done
-  done
+  done;
+  Obs.Counter.add c_entries (rows * cols)
 
 (* Chan et al. pairwise combination of two Welford partials, entry-wise
    over the grids.  [a] is the left (lower-index) sample block and
@@ -177,19 +182,23 @@ let merge_chunk = 4
 type chunk_acc = { first_name : string; first_corner : string; cell_accs : cell_acc array }
 
 let accumulate_chunk gen ~lo ~hi =
-  let first = gen lo in
-  let cell_accs = Array.of_list (List.map cell_acc_create (Library.cells first)) in
-  let feed lib =
-    let cells = Array.of_list (Library.cells lib) in
-    if Array.length cells <> Array.length cell_accs then
-      invalid_arg "Statistical: sample library has mismatched cell count";
-    Array.iteri (fun i c -> cell_acc_update cell_accs.(i) c) cells
-  in
-  feed first;
-  for index = lo + 1 to hi - 1 do
-    feed (gen index)
-  done;
-  { first_name = Library.name first; first_corner = Library.corner first; cell_accs }
+  Obs.span "statlib.chunk"
+    ~attrs:(fun () -> [ ("lo", string_of_int lo); ("hi", string_of_int hi) ])
+    (fun () ->
+      let first = gen lo in
+      let cell_accs = Array.of_list (List.map cell_acc_create (Library.cells first)) in
+      let feed lib =
+        let cells = Array.of_list (Library.cells lib) in
+        if Array.length cells <> Array.length cell_accs then
+          invalid_arg "Statistical: sample library has mismatched cell count";
+        Array.iteri (fun i c -> cell_acc_update cell_accs.(i) c) cells
+      in
+      feed first;
+      for index = lo + 1 to hi - 1 do
+        feed (gen index)
+      done;
+      Obs.Counter.add c_samples (hi - lo);
+      { first_name = Library.name first; first_corner = Library.corner first; cell_accs })
 
 let chunk_merge a b =
   if Array.length b.cell_accs <> Array.length a.cell_accs then
@@ -200,23 +209,29 @@ let chunk_merge a b =
 let of_stream ?pool ~n gen =
   if n <= 0 then invalid_arg "Statistical.of_stream: n must be positive";
   let pool = match pool with Some p -> p | None -> Pool.default () in
-  let nchunks = (n + merge_chunk - 1) / merge_chunk in
-  let chunks =
-    Pool.map pool
-      (fun c ->
-        let lo = c * merge_chunk in
-        accumulate_chunk gen ~lo ~hi:(min n (lo + merge_chunk)))
-      (List.init nchunks Fun.id)
-  in
-  (* Ordered left-to-right pairwise merge: partials cover fixed index
-     blocks, so this fold is scheduling-independent. *)
-  let merged =
-    match chunks with
-    | [] -> assert false
-    | head :: rest -> List.fold_left chunk_merge head rest
-  in
-  let cells = Array.to_list (Array.map cell_acc_finish merged.cell_accs) in
-  Library.make ~name:(merged.first_name ^ "_stat") ~corner:merged.first_corner ~cells
+  Obs.span "statlib.build"
+    ~attrs:(fun () -> [ ("samples", string_of_int n) ])
+    (fun () ->
+      let nchunks = (n + merge_chunk - 1) / merge_chunk in
+      let chunks =
+        Pool.map pool
+          (fun c ->
+            let lo = c * merge_chunk in
+            accumulate_chunk gen ~lo ~hi:(min n (lo + merge_chunk)))
+          (List.init nchunks Fun.id)
+      in
+      (* Ordered left-to-right pairwise merge: partials cover fixed index
+         blocks, so this fold is scheduling-independent. *)
+      let merged =
+        Obs.span "statlib.merge"
+          ~attrs:(fun () -> [ ("chunks", string_of_int nchunks) ])
+          (fun () ->
+            match chunks with
+            | [] -> assert false
+            | head :: rest -> List.fold_left chunk_merge head rest)
+      in
+      let cells = Array.to_list (Array.map cell_acc_finish merged.cell_accs) in
+      Library.make ~name:(merged.first_name ^ "_stat") ~corner:merged.first_corner ~cells)
 
 let of_libraries = function
   | [] -> invalid_arg "Statistical.of_libraries: empty list"

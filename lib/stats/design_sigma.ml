@@ -1,11 +1,18 @@
 module Path = Vartune_sta.Path
 module Timing = Vartune_sta.Timing
+module Obs = Vartune_obs.Obs
 
 type t = { dist : Dist.t; paths : int; worst_path_3sigma : float }
+
+let c_paths = Obs.Counter.make "sta.paths_convolved"
 
 let of_dists dists = Dist.sum_independent dists
 
 let of_paths paths =
+  Obs.span "sta.design_sigma"
+    ~attrs:(fun () -> [ ("paths", string_of_int (List.length paths)) ])
+  @@ fun () ->
+  Obs.Counter.add c_paths (List.length paths);
   let dists = List.map Convolve.of_path paths in
   let worst =
     List.fold_left (fun acc d -> Float.max acc (Dist.quantile_3sigma d)) neg_infinity dists

@@ -1,10 +1,13 @@
 module Netlist = Vartune_netlist.Netlist
 module Check = Vartune_netlist.Check
 module Timing = Vartune_sta.Timing
+module Obs = Vartune_obs.Obs
 
 let src = Logs.Src.create "vartune.synth" ~doc:"synthesis driver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+let c_runs = Obs.Counter.make "synth.runs"
 
 type result = {
   netlist : Netlist.t;
@@ -17,9 +20,13 @@ type result = {
 }
 
 let run ?style cons lib ir =
-  let nl = Mapper.map ?style cons lib ir in
+  Obs.span "synth.run"
+    ~attrs:(fun () -> [ ("period", string_of_float cons.Constraints.clock_period) ])
+  @@ fun () ->
+  Obs.Counter.incr c_runs;
+  let nl = Obs.span "synth.map" (fun () -> Mapper.map ?style cons lib ir) in
   Check.validate_exn nl;
-  let timing, sizer = Sizer.optimize cons lib nl in
+  let timing, sizer = Obs.span "synth.size" (fun () -> Sizer.optimize cons lib nl) in
   let worst_slack = Timing.worst_slack timing in
   let result =
     {
@@ -38,6 +45,7 @@ let run ?style cons lib ir =
   result
 
 let min_period ?(lo = 0.5) ?(hi = 20.0) ?(tolerance = 0.02) lib ir =
+  Obs.span "synth.min_period" @@ fun () ->
   let feasible_at period =
     let cons = Constraints.make ~clock_period:period ~area_recovery:false () in
     (run cons lib ir).feasible

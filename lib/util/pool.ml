@@ -1,3 +1,9 @@
+module Obs = Vartune_obs.Obs
+
+let src = Logs.Src.create "vartune.pool" ~doc:"domain worker pool"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type t = {
   jobs : int;
   queue : (unit -> unit) Queue.t;
@@ -7,13 +13,23 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
+(* Job-count precedence: an explicit [~jobs] (the --jobs flag) wins,
+   then VARTUNE_JOBS, then the recommended domain count.  A VARTUNE_JOBS
+   value that is not a positive integer is rejected loudly — silently
+   falling back used to hide typos like VARTUNE_JOBS=0. *)
 let env_jobs () =
   match Sys.getenv_opt "VARTUNE_JOBS" with
   | None -> None
   | Some v -> (
     match int_of_string_opt (String.trim v) with
     | Some j when j >= 1 -> Some j
-    | _ -> None)
+    | Some _ | None ->
+      Log.warn (fun m ->
+          m "ignoring VARTUNE_JOBS=%S: expected a positive integer, using %d (recommended \
+             domain count)"
+            v
+            (Domain.recommended_domain_count ()));
+      None)
 
 let resolve_jobs = function
   | Some j -> max 1 j
@@ -21,6 +37,22 @@ let resolve_jobs = function
     match env_jobs () with
     | Some j -> j
     | None -> Domain.recommended_domain_count ())
+
+let c_tasks = Obs.Counter.make "pool.tasks_run"
+
+(* Wraps one dequeued task in a span on the executing domain's track and
+   charges its duration to that domain's busy-time histogram.  Tasks
+   queued by [map_array] never raise (failures travel through the result
+   slot), so the busy-time accounting after [span] always runs. *)
+let run_task task =
+  if not (Obs.enabled ()) then task ()
+  else begin
+    let t0 = Obs.now_ns () in
+    Obs.span "pool.task" task;
+    let dt = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) *. 1e-9 in
+    Obs.observe ("pool.worker." ^ string_of_int (Domain.self () :> int) ^ ".busy_s") dt;
+    Obs.Counter.incr c_tasks
+  end
 
 let rec worker_loop pool =
   Mutex.lock pool.lock;
@@ -39,7 +71,7 @@ let rec worker_loop pool =
   match task with
   | None -> ()
   | Some task ->
-    task ();
+    run_task task;
     worker_loop pool
 
 let create ?jobs () =
@@ -79,10 +111,12 @@ let try_run_one t =
   match task with
   | None -> false
   | Some task ->
-    task ();
+    run_task task;
     true
 
-let map_array pool f xs =
+let c_enqueued = Obs.Counter.make "pool.tasks_enqueued"
+
+let map_array_impl pool f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else if pool.jobs <= 1 || n = 1 then Array.map f xs
@@ -107,8 +141,13 @@ let map_array pool f xs =
     for i = 0 to n - 1 do
       Queue.add (task i) pool.queue
     done;
+    let depth = Queue.length pool.queue in
     Condition.broadcast pool.nonempty;
     Mutex.unlock pool.lock;
+    if Obs.enabled () then begin
+      Obs.Counter.add c_enqueued n;
+      Obs.observe "pool.queue_depth" (float_of_int depth)
+    end;
     (* Help drain the queue (our tasks or anyone else's), then wait for
        the stragglers still running on other domains. *)
     while try_run_one pool do
@@ -126,6 +165,14 @@ let map_array pool f xs =
         | None -> assert false)
       results
   end
+
+let map_array pool f xs =
+  if not (Obs.enabled ()) then map_array_impl pool f xs
+  else
+    Obs.span "pool.map"
+      ~attrs:(fun () ->
+        [ ("items", string_of_int (Array.length xs)); ("jobs", string_of_int pool.jobs) ])
+      (fun () -> map_array_impl pool f xs)
 
 let map pool f xs = Array.to_list (map_array pool f (Array.of_list xs))
 

@@ -15,14 +15,38 @@
 
     Tasks must not block on external conditions; they may submit nested
     work to the same pool (the submitting domain helps drain the queue,
-    so nested maps cannot deadlock the pool). *)
+    so nested maps cannot deadlock the pool).
+
+    {2 Job-count precedence}
+
+    The pool size is resolved, highest priority first, from:
+
+    + an explicit [~jobs] argument — this is what the [--jobs] / [-j]
+      command-line flag passes down;
+    + the [VARTUNE_JOBS] environment variable;
+    + [Domain.recommended_domain_count ()].
+
+    A [VARTUNE_JOBS] value that is not a positive integer (e.g. [0],
+    [-2] or garbage) is {e rejected with a [Logs] warning} on the
+    [vartune.pool] source and the recommended domain count is used
+    instead — it is never silently clamped.
+
+    {2 Telemetry}
+
+    When {!Vartune_obs.Obs} is enabled the pool records a [pool.map]
+    span per parallel map, a [pool.task] span per executed task on the
+    executing domain's track, counters [pool.tasks_enqueued] /
+    [pool.tasks_run], a [pool.queue_depth] histogram sampled at submit
+    time, and per-domain [pool.worker.<id>.busy_s] busy-time
+    histograms.  Disabled telemetry costs one flag check per operation
+    and cannot affect results either way. *)
 
 type t
 
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns a pool of [jobs] workers (clamped to >= 1).
-    Without [jobs], the size comes from the [VARTUNE_JOBS] environment
-    variable, falling back to [Domain.recommended_domain_count ()]. *)
+    Without [jobs], the size follows the precedence above: a valid
+    [VARTUNE_JOBS], else [Domain.recommended_domain_count ()]. *)
 
 val jobs : t -> int
 (** Worker count the pool was created with. *)

@@ -124,11 +124,39 @@ let test_welford_against_stat () =
   Helpers.check_float ~eps:1e-9 "variance" (Stat.variance xs) (Stat.Welford.variance w);
   Helpers.check_float ~eps:1e-9 "stddev" (Stat.stddev xs) (Stat.Welford.stddev w)
 
+(* VARTUNE_JOBS precedence: explicit ~jobs wins, a well-formed env value
+   is honoured, and zero/negative/garbage values are rejected (with a
+   Logs warning) in favour of the recommended domain count — never
+   silently clamped to 1. *)
+let test_env_jobs_precedence () =
+  let original = Sys.getenv_opt "VARTUNE_JOBS" in
+  let set v = Unix.putenv "VARTUNE_JOBS" v in
+  Fun.protect
+    ~finally:(fun () -> set (Option.value original ~default:""))
+    (fun () ->
+      set "3";
+      with_pool 2 (fun pool ->
+          Alcotest.(check int) "explicit ~jobs beats env" 2 (Pool.jobs pool));
+      let pool = Pool.create () in
+      Alcotest.(check int) "valid env honoured" 3 (Pool.jobs pool);
+      Pool.shutdown pool;
+      let recommended = Domain.recommended_domain_count () in
+      List.iter
+        (fun bad ->
+          set bad;
+          let pool = Pool.create () in
+          Alcotest.(check int)
+            (Printf.sprintf "VARTUNE_JOBS=%S rejected" bad)
+            recommended (Pool.jobs pool);
+          Pool.shutdown pool)
+        [ "0"; "-2"; "garbage"; "" ])
+
 let () =
   Alcotest.run "pool"
     [
       ( "pool",
         [
+          Alcotest.test_case "env jobs precedence" `Quick test_env_jobs_precedence;
           Alcotest.test_case "map ordering" `Quick test_map_ordering;
           Alcotest.test_case "map empty/singleton" `Quick test_map_empty_and_singleton;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagation;

@@ -1,0 +1,48 @@
+(* CI checker for telemetry output files.
+
+   Usage: trace_check TRACE.json [METRICS.json]
+
+   Validates the Chrome-trace file structurally (see
+   Vartune_obs.Trace_check) and, when given, checks the metrics file is
+   well-formed JSON with the three expected sections.  Exits non-zero
+   with a diagnostic on the first problem. *)
+
+module Json = Vartune_obs.Json
+module Trace_check = Vartune_obs.Trace_check
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("trace_check: " ^ m); exit 1) fmt
+
+let check_metrics path =
+  match Json.parse (read_file path) with
+  | Error e -> fail "%s: invalid JSON: %s" path e
+  | Ok json ->
+    List.iter
+      (fun section ->
+        match Json.member section json with
+        | Some (Json.Object _) -> ()
+        | Some _ -> fail "%s: %S is not an object" path section
+        | None -> fail "%s: missing %S section" path section)
+      [ "counters"; "gauges"; "histograms" ];
+    Printf.printf "%s: ok\n" path
+
+let () =
+  match Sys.argv with
+  | [| _; trace |] | [| _; trace; _ |] -> (
+    (match Trace_check.validate_file trace with
+    | Error e -> fail "%s: %s" trace e
+    | Ok s ->
+      Printf.printf "%s: ok — %d events, %d spans over %d domain track(s)\n" trace s.total
+        s.spans s.domains;
+      Printf.printf "  span names: %s\n" (String.concat ", " s.names));
+    match Sys.argv with
+    | [| _; _; metrics |] -> check_metrics metrics
+    | _ -> ())
+  | _ ->
+    prerr_endline "usage: trace_check TRACE.json [METRICS.json]";
+    exit 2
