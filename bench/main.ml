@@ -19,7 +19,13 @@
      VARTUNE_METRICS_OUT    write the telemetry metrics JSON here
      VARTUNE_SKIP_MICRO     set to skip the Bechamel section
      VARTUNE_SKIP_PARALLEL  set to skip the parallel-scaling section
-     VARTUNE_SKIP_FIGURES   set to skip the table/figure regeneration *)
+     VARTUNE_SKIP_STORE     set to skip the cold-vs-warm store section
+     VARTUNE_SKIP_FIGURES   set to skip the table/figure regeneration
+
+   Part 4 measures the persistent artifact store: the same experiment
+   workload is run cold (empty store) and warm (populated store), the
+   results are asserted identical, and the speedup is recorded in
+   BENCH_store.json. *)
 
 module Experiment = Vartune_flow.Experiment
 module Figures = Vartune_flow.Figures
@@ -46,6 +52,8 @@ module Path = Vartune_sta.Path
 module Convolve = Vartune_stats.Convolve
 module Mapper = Vartune_synth.Mapper
 module Constraints = Vartune_synth.Constraints
+module Synthesis = Vartune_synth.Synthesis
+module Store = Vartune_store.Store
 module Obs = Vartune_obs.Obs
 
 let src = Logs.Src.create "vartune.bench" ~doc:"benchmark harness"
@@ -202,7 +210,7 @@ let parallel_benchmarks (setup : Experiment.setup) ~samples ~seed =
           && x.Experiment.area_delta = y.Experiment.area_delta)
         a b)
     (fun pool ->
-      Experiment.sweep ~pool (Experiment.fresh_cache setup) ~period ~tuning ~parameters);
+      Experiment.sweep ~pool (Experiment.fresh_memo setup) ~period ~tuning ~parameters);
   let base = Experiment.baseline setup ~period:setup.Experiment.min_period in
   let mc_path =
     let paths = base.Experiment.paths in
@@ -240,6 +248,71 @@ let parallel_benchmarks (setup : Experiment.setup) ~samples ~seed =
   Log.app (fun m -> m "wrote BENCH_parallel.json")
 
 (* ------------------------------------------------------------------ *)
+(* Part 4: persistent store, cold vs warm                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The experiment workload the store accelerates: build the statistical
+   library, measure the minimum period, synthesise a baseline and a
+   three-point tuning sweep.  Returns a pure-scalar fingerprint so cold
+   and warm runs can be compared exactly. *)
+let store_workload ~samples ~seed ~store () =
+  let setup = Experiment.prepare ~samples ~seed ~store () in
+  let period = setup.Experiment.min_period *. 1.5 in
+  let tuning =
+    { Tuning_method.population = Cluster.Per_cell; criterion = Threshold.Sigma_ceiling 0.02 }
+  in
+  let base = Experiment.baseline setup ~period in
+  let points = Experiment.sweep setup ~period ~tuning ~parameters:[ 0.01; 0.02; 0.05 ] in
+  ( setup.Experiment.min_period,
+    base.Experiment.result.Synthesis.worst_slack,
+    base.Experiment.result.Synthesis.area,
+    List.map
+      (fun (p : Experiment.sweep_point) -> (p.Experiment.reduction, p.Experiment.area_delta))
+      points )
+
+let store_benchmarks ~samples ~seed =
+  Report.heading "Persistent store (cold vs warm)";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vartune_bench_store_%d" (Unix.getpid ()))
+  in
+  let store = Store.open_dir dir in
+  Store.wipe store;
+  let cold_result, cold_s = time (store_workload ~samples ~seed ~store) in
+  let warm_result, warm_s = time (store_workload ~samples ~seed ~store) in
+  if cold_result <> warm_result then
+    failwith "store benchmark: warm run diverged from cold run";
+  let stats = Store.stats store in
+  let speedup = if warm_s > 0.0 then cold_s /. warm_s else 0.0 in
+  Printf.printf "  %-24s cold %7.2f s   warm %7.2f s   speedup %.2fx\n%!" "experiment" cold_s
+    warm_s speedup;
+  Printf.printf "  store: %d hits, %d misses, %d writes, %d entries, %d bytes\n%!"
+    stats.Store.hits stats.Store.misses stats.Store.writes (Store.entry_count store)
+    (Store.total_bytes store);
+  if speedup < 3.0 then
+    Log.warn (fun m -> m "warm-run speedup %.2fx below the 3x target" speedup);
+  let oc = open_out "BENCH_store.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"samples\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"cold_s\": %.6f,\n\
+    \  \"warm_s\": %.6f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"hits\": %d,\n\
+    \  \"misses\": %d,\n\
+    \  \"writes\": %d,\n\
+    \  \"entries\": %d,\n\
+    \  \"bytes\": %d,\n\
+    \  \"ocaml_version\": \"%s\"\n\
+     }\n"
+    samples seed cold_s warm_s speedup stats.Store.hits stats.Store.misses stats.Store.writes
+    (Store.entry_count store) (Store.total_bytes store) Sys.ocaml_version;
+  close_out oc;
+  Log.app (fun m -> m "wrote BENCH_store.json");
+  Store.wipe store
+
+(* ------------------------------------------------------------------ *)
 
 (* Same telemetry outputs as the CLI's --trace / --metrics-out, driven
    by environment variables so `dune exec bench/main.exe` stays
@@ -274,5 +347,6 @@ let () =
   let setup = Experiment.prepare ~samples ~seed () in
   if Sys.getenv_opt "VARTUNE_SKIP_PARALLEL" = None then
     parallel_benchmarks setup ~samples ~seed;
+  if Sys.getenv_opt "VARTUNE_SKIP_STORE" = None then store_benchmarks ~samples ~seed;
   if Sys.getenv_opt "VARTUNE_SKIP_FIGURES" = None then Figures.run_all setup;
   Log.app (fun m -> m "total wall time: %.1f s" (Unix.gettimeofday () -. t0))

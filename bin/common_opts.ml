@@ -1,0 +1,152 @@
+(* Shared cmdliner terms for every vartune subcommand.
+
+   One [term] carries the flags every pipeline stage understands —
+   logging, worker pool, telemetry, randomness, and the persistent
+   artifact store — so a new common flag added here appears on all
+   subcommands at once.  Precedence everywhere: command-line flag >
+   environment variable > built-in default. *)
+
+open Cmdliner
+module Obs = Vartune_obs.Obs
+module Pool = Vartune_util.Pool
+module Store = Vartune_store.Store
+
+let src = Logs.Src.create "vartune.cli" ~doc:"vartune command line"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  verbose : bool;
+  jobs : int option;
+  trace : string option;
+  metrics_out : string option;
+  seed : int;
+  samples : int;
+  store_dir : string option;
+  no_store : bool;
+}
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker-pool size for the parallel stages (default: $(b,VARTUNE_JOBS), else the \
+           recommended domain count; 1 forces serial execution). Output is bit-identical \
+           at any value.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace-event JSON file of the run (spans per pipeline stage, one \
+           track per worker domain). Load it in Perfetto or chrome://tracing. Telemetry \
+           never changes pipeline outputs.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON summary of telemetry counters, gauges and histograms (cells \
+           characterised, LUT entries merged, synthesis-cache and store hits/misses, pool \
+           utilisation, ...).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let samples_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "n"; "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample libraries (paper: 50).")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persistent artifact store directory (default: $(b,VARTUNE_STORE), else \
+           \\$XDG_CACHE_HOME/vartune, else ~/.cache/vartune). Warm runs reuse stored \
+           statistical libraries and synthesis results bit-identically.")
+
+let no_store_arg =
+  Arg.(
+    value & flag
+    & info [ "no-store" ]
+        ~doc:"Disable the persistent artifact store: nothing is read or written.")
+
+let term =
+  let make verbose jobs trace metrics_out seed samples store_dir no_store =
+    { verbose; jobs; trace; metrics_out; seed; samples; store_dir; no_store }
+  in
+  Term.(
+    const make $ verbose_arg $ jobs_arg $ trace_arg $ metrics_arg $ seed_arg $ samples_arg
+    $ store_arg $ no_store_arg)
+
+(* Telemetry is enabled the moment either output file is requested, and
+   the exporters run from at_exit so every subcommand — and every exit
+   path — flushes its trace. *)
+let setup_obs t =
+  if t.trace <> None || t.metrics_out <> None then begin
+    Obs.set_enabled true;
+    at_exit (fun () ->
+        Option.iter
+          (fun path ->
+            Obs.write_trace path;
+            Log.info (fun m -> m "wrote Chrome trace to %s (load in Perfetto)" path))
+          t.trace;
+        Option.iter
+          (fun path ->
+            Obs.write_metrics path;
+            Log.info (fun m -> m "wrote metrics to %s" path))
+          t.metrics_out)
+  end
+
+(* Logging + telemetry + worker-pool size in one step so every
+   subcommand applies --jobs before its first parallel stage. *)
+let setup t =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if t.verbose then Logs.Debug else Logs.Info));
+  setup_obs t;
+  Option.iter Pool.set_default_jobs t.jobs
+
+let store t =
+  if t.no_store then None
+  else begin
+    let dir = Option.value t.store_dir ~default:(Store.default_dir ()) in
+    let store = Store.open_dir dir in
+    Log.debug (fun m -> m "artifact store at %s" dir);
+    at_exit (fun () ->
+        let s = Store.stats store in
+        if s.Store.hits + s.Store.misses + s.Store.writes > 0 then
+          Log.info (fun m ->
+              m "store %s: %d hits, %d misses, %d writes, %d evictions" dir s.Store.hits
+                s.Store.misses s.Store.writes s.Store.evictions));
+    Some store
+  end
+
+let man =
+  [
+    `S "COMMON OPTIONS";
+    `P
+      "Options shared by every subcommand resolve with the precedence $(i,flag) > \
+       $(i,environment variable) > $(i,default):";
+    `I
+      ( "$(b,--jobs)",
+        "falls back to $(b,VARTUNE_JOBS), then the recommended domain count. Results are \
+         bit-identical at any value." );
+    `I
+      ( "$(b,--store)",
+        "falls back to $(b,VARTUNE_STORE), then \\$XDG_CACHE_HOME/vartune, then \
+         ~/.cache/vartune. $(b,--no-store) disables persistence entirely; stored and \
+         store-less runs produce byte-identical reports." );
+    `I ("$(b,--seed), $(b,--samples)", "built-in defaults 42 and 50 (the paper's values).");
+  ]

@@ -3,7 +3,11 @@
    Command-line front end over the vartune libraries: characterise the
    catalog, build statistical libraries, extract tuning restrictions,
    synthesise the evaluation design and regenerate the paper's
-   tables/figures. *)
+   tables/figures.
+
+   Flags shared by all subcommands (logging, pool, telemetry, seed,
+   samples, artifact store) live in Common_opts; each subcommand only
+   declares what is specific to it. *)
 
 open Cmdliner
 
@@ -13,15 +17,10 @@ module Printer = Vartune_liberty.Printer
 module Parser = Vartune_liberty.Parser
 module Library = Vartune_liberty.Library
 module Mismatch = Vartune_process.Mismatch
-module Mcu = Vartune_rtl.Microcontroller
 module Synthesis = Vartune_synth.Synthesis
-module Constraints = Vartune_synth.Constraints
-module Netlist = Vartune_netlist.Netlist
 module Path = Vartune_sta.Path
 module Design_sigma = Vartune_stats.Design_sigma
 module Tuning_method = Vartune_tuning.Tuning_method
-module Cluster = Vartune_tuning.Cluster
-module Threshold = Vartune_tuning.Threshold
 module Restrict = Vartune_tuning.Restrict
 module Timing_report = Vartune_sta.Timing_report
 module Power = Vartune_sta.Power
@@ -29,86 +28,11 @@ module Verilog = Vartune_netlist.Verilog
 module Experiment = Vartune_flow.Experiment
 module Figures = Vartune_flow.Figures
 module Report = Vartune_flow.Report
-module Pool = Vartune_util.Pool
 module Path_mc = Vartune_monte.Path_mc
-module Obs = Vartune_obs.Obs
 
-let src = Logs.Src.create "vartune.cli" ~doc:"vartune command line"
-
-module Log = (val Logs.src_log src : Logs.LOG)
-
-let setup_logs verbose =
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
-
-(* Telemetry is enabled the moment either output file is requested, and
-   the exporters run from at_exit so every subcommand — and every exit
-   path — flushes its trace. *)
-let setup_obs (trace, metrics) =
-  if trace <> None || metrics <> None then begin
-    Obs.set_enabled true;
-    at_exit (fun () ->
-        Option.iter
-          (fun path ->
-            Obs.write_trace path;
-            Log.info (fun m -> m "wrote Chrome trace to %s (load in Perfetto)" path))
-          trace;
-        Option.iter
-          (fun path ->
-            Obs.write_metrics path;
-            Log.info (fun m -> m "wrote metrics to %s" path))
-          metrics)
-  end
-
-(* Logging + worker-pool size + telemetry in one step so every
-   subcommand applies --jobs before its first parallel stage. *)
-let setup_run verbose jobs obs_opts =
-  setup_logs verbose;
-  setup_obs obs_opts;
-  Option.iter Pool.set_default_jobs jobs
-
-let verbose_arg =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
-
-let trace_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:
-          "Record a Chrome trace-event JSON file of the run (spans per pipeline stage, one \
-           track per worker domain). Load it in Perfetto or chrome://tracing. Telemetry \
-           never changes pipeline outputs.")
-
-let metrics_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "metrics-out" ] ~docv:"FILE"
-        ~doc:
-          "Write a JSON summary of telemetry counters, gauges and histograms (cells \
-           characterised, LUT entries merged, synthesis-cache hits/misses, pool \
-           utilisation, ...).")
-
-let obs_args = Term.(const (fun trace metrics -> (trace, metrics)) $ trace_arg $ metrics_arg)
-
-let jobs_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:
-          "Worker-pool size for the parallel stages (default: $(b,VARTUNE_JOBS), else the \
-           recommended domain count; 1 forces serial execution). Output is bit-identical \
-           at any value.")
-
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
-
-let samples_arg =
-  Arg.(
-    value & opt int 50
-    & info [ "n"; "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample libraries (paper: 50).")
+let default_method =
+  { Tuning_method.population = Vartune_tuning.Cluster.Per_cell;
+    criterion = Vartune_tuning.Threshold.Sigma_ceiling 0.02 }
 
 let output_arg =
   Arg.(
@@ -122,56 +46,50 @@ let write_library output lib =
     Printf.printf "wrote %s (%d cells)\n" path (Library.size lib)
   | None -> print_string (Printer.to_string lib)
 
+let cmd_info name ~doc = Cmd.info name ~doc ~man:Common_opts.man
+
 (* ------------------------------------------------------------------ *)
 
 let characterize_cmd =
-  let run verbose output =
-    setup_logs verbose;
-    write_library output (Characterize.nominal Characterize.default_config)
+  let run common output =
+    Common_opts.setup common;
+    let store = Common_opts.store common in
+    write_library output (Characterize.nominal ?store Characterize.default_config)
   in
   Cmd.v
-    (Cmd.info "characterize" ~doc:"Characterise the 304-cell catalog into a nominal library.")
-    Term.(const run $ verbose_arg $ output_arg)
+    (cmd_info "characterize" ~doc:"Characterise the 304-cell catalog into a nominal library.")
+    Term.(const run $ Common_opts.term $ output_arg)
 
 let statlib_cmd =
-  let run verbose jobs obs output samples seed =
-    setup_run verbose jobs obs;
+  let run (common : Common_opts.t) output =
+    Common_opts.setup common;
+    let store = Common_opts.store common in
     let lib =
-      Statistical.build Characterize.default_config ~mismatch:Mismatch.default ~seed
-        ~n:samples ()
+      Statistical.build ?store Characterize.default_config ~mismatch:Mismatch.default
+        ~seed:common.seed ~n:common.samples ()
     in
     write_library output lib
   in
   Cmd.v
-    (Cmd.info "statlib"
+    (cmd_info "statlib"
        ~doc:"Build the statistical library (entry-wise mean/sigma over N samples).")
-    Term.(const run $ verbose_arg $ jobs_arg $ obs_args $ output_arg $ samples_arg $ seed_arg)
+    Term.(const run $ Common_opts.term $ output_arg)
 
 (* ------------------------------------------------------------------ *)
 
+(* The single spelling of tuning methods: Tuning_method.to_string /
+   of_string round-trip, shared with store keys and report labels. *)
 let method_conv =
   let parse s =
-    let population, rest =
-      match String.index_opt s '/' with
-      | Some i ->
-        ( (match String.sub s 0 i with
-          | "cell" -> Cluster.Per_cell
-          | "strength" -> Cluster.Per_drive_strength
-          | other -> failwith ("unknown population " ^ other)),
-          String.sub s (i + 1) (String.length s - i - 1) )
-      | None -> (Cluster.Per_cell, s)
-    in
-    let criterion =
-      match String.split_on_char '=' rest with
-      | [ "load"; v ] -> Threshold.Load_slope (float_of_string v)
-      | [ "slew"; v ] -> Threshold.Slew_slope (float_of_string v)
-      | [ "ceiling"; v ] -> Threshold.Sigma_ceiling (float_of_string v)
-      | _ -> failwith "expected load=V, slew=V or ceiling=V"
-    in
-    Ok { Tuning_method.population; criterion }
+    match Tuning_method.of_string s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "invalid method %S: expected [cell/|strength/](load|slew|ceiling)=VALUE" s))
   in
-  let parse s = try parse s with Failure m -> Error (`Msg m) in
-  let print ppf m = Format.pp_print_string ppf (Tuning_method.name m) in
+  let print ppf m = Format.pp_print_string ppf (Tuning_method.to_string m) in
   Arg.conv (parse, print)
 
 let method_arg =
@@ -181,7 +99,7 @@ let method_arg =
     & info [ "m"; "method" ] ~docv:"METHOD"
         ~doc:
           "Tuning method, e.g. cell/ceiling=0.02, strength/load=0.05, cell/slew=0.03. \
-           Population is cell or strength.")
+           Population is cell or strength (default: cell).")
 
 let period_arg =
   Arg.(
@@ -189,20 +107,16 @@ let period_arg =
     & info [ "p"; "period" ] ~docv:"NS" ~doc:"Clock period in ns (default: measured minimum).")
 
 let tune_cmd =
-  let run verbose jobs obs samples seed tuning =
-    setup_run verbose jobs obs;
-    let tuning =
-      Option.value tuning
-        ~default:
-          { Tuning_method.population = Cluster.Per_cell;
-            criterion = Threshold.Sigma_ceiling 0.02 }
-    in
+  let run (common : Common_opts.t) tuning =
+    Common_opts.setup common;
+    let store = Common_opts.store common in
+    let tuning = Option.value tuning ~default:default_method in
     let lib =
-      Statistical.build Characterize.default_config ~mismatch:Mismatch.default ~seed
-        ~n:samples ()
+      Statistical.build ?store Characterize.default_config ~mismatch:Mismatch.default
+        ~seed:common.seed ~n:common.samples ()
     in
     let table = Tuning_method.restrictions tuning lib in
-    Printf.printf "method: %s\n" (Tuning_method.name tuning);
+    Printf.printf "method: %s\n" (Tuning_method.to_string tuning);
     Printf.printf "LUT-entry removal across the library: %s\n"
       (Report.pct (Restrict.restriction_fraction table lib));
     List.iter
@@ -216,8 +130,8 @@ let tune_cmd =
       (Restrict.restricted_pins table)
   in
   Cmd.v
-    (Cmd.info "tune" ~doc:"Extract per-pin slew/load restrictions from a tuning method.")
-    Term.(const run $ verbose_arg $ jobs_arg $ obs_args $ samples_arg $ seed_arg $ method_arg)
+    (cmd_info "tune" ~doc:"Extract per-pin slew/load restrictions from a tuning method.")
+    Term.(const run $ Common_opts.term $ method_arg)
 
 let timing_report_arg =
   Arg.(value & flag & info [ "timing-report" ] ~doc:"Print the worst-path timing report.")
@@ -230,26 +144,30 @@ let verilog_arg =
     value & opt (some string) None
     & info [ "verilog" ] ~docv:"FILE" ~doc:"Export the synthesised netlist as structural Verilog.")
 
+let prepare_setup (common : Common_opts.t) =
+  let store = Common_opts.store common in
+  Experiment.prepare ~samples:common.samples ~seed:common.seed ?store ()
+
+let print_run label (run : Experiment.run) =
+  let r = run.Experiment.result in
+  Printf.printf "%-24s feasible=%b slack=%+.3f area=%.0f um^2 cells=%d sigma=%.4f ns\n"
+    label r.Synthesis.feasible r.Synthesis.worst_slack r.Synthesis.area
+    r.Synthesis.instances
+    run.Experiment.design_sigma.Design_sigma.dist.Vartune_stats.Dist.sigma
+
 let synth_cmd =
-  let run verbose jobs obs samples seed period tuning timing_report power verilog =
-    setup_run verbose jobs obs;
-    let setup = Experiment.prepare ~samples ~seed () in
+  let run common period tuning timing_report power verilog =
+    Common_opts.setup common;
+    let setup = prepare_setup common in
     let period = Option.value period ~default:setup.Experiment.min_period in
     let base = Experiment.baseline setup ~period in
-    let print_run label (run : Experiment.run) =
-      let r = run.Experiment.result in
-      Printf.printf "%-24s feasible=%b slack=%+.3f area=%.0f um^2 cells=%d sigma=%.4f ns\n"
-        label r.Synthesis.feasible r.Synthesis.worst_slack r.Synthesis.area
-        r.Synthesis.instances
-        run.Experiment.design_sigma.Design_sigma.dist.Vartune_stats.Dist.sigma
-    in
     print_run "baseline" base;
     let final =
       match tuning with
       | None -> base
       | Some tuning ->
         let tuned = Experiment.tuned setup ~period ~tuning in
-        print_run (Tuning_method.name tuning) tuned;
+        print_run (Tuning_method.to_string tuning) tuned;
         Printf.printf "sigma decrease %s at area increase %s\n"
           (Report.pct (Experiment.sigma_reduction ~baseline:base ~tuned))
           (Report.pct (Experiment.area_increase ~baseline:base ~tuned));
@@ -257,8 +175,7 @@ let synth_cmd =
     in
     let result = final.Experiment.result in
     if timing_report then
-      print_string
-        (Timing_report.report result.Synthesis.timing result.Synthesis.netlist);
+      print_string (Timing_report.report result.Synthesis.timing result.Synthesis.netlist);
     if power then
       Format.printf "%a@." Power.pp
         (Power.estimate result.Synthesis.timing result.Synthesis.netlist);
@@ -269,23 +186,23 @@ let synth_cmd =
       verilog
   in
   Cmd.v
-    (Cmd.info "synth" ~doc:"Synthesise the evaluation design, optionally with tuning.")
+    (cmd_info "synth" ~doc:"Synthesise the evaluation design, optionally with tuning.")
     Term.(
-      const run $ verbose_arg $ jobs_arg $ obs_args $ samples_arg $ seed_arg $ period_arg
-      $ method_arg $ timing_report_arg $ power_arg $ verilog_arg)
+      const run $ Common_opts.term $ period_arg $ method_arg $ timing_report_arg
+      $ power_arg $ verilog_arg)
 
 let min_period_cmd =
-  let run verbose jobs obs samples seed =
-    setup_run verbose jobs obs;
-    let setup = Experiment.prepare ~samples ~seed () in
+  let run common =
+    Common_opts.setup common;
+    let setup = prepare_setup common in
     Printf.printf "minimum clock period: %.2f ns\n" setup.Experiment.min_period;
     List.iter
       (fun (label, p) -> Printf.printf "  %-8s %.2f ns\n" label p)
       setup.Experiment.periods
   in
   Cmd.v
-    (Cmd.info "min-period" ~doc:"Measure the minimum feasible clock period (Table 1).")
-    Term.(const run $ verbose_arg $ jobs_arg $ obs_args $ samples_arg $ seed_arg)
+    (cmd_info "min-period" ~doc:"Measure the minimum feasible clock period (Table 1).")
+    Term.(const run $ Common_opts.term)
 
 let figure_names =
   [
@@ -306,9 +223,9 @@ let report_cmd =
       & pos 0 (enum figure_names) `All
       & info [] ~docv:"FIGURE" ~doc:"Exhibit to regenerate (fig1..fig16, table1..table3, all).")
   in
-  let run verbose jobs obs samples seed figure =
-    setup_run verbose jobs obs;
-    let setup = Experiment.prepare ~samples ~seed () in
+  let run common figure =
+    Common_opts.setup common;
+    let setup = prepare_setup common in
     match figure with
     | `All -> Figures.run_all setup
     | `Fig1 -> Figures.fig1_metric ()
@@ -339,14 +256,15 @@ let report_cmd =
     | `Variability -> Figures.ablation_variability_metric setup
   in
   Cmd.v
-    (Cmd.info "report" ~doc:"Regenerate a table or figure from the paper's evaluation.")
-    Term.(const run $ verbose_arg $ jobs_arg $ obs_args $ samples_arg $ seed_arg $ figure_arg)
+    (cmd_info "report" ~doc:"Regenerate a table or figure from the paper's evaluation.")
+    Term.(const run $ Common_opts.term $ figure_arg)
 
 (* One subcommand that touches every instrumented stage — characterise,
    statistical merge, synthesis + STA (baseline and tuned), a tuning
    parameter sweep and a path-level Monte Carlo — so a single
    `vartune experiment --trace t.json` yields a trace with the complete
-   span vocabulary. *)
+   span vocabulary, and a shared $(b,--store) demonstrates warm-run
+   reuse end to end. *)
 let experiment_cmd =
   let mc_samples_arg =
     Arg.(
@@ -354,29 +272,17 @@ let experiment_cmd =
       & info [ "mc-samples" ] ~docv:"N"
           ~doc:"Monte-Carlo samples for the path-level validation stage.")
   in
-  let run verbose jobs obs samples seed period tuning mc_samples =
-    setup_run verbose jobs obs;
-    let setup = Experiment.prepare ~samples ~seed () in
+  let run (common : Common_opts.t) period tuning mc_samples =
+    Common_opts.setup common;
+    let setup = prepare_setup common in
     Printf.printf "minimum clock period: %.2f ns\n" setup.Experiment.min_period;
     let period = Option.value period ~default:setup.Experiment.min_period in
-    let tuning =
-      Option.value tuning
-        ~default:
-          { Tuning_method.population = Cluster.Per_cell;
-            criterion = Threshold.Sigma_ceiling 0.02 }
-    in
+    let tuning = Option.value tuning ~default:default_method in
     let base = Experiment.baseline setup ~period in
-    let print_run label (run : Experiment.run) =
-      let r = run.Experiment.result in
-      Printf.printf "%-24s feasible=%b slack=%+.3f area=%.0f um^2 cells=%d sigma=%.4f ns\n"
-        label r.Synthesis.feasible r.Synthesis.worst_slack r.Synthesis.area
-        r.Synthesis.instances
-        run.Experiment.design_sigma.Design_sigma.dist.Vartune_stats.Dist.sigma
-    in
     print_run "baseline" base;
     let parameters = [ 0.01; 0.02; 0.05 ] in
     let points = Experiment.sweep setup ~period ~tuning ~parameters in
-    Printf.printf "sweep (%s):\n" (Tuning_method.name tuning);
+    Printf.printf "sweep (%s):\n" (Tuning_method.to_string tuning);
     List.iter
       (fun (p : Experiment.sweep_point) ->
         Printf.printf "  parameter %.4g  sigma %s  area %s\n" p.Experiment.parameter
@@ -388,26 +294,26 @@ let experiment_cmd =
       List.nth paths (List.length paths / 2)
     in
     let mc =
-      Path_mc.simulate { Path_mc.default_config with n = mc_samples } ~seed mc_path
+      Path_mc.simulate
+        { Path_mc.default_config with n = mc_samples }
+        ~seed:common.seed mc_path
     in
     Printf.printf "path MC (depth %d, N=%d): mean %.4f ns  sigma %.4f ns\n"
       (Path.depth mc_path) mc_samples mc.Path_mc.mean mc.Path_mc.sigma
   in
   Cmd.v
-    (Cmd.info "experiment"
+    (cmd_info "experiment"
        ~doc:
          "Run the full characterise/merge/tune/synthesise/STA/Monte-Carlo pipeline once — \
-          the natural target for $(b,--trace) and $(b,--metrics-out).")
-    Term.(
-      const run $ verbose_arg $ jobs_arg $ obs_args $ samples_arg $ seed_arg $ period_arg
-      $ method_arg $ mc_samples_arg)
+          the natural target for $(b,--trace), $(b,--metrics-out) and a warm $(b,--store).")
+    Term.(const run $ Common_opts.term $ period_arg $ method_arg $ mc_samples_arg)
 
 let parse_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Library file.")
   in
-  let run verbose file =
-    setup_logs verbose;
+  let run common file =
+    Common_opts.setup common;
     let lib = Parser.parse_file file in
     Printf.printf "%s: %d cells, corner %s, statistical=%b, total area %.0f um^2\n"
       (Library.name lib) (Library.size lib) (Library.corner lib)
@@ -415,12 +321,12 @@ let parse_cmd =
       (Library.total_area lib)
   in
   Cmd.v
-    (Cmd.info "parse" ~doc:"Parse a liberty-format library file and summarise it.")
-    Term.(const run $ verbose_arg $ file_arg)
+    (cmd_info "parse" ~doc:"Parse a liberty-format library file and summarise it.")
+    Term.(const run $ Common_opts.term $ file_arg)
 
 let main_cmd =
   let doc = "standard cell library tuning for variability tolerant designs" in
-  Cmd.group (Cmd.info "vartune" ~version:"1.0.0" ~doc)
+  Cmd.group (Cmd.info "vartune" ~version:"1.0.0" ~doc ~man:Common_opts.man)
     [
       characterize_cmd; statlib_cmd; tune_cmd; synth_cmd; min_period_cmd; experiment_cmd;
       report_cmd; parse_cmd;

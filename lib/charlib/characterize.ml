@@ -117,4 +117,40 @@ let library config ?name ?sample_for specs =
       in
       Library.make ~name ~corner:(Corner.name config.corner) ~cells)
 
-let nominal ?(specs = Vartune_stdcell.Catalog.specs) config = library config specs
+module Store = Vartune_store.Store
+module Codec = Vartune_store.Codec
+
+let add_config_to_key key config =
+  let p = config.params in
+  Store.Key.(
+    key
+    |> fun k ->
+    floats k "model"
+      [|
+        p.Delay_model.tau; p.r_unit; p.k_slew; p.vt_slew_gain; p.t_slew_base; p.k_trans;
+        p.k_trans_slew; p.self_load;
+      |]
+    |> fun k ->
+    str k "corner" (Corner.name config.corner) |> fun k ->
+    floats k "slews" config.slew_axis |> fun k -> floats k "loads" config.load_fractions)
+
+let add_specs_to_key key specs =
+  List.fold_left
+    (fun k (spec : Spec.t) ->
+      Store.Key.str k "family"
+        (Printf.sprintf "%s:%s" spec.family
+           (String.concat "," (List.map string_of_int spec.drives))))
+    key specs
+
+let nominal ?(specs = Vartune_stdcell.Catalog.specs) ?store config =
+  let compute () = library config specs in
+  match store with
+  | None -> compute ()
+  | Some store -> (
+    let key = add_specs_to_key (add_config_to_key (Store.Key.v "nominal") config) specs in
+    match Store.load store key Codec.r_library with
+    | Some lib -> lib
+    | None ->
+      let lib = compute () in
+      Store.save store key (fun b -> Codec.w_library b lib);
+      lib)

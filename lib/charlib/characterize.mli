@@ -36,5 +36,23 @@ val library :
   Vartune_liberty.Library.t
 (** Characterises a whole catalog.  The default name is the corner tag. *)
 
-val nominal : ?specs:Vartune_stdcell.Spec.t list -> config -> Vartune_liberty.Library.t
-(** The nominal (no-variation) library of the full catalog. *)
+val nominal :
+  ?specs:Vartune_stdcell.Spec.t list ->
+  ?store:Vartune_store.Store.t ->
+  config ->
+  Vartune_liberty.Library.t
+(** The nominal (no-variation) library of the full catalog.  With
+    [store], the library is fetched from / saved to the persistent
+    artifact store under a key derived from the full characterisation
+    config and catalog shape. *)
+
+(** {1 Store fingerprints} *)
+
+val add_config_to_key : Vartune_store.Store.Key.t -> config -> Vartune_store.Store.Key.t
+(** Appends every characterisation input — delay-model parameters,
+    corner, slew axis, load fractions — to a store key, so any config
+    change invalidates dependent artifacts. *)
+
+val add_specs_to_key :
+  Vartune_store.Store.Key.t -> Vartune_stdcell.Spec.t list -> Vartune_store.Store.Key.t
+(** Appends the catalog shape (families and drive lists). *)

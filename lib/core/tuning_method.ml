@@ -2,10 +2,56 @@ module Cell = Vartune_liberty.Cell
 
 type t = { population : Cluster.population; criterion : Threshold.criterion }
 
-let name t =
-  Printf.sprintf "%s/%s"
+(* Shortest decimal that parses back to the same float: %.12g covers the
+   friendly sweep values ("0.02"), %.17g is always exact. *)
+let float_to_string v =
+  let s = Printf.sprintf "%.12g" v in
+  if float_of_string s = v || (Float.is_nan v && Float.is_nan (float_of_string s)) then s
+  else Printf.sprintf "%.17g" v
+
+let to_string t =
+  let criterion, parameter =
+    match t.criterion with
+    | Threshold.Load_slope b -> ("load", b)
+    | Threshold.Slew_slope b -> ("slew", b)
+    | Threshold.Sigma_ceiling c -> ("ceiling", c)
+  in
+  Printf.sprintf "%s/%s=%s"
     (Cluster.population_to_string t.population)
-    (Threshold.criterion_to_string t.criterion)
+    criterion (float_to_string parameter)
+
+let of_string s =
+  let population, rest =
+    match String.index_opt s '/' with
+    | Some i ->
+      let pop =
+        match String.sub s 0 i with
+        | "cell" -> Some Cluster.Per_cell
+        | "strength" -> Some Cluster.Per_drive_strength
+        | _ -> None
+      in
+      (pop, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> (Some Cluster.Per_cell, s)
+  in
+  let criterion =
+    match String.index_opt rest '=' with
+    | None -> None
+    | Some i -> (
+      let value = String.sub rest (i + 1) (String.length rest - i - 1) in
+      match float_of_string_opt value with
+      | None -> None
+      | Some v -> (
+        match String.sub rest 0 i with
+        | "load" -> Some (Threshold.Load_slope v)
+        | "slew" -> Some (Threshold.Slew_slope v)
+        | "ceiling" -> Some (Threshold.Sigma_ceiling v)
+        | _ -> None))
+  in
+  match (population, criterion) with
+  | Some population, Some criterion -> Some { population; criterion }
+  | _ -> None
+
+let name = to_string
 
 let short_name t =
   match (t.population, t.criterion) with

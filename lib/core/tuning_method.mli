@@ -15,8 +15,20 @@ type t = {
   criterion : Threshold.criterion;
 }
 
+val to_string : t -> string
+(** Canonical spelling, e.g. ["strength/load=0.05"] or
+    ["cell/ceiling=0.02"]: population ([cell] | [strength]), a slash,
+    criterion ([load] | [slew] | [ceiling]) and the parameter printed
+    with enough digits to parse back exactly.  This is the {e single}
+    spelling used by the CLI [--method] flag, store keys and report
+    labels; {!of_string} inverts it for every method. *)
+
+val of_string : string -> t option
+(** Parses {!to_string} output; a missing [population/] prefix defaults
+    to [cell].  [None] on anything else. *)
+
 val name : t -> string
-(** e.g. ["strength/load_slope<0.05"]. *)
+(** Alias for {!to_string}. *)
 
 val short_name : t -> string
 (** The paper's labels: ["Cell strength load"], ["Cell slew"], ... *)

@@ -10,6 +10,8 @@ module Constraints = Vartune_synth.Constraints
 module Path = Vartune_sta.Path
 module Design_sigma = Vartune_stats.Design_sigma
 module Tuning_method = Vartune_tuning.Tuning_method
+module Store = Vartune_store.Store
+module Codec = Vartune_store.Codec
 module Obs = Vartune_obs.Obs
 
 let src = Logs.Src.create "vartune.flow" ~doc:"experiment flow"
@@ -28,7 +30,18 @@ type run = {
   design_sigma : Design_sigma.t;
 }
 
-type cache_key = int * float * string
+type memo_key = int * float * string
+(** (structural design fingerprint, period, label) *)
+
+type memo = {
+  table : (memo_key, run) Hashtbl.t;
+  (** guarded by [lock] so sweep points may run on pool workers *)
+  lock : Mutex.t;
+  store : Store.t option;
+  statlib_id : string;
+      (** full recipe id of the statistical-library store key; chained
+          into every run key so a different library invalidates runs *)
+}
 
 type setup = {
   char_config : Characterize.config;
@@ -40,8 +53,7 @@ type setup = {
   statlib : Library.t;
   min_period : float;
   periods : (string * float) list;
-  cache : (cache_key, run) Hashtbl.t;
-  cache_lock : Mutex.t;
+  memo : memo;
 }
 
 let paper_period_labels min_period =
@@ -55,16 +67,38 @@ let paper_period_labels min_period =
     ("low", Float.round (10.0 *. scale *. 100.0) /. 100.0);
   ]
 
-let prepare ?(samples = 50) ?(seed = 42) ?(mcu_config = Mcu.default_config) () =
+let make_memo ?store ~statlib_id () =
+  { table = Hashtbl.create 64; lock = Mutex.create (); store; statlib_id }
+
+let prepare ?(samples = 50) ?(seed = 42) ?(mcu_config = Mcu.default_config) ?store
+    ?(reuse = true) () =
   Obs.span "flow.prepare" ~attrs:(fun () -> [ ("samples", string_of_int samples) ])
   @@ fun () ->
+  let store = if reuse then store else None in
   let char_config = Characterize.default_config in
   let mismatch = Mismatch.default in
+  let statlib_key = Statistical.store_key char_config ~mismatch ~seed ~n:samples () in
+  let statlib_id = Store.Key.id statlib_key in
   Log.info (fun m -> m "building statistical library (N=%d)" samples);
-  let statlib = Statistical.build char_config ~mismatch ~seed ~n:samples () in
+  let statlib = Statistical.build ?store char_config ~mismatch ~seed ~n:samples () in
   let design = Mcu.generate ~config:mcu_config () in
   Log.info (fun m -> m "design %s: %d IR nodes" (Ir.name design) (Ir.node_count design));
-  let min_period = Synthesis.min_period statlib design in
+  let design_fp = Ir.fingerprint design in
+  let min_period =
+    let measure () = Synthesis.min_period statlib design in
+    match store with
+    | None -> measure ()
+    | Some s -> (
+      let key =
+        Store.Key.(int (str (v "min_period") "statlib" statlib_id) "design" design_fp)
+      in
+      match Store.load s key Codec.r_float with
+      | Some p -> p
+      | None ->
+        let p = measure () in
+        Store.save s key (fun b -> Codec.w_float b p);
+        p)
+  in
   Log.info (fun m -> m "minimum period: %.2f ns" min_period);
   {
     char_config;
@@ -72,51 +106,105 @@ let prepare ?(samples = 50) ?(seed = 42) ?(mcu_config = Mcu.default_config) () =
     seed;
     samples;
     design;
-    design_fp = Ir.fingerprint design;
+    design_fp;
     statlib;
     min_period;
     periods = paper_period_labels min_period;
-    cache = Hashtbl.create 64;
-    cache_lock = Mutex.create ();
+    memo = make_memo ?store ~statlib_id ();
   }
 
-let fresh_cache setup = { setup with cache = Hashtbl.create 64; cache_lock = Mutex.create () }
+let fresh_memo setup =
+  { setup with memo = make_memo ~statlib_id:setup.memo.statlib_id () }
+
+(* The persistent key of one synthesis run.  The restrictions table is
+   not an ingredient of its own: it is a deterministic function of
+   (method label, statistical library), and both are in the key.  The
+   remaining constraint scalars are included explicitly so a future
+   change of defaults invalidates entries. *)
+let run_key setup ~period ~label ~(cons : Constraints.t) =
+  Store.Key.(
+    v "synth_run"
+    |> fun k ->
+    str k "statlib" setup.memo.statlib_id |> fun k ->
+    int k "design" setup.design_fp |> fun k ->
+    float k "period" period |> fun k ->
+    str k "label" label |> fun k ->
+    float k "guard_band" cons.guard_band |> fun k ->
+    float k "input_slew" cons.input_slew |> fun k ->
+    float k "clock_slew" cons.clock_slew |> fun k ->
+    float k "output_load" cons.output_load |> fun k ->
+    int k "max_fanout" cons.max_fanout |> fun k ->
+    float k "max_transition" cons.max_transition |> fun k ->
+    int k "max_iterations" cons.max_iterations |> fun k ->
+    bool k "area_recovery" cons.area_recovery)
+
+let encode_run b r =
+  Codec.w_string b r.label;
+  Codec.w_float b r.period;
+  Codec.w_result b r.result;
+  Codec.w_paths b r.paths;
+  Codec.w_design_sigma b r.design_sigma
+
+let decode_run ~(cons : Constraints.t) r =
+  let label = Codec.r_string r in
+  let period = Codec.r_float r in
+  let result = Codec.r_result ~timing_config:(Constraints.timing_config cons) r in
+  let paths = Codec.r_paths r in
+  let design_sigma = Codec.r_design_sigma r in
+  { label; period; result; paths; design_sigma }
 
 (* Synthesis runs are deterministic in (setup identity, period, label);
-   the experiments re-visit baselines constantly, so memoise.  The cache
-   lives in the setup — so two setups never share entries — and is keyed
-   on the structural design fingerprint, so two mcu_configs that happen
-   to elaborate to the same node count still cannot collide.  The mutex
-   makes the memo table safe under Pool.map; a miss is synthesised
-   outside the lock (concurrent first requests may duplicate the work,
-   but the result is deterministic so either insert is correct). *)
+   the experiments re-visit baselines constantly, so memoise.  Lookups
+   go memo table → store → compute; either cache layer returns runs
+   bit-identical to a fresh synthesis.  The memo table lives in the
+   setup — so two setups never share entries — and is keyed on the
+   structural design fingerprint, so two mcu_configs that happen to
+   elaborate to the same node count still cannot collide.  The mutex
+   makes the memo table safe under Pool.map; a miss is resolved outside
+   the lock (concurrent first requests may duplicate the work, but the
+   result is deterministic so either insert is correct). *)
 let run_with setup ~period ~label ~restrictions =
+  let memo = setup.memo in
   let key = (setup.design_fp, period, label) in
-  let cached =
-    Mutex.protect setup.cache_lock (fun () -> Hashtbl.find_opt setup.cache key)
-  in
+  let cached = Mutex.protect memo.lock (fun () -> Hashtbl.find_opt memo.table key) in
   match cached with
   | Some r ->
     Obs.Counter.incr c_cache_hits;
     r
   | None ->
-    Obs.Counter.incr c_cache_misses;
+    let insert r =
+      Mutex.protect memo.lock (fun () ->
+          match Hashtbl.find_opt memo.table key with
+          | Some earlier -> earlier
+          | None ->
+            Hashtbl.replace memo.table key r;
+            r)
+    in
     let cons = Constraints.make ~clock_period:period ?restrictions () in
-    let result = Synthesis.run cons setup.statlib setup.design in
-    let paths = Path.worst_per_endpoint result.Synthesis.timing result.Synthesis.netlist in
-    let design_sigma = Design_sigma.of_paths paths in
-    let r = { label; period; result; paths; design_sigma } in
-    Mutex.protect setup.cache_lock (fun () ->
-        match Hashtbl.find_opt setup.cache key with
-        | Some earlier -> earlier
-        | None ->
-          Hashtbl.replace setup.cache key r;
-          r)
+    let stored =
+      match memo.store with
+      | None -> None
+      | Some s -> Store.load s (run_key setup ~period ~label ~cons) (decode_run ~cons)
+    in
+    (match stored with
+    | Some r ->
+      Obs.Counter.incr c_cache_hits;
+      insert r
+    | None ->
+      Obs.Counter.incr c_cache_misses;
+      let result = Synthesis.run cons setup.statlib setup.design in
+      let paths = Path.worst_per_endpoint result.Synthesis.timing result.Synthesis.netlist in
+      let design_sigma = Design_sigma.of_paths paths in
+      let r = { label; period; result; paths; design_sigma } in
+      (match memo.store with
+      | None -> ()
+      | Some s -> Store.save s (run_key setup ~period ~label ~cons) (fun b -> encode_run b r));
+      insert r)
 
 let baseline setup ~period = run_with setup ~period ~label:"baseline" ~restrictions:None
 
 let tuned setup ~period ~tuning =
-  let label = Tuning_method.name tuning in
+  let label = Tuning_method.to_string tuning in
   let restrictions = Tuning_method.restrictions tuning setup.statlib in
   run_with setup ~period ~label ~restrictions:(Some restrictions)
 
@@ -137,7 +225,7 @@ let sweep ?pool setup ~period ~tuning ~parameters =
   Obs.span "sweep.run"
     ~attrs:(fun () ->
       [
-        ("method", Tuning_method.name tuning);
+        ("method", Tuning_method.to_string tuning);
         ("points", string_of_int (List.length parameters));
       ])
   @@ fun () ->

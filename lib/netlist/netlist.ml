@@ -153,3 +153,92 @@ let family_usage t = usage (fun (c : Cell.t) -> c.family) t
 let fresh_name t ~prefix =
   t.name_counter <- t.name_counter + 1;
   Printf.sprintf "%s_%d" prefix t.name_counter
+
+(* -------------------------------------------------------------------- *)
+(* Faithful snapshots                                                    *)
+(* -------------------------------------------------------------------- *)
+
+type repr = {
+  repr_name : string;
+  repr_nets : (string * pin_ref option * pin_ref list) array;
+  repr_instances :
+    (string * Cell.t * (string * net_id) list * (string * net_id) list) option array;
+  repr_pis : net_id list;
+  repr_pos : net_id list;
+  repr_clock : net_id option;
+  repr_name_counter : int;
+}
+
+let export t =
+  {
+    repr_name = t.design_name;
+    repr_nets =
+      Array.map (fun n -> (n.net_name, n.driver, n.sinks)) (Vec.to_array t.nets);
+    repr_instances =
+      Array.map
+        (Option.map (fun i -> (i.inst_name, i.cell, i.inputs, i.outputs)))
+        (Vec.to_array t.instances);
+    (* internal pi/po lists are reversed; snapshots use user order *)
+    repr_pis = List.rev t.pis;
+    repr_pos = List.rev t.pos;
+    repr_clock = t.clock_net;
+    repr_name_counter = t.name_counter;
+  }
+
+let import repr =
+  let bad fmt = Printf.ksprintf invalid_arg ("Netlist.import: " ^^ fmt) in
+  let n_nets = Array.length repr.repr_nets in
+  let n_slots = Array.length repr.repr_instances in
+  let check_net nid ctx = if nid < 0 || nid >= n_nets then bad "net %d out of range (%s)" nid ctx in
+  let inst_of nid { inst; pin } ctx =
+    if inst < 0 || inst >= n_slots then bad "instance %d out of range (%s of net %d)" inst ctx nid;
+    match repr.repr_instances.(inst) with
+    | None -> bad "net %d %s references tombstoned instance %d" nid ctx inst
+    | Some (_, cell, inputs, outputs) ->
+      let conns = if ctx = "driver" then outputs else inputs in
+      (match Cell.find_pin cell pin with
+      | Some _ -> ()
+      | None -> bad "instance %d cell %s has no pin %s" inst cell.Cell.name pin);
+      if List.assoc_opt pin conns <> Some nid then
+        bad "net %d %s disagrees with instance %d pin %s" nid ctx inst pin
+  in
+  Array.iteri
+    (fun nid (_, driver, sinks) ->
+      Option.iter (fun r -> inst_of nid r "driver") driver;
+      List.iter (fun r -> inst_of nid r "sink") sinks)
+    repr.repr_nets;
+  let live = ref 0 in
+  Array.iter
+    (Option.iter (fun (_, _, inputs, outputs) ->
+         incr live;
+         List.iter (fun (_, nid) -> check_net nid "instance input") inputs;
+         List.iter (fun (_, nid) -> check_net nid "instance output") outputs))
+    repr.repr_instances;
+  List.iter (fun nid -> check_net nid "primary input") repr.repr_pis;
+  List.iter (fun nid -> check_net nid "primary output") repr.repr_pos;
+  Option.iter (fun nid -> check_net nid "clock") repr.repr_clock;
+  let nets = Vec.create () in
+  Array.iteri
+    (fun net_id (net_name, driver, sinks) ->
+      ignore (Vec.push nets { net_id; net_name; driver; sinks }))
+    repr.repr_nets;
+  let instances = Vec.create () in
+  Array.iteri
+    (fun inst_id slot ->
+      ignore
+        (Vec.push instances
+           (Option.map
+              (fun (inst_name, cell, inputs, outputs) ->
+                { inst_id; inst_name; cell; inputs; outputs })
+              slot)))
+    repr.repr_instances;
+  {
+    design_name = repr.repr_name;
+    nets;
+    instances;
+    live_instances = !live;
+    pis = List.rev repr.repr_pis;
+    pos = List.rev repr.repr_pos;
+    clock_net = repr.repr_clock;
+    name_counter = repr.repr_name_counter;
+  }

@@ -84,3 +84,34 @@ val family_usage : t -> (string * int) list
 
 val fresh_name : t -> prefix:string -> string
 (** A fresh, design-unique instance name. *)
+
+(** {1 Faithful snapshots}
+
+    [export]/[import] capture the {e exact} internal state — tombstone
+    slots, sink-list order (which fixes the float summation order of net
+    loads, hence last-ulp timing bits) and the name counter — so a
+    round-tripped netlist is indistinguishable from the original to
+    every downstream analysis.  Rebuilding through {!add_instance} could
+    not guarantee that.  Used by the persistent artifact store. *)
+
+type repr = {
+  repr_name : string;
+  repr_nets : (string * pin_ref option * pin_ref list) array;
+      (** per net: name, driver, sinks in live order *)
+  repr_instances :
+    (string * Vartune_liberty.Cell.t * (string * net_id) list * (string * net_id) list)
+    option
+    array;  (** per slot: name, cell, inputs, outputs; [None] = tombstone *)
+  repr_pis : net_id list;  (** in {!primary_inputs} order *)
+  repr_pos : net_id list;
+  repr_clock : net_id option;
+  repr_name_counter : int;
+}
+
+val export : t -> repr
+
+val import : repr -> t
+(** Rebuilds a netlist from a snapshot, re-validating structural
+    consistency (pins exist on their cells, net endpoints agree with
+    instance connections).  Raises [Invalid_argument] on any
+    inconsistency — malformed snapshots are rejected, not repaired. *)

@@ -239,9 +239,38 @@ let of_libraries = function
     let arr = Array.of_list libs in
     of_stream ~n:(Array.length arr) (fun i -> arr.(i))
 
-let build ?pool config ~mismatch ~seed ~n ?specs () =
-  of_stream ?pool ~n (fun index ->
-      Vartune_charlib.Sampler.sample_library config ~mismatch ~seed ~index ?specs ())
+module Store = Vartune_store.Store
+module Codec = Vartune_store.Codec
+module Characterize = Vartune_charlib.Characterize
+
+let store_key config ~mismatch ~seed ~n ?specs () =
+  let key =
+    Characterize.add_config_to_key (Store.Key.v "statlib") config
+    |> fun k ->
+    Store.Key.float k "sigma_r" mismatch.Vartune_process.Mismatch.sigma_resistance
+    |> fun k ->
+    Store.Key.float k "sigma_i" mismatch.Vartune_process.Mismatch.sigma_intrinsic
+    |> fun k ->
+    Store.Key.int k "seed" seed |> fun k -> Store.Key.int k "samples" n
+  in
+  Characterize.add_specs_to_key key
+    (Option.value specs ~default:Vartune_stdcell.Catalog.specs)
+
+let build ?pool ?store config ~mismatch ~seed ~n ?specs () =
+  let compute () =
+    of_stream ?pool ~n (fun index ->
+        Vartune_charlib.Sampler.sample_library config ~mismatch ~seed ~index ?specs ())
+  in
+  match store with
+  | None -> compute ()
+  | Some store -> (
+    let key = store_key config ~mismatch ~seed ~n ?specs () in
+    match Store.load store key Codec.r_library with
+    | Some lib -> lib
+    | None ->
+      let lib = compute () in
+      Store.save store key (fun b -> Codec.w_library b lib);
+      lib)
 
 let is_statistical lib =
   List.for_all

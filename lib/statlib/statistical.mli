@@ -29,6 +29,7 @@ val of_stream :
 
 val build :
   ?pool:Vartune_util.Pool.t ->
+  ?store:Vartune_store.Store.t ->
   Vartune_charlib.Characterize.config ->
   mismatch:Vartune_process.Mismatch.t ->
   seed:int ->
@@ -40,7 +41,23 @@ val build :
     characterised across the pool's domains and merged into one
     statistical library.  Deterministic in [(seed, n)] regardless of the
     pool size, because each sample index draws from its own
-    {!Vartune_util.Rng.stream}-derived generator. *)
+    {!Vartune_util.Rng.stream}-derived generator.  With [store], the
+    merged library is fetched from / saved to the persistent artifact
+    store under {!store_key} — a hit skips characterisation entirely and
+    is bit-identical to the cold computation. *)
+
+val store_key :
+  Vartune_charlib.Characterize.config ->
+  mismatch:Vartune_process.Mismatch.t ->
+  seed:int ->
+  n:int ->
+  ?specs:Vartune_stdcell.Spec.t list ->
+  unit ->
+  Vartune_store.Store.Key.t
+(** The statistical-library fingerprint: characterisation config,
+    mismatch sigmas, seed, sample count and catalog shape.  Changing any
+    one forces a store miss.  Exposed so downstream stages (synthesis
+    runs, sweeps) can chain it into their own keys. *)
 
 val is_statistical : Vartune_liberty.Library.t -> bool
 (** Whether every non-trivial arc carries sigma tables. *)

@@ -1,0 +1,98 @@
+(** Versioned binary codec for pipeline artifacts.
+
+    Fast, allocation-light binary (de)serialisation of everything the
+    persistent artifact store holds: statistical libraries, synthesis
+    results, critical-path lists and design-sigma aggregates.  All
+    numbers are fixed-width little-endian — floats travel as their
+    IEEE-754 bit patterns — so a decoded artifact is {e bit-identical}
+    to the encoded one, which is what lets warm pipeline runs reproduce
+    cold-run reports byte for byte.
+
+    Decoding is defensive: every read is bounds-checked and every
+    reconstruction validated, so malformed input raises {!Corrupt}
+    rather than producing a plausible-but-wrong artifact.  The store
+    treats {!Corrupt} (and constructor validation failures) as an
+    evict-and-recompute signal — a bad entry is never trusted.
+
+    {2 Version-bump policy}
+
+    {!version} names the layout {e and} the pipeline semantics baked
+    into stored artifacts.  Bump it when either changes:
+
+    - the binary layout of any codec below;
+    - anything that alters what a stage computes for the same key
+      (delay model, catalog, characterisation grid, statistical merge,
+      mapper/sizer/STA algorithms).
+
+    The version participates in every store key, so a bump simply
+    orphans old entries (they are never read again); [vartune store
+    wipe] or deleting the store directory reclaims the space. *)
+
+val version : int
+(** Current codec/pipeline schema version. *)
+
+exception Corrupt of string
+(** Raised by every [r_*] function on malformed or truncated input. *)
+
+type reader
+(** A read cursor over an immutable payload string. *)
+
+val reader : string -> reader
+
+val at_end : reader -> bool
+(** Whether the cursor consumed the whole payload. *)
+
+(** {1 Primitives}
+
+    Writers append to a [Buffer.t]; exposed for the store's entry
+    framing and for tests. *)
+
+val w_int : Buffer.t -> int -> unit
+val r_int : reader -> int
+
+val w_bool : Buffer.t -> bool -> unit
+val r_bool : reader -> bool
+
+val w_float : Buffer.t -> float -> unit
+(** Exact: the IEEE-754 bit pattern is preserved. *)
+
+val r_float : reader -> float
+
+val w_string : Buffer.t -> string -> unit
+val r_string : reader -> string
+
+val w_float_array : Buffer.t -> float array -> unit
+val r_float_array : reader -> float array
+
+(** {1 Artifact codecs} *)
+
+val w_library : Buffer.t -> Vartune_liberty.Library.t -> unit
+
+val r_library : reader -> Vartune_liberty.Library.t
+(** Cells, pins, arcs and LUTs are rebuilt through their validating
+    constructors; a structural inconsistency raises {!Corrupt} (or the
+    constructor's [Invalid_argument], which the store treats the same
+    way). *)
+
+val w_design_sigma : Buffer.t -> Vartune_stats.Design_sigma.t -> unit
+val r_design_sigma : reader -> Vartune_stats.Design_sigma.t
+
+val w_paths : Buffer.t -> Vartune_sta.Path.t list -> unit
+(** Self-contained: the cells referenced by path steps are embedded
+    once (deduplicated by name) and steps point into that table. *)
+
+val r_paths : reader -> Vartune_sta.Path.t list
+
+val w_result : Buffer.t -> Vartune_synth.Synthesis.result -> unit
+(** Embeds a faithful netlist image ({!Vartune_netlist.Netlist.export})
+    — tombstones, sink order and name counter included — plus the
+    scalar verdicts and the sizer report.  The timing analysis itself
+    is not stored: it is a deterministic function of the netlist and is
+    recomputed on decode. *)
+
+val r_result :
+  timing_config:Vartune_sta.Timing.config -> reader -> Vartune_synth.Synthesis.result
+(** Rebuilds the netlist and re-runs {!Vartune_sta.Timing.run} under
+    [timing_config].  The recomputed worst slack must match the stored
+    one bit-for-bit; a mismatch means the pipeline changed without a
+    {!version} bump and raises {!Corrupt} so the entry is evicted. *)

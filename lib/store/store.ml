@@ -1,0 +1,339 @@
+module Obs = Vartune_obs.Obs
+
+let src = Logs.Src.create "vartune.store" ~doc:"persistent artifact store"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let c_hit = Obs.Counter.make "store.hit"
+let c_miss = Obs.Counter.make "store.miss"
+let c_write = Obs.Counter.make "store.write"
+let c_evict = Obs.Counter.make "store.evict"
+let c_read_bytes = Obs.Counter.make "store.read_bytes"
+let c_write_bytes = Obs.Counter.make "store.write_bytes"
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Key = struct
+  (* The recipe accumulates into a plain string: every ingredient is
+     labelled and typed, strings are length-prefixed, floats travel as
+     bit patterns — two distinct recipes can never serialise to the
+     same id.  The id itself is stored in the entry and compared on
+     read, so the digest below only has to spread entries across file
+     names, not guarantee uniqueness. *)
+  type t = string
+
+  let v stage = Printf.sprintf "v%d|%s" Codec.version stage
+  let int t label value = Printf.sprintf "%s|%s=i:%d" t label value
+  let bool t label value = Printf.sprintf "%s|%s=b:%b" t label value
+  let float t label value = Printf.sprintf "%s|%s=f:%Lx" t label (Int64.bits_of_float value)
+
+  let str t label value =
+    Printf.sprintf "%s|%s=s%d:%s" t label (String.length value) value
+
+  let floats t label values =
+    let b = Buffer.create (String.length t + 32 + (Array.length values * 17)) in
+    Buffer.add_string b t;
+    Buffer.add_string b (Printf.sprintf "|%s=F%d:" label (Array.length values));
+    Array.iter
+      (fun v -> Buffer.add_string b (Printf.sprintf "%Lx," (Int64.bits_of_float v)))
+      values;
+    Buffer.contents b
+
+  let id t = t
+
+  (* FNV-1a 64 under two different offset bases: a 128-bit spread. *)
+  let fnv1a64 seed s =
+    String.fold_left
+      (fun h c -> Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) 0x100000001b3L)
+      seed s
+
+  let hex t =
+    Printf.sprintf "%016Lx%016Lx"
+      (fnv1a64 0xcbf29ce484222325L t)
+      (fnv1a64 0x6c62272e07bb0142L t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Store handle                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  root : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  writes : int Atomic.t;
+  evictions : int Atomic.t;
+  read_bytes : int Atomic.t;
+  written_bytes : int Atomic.t;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  evictions : int;
+  read_bytes : int;
+  written_bytes : int;
+}
+
+let stats (t : t) =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    writes = Atomic.get t.writes;
+    evictions = Atomic.get t.evictions;
+    read_bytes = Atomic.get t.read_bytes;
+    written_bytes = Atomic.get t.written_bytes;
+  }
+
+let dir t = t.root
+let objects_dir t = Filename.concat t.root "objects"
+
+let default_dir () =
+  match Sys.getenv_opt "VARTUNE_STORE" with
+  | Some d when d <> "" -> d
+  | _ -> (
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> Filename.concat d "vartune"
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" ->
+        Filename.concat (Filename.concat h ".cache") "vartune"
+      | _ -> "_vartune_store"))
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Grace period after which another writer's lock (or an orphaned temp
+   file) is considered abandoned — a crashed process, not a live one. *)
+let stale_age_s = 120.0
+
+let is_litter name =
+  Filename.check_suffix name ".lock"
+  || List.mem "tmp" (String.split_on_char '.' name)
+
+let file_age path =
+  match Unix.stat path with
+  | { Unix.st_mtime; _ } -> Some (Unix.gettimeofday () -. st_mtime)
+  | exception Unix.Unix_error _ -> None
+
+let remove_quietly path = try Sys.remove path with Sys_error _ -> ()
+
+let readdir_quietly path = try Sys.readdir path with Sys_error _ -> [||]
+
+let sweep_litter root =
+  let objects = Filename.concat root "objects" in
+  Array.iter
+    (fun sub ->
+      let subdir = Filename.concat objects sub in
+      if try Sys.is_directory subdir with Sys_error _ -> false then
+        Array.iter
+          (fun name ->
+            if is_litter name then begin
+              let path = Filename.concat subdir name in
+              match file_age path with
+              | Some age when age > stale_age_s ->
+                Log.debug (fun m -> m "sweeping stale file %s" path);
+                remove_quietly path
+              | _ -> ()
+            end)
+          (readdir_quietly subdir))
+    (readdir_quietly objects)
+
+let open_dir root =
+  mkdir_p (Filename.concat root "objects");
+  sweep_litter root;
+  {
+    root;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    writes = Atomic.make 0;
+    evictions = Atomic.make 0;
+    read_bytes = Atomic.make 0;
+    written_bytes = Atomic.make 0;
+  }
+
+let open_default () = open_dir (default_dir ())
+
+let entry_path t key =
+  let hex = Key.hex key in
+  Filename.concat (Filename.concat (objects_dir t) (String.sub hex 0 2)) (hex ^ ".vt")
+
+(* ------------------------------------------------------------------ *)
+(* Entry framing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "VTSTOR01"
+
+(* 63 bits of FNV-1a are plenty for an integrity check, and storing the
+   checksum through the codec's int path keeps the framing uniform. *)
+let checksum payload = Int64.to_int (Key.fnv1a64 0xcbf29ce484222325L payload)
+
+let frame key payload =
+  let b = Buffer.create (String.length payload + 256) in
+  Buffer.add_string b magic;
+  Codec.w_int b Codec.version;
+  Codec.w_string b (Key.id key);
+  Codec.w_int b (checksum payload);
+  Codec.w_string b payload;
+  Buffer.contents b
+
+(* Splits an entry file back into its payload, verifying every frame
+   field.  Raises Codec.Corrupt on any inconsistency. *)
+let unframe key contents =
+  let mlen = String.length magic in
+  if String.length contents < mlen then raise (Codec.Corrupt "entry shorter than magic");
+  if String.sub contents 0 mlen <> magic then raise (Codec.Corrupt "bad magic");
+  let r = Codec.reader (String.sub contents mlen (String.length contents - mlen)) in
+  let version = Codec.r_int r in
+  if version <> Codec.version then
+    raise (Codec.Corrupt (Printf.sprintf "codec version %d (want %d)" version Codec.version));
+  let stored_id = Codec.r_string r in
+  let sum = Codec.r_int r in
+  let payload = Codec.r_string r in
+  if not (Codec.at_end r) then raise (Codec.Corrupt "trailing bytes after payload");
+  if stored_id <> Key.id key then
+    raise (Codec.Corrupt "recipe mismatch (digest collision?)");
+  if sum <> checksum payload then raise (Codec.Corrupt "payload checksum mismatch");
+  payload
+
+(* ------------------------------------------------------------------ *)
+(* Load                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let evict (t : t) path reason =
+  Atomic.incr t.evictions;
+  Obs.Counter.incr c_evict;
+  Log.warn (fun m -> m "evicting corrupt store entry %s (%s)" path reason);
+  remove_quietly path
+
+let load (t : t) key decode =
+  Obs.span "store.load" ~attrs:(fun () -> [ ("key", Key.id key) ]) @@ fun () ->
+  let path = entry_path t key in
+  let miss () =
+    Atomic.incr t.misses;
+    Obs.Counter.incr c_miss;
+    None
+  in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> miss ()
+  | contents -> (
+    match decode (Codec.reader (unframe key contents)) with
+    | value ->
+      Atomic.incr t.hits;
+      ignore (Atomic.fetch_and_add t.read_bytes (String.length contents));
+      Obs.Counter.incr c_hit;
+      Obs.Counter.add c_read_bytes (String.length contents);
+      Some value
+    | exception Codec.Corrupt reason ->
+      evict t path reason;
+      miss ()
+    | exception (Invalid_argument reason | Failure reason) ->
+      evict t path reason;
+      miss ()
+    | exception Not_found ->
+      evict t path "decoder raised Not_found";
+      miss ())
+
+(* ------------------------------------------------------------------ *)
+(* Save                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-entry advisory lock.  Entries are content-addressed — two
+   concurrent writers of the same key land identical bytes — so the
+   lock only avoids duplicated write work; correctness comes from the
+   atomic rename.  A lock older than [stale_age_s] belongs to a crashed
+   writer and is broken. *)
+let try_lock path =
+  let lock = path ^ ".lock" in
+  let acquire () =
+    match Unix.openfile lock [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644 with
+    | fd ->
+      Unix.close fd;
+      true
+    | exception Unix.Unix_error _ -> false
+  in
+  if acquire () then Some lock
+  else
+    match file_age lock with
+    | Some age when age > stale_age_s ->
+      Log.warn (fun m -> m "breaking stale store lock %s" lock);
+      remove_quietly lock;
+      if acquire () then Some lock else None
+    | Some _ -> None
+    | None ->
+      (* the competing writer just finished; take over *)
+      if acquire () then Some lock else None
+
+let temp_counter = Atomic.make 0
+
+let save (t : t) key encode =
+  Obs.span "store.save" ~attrs:(fun () -> [ ("key", Key.id key) ]) @@ fun () ->
+  let path = entry_path t key in
+  mkdir_p (Filename.dirname path);
+  match try_lock path with
+  | None -> Log.debug (fun m -> m "store entry %s locked by a live writer; skipping" path)
+  | Some lock ->
+    Fun.protect
+      ~finally:(fun () -> remove_quietly lock)
+      (fun () ->
+        let payload = Buffer.create 65536 in
+        encode payload;
+        let framed = frame key (Buffer.contents payload) in
+        let tmp =
+          Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+            (Atomic.fetch_and_add temp_counter 1)
+        in
+        match
+          Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc framed);
+          Unix.rename tmp path
+        with
+        | () ->
+          Atomic.incr t.writes;
+          ignore (Atomic.fetch_and_add t.written_bytes (String.length framed));
+          Obs.Counter.incr c_write;
+          Obs.Counter.add c_write_bytes (String.length framed);
+          Log.debug (fun m -> m "stored %s (%d bytes)" path (String.length framed))
+        | exception Sys_error reason ->
+          (* the store accelerates; it must never fail the pipeline *)
+          Log.warn (fun m -> m "store write %s failed: %s" path reason);
+          remove_quietly tmp
+        | exception Unix.Unix_error (err, fn, _) ->
+          Log.warn (fun m ->
+              m "store write %s failed: %s in %s" path (Unix.error_message err) fn);
+          remove_quietly tmp)
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fold_entries t f init =
+  Array.fold_left
+    (fun acc sub ->
+      let subdir = Filename.concat (objects_dir t) sub in
+      if not (try Sys.is_directory subdir with Sys_error _ -> false) then acc
+      else
+        Array.fold_left
+          (fun acc name ->
+            if Filename.check_suffix name ".vt" then f acc (Filename.concat subdir name)
+            else acc)
+          acc (readdir_quietly subdir))
+    init
+    (readdir_quietly (objects_dir t))
+
+let entry_count t = fold_entries t (fun acc _ -> acc + 1) 0
+
+let total_bytes t =
+  fold_entries t
+    (fun acc path ->
+      match Unix.stat path with
+      | { Unix.st_size; _ } -> acc + st_size
+      | exception Unix.Unix_error _ -> acc)
+    0
+
+let wipe t = fold_entries t (fun () path -> remove_quietly path) ()

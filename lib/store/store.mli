@@ -1,0 +1,122 @@
+(** Persistent content-addressed artifact store.
+
+    Caches expensive pipeline artifacts (statistical libraries,
+    synthesis runs, measured minimum periods, ...) on disk so warm
+    [vartune] invocations skip straight to report rendering.  Entries
+    are addressed by a {!Key}: a self-describing recipe of every input
+    that determines the artifact — codec/pipeline version, seeds,
+    sample counts, grids, fingerprints — hashed into the file name.
+    The full recipe string is stored inside each entry and compared on
+    read, so even a hash collision degrades to a miss, never to reusing
+    the wrong artifact.
+
+    {2 Layout}
+
+    {v
+    <dir>/objects/<hh>/<32-hex-digest>.vt
+    v}
+
+    where [<hh>] is the first two digest characters.  Each entry is a
+    single file: magic, codec version, recipe string, payload length,
+    payload checksum, payload.  The default [<dir>] resolves, highest
+    priority first, from the [--store] flag (callers pass the directory
+    explicitly), the [VARTUNE_STORE] environment variable, then
+    [$XDG_CACHE_HOME/vartune] or [~/.cache/vartune].
+
+    {2 Safety}
+
+    - {e Concurrency}: writers serialise through a per-entry lock file
+      (stale locks from crashed writers are broken after a grace
+      period) and land entries with write-to-temp + atomic rename, so
+      readers — including pool worker domains — only ever see complete
+      entries.  Two concurrent writers of the same key produce
+      identical bytes; either rename winning is correct.
+    - {e Corruption}: every read verifies the magic, version, recipe
+      and payload checksum, and decoding validates structurally.  A bad
+      entry is evicted (unlinked) and reported as a miss so the caller
+      recomputes; it is never trusted.
+
+    {2 Telemetry}
+
+    When {!Vartune_obs.Obs} is enabled, operations record [store.load]
+    / [store.save] spans and the counters [store.hit], [store.miss],
+    [store.write], [store.evict], [store.read_bytes],
+    [store.write_bytes].  Per-handle {!stats} are always maintained
+    (atomically — handles may be shared across domains). *)
+
+module Key : sig
+  type t
+  (** An accumulating recipe of labelled ingredients.  Builders return
+      a new key, so recipes can be extended functionally; the codec
+      version is included implicitly. *)
+
+  val v : string -> t
+  (** [v stage] starts a recipe for the named pipeline stage. *)
+
+  val int : t -> string -> int -> t
+  val bool : t -> string -> bool -> t
+
+  val float : t -> string -> float -> t
+  (** Exact: the IEEE-754 bit pattern is the ingredient. *)
+
+  val str : t -> string -> string -> t
+  (** Length-prefixed, so delimiter injection cannot alias recipes. *)
+
+  val floats : t -> string -> float array -> t
+
+  val id : t -> string
+  (** The full recipe string (stored in entries, compared on read). *)
+
+  val hex : t -> string
+  (** 128-bit digest of {!id} — the entry file name. *)
+end
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  evictions : int;
+  read_bytes : int;
+  written_bytes : int;
+}
+
+val default_dir : unit -> string
+(** [VARTUNE_STORE], else [$XDG_CACHE_HOME/vartune], else
+    [~/.cache/vartune]; falls back to [_vartune_store] in the working
+    directory when no home is known. *)
+
+val open_dir : string -> t
+(** Opens (creating if needed) a store rooted at the given directory
+    and sweeps temp/lock litter left by crashed writers. *)
+
+val open_default : unit -> t
+(** [open_dir (default_dir ())]. *)
+
+val dir : t -> string
+
+val load : t -> Key.t -> (Codec.reader -> 'a) -> 'a option
+(** [load t key decode] returns the decoded artifact, or [None] on a
+    miss.  Corrupt entries ({!Codec.Corrupt}, checksum or framing
+    failures, constructor validation errors) are evicted and reported
+    as a miss. *)
+
+val save : t -> Key.t -> (Buffer.t -> unit) -> unit
+(** [save t key encode] lands the encoded artifact atomically.  If a
+    live writer already holds the entry's lock the write is skipped —
+    content addressing guarantees the competing writer lands identical
+    bytes.  I/O failures are logged, never raised: the store is an
+    accelerator, not a dependency. *)
+
+val entry_path : t -> Key.t -> string
+(** Where the entry for [key] lives (whether or not it exists). *)
+
+val entry_count : t -> int
+val total_bytes : t -> int
+
+val wipe : t -> unit
+(** Removes every entry (the directory itself survives). *)
+
+val stats : t -> stats
+(** Operation counts recorded through this handle. *)

@@ -121,7 +121,7 @@ let test_cache_scoped_to_setup () =
   let a = Experiment.baseline setup ~period in
   let b = Experiment.baseline setup ~period in
   Alcotest.(check bool) "memoised within a setup" true (a == b);
-  let fresh = Experiment.fresh_cache setup in
+  let fresh = Experiment.fresh_memo setup in
   let c = Experiment.baseline fresh ~period in
   Alcotest.(check bool) "fresh cache recomputes" false (a == c);
   Helpers.check_float "recomputation deterministic"
@@ -141,8 +141,8 @@ let test_sweep_pool_invariant () =
     let pool = Pool.create ~jobs () in
     Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
   in
-  let serial = with_jobs 1 (fun pool -> run pool (Experiment.fresh_cache setup)) in
-  let parallel = with_jobs 4 (fun pool -> run pool (Experiment.fresh_cache setup)) in
+  let serial = with_jobs 1 (fun pool -> run pool (Experiment.fresh_memo setup)) in
+  let parallel = with_jobs 4 (fun pool -> run pool (Experiment.fresh_memo setup)) in
   List.iter2
     (fun (s : Experiment.sweep_point) (p : Experiment.sweep_point) ->
       Helpers.check_float ~eps:0.0 "parameter" s.Experiment.parameter p.Experiment.parameter;

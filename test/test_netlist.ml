@@ -253,6 +253,70 @@ let test_verilog_parse_errors () =
   expect_error "module m (input a); UNKNOWN_CELL u (.A(a)); endmodule";
   expect_error "module m (input a); INV_1 u (.NOPE(a)); endmodule"
 
+(* ------------------------- export / import -------------------------- *)
+
+(* Mutate a netlist the way the sizer does — resize, remove (leaving a
+   tombstone), rewire, burn names — then check the snapshot reproduces
+   the internal state exactly, including slot indices and sink order. *)
+let test_export_import_faithful () =
+  let nl, a, _b, _mid, _out, i_inv, i_nd, _i_ff = build_chain () in
+  ignore (Netlist.fresh_name nl ~prefix:"buf");
+  Netlist.remove_instance nl i_inv;
+  Netlist.rewire_input nl ~inst:i_nd ~pin:"A" a;
+  let repr = Netlist.export nl in
+  let back = Netlist.import repr in
+  Alcotest.(check string) "name" (Netlist.name nl) (Netlist.name back);
+  Alcotest.(check int) "net count" (Netlist.net_count nl) (Netlist.net_count back);
+  Alcotest.(check int) "live instances" (Netlist.instance_count nl)
+    (Netlist.instance_count back);
+  Alcotest.(check bool) "tombstone preserved" true
+    (Netlist.instance_opt back i_inv = None);
+  Alcotest.(check (list int)) "primary inputs" (Netlist.primary_inputs nl)
+    (Netlist.primary_inputs back);
+  Alcotest.(check (list int)) "primary outputs" (Netlist.primary_outputs nl)
+    (Netlist.primary_outputs back);
+  Alcotest.(check bool) "clock" true (Netlist.clock nl = Netlist.clock back);
+  (* sink order fixes float summation order in net loads — exact match *)
+  for nid = 0 to Netlist.net_count nl - 1 do
+    let n = Netlist.net nl nid and n' = Netlist.net back nid in
+    Alcotest.(check bool)
+      (Printf.sprintf "net %d sinks" nid)
+      true
+      (n.Netlist.sinks = n'.Netlist.sinks && n.Netlist.driver = n'.Netlist.driver)
+  done;
+  (* a second snapshot of the rebuild is byte-for-byte the first *)
+  Alcotest.(check bool) "repr fixpoint" true (Netlist.export back = repr);
+  Alcotest.(check string) "name counter continues identically"
+    (Netlist.fresh_name nl ~prefix:"x")
+    (Netlist.fresh_name back ~prefix:"x")
+
+let test_import_rejects_corrupt () =
+  let nl, _, _, _, _, _, _, _ = build_chain () in
+  let repr = Netlist.export nl in
+  let expect_reject label repr =
+    Alcotest.(check bool) label true
+      (try
+         ignore (Netlist.import repr);
+         false
+       with Invalid_argument _ -> true)
+  in
+  (* a sink pointing at a pin the cell does not have *)
+  let bad_sinks =
+    Array.map
+      (fun (n, d, sinks) ->
+        (n, d, List.map (fun r -> { r with Netlist.pin = "NOPE" }) sinks))
+      repr.Netlist.repr_nets
+  in
+  expect_reject "bad sink pin" { repr with Netlist.repr_nets = bad_sinks };
+  (* an instance input naming a net that does not exist *)
+  let bad_inst =
+    Array.map
+      (Option.map (fun (n, c, inputs, outputs) ->
+           (n, c, List.map (fun (p, _) -> (p, 9999)) inputs, outputs)))
+      repr.Netlist.repr_instances
+  in
+  expect_reject "net out of range" { repr with Netlist.repr_instances = bad_inst }
+
 let () =
   Alcotest.run "netlist"
     [
@@ -265,6 +329,8 @@ let () =
           Alcotest.test_case "set cell" `Quick test_set_cell;
           Alcotest.test_case "rewire input" `Quick test_rewire_input;
           Alcotest.test_case "usage/area/names" `Quick test_usage_and_area;
+          Alcotest.test_case "export/import faithful" `Quick test_export_import_faithful;
+          Alcotest.test_case "import rejects corrupt" `Quick test_import_rejects_corrupt;
         ] );
       ( "check",
         [

@@ -1,0 +1,354 @@
+(* Tests for Vartune_store — codec round-trips, key sensitivity,
+   corruption recovery, concurrent writers and end-to-end cold/warm
+   bit-identity of the experiment flow. *)
+
+module Store = Vartune_store.Store
+module Key = Vartune_store.Store.Key
+module Codec = Vartune_store.Codec
+module Printer = Vartune_liberty.Printer
+module Characterize = Vartune_charlib.Characterize
+module Statistical = Vartune_statlib.Statistical
+module Mismatch = Vartune_process.Mismatch
+module Synthesis = Vartune_synth.Synthesis
+module Constraints = Vartune_synth.Constraints
+module Netlist = Vartune_netlist.Netlist
+module Design_sigma = Vartune_stats.Design_sigma
+module Dist = Vartune_stats.Dist
+module Experiment = Vartune_flow.Experiment
+module Tuning_method = Vartune_tuning.Tuning_method
+module Mcu = Vartune_rtl.Microcontroller
+module Pool = Vartune_util.Pool
+
+(* every store in this suite lives under one per-process temp root *)
+let temp_root =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "vartune_test_store_%d" (Unix.getpid ()))
+
+let with_store name f =
+  let t = Store.open_dir (Filename.concat temp_root name) in
+  Store.wipe t;
+  Fun.protect ~finally:(fun () -> Store.wipe t) (fun () -> f t)
+
+let encode w x =
+  let b = Buffer.create 4096 in
+  w b x;
+  Buffer.contents b
+
+let decode r s =
+  let reader = Codec.reader s in
+  let v = r reader in
+  Alcotest.(check bool) "payload fully consumed" true (Codec.at_end reader);
+  v
+
+let bits = Int64.bits_of_float
+let check_bits msg a b = Alcotest.(check int64) msg (bits a) (bits b)
+
+(* ------------------------------------------------------------------ *)
+(* Shared tiny flow fixture (no store attached)                        *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_config =
+  { Mcu.xlen = 32; reg_count = 8; mul_width = 4; irq_lines = 2; bus_slaves = 2 }
+
+let tiny_setup =
+  lazy (Experiment.prepare ~samples:2 ~seed:7 ~mcu_config:tiny_config ())
+
+let tiny_run =
+  lazy
+    (let setup = Lazy.force tiny_setup in
+     Experiment.baseline setup ~period:(setup.Experiment.min_period *. 1.5))
+
+let run_scalars (r : Experiment.run) =
+  ( r.Experiment.label,
+    bits r.period,
+    bits r.result.Synthesis.worst_slack,
+    bits r.result.Synthesis.area,
+    r.result.Synthesis.feasible,
+    r.result.Synthesis.instances,
+    List.length r.paths,
+    bits r.design_sigma.Design_sigma.dist.Dist.mean,
+    bits r.design_sigma.Design_sigma.dist.Dist.sigma,
+    bits r.design_sigma.Design_sigma.worst_path_3sigma )
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_library_roundtrip () =
+  List.iter
+    (fun (label, lib) ->
+      let back = decode Codec.r_library (encode Codec.w_library lib) in
+      Alcotest.(check string)
+        (label ^ " prints identically")
+        (Printer.to_string lib) (Printer.to_string back))
+    [
+      ("nominal", Lazy.force Helpers.nominal_small);
+      ("statistical", Lazy.force Helpers.small_statlib);
+    ]
+
+let test_result_roundtrip () =
+  let run = Lazy.force tiny_run in
+  let cons = Constraints.make ~clock_period:run.Experiment.period () in
+  let timing_config = Constraints.timing_config cons in
+  let back =
+    decode (Codec.r_result ~timing_config)
+      (encode Codec.w_result run.Experiment.result)
+  in
+  let r = run.Experiment.result in
+  check_bits "worst slack" r.Synthesis.worst_slack back.Synthesis.worst_slack;
+  check_bits "area" r.Synthesis.area back.Synthesis.area;
+  Alcotest.(check bool) "feasible" r.Synthesis.feasible back.Synthesis.feasible;
+  Alcotest.(check int) "instances" r.Synthesis.instances back.Synthesis.instances;
+  Alcotest.(check bool) "netlist image identical" true
+    (Netlist.export r.Synthesis.netlist = Netlist.export back.Synthesis.netlist)
+
+let test_paths_roundtrip () =
+  let run = Lazy.force tiny_run in
+  let back = decode Codec.r_paths (encode Codec.w_paths run.Experiment.paths) in
+  Alcotest.(check bool) "paths identical" true (run.Experiment.paths = back)
+
+let test_design_sigma_roundtrip () =
+  let ds = (Lazy.force tiny_run).Experiment.design_sigma in
+  let back = decode Codec.r_design_sigma (encode Codec.w_design_sigma ds) in
+  check_bits "mean" ds.Design_sigma.dist.Dist.mean back.Design_sigma.dist.Dist.mean;
+  check_bits "sigma" ds.Design_sigma.dist.Dist.sigma back.Design_sigma.dist.Dist.sigma;
+  Alcotest.(check int) "paths" ds.Design_sigma.paths back.Design_sigma.paths;
+  check_bits "worst 3-sigma" ds.Design_sigma.worst_path_3sigma
+    back.Design_sigma.worst_path_3sigma
+
+(* ------------------------------------------------------------------ *)
+(* Key discipline                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_key_sensitivity () =
+  let hex ?(seed = 1) ?(n = 4) ?(mismatch = Mismatch.default) () =
+    Key.hex
+      (Statistical.store_key Characterize.default_config ~mismatch ~seed ~n
+         ~specs:Helpers.small_specs ())
+  in
+  let base = hex () in
+  let variants =
+    [
+      ("seed", hex ~seed:2 ());
+      ("samples", hex ~n:5 ());
+      ( "mismatch",
+        hex
+          ~mismatch:
+            {
+              Mismatch.default with
+              sigma_resistance = Mismatch.default.sigma_resistance *. 2.0;
+            }
+          () );
+    ]
+  in
+  List.iter
+    (fun (what, h) ->
+      Alcotest.(check bool) (what ^ " changes the key") true (h <> base))
+    variants;
+  Alcotest.(check string) "same recipe, same key" base (hex ())
+
+let test_key_no_aliasing () =
+  (* length-prefixed strings: concatenation cannot fabricate a recipe *)
+  let a = Key.(hex (str (v "s") "l" "ab")) in
+  let b = Key.(hex (str (str (v "s") "l" "a") "l" "b")) in
+  Alcotest.(check bool) "split string differs" true (a <> b);
+  (* float ingredients are bit-exact: -0.0 and 0.0 are different recipes *)
+  let pz = Key.(hex (float (v "f") "x" 0.0)) in
+  let nz = Key.(hex (float (v "f") "x" (-0.0))) in
+  Alcotest.(check bool) "signed zero distinguished" true (pz <> nz)
+
+(* ------------------------------------------------------------------ *)
+(* Corruption recovery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let test_corruption_recovery () =
+  with_store "corrupt" (fun t ->
+      let key = Key.(int (v "corrupt_probe") "x" 42) in
+      let payload b =
+        Codec.w_string b "hello";
+        Codec.w_float b 3.25
+      in
+      let dec r =
+        let s = Codec.r_string r in
+        let f = Codec.r_float r in
+        (s, f)
+      in
+      let expect_hit what =
+        match Store.load t key dec with
+        | Some ("hello", 3.25) -> ()
+        | _ -> Alcotest.fail (what ^ ": expected a clean hit")
+      in
+      Store.save t key payload;
+      expect_hit "initial";
+      let path = Store.entry_path t key in
+      let original = read_file path in
+      (* truncation: the entry is evicted and reported as a miss *)
+      write_file path (String.sub original 0 (String.length original - 4));
+      Alcotest.(check bool) "truncated -> miss" true (Store.load t key dec = None);
+      Alcotest.(check bool) "truncated entry evicted" false (Sys.file_exists path);
+      (* recompute-and-save works after eviction *)
+      Store.save t key payload;
+      expect_hit "after truncation";
+      (* bit flip in the payload: checksum rejects it *)
+      let flipped = Bytes.of_string original in
+      let last = Bytes.length flipped - 1 in
+      Bytes.set flipped last (Char.chr (Char.code (Bytes.get flipped last) lxor 0x40));
+      write_file path (Bytes.to_string flipped);
+      Alcotest.(check bool) "bit flip -> miss" true (Store.load t key dec = None);
+      Alcotest.(check bool) "flipped entry evicted" false (Sys.file_exists path);
+      Store.save t key payload;
+      expect_hit "after bit flip";
+      let stats = Store.stats t in
+      Alcotest.(check int) "two evictions recorded" 2 stats.Store.evictions;
+      Alcotest.(check int) "two misses recorded" 2 stats.Store.misses;
+      Alcotest.(check int) "three hits recorded" 3 stats.Store.hits)
+
+let test_wrong_version_is_miss () =
+  with_store "version" (fun t ->
+      let key = Key.(int (v "corrupt_probe") "x" 7) in
+      Store.save t key (fun b -> Codec.w_int b 123);
+      (* rewrite the version byte right after the 8-byte magic *)
+      let path = Store.entry_path t key in
+      let raw = Bytes.of_string (read_file path) in
+      Bytes.set raw 8 (Char.chr (Char.code (Bytes.get raw 8) lxor 0xFF));
+      write_file path (Bytes.to_string raw);
+      Alcotest.(check bool) "foreign version -> miss" true
+        (Store.load t key Codec.r_int = None);
+      Alcotest.(check bool) "foreign version evicted" false (Sys.file_exists path))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent writers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_writers () =
+  List.iter
+    (fun jobs ->
+      with_store (Printf.sprintf "conc%d" jobs) (fun t ->
+          let pool = Pool.create ~jobs () in
+          Fun.protect
+            ~finally:(fun () -> Pool.shutdown pool)
+            (fun () ->
+              let tasks = 24 in
+              let shared = Key.(int (v "conc_shared") "jobs" jobs) in
+              let own i = Key.(int (int (v "conc_own") "jobs" jobs) "i" i) in
+              (* all workers hammer the shared key with identical bytes and
+                 land their own entry; own save-then-load must always hit *)
+              let results =
+                Pool.map pool
+                  (fun i ->
+                    Store.save t shared (fun b -> Codec.w_int b (-1));
+                    Store.save t (own i) (fun b -> Codec.w_int b (i * i));
+                    Store.load t (own i) Codec.r_int)
+                  (List.init tasks Fun.id)
+              in
+              List.iteri
+                (fun i r ->
+                  Alcotest.(check (option int))
+                    (Printf.sprintf "jobs=%d own entry %d" jobs i)
+                    (Some (i * i))
+                    r)
+                results;
+              Alcotest.(check (option int))
+                (Printf.sprintf "jobs=%d shared entry" jobs)
+                (Some (-1))
+                (Store.load t shared Codec.r_int);
+              Alcotest.(check int)
+                (Printf.sprintf "jobs=%d entry count" jobs)
+                (tasks + 1) (Store.entry_count t);
+              (* no writer litter survives the run *)
+              Alcotest.(check int)
+                (Printf.sprintf "jobs=%d no evictions" jobs)
+                0 (Store.stats t).Store.evictions)))
+    [ 1; 2; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: cold, warm and store-less runs are bit-identical        *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_cold_warm_identical () =
+  with_store "flow" (fun t ->
+      let prepare ?store () =
+        Experiment.prepare ~samples:2 ~seed:7 ~mcu_config:tiny_config ?store ()
+      in
+      let tuning =
+        {
+          Tuning_method.population = Vartune_tuning.Cluster.Per_cell;
+          criterion = Vartune_tuning.Threshold.Sigma_ceiling 0.02;
+        }
+      in
+      let observe ?pool setup =
+        let period = setup.Experiment.min_period *. 1.5 in
+        let base = Experiment.baseline setup ~period in
+        let points =
+          Experiment.sweep ?pool setup ~period ~tuning ~parameters:[ 0.01; 0.05 ]
+        in
+        ( bits setup.Experiment.min_period,
+          run_scalars base,
+          List.map
+            (fun (p : Experiment.sweep_point) ->
+              (bits p.parameter, run_scalars p.run, bits p.reduction,
+               bits p.area_delta))
+            points )
+      in
+      let cold = observe (prepare ~store:t ()) in
+      let after_cold = Store.stats t in
+      Alcotest.(check bool) "cold run writes entries" true
+        (after_cold.Store.writes > 0);
+      let warm_setup = prepare ~store:t () in
+      let pool = Pool.create ~jobs:4 () in
+      let warm =
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () -> observe ~pool warm_setup)
+      in
+      let after_warm = Store.stats t in
+      Alcotest.(check bool) "warm run hits the store" true
+        (after_warm.Store.hits > after_cold.Store.hits);
+      Alcotest.(check bool) "warm == cold (bitwise)" true (warm = cold);
+      (* the shared store-less fixture is the reference *)
+      let bare =
+        observe (Experiment.fresh_memo (Lazy.force tiny_setup))
+      in
+      Alcotest.(check bool) "store-less == cold (bitwise)" true (bare = cold))
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "library roundtrip" `Quick test_library_roundtrip;
+          Alcotest.test_case "result roundtrip" `Slow test_result_roundtrip;
+          Alcotest.test_case "paths roundtrip" `Slow test_paths_roundtrip;
+          Alcotest.test_case "design sigma roundtrip" `Slow test_design_sigma_roundtrip;
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "sensitivity" `Quick test_key_sensitivity;
+          Alcotest.test_case "no aliasing" `Quick test_key_no_aliasing;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "evict and recompute" `Quick test_corruption_recovery;
+          Alcotest.test_case "foreign version" `Quick test_wrong_version_is_miss;
+        ] );
+      ( "concurrency",
+        [ Alcotest.test_case "writers at 1/2/7" `Quick test_concurrent_writers ] );
+      ( "flow",
+        [
+          Alcotest.test_case "cold/warm/no-store identical" `Slow
+            test_flow_cold_warm_identical;
+        ] );
+    ]

@@ -443,6 +443,65 @@ let test_with_parameter () =
   Alcotest.(check bool) "criterion kind kept" true
     (match m'.Tuning_method.criterion with Threshold.Load_slope _ -> true | _ -> false)
 
+(* to_string/of_string is the single spelling shared by the CLI, store
+   keys and report labels — it must round-trip every method exactly,
+   including awkward parameters (tiny, huge, negative zero, nan). *)
+let method_gen =
+  let open QCheck2.Gen in
+  let param =
+    oneof
+      [
+        float;
+        oneofl [ 0.0; -0.0; 0.02; 1e-300; Float.max_float; nan; infinity; neg_infinity ];
+      ]
+  in
+  let* population = oneofl [ Cluster.Per_cell; Cluster.Per_drive_strength ] in
+  let* kind = int_range 0 2 in
+  let+ p = param in
+  let criterion =
+    match kind with
+    | 0 -> Threshold.Load_slope p
+    | 1 -> Threshold.Slew_slope p
+    | _ -> Threshold.Sigma_ceiling p
+  in
+  { Tuning_method.population; criterion }
+
+let criterion_equal a b =
+  match (a, b) with
+  | Threshold.Load_slope x, Threshold.Load_slope y
+  | Threshold.Slew_slope x, Threshold.Slew_slope y
+  | Threshold.Sigma_ceiling x, Threshold.Sigma_ceiling y ->
+    Float.compare x y = 0 (* bit-level on nan; -0. = 0. is fine, both parse back *)
+  | _ -> false
+
+let test_method_string_roundtrip =
+  Helpers.qtest ~count:500 "of_string (to_string m) = Some m" method_gen (fun m ->
+      match Tuning_method.of_string (Tuning_method.to_string m) with
+      | None -> false
+      | Some m' ->
+        m'.Tuning_method.population = m.Tuning_method.population
+        && criterion_equal m'.Tuning_method.criterion m.Tuning_method.criterion)
+
+let test_method_of_string_forms () =
+  let check s expected =
+    Alcotest.(check bool) (Printf.sprintf "parse %S" s) true
+      (Tuning_method.of_string s = expected)
+  in
+  check "cell/ceiling=0.02"
+    (Some { Tuning_method.population = Cluster.Per_cell;
+            criterion = Threshold.Sigma_ceiling 0.02 });
+  check "strength/load=0.05"
+    (Some { Tuning_method.population = Cluster.Per_drive_strength;
+            criterion = Threshold.Load_slope 0.05 });
+  (* a missing population defaults to cell *)
+  check "slew=0.03"
+    (Some { Tuning_method.population = Cluster.Per_cell;
+            criterion = Threshold.Slew_slope 0.03 });
+  check "cell/bogus=1" None;
+  check "tribe/load=1" None;
+  check "cell/load=abc" None;
+  check "cell/load" None
+
 let test_restrictions_cover_output_pins () =
   let tuning =
     { Tuning_method.population = Cluster.Per_drive_strength;
@@ -512,6 +571,8 @@ let () =
         [
           Alcotest.test_case "five methods" `Quick test_five_methods;
           Alcotest.test_case "with_parameter" `Quick test_with_parameter;
+          test_method_string_roundtrip;
+          Alcotest.test_case "of_string forms" `Quick test_method_of_string_forms;
           Alcotest.test_case "covers output pins" `Quick test_restrictions_cover_output_pins;
         ] );
     ]
