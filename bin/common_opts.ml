@@ -1,15 +1,17 @@
 (* Shared cmdliner terms for every vartune subcommand.
 
    One [term] carries the flags every pipeline stage understands —
-   logging, worker pool, telemetry, randomness, and the persistent
-   artifact store — so a new common flag added here appears on all
-   subcommands at once.  Precedence everywhere: command-line flag >
-   environment variable > built-in default. *)
+   logging, worker pool, telemetry, randomness, fault injection, and
+   the persistent artifact store — so a new common flag added here
+   appears on all subcommands at once.  Precedence everywhere:
+   command-line flag > environment variable > built-in default. *)
 
 open Cmdliner
 module Obs = Vartune_obs.Obs
 module Pool = Vartune_util.Pool
 module Store = Vartune_store.Store
+module Fault = Vartune_fault.Fault
+module Experiment = Vartune_flow.Experiment
 
 let src = Logs.Src.create "vartune.cli" ~doc:"vartune command line"
 
@@ -24,20 +26,33 @@ type t = {
   samples : int;
   store_dir : string option;
   no_store : bool;
+  faults : string option;
 }
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
+(* A worker pool of zero or negative size has no meaning; reject it at
+   parse time with a usage error instead of letting Pool.create raise
+   Invalid_argument deep in the run. *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "expected a positive integer, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some positive_int) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker-pool size for the parallel stages (default: $(b,VARTUNE_JOBS), else the \
-           recommended domain count; 1 forces serial execution). Output is bit-identical \
-           at any value.")
+           recommended domain count; 1 forces serial execution; 0 or negative values are \
+           rejected). Output is bit-identical at any value.")
 
 let trace_arg =
   Arg.(
@@ -83,13 +98,27 @@ let no_store_arg =
     & info [ "no-store" ]
         ~doc:"Disable the persistent artifact store: nothing is read or written.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject deterministic faults at the pipeline's syscall-shaped boundaries \
+           (default: $(b,VARTUNE_FAULTS)). SPEC is comma-separated $(i,point=trigger) \
+           items with an optional $(i,:seed) suffix, e.g. \
+           $(b,write=0.25,rename=#2,worker_crash=0.1:42). Points: read, write, rename, \
+           lock, fsync, worker_crash, enospc, partial_write; triggers: a probability in \
+           [0,1] or $(b,#N) for the N-th occurrence. Runs either complete bit-identically \
+           to the fault-free run or exit non-zero with a typed error.")
+
 let term =
-  let make verbose jobs trace metrics_out seed samples store_dir no_store =
-    { verbose; jobs; trace; metrics_out; seed; samples; store_dir; no_store }
+  let make verbose jobs trace metrics_out seed samples store_dir no_store faults =
+    { verbose; jobs; trace; metrics_out; seed; samples; store_dir; no_store; faults }
   in
   Term.(
     const make $ verbose_arg $ jobs_arg $ trace_arg $ metrics_arg $ seed_arg $ samples_arg
-    $ store_arg $ no_store_arg)
+    $ store_arg $ no_store_arg $ faults_arg)
 
 (* Telemetry is enabled the moment either output file is requested, and
    the exporters run from at_exit so every subcommand — and every exit
@@ -110,12 +139,29 @@ let setup_obs t =
           t.metrics_out)
   end
 
-(* Logging + telemetry + worker-pool size in one step so every
-   subcommand applies --jobs before its first parallel stage. *)
+let setup_faults t =
+  let spec =
+    match t.faults with
+    | Some s -> Some s
+    | None -> (
+      match Sys.getenv_opt "VARTUNE_FAULTS" with Some s when s <> "" -> Some s | _ -> None)
+  in
+  Option.iter
+    (fun s ->
+      match Fault.configure s with
+      | Ok () -> ()
+      | Error msg ->
+        Log.err (fun m -> m "bad fault spec %S: %s" s msg);
+        exit 64 (* EX_USAGE *))
+    spec
+
+(* Logging + telemetry + fault injection + worker-pool size in one step
+   so every subcommand applies --jobs before its first parallel stage. *)
 let setup t =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if t.verbose then Logs.Debug else Logs.Info));
   setup_obs t;
+  setup_faults t;
   Option.iter Pool.set_default_jobs t.jobs
 
 let store t =
@@ -126,12 +172,28 @@ let store t =
     Log.debug (fun m -> m "artifact store at %s" dir);
     at_exit (fun () ->
         let s = Store.stats store in
-        if s.Store.hits + s.Store.misses + s.Store.writes > 0 then
+        if s.Store.hits + s.Store.misses + s.Store.writes + s.Store.errors > 0 then
           Log.info (fun m ->
-              m "store %s: %d hits, %d misses, %d writes, %d evictions" dir s.Store.hits
-                s.Store.misses s.Store.writes s.Store.evictions));
+              m "store %s: %d hits, %d misses, %d writes, %d evictions, %d retries, %d \
+                 errors%s"
+                dir s.Store.hits s.Store.misses s.Store.writes s.Store.evictions
+                s.Store.retries s.Store.errors
+                (if s.Store.degraded then " (degraded to no-store)" else "")));
     Some store
   end
+
+(* Every subcommand body runs under this guard: pipeline failures that
+   escape the hardened layers exit with a stable, typed status an
+   operator (or CI) can branch on, instead of cmdliner's generic
+   backtrace-and-exit-2. *)
+let guard f =
+  try f ()
+  with exn -> (
+    match Experiment.classify_exn exn with
+    | Some failure ->
+      Log.err (fun m -> m "%s" (Experiment.failure_message failure));
+      exit (Experiment.exit_code failure)
+    | None -> raise exn)
 
 let man =
   [
@@ -148,5 +210,16 @@ let man =
         "falls back to $(b,VARTUNE_STORE), then \\$XDG_CACHE_HOME/vartune, then \
          ~/.cache/vartune. $(b,--no-store) disables persistence entirely; stored and \
          store-less runs produce byte-identical reports." );
+    `I ("$(b,--faults)", "falls back to $(b,VARTUNE_FAULTS); no injection by default.");
     `I ("$(b,--seed), $(b,--samples)", "built-in defaults 42 and 50 (the paper's values).");
+    `S "EXIT STATUS";
+    `P "Pipeline failures map to sysexits.h-style codes:";
+    `I ("64", "usage error (bad flag value, malformed $(b,--faults) spec).");
+    `I ("65", "data error: a Liberty file failed to lex or parse.");
+    `I ("70", "internal error (a bug; includes an injected fault escaping its layer).");
+    `I ("74", "unrecoverable I/O error.");
+    `I
+      ( "75",
+        "temporary failure: worker domains kept crashing or stalled — retrying may \
+         succeed." );
   ]

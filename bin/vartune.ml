@@ -53,6 +53,7 @@ let cmd_info name ~doc = Cmd.info name ~doc ~man:Common_opts.man
 let characterize_cmd =
   let run common output =
     Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
     let store = Common_opts.store common in
     write_library output (Characterize.nominal ?store Characterize.default_config)
   in
@@ -63,6 +64,7 @@ let characterize_cmd =
 let statlib_cmd =
   let run (common : Common_opts.t) output =
     Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
     let store = Common_opts.store common in
     let lib =
       Statistical.build ?store Characterize.default_config ~mismatch:Mismatch.default
@@ -109,6 +111,7 @@ let period_arg =
 let tune_cmd =
   let run (common : Common_opts.t) tuning =
     Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
     let store = Common_opts.store common in
     let tuning = Option.value tuning ~default:default_method in
     let lib =
@@ -158,6 +161,7 @@ let print_run label (run : Experiment.run) =
 let synth_cmd =
   let run common period tuning timing_report power verilog =
     Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
     let setup = prepare_setup common in
     let period = Option.value period ~default:setup.Experiment.min_period in
     let base = Experiment.baseline setup ~period in
@@ -194,6 +198,7 @@ let synth_cmd =
 let min_period_cmd =
   let run common =
     Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
     let setup = prepare_setup common in
     Printf.printf "minimum clock period: %.2f ns\n" setup.Experiment.min_period;
     List.iter
@@ -225,6 +230,7 @@ let report_cmd =
   in
   let run common figure =
     Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
     let setup = prepare_setup common in
     match figure with
     | `All -> Figures.run_all setup
@@ -274,6 +280,7 @@ let experiment_cmd =
   in
   let run (common : Common_opts.t) period tuning mc_samples =
     Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
     let setup = prepare_setup common in
     Printf.printf "minimum clock period: %.2f ns\n" setup.Experiment.min_period;
     let period = Option.value period ~default:setup.Experiment.min_period in
@@ -314,6 +321,7 @@ let parse_cmd =
   in
   let run common file =
     Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
     let lib = Parser.parse_file file in
     Printf.printf "%s: %d cells, corner %s, statistical=%b, total area %.0f um^2\n"
       (Library.name lib) (Library.size lib) (Library.corner lib)

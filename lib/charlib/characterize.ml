@@ -120,6 +120,30 @@ let library config ?name ?sample_for specs =
 module Store = Vartune_store.Store
 module Codec = Vartune_store.Codec
 
+let store_log_src =
+  Logs.Src.create "vartune.charlib" ~doc:"characterisation store checks"
+
+module Store_log = (val Logs.src_log store_log_src : Logs.LOG)
+
+(* Cheap structural sanity check on an artifact served by the store: the
+   cell count is fully determined by the specs in the key, so a mismatch
+   means the entry is logically corrupt even though its checksum and
+   codec framing were fine.  Recompute rather than serve it. *)
+let expected_cells specs =
+  List.fold_left (fun acc (s : Spec.t) -> acc + List.length s.drives) 0 specs
+
+let validated_library ~what ~specs lib =
+  let expected = expected_cells specs in
+  let actual = Library.size lib in
+  if actual = expected then Some lib
+  else begin
+    Store_log.warn (fun m ->
+        m "stored %s library has %d cells where the specs demand %d; discarding and \
+           recomputing"
+          what actual expected);
+    None
+  end
+
 let add_config_to_key key config =
   let p = config.params in
   Store.Key.(
@@ -148,7 +172,10 @@ let nominal ?(specs = Vartune_stdcell.Catalog.specs) ?store config =
   | None -> compute ()
   | Some store -> (
     let key = add_specs_to_key (add_config_to_key (Store.Key.v "nominal") config) specs in
-    match Store.load store key Codec.r_library with
+    match
+      Option.bind (Store.load store key Codec.r_library)
+        (validated_library ~what:"nominal" ~specs)
+    with
     | Some lib -> lib
     | None ->
       let lib = compute () in

@@ -44,7 +44,24 @@ val nominal :
 (** The nominal (no-variation) library of the full catalog.  With
     [store], the library is fetched from / saved to the persistent
     artifact store under a key derived from the full characterisation
-    config and catalog shape. *)
+    config and catalog shape.  A stored entry whose cell count does not
+    match the specs (see {!validated_library}) is discarded and
+    recomputed. *)
+
+val expected_cells : Vartune_stdcell.Spec.t list -> int
+(** Number of cells a library characterised from [specs] must contain
+    (one per family × drive). *)
+
+val validated_library :
+  what:string ->
+  specs:Vartune_stdcell.Spec.t list ->
+  Vartune_liberty.Library.t ->
+  Vartune_liberty.Library.t option
+(** Structural sanity check for libraries served by the artifact store:
+    [None] (with a warning naming [what]) when the cell count
+    contradicts [specs] — the entry passed its checksum but is
+    logically corrupt, so the caller must recompute.  Part of the
+    store's never-serve-a-corrupt-artifact contract. *)
 
 (** {1 Store fingerprints} *)
 

@@ -31,7 +31,16 @@ let naive_largest mask =
   !best
 
 (* Maximal rectangle via per-row histograms of consecutive ones above,
-   resolved with a monotonic stack. *)
+   resolved with a monotonic stack.
+
+   Tie-break: every maximum-area all-ones rectangle is non-extendable
+   (an extension would beat it), and the stack emits every
+   non-extendable rectangle exactly once, so taking the
+   lexicographically smallest (row_lo, col_lo, row_hi, col_hi) among
+   equal areas reproduces the first-in-loop-order winner of the paper's
+   Algorithm 1 ({!naive_largest}) — the two implementations agree on
+   the rectangle itself, not merely its area, keeping the derived
+   slew/load window identical. *)
 let largest mask =
   let n = Binary_lut.rows mask and m = Binary_lut.cols mask in
   let heights = Array.make m 0 in
@@ -40,9 +49,22 @@ let largest mask =
   let consider ~row ~col_lo ~col_hi ~height =
     if height > 0 then begin
       let a = height * (col_hi - col_lo + 1) in
-      if a > !best_area then begin
+      let candidate = { row_lo = row - height + 1; col_lo; row_hi = row; col_hi } in
+      let wins =
+        a > !best_area
+        || a = !best_area
+           &&
+           match !best with
+           | None -> true
+           | Some b ->
+             compare
+               (candidate.row_lo, candidate.col_lo, candidate.row_hi, candidate.col_hi)
+               (b.row_lo, b.col_lo, b.row_hi, b.col_hi)
+             < 0
+      in
+      if wins then begin
         best_area := a;
-        best := Some { row_lo = row - height + 1; col_lo; row_hi = row; col_hi }
+        best := Some candidate
       end
     end
   in

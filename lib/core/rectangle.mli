@@ -23,10 +23,12 @@ val naive_largest : Binary_lut.t -> t option
     in O(nm). *)
 
 val largest : Binary_lut.t -> t option
-(** Histogram-stack maximal-rectangle algorithm, O(nm).  Always returns a
-    rectangle of the same (maximal) area as {!naive_largest}; between
-    equal-area maxima the coordinates may differ from the naive
-    algorithm's choice. *)
+(** Histogram-stack maximal-rectangle algorithm, O(nm).  Returns exactly
+    the rectangle {!naive_largest} returns — coordinates included, not
+    merely the same area: equal-area maxima are tie-broken to the
+    lexicographically smallest (row_lo, col_lo, row_hi, col_hi), which
+    is the naive loop order's first find.  The extracted slew/load
+    window is therefore independent of which implementation ran. *)
 
 val far_corner : t -> int * int
 (** The (row, col) of the rectangle corner furthest from the LUT origin —

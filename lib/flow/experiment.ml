@@ -71,16 +71,16 @@ let make_memo ?store ~statlib_id () =
   { table = Hashtbl.create 64; lock = Mutex.create (); store; statlib_id }
 
 let prepare ?(samples = 50) ?(seed = 42) ?(mcu_config = Mcu.default_config) ?store
-    ?(reuse = true) () =
+    ?(reuse = true) ?specs () =
   Obs.span "flow.prepare" ~attrs:(fun () -> [ ("samples", string_of_int samples) ])
   @@ fun () ->
   let store = if reuse then store else None in
   let char_config = Characterize.default_config in
   let mismatch = Mismatch.default in
-  let statlib_key = Statistical.store_key char_config ~mismatch ~seed ~n:samples () in
+  let statlib_key = Statistical.store_key char_config ~mismatch ~seed ~n:samples ?specs () in
   let statlib_id = Store.Key.id statlib_key in
   Log.info (fun m -> m "building statistical library (N=%d)" samples);
-  let statlib = Statistical.build ?store char_config ~mismatch ~seed ~n:samples () in
+  let statlib = Statistical.build ?store char_config ~mismatch ~seed ~n:samples ?specs () in
   let design = Mcu.generate ~config:mcu_config () in
   Log.info (fun m -> m "design %s: %d IR nodes" (Ir.name design) (Ir.node_count design));
   let design_fp = Ir.fingerprint design in
@@ -256,6 +256,56 @@ let best_under_area_cap ?(cap = 0.10) points =
          | None -> Some p
          | Some best -> if p.reduction > best.reduction then Some p else acc)
        None
+
+(* ------------------------------------------------------------------ *)
+(* Failure classification                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The hardened layers (store, pool) convert most faults into degraded
+   service instead of exceptions, so anything that still escapes to the
+   CLI deserves a typed, actionable exit code in the sysexits.h
+   vocabulary rather than a backtrace and exit 2. *)
+type failure =
+  | Data_error of string  (** malformed input data, e.g. a Liberty file *)
+  | Io_error of string  (** an I/O failure that was not recoverable *)
+  | Worker_error of string  (** worker domains kept dying or stalled *)
+  | Internal_error of string
+      (** a bug: e.g. an injected fault escaped its hardened layer *)
+
+let exit_code = function
+  | Data_error _ -> 65 (* EX_DATAERR *)
+  | Io_error _ -> 74 (* EX_IOERR *)
+  | Worker_error _ -> 75 (* EX_TEMPFAIL *)
+  | Internal_error _ -> 70 (* EX_SOFTWARE *)
+
+let failure_message = function
+  | Data_error m -> Printf.sprintf "data error: %s" m
+  | Io_error m -> Printf.sprintf "I/O error: %s" m
+  | Worker_error m -> Printf.sprintf "worker failure: %s" m
+  | Internal_error m -> Printf.sprintf "internal error: %s" m
+
+let classify_exn = function
+  | Vartune_liberty.Lexer.Error { line; message } ->
+    Some (Data_error (Printf.sprintf "liberty lexer, line %d: %s" line message))
+  | Vartune_liberty.Parser.Error message ->
+    Some (Data_error (Printf.sprintf "liberty parser: %s" message))
+  | Codec.Corrupt reason ->
+    Some (Io_error (Printf.sprintf "corrupt artifact escaped the store: %s" reason))
+  | Sys_error reason -> Some (Io_error reason)
+  | Unix.Unix_error (err, fn, arg) ->
+    Some
+      (Io_error
+         (Printf.sprintf "%s in %s%s" (Unix.error_message err) fn
+            (if arg = "" then "" else Printf.sprintf " (%s)" arg)))
+  | Pool.Worker_failure message -> Some (Worker_error message)
+  | Vartune_fault.Fault.Injected { point; site; seq } ->
+    (* a fault reaching here means some layer failed to harden its
+       boundary — report it as the bug it is, with a typed exit *)
+    Some
+      (Internal_error
+         (Printf.sprintf "injected %s fault escaped at %s (occurrence %d)"
+            (Vartune_fault.Fault.point_to_string point) site seq))
+  | _ -> None
 
 let find_path_of_depth run ~depth =
   List.fold_left

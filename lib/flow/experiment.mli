@@ -46,6 +46,7 @@ val prepare :
   ?mcu_config:Vartune_rtl.Microcontroller.config ->
   ?store:Vartune_store.Store.t ->
   ?reuse:bool ->
+  ?specs:Vartune_stdcell.Spec.t list ->
   unit ->
   setup
 (** Builds the statistical library (default 50 samples, seed 42) across
@@ -54,7 +55,9 @@ val prepare :
     the measured minimum period and every subsequent synthesis run are
     fetched from / saved to the persistent artifact store.
     [~reuse:false] (default [true]) ignores [store] entirely — nothing
-    is read or written — for cold-timing comparisons. *)
+    is read or written — for cold-timing comparisons.  [specs] restricts
+    the characterised catalog (default {!Vartune_stdcell.Catalog.specs});
+    it must still cover every family the technology mapper emits. *)
 
 val fresh_memo : setup -> setup
 (** The same setup with an empty, store-detached memo — runs recompute
@@ -107,3 +110,33 @@ val find_path_of_depth :
   run -> depth:int -> Vartune_sta.Path.t option
 (** The extracted path whose depth is closest to [depth] — used to pick
     the short/medium/long paths of Figs. 15–16. *)
+
+(** {2 Failure classification}
+
+    The hardened layers keep most faults out of the control flow: the
+    store degrades to no-store, the pool restarts crashed workers.
+    What still escapes is classified here so the CLI can exit with a
+    typed, sysexits.h-style status instead of a backtrace. *)
+
+type failure =
+  | Data_error of string
+      (** malformed input data (Liberty lexer/parser errors) — exit 65 *)
+  | Io_error of string
+      (** unrecoverable I/O (raw [Sys_error]/[Unix_error], corrupt
+          artifact escaping the store) — exit 74 *)
+  | Worker_error of string
+      (** pool workers kept dying or stalled ({!Vartune_util.Pool.Worker_failure})
+          — exit 75, worth retrying *)
+  | Internal_error of string
+      (** a bug, e.g. an injected fault escaping its hardened layer —
+          exit 70 *)
+
+val classify_exn : exn -> failure option
+(** [None] means the exception is not one of the pipeline's typed
+    failures and should propagate (and exit 125 via the CLI guard). *)
+
+val exit_code : failure -> int
+(** 65 / 74 / 75 / 70 per the constructor docs above. *)
+
+val failure_message : failure -> string
+(** One-line operator-facing description. *)

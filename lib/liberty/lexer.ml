@@ -29,17 +29,22 @@ let is_number_start src i =
   || ((c = '-' || c = '+') && i + 1 < String.length src && (is_digit src.[i + 1] || src.[i + 1] = '.'))
   || (c = '.' && i + 1 < String.length src && is_digit src.[i + 1])
 
-(* A number may continue with digits, '.', exponent markers and signs right
-   after an exponent marker. *)
+(* A number may continue with digits and '.', plus one exponent in any
+   of the spellings commercial characterisers emit: e/E marker with an
+   optional explicit sign (1.2E+03, 4.7e-12, 1E3).  The marker is part
+   of the number only when digits actually follow it — "3EFF" is the
+   number 3 followed by the identifier EFF, not a malformed float. *)
 let number_end src i =
   let n = String.length src in
-  let rec go j prev_exp =
+  let rec go j seen_exp =
     if j >= n then j
     else begin
       let c = src.[j] in
-      if is_digit c || c = '.' then go (j + 1) false
-      else if c = 'e' || c = 'E' then go (j + 1) true
-      else if (c = '+' || c = '-') && prev_exp then go (j + 1) false
+      if is_digit c || c = '.' then go (j + 1) seen_exp
+      else if (c = 'e' || c = 'E') && not seen_exp then begin
+        let k = if j + 1 < n && (src.[j + 1] = '+' || src.[j + 1] = '-') then j + 2 else j + 1 in
+        if k < n && is_digit src.[k] then go (k + 1) true else j
+      end
       else j
     end
   in

@@ -265,7 +265,11 @@ let build ?pool ?store config ~mismatch ~seed ~n ?specs () =
   | None -> compute ()
   | Some store -> (
     let key = store_key config ~mismatch ~seed ~n ?specs () in
-    match Store.load store key Codec.r_library with
+    let specs_used = Option.value specs ~default:Vartune_stdcell.Catalog.specs in
+    match
+      Option.bind (Store.load store key Codec.r_library)
+        (Characterize.validated_library ~what:"statistical" ~specs:specs_used)
+    with
     | Some lib -> lib
     | None ->
       let lib = compute () in

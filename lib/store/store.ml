@@ -1,4 +1,5 @@
 module Obs = Vartune_obs.Obs
+module Fault = Vartune_fault.Fault
 
 let src = Logs.Src.create "vartune.store" ~doc:"persistent artifact store"
 
@@ -10,6 +11,9 @@ let c_write = Obs.Counter.make "store.write"
 let c_evict = Obs.Counter.make "store.evict"
 let c_read_bytes = Obs.Counter.make "store.read_bytes"
 let c_write_bytes = Obs.Counter.make "store.write_bytes"
+let c_retry = Obs.Counter.make "store.retry"
+let c_error = Obs.Counter.make "store.error"
+let c_degraded = Obs.Counter.make "store.degraded"
 
 (* ------------------------------------------------------------------ *)
 (* Keys                                                                *)
@@ -56,6 +60,22 @@ module Key = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Io of { site : string; reason : string }
+  | No_space of { site : string }
+  | Locked
+  | Disabled
+
+let error_to_string = function
+  | Io { site; reason } -> Printf.sprintf "I/O failure at %s: %s" site reason
+  | No_space { site } -> Printf.sprintf "no space left on device at %s" site
+  | Locked -> "entry locked by a live writer"
+  | Disabled -> "store degraded to no-store mode"
+
+(* ------------------------------------------------------------------ *)
 (* Store handle                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -67,6 +87,10 @@ type t = {
   evictions : int Atomic.t;
   read_bytes : int Atomic.t;
   written_bytes : int Atomic.t;
+  retries : int Atomic.t;
+  errors : int Atomic.t;
+  consec_failures : int Atomic.t;
+  is_degraded : bool Atomic.t;
 }
 
 type stats = {
@@ -76,6 +100,9 @@ type stats = {
   evictions : int;
   read_bytes : int;
   written_bytes : int;
+  retries : int;
+  errors : int;
+  degraded : bool;
 }
 
 let stats (t : t) =
@@ -86,8 +113,12 @@ let stats (t : t) =
     evictions = Atomic.get t.evictions;
     read_bytes = Atomic.get t.read_bytes;
     written_bytes = Atomic.get t.written_bytes;
+    retries = Atomic.get t.retries;
+    errors = Atomic.get t.errors;
+    degraded = Atomic.get t.is_degraded;
   }
 
+let degraded t = Atomic.get t.is_degraded
 let dir t = t.root
 let objects_dir t = Filename.concat t.root "objects"
 
@@ -123,7 +154,7 @@ let file_age path =
   | exception Unix.Unix_error _ -> None
 
 let remove_quietly path = try Sys.remove path with Sys_error _ -> ()
-
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 let readdir_quietly path = try Sys.readdir path with Sys_error _ -> [||]
 
 let sweep_litter root =
@@ -156,6 +187,10 @@ let open_dir root =
     evictions = Atomic.make 0;
     read_bytes = Atomic.make 0;
     written_bytes = Atomic.make 0;
+    retries = Atomic.make 0;
+    errors = Atomic.make 0;
+    consec_failures = Atomic.make 0;
+    is_degraded = Atomic.make false;
   }
 
 let open_default () = open_dir (default_dir ())
@@ -163,6 +198,85 @@ let open_default () = open_dir (default_dir ())
 let entry_path t key =
   let hex = Key.hex key in
   Filename.concat (Filename.concat (objects_dir t) (String.sub hex 0 2)) (hex ^ ".vt")
+
+(* ------------------------------------------------------------------ *)
+(* Retry / degradation policy                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Transient faults (interrupted reads, flaky writes, lock hiccups) are
+   retried a bounded number of times with exponential backoff; the
+   jitter decorrelates concurrent retriers and is derived from a global
+   counter, not the wall clock, so replay stays deterministic.  ENOSPC
+   is persistent: no retry, the handle degrades immediately.  After
+   [degrade_after] consecutive exhausted-retry failures the handle also
+   degrades: loads report misses, saves become no-ops, the pipeline
+   recomputes and completes without the accelerator. *)
+let retry_attempts = 3
+let degrade_after = 5
+let backoff_base_s = 0.0005
+let backoff_salt = Atomic.make 0
+
+let backoff_s attempt =
+  let salt = Atomic.fetch_and_add backoff_salt 1 in
+  let h = Key.fnv1a64 0xcbf29ce484222325L (Printf.sprintf "%d.%d" attempt salt) in
+  let jitter = Int64.to_float (Int64.logand h 0xffL) /. 255.0 in
+  backoff_base_s *. (2.0 ** float_of_int attempt) *. (1.0 +. jitter)
+
+let degrade t reason =
+  if not (Atomic.exchange t.is_degraded true) then begin
+    Obs.Counter.incr c_degraded;
+    Log.warn (fun m ->
+        m "store degraded to no-store mode (%s); the pipeline continues uncached" reason)
+  end
+
+let record_failure (t : t) error =
+  Atomic.incr t.errors;
+  Obs.Counter.incr c_error;
+  match error with
+  | No_space { site } -> degrade t (Printf.sprintf "%s: no space left on device" site)
+  | Io { site; reason } ->
+    let n = 1 + Atomic.fetch_and_add t.consec_failures 1 in
+    Log.warn (fun m -> m "store %s failed after %d attempts: %s" site retry_attempts reason);
+    if n >= degrade_after then
+      degrade t (Printf.sprintf "%d consecutive I/O failures, last at %s" n site)
+  | Locked | Disabled -> ()
+
+let record_success (t : t) = Atomic.set t.consec_failures 0
+
+(* Classifies one failed attempt.  [`Reraise] is for exceptions that do
+   not look like I/O at all — caller bugs must not be eaten here. *)
+let classify = function
+  | Unix.Unix_error (Unix.ENOSPC, _, _) | Fault.Injected { point = Fault.Enospc; _ } ->
+    `No_space
+  | Fault.Injected { point; site; seq } ->
+    `Transient
+      (Printf.sprintf "injected %s fault at %s (occurrence %d)"
+         (Fault.point_to_string point) site seq)
+  | Unix.Unix_error (err, fn, _) ->
+    `Transient (Printf.sprintf "%s in %s" (Unix.error_message err) fn)
+  | Sys_error reason -> `Transient reason
+  | _ -> `Reraise
+
+let with_retries (t : t) ~site f =
+  let rec go attempt =
+    match f () with
+    | v -> Ok v
+    | exception exn -> (
+      match classify exn with
+      | `Reraise -> Printexc.raise_with_backtrace exn (Printexc.get_raw_backtrace ())
+      | `No_space -> Error (No_space { site })
+      | `Transient reason ->
+        if attempt + 1 >= retry_attempts then Error (Io { site; reason })
+        else begin
+          Atomic.incr t.retries;
+          Obs.Counter.incr c_retry;
+          Log.debug (fun m ->
+              m "%s attempt %d failed (%s); retrying" site (attempt + 1) reason);
+          Unix.sleepf (backoff_s attempt);
+          go (attempt + 1)
+        end)
+  in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* Entry framing                                                       *)
@@ -212,33 +326,70 @@ let evict (t : t) path reason =
   Log.warn (fun m -> m "evicting corrupt store entry %s (%s)" path reason);
   remove_quietly path
 
-let load (t : t) key decode =
+(* One read attempt.  ENOENT is a miss, not a failure; everything else
+   raises and is classified by [with_retries]. *)
+let read_entry path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> close_quietly fd)
+      (fun () ->
+        Fault.check Fault.Read ~site:"store.load.read";
+        let len = (Unix.fstat fd).Unix.st_size in
+        let buf = Bytes.create len in
+        let rec fill off =
+          if off < len then begin
+            let n = Unix.read fd buf off (len - off) in
+            if n = 0 then raise (Unix.Unix_error (Unix.EIO, "read", path));
+            fill (off + n)
+          end
+        in
+        fill 0;
+        Some (Bytes.unsafe_to_string buf))
+
+let load_result (t : t) key decode =
   Obs.span "store.load" ~attrs:(fun () -> [ ("key", Key.id key) ]) @@ fun () ->
-  let path = entry_path t key in
-  let miss () =
-    Atomic.incr t.misses;
-    Obs.Counter.incr c_miss;
-    None
-  in
-  match In_channel.with_open_bin path In_channel.input_all with
-  | exception Sys_error _ -> miss ()
-  | contents -> (
-    match decode (Codec.reader (unframe key contents)) with
-    | value ->
-      Atomic.incr t.hits;
-      ignore (Atomic.fetch_and_add t.read_bytes (String.length contents));
-      Obs.Counter.incr c_hit;
-      Obs.Counter.add c_read_bytes (String.length contents);
-      Some value
-    | exception Codec.Corrupt reason ->
-      evict t path reason;
-      miss ()
-    | exception (Invalid_argument reason | Failure reason) ->
-      evict t path reason;
-      miss ()
-    | exception Not_found ->
-      evict t path "decoder raised Not_found";
-      miss ())
+  if Atomic.get t.is_degraded then Error Disabled
+  else begin
+    let path = entry_path t key in
+    let miss () =
+      Atomic.incr t.misses;
+      Obs.Counter.incr c_miss;
+      Ok None
+    in
+    match with_retries t ~site:"store.load" (fun () -> read_entry path) with
+    | Error e ->
+      record_failure t e;
+      Error e
+    | Ok None -> miss ()
+    | Ok (Some contents) -> (
+      record_success t;
+      match decode (Codec.reader (unframe key contents)) with
+      | value ->
+        Atomic.incr t.hits;
+        ignore (Atomic.fetch_and_add t.read_bytes (String.length contents));
+        Obs.Counter.incr c_hit;
+        Obs.Counter.add c_read_bytes (String.length contents);
+        Ok (Some value)
+      | exception Codec.Corrupt reason ->
+        evict t path reason;
+        miss ()
+      | exception (Invalid_argument reason | Failure reason) ->
+        evict t path reason;
+        miss ()
+      | exception Not_found ->
+        evict t path "decoder raised Not_found";
+        miss ()
+      | exception exn ->
+        (* a decoder blowing up on adversarial bytes is still corruption;
+           it must never escape as a crash *)
+        evict t path (Printf.sprintf "decoder raised %s" (Printexc.to_string exn));
+        miss ())
+  end
+
+let load (t : t) key decode =
+  match load_result t key decode with Ok v -> v | Error _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Save                                                                *)
@@ -250,13 +401,14 @@ let load (t : t) key decode =
    atomic rename.  A lock older than [stale_age_s] belongs to a crashed
    writer and is broken. *)
 let try_lock path =
+  Fault.check Fault.Lock ~site:"store.save.lock";
   let lock = path ^ ".lock" in
   let acquire () =
     match Unix.openfile lock [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644 with
     | fd ->
       Unix.close fd;
       true
-    | exception Unix.Unix_error _ -> false
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
   in
   if acquire () then Some lock
   else
@@ -272,41 +424,92 @@ let try_lock path =
 
 let temp_counter = Atomic.make 0
 
-let save (t : t) key encode =
-  Obs.span "store.save" ~attrs:(fun () -> [ ("key", Key.id key) ]) @@ fun () ->
-  let path = entry_path t key in
-  mkdir_p (Filename.dirname path);
-  match try_lock path with
-  | None -> Log.debug (fun m -> m "store entry %s locked by a live writer; skipping" path)
-  | Some lock ->
+(* One landing attempt: write a temp file, fsync, atomically rename.
+   Cleans its temp file and raises on failure.  An injected
+   partial-write lands a truncated entry *silently* — exercising the
+   reader-side promise that corruption is evicted, never served. *)
+let land_entry path framed =
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add temp_counter 1)
+  in
+  match
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
     Fun.protect
-      ~finally:(fun () -> remove_quietly lock)
+      ~finally:(fun () -> close_quietly fd)
       (fun () ->
-        let payload = Buffer.create 65536 in
-        encode payload;
-        let framed = frame key (Buffer.contents payload) in
-        let tmp =
-          Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
-            (Atomic.fetch_and_add temp_counter 1)
+        Fault.check Fault.Enospc ~site:"store.save.write";
+        Fault.check Fault.Write ~site:"store.save.write";
+        let len =
+          if Fault.fires Fault.Partial_write ~site:"store.save.write" then
+            String.length framed / 2
+          else String.length framed
         in
-        match
-          Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc framed);
-          Unix.rename tmp path
-        with
-        | () ->
-          Atomic.incr t.writes;
-          ignore (Atomic.fetch_and_add t.written_bytes (String.length framed));
-          Obs.Counter.incr c_write;
-          Obs.Counter.add c_write_bytes (String.length framed);
-          Log.debug (fun m -> m "stored %s (%d bytes)" path (String.length framed))
-        | exception Sys_error reason ->
-          (* the store accelerates; it must never fail the pipeline *)
-          Log.warn (fun m -> m "store write %s failed: %s" path reason);
-          remove_quietly tmp
-        | exception Unix.Unix_error (err, fn, _) ->
-          Log.warn (fun m ->
-              m "store write %s failed: %s in %s" path (Unix.error_message err) fn);
-          remove_quietly tmp)
+        let rec put off =
+          if off < len then put (off + Unix.write_substring fd framed off (len - off))
+        in
+        put 0;
+        Fault.check Fault.Fsync ~site:"store.save.fsync";
+        Unix.fsync fd;
+        len)
+  with
+  | len ->
+    (match Fault.check Fault.Rename ~site:"store.save.rename"; Unix.rename tmp path with
+    | () -> len
+    | exception exn ->
+      remove_quietly tmp;
+      raise exn)
+  | exception exn ->
+    remove_quietly tmp;
+    raise exn
+
+let save_result (t : t) key encode =
+  Obs.span "store.save" ~attrs:(fun () -> [ ("key", Key.id key) ]) @@ fun () ->
+  if Atomic.get t.is_degraded then Error Disabled
+  else begin
+    let path = entry_path t key in
+    let outcome =
+      match
+        with_retries t ~site:"store.save.lock" (fun () ->
+            mkdir_p (Filename.dirname path);
+            try_lock path)
+      with
+      | Error e -> Error e
+      | Ok None -> Error Locked
+      | Ok (Some lock) ->
+        (* everything between acquisition and release — including the
+           caller's [encode] — is under [Fun.protect]: a writer dying in
+           its critical section cannot leave a permanent lock *)
+        Fun.protect
+          ~finally:(fun () -> remove_quietly lock)
+          (fun () ->
+            let framed =
+              let payload = Buffer.create 65536 in
+              encode payload;
+              frame key (Buffer.contents payload)
+            in
+            with_retries t ~site:"store.save" (fun () -> land_entry path framed))
+    in
+    match outcome with
+    | Ok written ->
+      record_success t;
+      Atomic.incr t.writes;
+      ignore (Atomic.fetch_and_add t.written_bytes written);
+      Obs.Counter.incr c_write;
+      Obs.Counter.add c_write_bytes written;
+      Log.debug (fun m -> m "stored %s (%d bytes)" path written);
+      Ok ()
+    | Error Locked ->
+      Log.debug (fun m -> m "store entry %s locked by a live writer; skipping" path);
+      Error Locked
+    | Error e ->
+      record_failure t e;
+      Error e
+  end
+
+let save (t : t) key encode =
+  match save_result t key encode with
+  | Ok () | Error (Locked | Disabled | Io _ | No_space _) -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Maintenance                                                         *)

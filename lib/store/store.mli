@@ -35,6 +35,15 @@
       and payload checksum, and decoding validates structurally.  A bad
       entry is evicted (unlinked) and reported as a miss so the caller
       recomputes; it is never trusted.
+    - {e Faults}: transient I/O failures (real, or injected through
+      {!Vartune_fault.Fault} at the [read]/[write]/[rename]/[lock]/
+      [fsync]/[enospc]/[partial_write] points) are retried
+      {!retry_attempts} times with exponential, deterministically
+      jittered backoff.  ENOSPC — or exhausting retries repeatedly —
+      degrades the handle to no-store mode: loads report misses, saves
+      become no-ops, a [store.degraded] counter ticks and one warning
+      is logged.  The store is an accelerator; it never fails the
+      pipeline and never serves a corrupt artifact.
 
     {2 Telemetry}
 
@@ -80,7 +89,26 @@ type stats = {
   evictions : int;
   read_bytes : int;
   written_bytes : int;
+  retries : int;  (** transient-failure attempts that were retried *)
+  errors : int;  (** operations that failed after exhausting retries *)
+  degraded : bool;  (** whether the handle has dropped to no-store mode *)
 }
+
+type error =
+  | Io of { site : string; reason : string }
+      (** A transient failure survived every retry.  [site] names the
+          operation ([store.load], [store.save], [store.save.lock]). *)
+  | No_space of { site : string }  (** ENOSPC — persistent, never retried. *)
+  | Locked
+      (** A live writer holds the entry lock.  Benign: content
+          addressing guarantees it is landing identical bytes. *)
+  | Disabled  (** The handle is degraded; the operation was not attempted. *)
+
+val error_to_string : error -> string
+
+val retry_attempts : int
+(** Bounded attempts per operation before a transient failure becomes
+    {!Io}. *)
 
 val default_dir : unit -> string
 (** [VARTUNE_STORE], else [$XDG_CACHE_HOME/vartune], else
@@ -99,15 +127,32 @@ val dir : t -> string
 val load : t -> Key.t -> (Codec.reader -> 'a) -> 'a option
 (** [load t key decode] returns the decoded artifact, or [None] on a
     miss.  Corrupt entries ({!Codec.Corrupt}, checksum or framing
-    failures, constructor validation errors) are evicted and reported
-    as a miss. *)
+    failures, any decoder exception) are evicted and reported as a
+    miss.  I/O failures (after retries) also report [None]; use
+    {!load_result} to observe them.  Never raises. *)
+
+val load_result : t -> Key.t -> (Codec.reader -> 'a) -> ('a option, error) result
+(** Like {!load} but surfaces typed failures.  [Ok None] is an honest
+    miss (including evicted corruption); [Error _] means the entry's
+    state is unknown because I/O failed. *)
 
 val save : t -> Key.t -> (Buffer.t -> unit) -> unit
-(** [save t key encode] lands the encoded artifact atomically.  If a
-    live writer already holds the entry's lock the write is skipped —
-    content addressing guarantees the competing writer lands identical
-    bytes.  I/O failures are logged, never raised: the store is an
-    accelerator, not a dependency. *)
+(** [save t key encode] lands the encoded artifact atomically (write to
+    temp, fsync, rename).  If a live writer already holds the entry's
+    lock the write is skipped — content addressing guarantees the
+    competing writer lands identical bytes.  I/O failures are logged
+    and counted, never raised: the store is an accelerator, not a
+    dependency.  Only an exception from [encode] itself (a caller bug)
+    propagates, and the entry lock is released on that path too. *)
+
+val save_result : t -> Key.t -> (Buffer.t -> unit) -> (unit, error) result
+(** Like {!save} but surfaces typed failures instead of swallowing
+    them. *)
+
+val degraded : t -> bool
+(** [true] once the handle has dropped to no-store mode (ENOSPC or
+    repeated exhausted-retry failures).  Degradation is one-way for the
+    lifetime of the handle. *)
 
 val entry_path : t -> Key.t -> string
 (** Where the entry for [key] lives (whether or not it exists). *)

@@ -1,14 +1,39 @@
 module Obs = Vartune_obs.Obs
+module Fault = Vartune_fault.Fault
 
 let src = Logs.Src.create "vartune.pool" ~doc:"domain worker pool"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+exception Worker_failure of string
+
+let () =
+  Printexc.register_printer (function
+    | Worker_failure msg -> Some (Printf.sprintf "Vartune_util.Pool.Worker_failure(%s)" msg)
+    | _ -> None)
+
+(* A queued task.  [run] settles its own result slot and never raises;
+   [abandon] settles the slot with {!Worker_failure} when the task has
+   burnt through its crash budget; [attempts] counts executions begun on
+   worker domains (only crashes increment it — a completed run is the
+   task's last). *)
+type task = {
+  run : unit -> unit;
+  abandon : string -> unit;
+  mutable attempts : int;
+}
+
+(* A task whose workers keep dying is abandoned after this many
+   attempts rather than requeued forever. *)
+let max_task_attempts = 8
+
 type t = {
   jobs : int;
-  queue : (unit -> unit) Queue.t;
+  stall_timeout_s : float;
+  queue : task Queue.t;
   lock : Mutex.t;
   nonempty : Condition.t;
+  restarts : int Atomic.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
 }
@@ -32,28 +57,54 @@ let env_jobs () =
       None)
 
 let resolve_jobs = function
-  | Some j -> max 1 j
+  | Some j when j >= 1 -> j
+  | Some j ->
+    invalid_arg (Printf.sprintf "Pool.create: jobs must be a positive integer (got %d)" j)
   | None -> (
     match env_jobs () with
     | Some j -> j
     | None -> Domain.recommended_domain_count ())
 
+(* Stall watchdog grace period: how long the completion wait tolerates
+   zero progress (no task finishing, nothing left to help with) before
+   concluding the remaining tasks are stuck on unresponsive workers.
+   Disabled (infinite) unless VARTUNE_POOL_STALL_S or ~stall_timeout_s
+   says otherwise. *)
+let env_stall_timeout () =
+  match Sys.getenv_opt "VARTUNE_POOL_STALL_S" with
+  | None -> infinity
+  | Some v -> (
+    match float_of_string_opt (String.trim v) with
+    | Some s when s > 0.0 -> s
+    | Some _ | None ->
+      Log.warn (fun m ->
+          m "ignoring VARTUNE_POOL_STALL_S=%S: expected a positive number of seconds" v);
+      infinity)
+
 let c_tasks = Obs.Counter.make "pool.tasks_run"
+let c_restarts = Obs.Counter.make "pool.worker_restarts"
 
 (* Wraps one dequeued task in a span on the executing domain's track and
-   charges its duration to that domain's busy-time histogram.  Tasks
-   queued by [map_array] never raise (failures travel through the result
-   slot), so the busy-time accounting after [span] always runs. *)
-let run_task task =
-  if not (Obs.enabled ()) then task ()
+   charges its duration to that domain's busy-time histogram.  Task
+   bodies settle failures through their result slot, so the busy-time
+   accounting after [span] always runs. *)
+let run_task run =
+  if not (Obs.enabled ()) then run ()
   else begin
     let t0 = Obs.now_ns () in
-    Obs.span "pool.task" task;
+    Obs.span "pool.task" run;
     let dt = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) *. 1e-9 in
     Obs.observe ("pool.worker." ^ string_of_int (Domain.self () :> int) ^ ".busy_s") dt;
     Obs.Counter.incr c_tasks
   end
 
+(* Worker domains die in two ways: an injected [Worker_crash] fault
+   (fired at dequeue, before the task body starts, so a requeued task
+   can never settle twice) or a real exception escaping [run] (task
+   bodies catch their own, so this is catastrophic).  Either way the
+   crashed worker's last act is to requeue or abandon its task and
+   spawn a replacement domain — [map] callers never deadlock on a lost
+   task. *)
 let rec worker_loop pool =
   Mutex.lock pool.lock;
   let rec next () =
@@ -71,17 +122,58 @@ let rec worker_loop pool =
   match task with
   | None -> ()
   | Some task ->
-    run_task task;
-    worker_loop pool
+    if Fault.fires Fault.Worker_crash ~site:"pool.worker" then
+      crash_out pool task "injected worker_crash fault"
+    else (
+      match run_task task.run with
+      | () -> worker_loop pool
+      | exception exn -> crash_out pool task (Printexc.to_string exn))
 
-let create ?jobs () =
+and crash_out pool task reason =
+  Atomic.incr pool.restarts;
+  Obs.Counter.incr c_restarts;
+  task.attempts <- task.attempts + 1;
+  let abandon = task.attempts >= max_task_attempts in
+  if abandon then begin
+    let msg =
+      Printf.sprintf "task lost %d worker domains (last: %s); giving up" task.attempts
+        reason
+    in
+    Log.err (fun m -> m "%s" msg);
+    task.abandon msg
+  end
+  else
+    Log.warn (fun m ->
+        m "worker domain crashed (%s); requeueing task (attempt %d/%d) and restarting"
+          reason task.attempts max_task_attempts);
+  Mutex.lock pool.lock;
+  if not abandon then begin
+    Queue.add task pool.queue;
+    Condition.broadcast pool.nonempty
+  end;
+  (* Spawn the replacement while holding the lock so a concurrent
+     [shutdown] either sees [closed] here or joins the new domain. *)
+  if not pool.closed then
+    pool.workers <- Domain.spawn (fun () -> worker_loop pool) :: pool.workers;
+  Mutex.unlock pool.lock
+(* the crashed domain's worker_loop ends here: the domain dies *)
+
+let create ?jobs ?stall_timeout_s () =
   let jobs = resolve_jobs jobs in
+  let stall_timeout_s =
+    match stall_timeout_s with
+    | Some s when s > 0.0 -> s
+    | Some s -> invalid_arg (Printf.sprintf "Pool.create: stall timeout %g must be > 0" s)
+    | None -> env_stall_timeout ()
+  in
   let pool =
     {
       jobs;
+      stall_timeout_s;
       queue = Queue.create ();
       lock = Mutex.create ();
       nonempty = Condition.create ();
+      restarts = Atomic.make 0;
       closed = false;
       workers = [];
     }
@@ -94,16 +186,31 @@ let create ?jobs () =
   pool
 
 let jobs t = t.jobs
+let restarts t = Atomic.get t.restarts
 
 let shutdown t =
   Mutex.lock t.lock;
   t.closed <- true;
   Condition.broadcast t.nonempty;
   Mutex.unlock t.lock;
-  List.iter Domain.join t.workers;
-  t.workers <- []
+  (* Crashing workers may still be appending replacement domains; keep
+     joining until the list stays empty. *)
+  let rec drain () =
+    Mutex.lock t.lock;
+    let workers = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.lock;
+    if workers <> [] then begin
+      List.iter Domain.join workers;
+      drain ()
+    end
+  in
+  drain ()
 
-(* Pops one queued task and runs it; [false] when the queue is empty. *)
+(* Pops one queued task and runs it; [false] when the queue is empty.
+   Runs on the submitting domain, which is immortal: no crash faults
+   are consulted here, and a catastrophic escape abandons the task
+   instead of killing the caller. *)
 let try_run_one t =
   Mutex.lock t.lock;
   let task = Queue.take_opt t.queue in
@@ -111,7 +218,9 @@ let try_run_one t =
   match task with
   | None -> false
   | Some task ->
-    run_task task;
+    (try run_task task.run
+     with exn ->
+       task.abandon (Printf.sprintf "task body raised uncaught %s" (Printexc.to_string exn)));
     true
 
 let c_enqueued = Obs.Counter.make "pool.tasks_enqueued"
@@ -126,20 +235,38 @@ let map_array_impl pool f xs =
     let remaining = Atomic.make n in
     let done_lock = Mutex.create () in
     let done_cond = Condition.create () in
-    let task i () =
-      let r =
-        try Ok (f xs.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
-      in
-      results.(i) <- Some r;
-      if Atomic.fetch_and_add remaining (-1) = 1 then begin
-        Mutex.lock done_lock;
-        Condition.broadcast done_cond;
-        Mutex.unlock done_lock
-      end
+    (* Settling is single-writer per slot — a task instance runs on one
+       domain at a time and is only requeued after its holder died
+       before the body started — so the Some check is belt-and-braces
+       against double-abandon, not a synchronisation point. *)
+    let settle i r =
+      match results.(i) with
+      | Some _ -> ()
+      | None ->
+        results.(i) <- Some r;
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock done_lock;
+          Condition.broadcast done_cond;
+          Mutex.unlock done_lock
+        end
+    in
+    let make_task i =
+      {
+        attempts = 0;
+        run =
+          (fun () ->
+            let r =
+              try Ok (f xs.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            settle i r);
+        abandon =
+          (fun reason ->
+            settle i (Error (Worker_failure reason, Printexc.get_callstack 0)));
+      }
     in
     Mutex.lock pool.lock;
     for i = 0 to n - 1 do
-      Queue.add (task i) pool.queue
+      Queue.add (make_task i) pool.queue
     done;
     let depth = Queue.length pool.queue in
     Condition.broadcast pool.nonempty;
@@ -153,11 +280,36 @@ let map_array_impl pool f xs =
     while try_run_one pool do
       ()
     done;
-    Mutex.lock done_lock;
-    while Atomic.get remaining > 0 do
-      Condition.wait done_cond done_lock
-    done;
-    Mutex.unlock done_lock;
+    if pool.stall_timeout_s = infinity then begin
+      Mutex.lock done_lock;
+      while Atomic.get remaining > 0 do
+        Condition.wait done_cond done_lock
+      done;
+      Mutex.unlock done_lock
+    end
+    else begin
+      (* Watchdog wait: poll for completion, keep helping with requeued
+         tasks, and fail cleanly if nothing progresses for the grace
+         period — a lost wakeup or wedged worker must not hang the
+         pipeline forever. *)
+      let last_remaining = ref (Atomic.get remaining) in
+      let last_progress = ref (Unix.gettimeofday ()) in
+      while Atomic.get remaining > 0 do
+        if not (try_run_one pool) then Unix.sleepf 0.001;
+        let r = Atomic.get remaining in
+        if r <> !last_remaining then begin
+          last_remaining := r;
+          last_progress := Unix.gettimeofday ()
+        end
+        else if r > 0 && Unix.gettimeofday () -. !last_progress > pool.stall_timeout_s
+        then
+          raise
+            (Worker_failure
+               (Printf.sprintf
+                  "pool stalled: %d task(s) made no progress for %.1fs (stuck worker?)" r
+                  pool.stall_timeout_s))
+      done
+    end;
     Array.map
       (function
         | Some (Ok v) -> v
@@ -218,8 +370,9 @@ let default () =
   pool
 
 let set_default_jobs jobs =
+  let fresh = create ~jobs () in
   Mutex.lock default_lock;
   let old = !default_pool in
-  default_pool := Some (create ~jobs ());
+  default_pool := Some fresh;
   Mutex.unlock default_lock;
   Option.iter shutdown old

@@ -29,7 +29,30 @@
     A [VARTUNE_JOBS] value that is not a positive integer (e.g. [0],
     [-2] or garbage) is {e rejected with a [Logs] warning} on the
     [vartune.pool] source and the recommended domain count is used
-    instead — it is never silently clamped.
+    instead — it is never silently clamped.  An explicit [~jobs] that
+    is not positive raises [Invalid_argument]: flags are validated at
+    parse time, so a bad value reaching {!create} is a caller bug.
+
+    {2 Crash recovery}
+
+    A worker domain that dies — via an injected
+    {!Vartune_fault.Fault.Worker_crash} fault or an exception escaping
+    a task body — requeues (or, after [8] attempts, abandons) the task
+    it held and spawns a replacement domain before expiring, so a
+    [map] in flight never loses a result slot.  Crash faults fire at
+    dequeue, before the task body starts, so a requeued task re-runs
+    from scratch and the slot-indexed results keep the jobs=1-identical
+    output ordering.  An abandoned task settles its slot with
+    {!Worker_failure}, which [map] re-raises after all slots settle —
+    the pipeline fails cleanly instead of hanging.  The submitting
+    domain never crash-injects (it is the one collecting results), so
+    [jobs = 1] remains the exact, fault-free serial path.
+
+    When a stall timeout is configured (the [~stall_timeout_s] argument
+    or [VARTUNE_POOL_STALL_S], seconds; disabled by default), the
+    completion wait turns into a watchdog: if no task settles for that
+    long while nothing is left to help with, [map] raises
+    {!Worker_failure} instead of waiting forever on a wedged worker.
 
     {2 Telemetry}
 
@@ -37,19 +60,32 @@
     span per parallel map, a [pool.task] span per executed task on the
     executing domain's track, counters [pool.tasks_enqueued] /
     [pool.tasks_run], a [pool.queue_depth] histogram sampled at submit
-    time, and per-domain [pool.worker.<id>.busy_s] busy-time
-    histograms.  Disabled telemetry costs one flag check per operation
-    and cannot affect results either way. *)
+    time, per-domain [pool.worker.<id>.busy_s] busy-time histograms,
+    and a [pool.worker_restarts] counter for crash recoveries.
+    Disabled telemetry costs one flag check per operation and cannot
+    affect results either way. *)
 
 type t
 
-val create : ?jobs:int -> unit -> t
-(** [create ~jobs ()] spawns a pool of [jobs] workers (clamped to >= 1).
+exception Worker_failure of string
+(** A task could not be completed by any worker: it was abandoned after
+    repeated worker crashes, or the stall watchdog expired.  Maps to
+    the temporary-failure exit code at the CLI. *)
+
+val create : ?jobs:int -> ?stall_timeout_s:float -> unit -> t
+(** [create ~jobs ()] spawns a pool of [jobs] workers.  Raises
+    [Invalid_argument] if [jobs < 1] (or [stall_timeout_s <= 0]).
     Without [jobs], the size follows the precedence above: a valid
-    [VARTUNE_JOBS], else [Domain.recommended_domain_count ()]. *)
+    [VARTUNE_JOBS], else [Domain.recommended_domain_count ()].
+    [stall_timeout_s] arms the stall watchdog described above; it
+    defaults to [VARTUNE_POOL_STALL_S], else disabled. *)
 
 val jobs : t -> int
 (** Worker count the pool was created with. *)
+
+val restarts : t -> int
+(** Number of worker domains restarted after crashes since the pool was
+    created. *)
 
 val shutdown : t -> unit
 (** Terminates the worker domains.  Outstanding tasks are drained first;
@@ -82,5 +118,6 @@ val default : unit -> t
 
 val set_default_jobs : int -> unit
 (** Replaces the default pool with one of the given size (shutting the
-    old one down).  Used by the [--jobs] command-line flag; call it
-    before heavy work starts. *)
+    old one down).  Raises [Invalid_argument] if the size is not
+    positive, before touching the existing pool.  Used by the [--jobs]
+    command-line flag; call it before heavy work starts. *)

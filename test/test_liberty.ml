@@ -251,6 +251,71 @@ let test_lexer_numbers () =
   | [ Lexer.Number f; Lexer.Eof ] -> check_float "negative" (-0.25) f
   | _ -> Alcotest.fail "negative number"
 
+let test_lexer_sci_notation () =
+  (* every exponent spelling commercial characterisers emit *)
+  List.iter
+    (fun (src, expected) ->
+      match Lexer.tokenize src with
+      | [ Lexer.Number f; Lexer.Eof ] -> check_float ("lexes " ^ src) expected f
+      | _ -> Alcotest.fail ("single number expected for " ^ src))
+    [
+      ("1.2E+03", 1200.0);
+      ("4.7e-12", 4.7e-12);
+      ("1E3", 1000.0);
+      ("+1.5", 1.5);
+      ("-2.5E-1", -0.25);
+      (".5e1", 5.0);
+    ];
+  (* an e/E not followed by digits is not an exponent: the number ends
+     and an identifier begins *)
+  (match Lexer.tokenize "3EFF" with
+  | [ Lexer.Number f; Lexer.Ident "EFF"; Lexer.Eof ] -> check_float "3EFF" 3.0 f
+  | _ -> Alcotest.fail "3EFF must lex as number then identifier");
+  match Lexer.tokenize "1e5f" with
+  | [ Lexer.Number f; Lexer.Ident "f"; Lexer.Eof ] -> check_float "1e5f" 1.0e5 f
+  | _ -> Alcotest.fail "1e5f must lex as 1e5 then identifier f"
+
+let test_parser_sci_notation_roundtrip () =
+  (* exponent-form numbers survive in attribute and complex positions *)
+  let g =
+    Parser.parse_group
+      "cell(X) { cap : 1.2E+03; leak : 4.7e-12; idx(\"1.0E+00, 2.5e-01\", 1E3); }"
+  in
+  Alcotest.(check bool) "attribute E+" true (Ast.attr_float g "cap" = Some 1200.0);
+  Alcotest.(check bool) "attribute e-" true (Ast.attr_float g "leak" = Some 4.7e-12);
+  (match Ast.complex_values g "idx" with
+  | Some values ->
+    Alcotest.(check (array (float 0.0))) "complex values" [| 1.0; 0.25; 1000.0 |]
+      (Ast.float_list_of_values values)
+  | None -> Alcotest.fail "complex group missing");
+  (* a library whose table values print in exponent form parses back
+     bit-identically *)
+  let lut =
+    Lut.make ~slews:[| 1.0e-3; 2.0e-2 |] ~loads:[| 5.0e-4; 1.0e-1 |]
+      ~values:(Grid.of_arrays [| [| 1.25e-12; 3.5e3 |]; [| 7.5e-9; 0.5 |] |])
+  in
+  let arc =
+    Arc.make ~related_pin:"A" ~sense:Arc.Negative_unate ~rise_delay:lut ~fall_delay:lut
+      ~rise_transition:lut ~fall_transition:lut ()
+  in
+  let cell =
+    Cell.make ~name:"E_1" ~family:"E" ~drive_strength:1 ~kind:Cell.Combinational
+      ~area:1.0
+      ~pins:
+        [
+          Pin.input ~name:"A" ~capacitance:3.2e-15;
+          Pin.output ~name:"Z" ~arcs:[ arc ] ();
+        ]
+      ()
+  in
+  let lib = Library.make ~name:"sci" ~corner:"TT" ~cells:[ cell ] in
+  let lib' = Parser.parse (Printer.to_string lib) in
+  let c' = Library.find lib' "E_1" in
+  let a' = List.hd (Cell.arcs c') in
+  Alcotest.(check bool) "tables roundtrip exactly" true
+    (Lut.equal ~eps:0.0 a'.Arc.rise_delay lut);
+  check_float "input cap roundtrips" 3.2e-15 (Cell.input_capacitance c' "A")
+
 let test_lexer_string_and_errors () =
   (match Lexer.tokenize "\"a, b\"" with
   | [ Lexer.String s; Lexer.Eof ] -> Alcotest.(check string) "string" "a, b" s
@@ -401,6 +466,9 @@ let () =
         [
           Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
           Alcotest.test_case "lexer numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "sci notation" `Quick test_lexer_sci_notation;
+          Alcotest.test_case "sci notation roundtrip" `Quick
+            test_parser_sci_notation_roundtrip;
           Alcotest.test_case "lexer strings/errors" `Quick test_lexer_string_and_errors;
           Alcotest.test_case "ast helpers" `Quick test_ast_helpers;
           Alcotest.test_case "parser errors" `Quick test_parser_errors;

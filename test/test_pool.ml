@@ -75,6 +75,25 @@ let test_jobs_accessor_and_serial_fallback () =
       let domains = Pool.map pool (fun _ -> Domain.self ()) (List.init 8 Fun.id) in
       Alcotest.(check bool) "all in caller" true (List.for_all (( = ) self) domains))
 
+let test_create_rejects_bad_jobs () =
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "jobs=%d rejected" jobs)
+        (Invalid_argument
+           (Printf.sprintf "Pool.create: jobs must be a positive integer (got %d)" jobs))
+        (fun () -> ignore (Pool.create ~jobs ())))
+    [ 0; -1; -3 ];
+  Alcotest.check_raises "zero stall timeout rejected"
+    (Invalid_argument "Pool.create: stall timeout 0 must be > 0") (fun () ->
+      ignore (Pool.create ~jobs:1 ~stall_timeout_s:0.0 ()));
+  (* set_default_jobs validates before touching the existing default *)
+  (match Pool.set_default_jobs 0 with
+  | () -> Alcotest.fail "set_default_jobs 0 should raise"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check (list int)) "default pool survives the rejection" [ 0; 1; 2 ]
+    (Pool.map (Pool.default ()) Fun.id [ 0; 1; 2 ])
+
 (* --------------------- pairwise Welford merge ----------------------- *)
 
 let test_welford_merge_matches_streaming =
@@ -114,6 +133,39 @@ let test_welford_merge_empty_sides () =
   Helpers.check_float "left empty mean" 2.0 (Stat.Welford.mean le);
   Helpers.check_float "right empty mean" 2.0 (Stat.Welford.mean re);
   Helpers.check_float "variance survives" (Stat.Welford.variance w) (Stat.Welford.variance le)
+
+let test_welford_empty_blocks () =
+  (* merging two empty (count = 0) partials stays empty with finite
+     moments — no NaN, no division by zero *)
+  let e = Stat.Welford.merge (Stat.Welford.create ()) (Stat.Welford.create ()) in
+  Alcotest.(check int) "empty+empty count" 0 (Stat.Welford.count e);
+  Alcotest.(check bool) "empty variance finite" true
+    (Float.is_finite (Stat.Welford.variance e));
+  Helpers.check_float "empty variance is zero" 0.0 (Stat.Welford.variance e);
+  Helpers.check_float "empty stddev is zero" 0.0 (Stat.Welford.stddev e);
+  (* the merged-empty accumulator is a working identity: feeding it
+     afterwards behaves exactly like a fresh accumulator *)
+  List.iter (Stat.Welford.add e) [ 2.0; 4.0 ];
+  Alcotest.(check int) "count after adds" 2 (Stat.Welford.count e);
+  Helpers.check_float "mean after adds" 3.0 (Stat.Welford.mean e);
+  Helpers.check_float "variance after adds" 2.0 (Stat.Welford.variance e);
+  (* merge with an empty block is the identity in both directions,
+     bit-for-bit *)
+  let w = Stat.Welford.create () in
+  List.iter (Stat.Welford.add w) [ 1.0; 2.0; 4.0 ];
+  let bits = Int64.bits_of_float in
+  List.iter
+    (fun (side, m) ->
+      Alcotest.(check int) (side ^ " count") (Stat.Welford.count w) (Stat.Welford.count m);
+      Alcotest.(check int64) (side ^ " mean bits") (bits (Stat.Welford.mean w))
+        (bits (Stat.Welford.mean m));
+      Alcotest.(check int64) (side ^ " variance bits")
+        (bits (Stat.Welford.variance w))
+        (bits (Stat.Welford.variance m)))
+    [
+      ("left identity", Stat.Welford.merge (Stat.Welford.create ()) w);
+      ("right identity", Stat.Welford.merge w (Stat.Welford.create ()));
+    ]
 
 let test_welford_against_stat () =
   let rng = Rng.create 77 in
@@ -163,11 +215,13 @@ let () =
           Alcotest.test_case "init chunking" `Quick test_init_chunking;
           Alcotest.test_case "map_reduce ordered" `Quick test_map_reduce_ordered;
           Alcotest.test_case "serial fallback" `Quick test_jobs_accessor_and_serial_fallback;
+          Alcotest.test_case "bad jobs rejected" `Quick test_create_rejects_bad_jobs;
         ] );
       ( "welford",
         [
           test_welford_merge_matches_streaming;
           Alcotest.test_case "merge with empty" `Quick test_welford_merge_empty_sides;
+          Alcotest.test_case "empty blocks" `Quick test_welford_empty_blocks;
           Alcotest.test_case "matches Stat" `Quick test_welford_against_stat;
         ] );
     ]

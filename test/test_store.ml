@@ -230,6 +230,54 @@ let test_wrong_version_is_miss () =
       Alcotest.(check bool) "foreign version evicted" false (Sys.file_exists path))
 
 (* ------------------------------------------------------------------ *)
+(* Writer lock discipline                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Encoder_died
+
+let test_lock_released_when_encoder_dies () =
+  (* a writer killed mid-critical-section (here: its encoder raising
+     inside the locked region) must not leave the entry lock behind *)
+  with_store "lock_encoder" (fun t ->
+      let key = Key.(int (v "lock_probe") "x" 1) in
+      let lock = Store.entry_path t key ^ ".lock" in
+      (match Store.save t key (fun _ -> raise Encoder_died) with
+      | () -> Alcotest.fail "encoder exception must propagate"
+      | exception Encoder_died -> ());
+      Alcotest.(check bool) "lock released after encoder death" false
+        (Sys.file_exists lock);
+      Alcotest.(check int) "nothing landed" 0 (Store.entry_count t);
+      (* the entry is immediately writable again *)
+      Store.save t key (fun b -> Codec.w_int b 9);
+      Alcotest.(check (option int)) "subsequent save lands" (Some 9)
+        (Store.load t key Codec.r_int))
+
+let test_stale_lock_broken_live_lock_respected () =
+  with_store "lock_stale" (fun t ->
+      let key = Key.(int (v "lock_probe") "x" 2) in
+      let lock = Store.entry_path t key ^ ".lock" in
+      (* a live writer's lock defers the save (content addressing makes
+         that benign) *)
+      let rec mkdir_p d =
+        if not (Sys.file_exists d) then begin
+          mkdir_p (Filename.dirname d);
+          try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+        end
+      in
+      mkdir_p (Filename.dirname lock);
+      close_out (open_out lock);
+      Store.save t key (fun b -> Codec.w_int b 1);
+      Alcotest.(check bool) "live lock respected" true (Sys.file_exists lock);
+      Alcotest.(check (option int)) "save deferred" None (Store.load t key Codec.r_int);
+      (* the same lock left by a crashed writer (old mtime) is broken *)
+      let ancient = Unix.time () -. 3600.0 in
+      Unix.utimes lock ancient ancient;
+      Store.save t key (fun b -> Codec.w_int b 2);
+      Alcotest.(check (option int)) "stale lock broken, save lands" (Some 2)
+        (Store.load t key Codec.r_int);
+      Alcotest.(check bool) "stale lock removed" false (Sys.file_exists lock))
+
+(* ------------------------------------------------------------------ *)
 (* Concurrent writers                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -343,6 +391,13 @@ let () =
         [
           Alcotest.test_case "evict and recompute" `Quick test_corruption_recovery;
           Alcotest.test_case "foreign version" `Quick test_wrong_version_is_miss;
+        ] );
+      ( "locking",
+        [
+          Alcotest.test_case "encoder death releases lock" `Quick
+            test_lock_released_when_encoder_dies;
+          Alcotest.test_case "stale vs live locks" `Quick
+            test_stale_lock_broken_live_lock_respected;
         ] );
       ( "concurrency",
         [ Alcotest.test_case "writers at 1/2/7" `Quick test_concurrent_writers ] );
