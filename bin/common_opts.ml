@@ -126,17 +126,19 @@ let term =
 let setup_obs t =
   if t.trace <> None || t.metrics_out <> None then begin
     Obs.set_enabled true;
+    (* An exception escaping at_exit aborts the remaining exit work and
+       clobbers the exit status the guard chose; a telemetry file that
+       cannot be written (ENOSPC, bad path) must only cost the file. *)
+    let write what writer path =
+      try
+        writer path;
+        Log.info (fun m -> m "wrote %s to %s" what path)
+      with Sys_error reason | Unix.Unix_error (_, _, reason) ->
+        Log.err (fun m -> m "could not write %s to %s: %s" what path reason)
+    in
     at_exit (fun () ->
-        Option.iter
-          (fun path ->
-            Obs.write_trace path;
-            Log.info (fun m -> m "wrote Chrome trace to %s (load in Perfetto)" path))
-          t.trace;
-        Option.iter
-          (fun path ->
-            Obs.write_metrics path;
-            Log.info (fun m -> m "wrote metrics to %s" path))
-          t.metrics_out)
+        Option.iter (write "Chrome trace" Obs.write_trace) t.trace;
+        Option.iter (write "metrics" Obs.write_metrics) t.metrics_out)
   end
 
 let setup_faults t =
@@ -155,11 +157,43 @@ let setup_faults t =
         exit 64 (* EX_USAGE *))
     spec
 
+(* Tuning environment variables are validated up front so a typo exits
+   64 naming the offending token before any work starts, instead of an
+   Invalid_argument mid-pipeline (or, worse, a silently disarmed
+   knob). *)
+let validate_env () =
+  let fail name value msg =
+    Log.err (fun m -> m "bad %s=%S: %s" name value msg);
+    exit 64 (* EX_USAGE *)
+  in
+  (match Sys.getenv_opt "VARTUNE_POOL_STALL_S" with
+  | Some v when v <> "" -> (
+    match Pool.parse_stall_timeout v with
+    | Ok _ -> ()
+    | Error msg -> fail "VARTUNE_POOL_STALL_S" v msg)
+  | _ -> ());
+  List.iter
+    (fun name ->
+      match Sys.getenv_opt name with
+      | Some v when v <> "" -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> ()
+        | _ -> fail name v "expected a positive integer")
+      | _ -> ())
+    [ "VARTUNE_CKPT_BLOCKS"; "VARTUNE_STOP_AFTER_BLOCKS" ]
+
 (* Logging + telemetry + fault injection + worker-pool size in one step
    so every subcommand applies --jobs before its first parallel stage. *)
 let setup t =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if t.verbose then Logs.Debug else Logs.Info));
+  (* With SIGPIPE at its default disposition a closed stdout (vartune
+     ... | head) kills the process with a signal; ignored, the write
+     fails with EPIPE, surfaces as Sys_error and exits 74 through the
+     guard like any other unrecoverable I/O error. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  validate_env ();
   setup_obs t;
   setup_faults t;
   Option.iter Pool.set_default_jobs t.jobs
@@ -186,9 +220,27 @@ let store t =
    escape the hardened layers exit with a stable, typed status an
    operator (or CI) can branch on, instead of cmdliner's generic
    backtrace-and-exit-2. *)
+(* Once stdout has failed (EPIPE, ENOSPC) its buffer cannot drain, and
+   every later flush — including the runtime's and Format's at_exit
+   hooks — would re-raise, clobbering the typed exit status the guard
+   chose.  Point fd 1 at /dev/null so those flushes succeed by
+   discarding; the data was already lost. *)
+let neutralise_stdout () =
+  try
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stdout;
+    Unix.close devnull
+  with Unix.Unix_error _ | Sys_error _ -> ()
+
 let guard f =
-  try f ()
+  try
+    f ();
+    (* Flush inside the guard: stdout buffered against a closed or full
+       pipe fails here, as a typed I/O error (74), not in the runtime's
+       silent at_exit flush. *)
+    flush stdout
   with exn -> (
+    (try flush stdout with Sys_error _ -> neutralise_stdout ());
     match Experiment.classify_exn exn with
     | Some failure ->
       Log.err (fun m -> m "%s" (Experiment.failure_message failure));
@@ -212,14 +264,28 @@ let man =
          store-less runs produce byte-identical reports." );
     `I ("$(b,--faults)", "falls back to $(b,VARTUNE_FAULTS); no injection by default.");
     `I ("$(b,--seed), $(b,--samples)", "built-in defaults 42 and 50 (the paper's values).");
+    `I
+      ( "$(b,--run-dir)",
+        "makes the run journaled and resumable: progress is checkpointed to \
+         $(i,DIR)/journal.vtj and $(i,DIR)/state/, SIGINT/SIGTERM stop it gracefully \
+         (exit 75) and $(b,vartune resume) $(i,DIR) continues to bit-identical output. \
+         $(b,VARTUNE_CKPT_BLOCKS) sets the checkpoint cadence in sample blocks \
+         (default 4)." );
     `S "EXIT STATUS";
     `P "Pipeline failures map to sysexits.h-style codes:";
-    `I ("64", "usage error (bad flag value, malformed $(b,--faults) spec).");
-    `I ("65", "data error: a Liberty file failed to lex or parse.");
+    `I
+      ( "64",
+        "usage error (bad flag value, malformed $(b,--faults) spec, malformed \
+         $(b,VARTUNE_POOL_STALL_S)/$(b,VARTUNE_CKPT_BLOCKS) value)." );
+    `I
+      ( "65",
+        "data error: a Liberty file failed to lex or parse, or a run journal is \
+         truncated or corrupt." );
     `I ("70", "internal error (a bug; includes an injected fault escaping its layer).");
-    `I ("74", "unrecoverable I/O error.");
+    `I ("74", "unrecoverable I/O error (including a closed or full stdout).");
     `I
       ( "75",
         "temporary failure: worker domains kept crashing or stalled — retrying may \
-         succeed." );
+         succeed — or a journaled run was interrupted after a checkpoint; \
+         $(b,vartune resume) continues it." );
   ]

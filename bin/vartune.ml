@@ -28,7 +28,8 @@ module Verilog = Vartune_netlist.Verilog
 module Experiment = Vartune_flow.Experiment
 module Figures = Vartune_flow.Figures
 module Report = Vartune_flow.Report
-module Path_mc = Vartune_monte.Path_mc
+module Run = Vartune_flow.Run
+module Journal = Vartune_journal.Journal
 
 let default_method =
   { Tuning_method.population = Vartune_tuning.Cluster.Per_cell;
@@ -38,6 +39,16 @@ let output_arg =
   Arg.(
     value & opt (some string) None
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the library to $(docv) instead of stdout.")
+
+let run_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "run-dir" ] ~docv:"DIR"
+        ~doc:
+          "Journal the run under $(docv): progress is checkpointed so SIGINT/SIGTERM \
+           stop it gracefully (exit 75) and $(b,vartune resume) $(docv) continues to \
+           bit-identical output.")
 
 let write_library output lib =
   match output with
@@ -62,20 +73,25 @@ let characterize_cmd =
     Term.(const run $ Common_opts.term $ output_arg)
 
 let statlib_cmd =
-  let run (common : Common_opts.t) output =
+  let run (common : Common_opts.t) output run_dir =
     Common_opts.setup common;
     Common_opts.guard @@ fun () ->
     let store = Common_opts.store common in
-    let lib =
-      Statistical.build ?store Characterize.default_config ~mismatch:Mismatch.default
-        ~seed:common.seed ~n:common.samples ()
-    in
-    write_library output lib
+    match run_dir with
+    | Some run_dir ->
+      Run.execute ~run_dir ?store
+        { Run.seed = common.seed; samples = common.samples; kind = Run.Statlib; output }
+    | None ->
+      let lib =
+        Statistical.build ?store Characterize.default_config ~mismatch:Mismatch.default
+          ~seed:common.seed ~n:common.samples ()
+      in
+      write_library output lib
   in
   Cmd.v
     (cmd_info "statlib"
        ~doc:"Build the statistical library (entry-wise mean/sigma over N samples).")
-    Term.(const run $ Common_opts.term $ output_arg)
+    Term.(const run $ Common_opts.term $ output_arg $ run_dir_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -151,12 +167,7 @@ let prepare_setup (common : Common_opts.t) =
   let store = Common_opts.store common in
   Experiment.prepare ~samples:common.samples ~seed:common.seed ?store ()
 
-let print_run label (run : Experiment.run) =
-  let r = run.Experiment.result in
-  Printf.printf "%-24s feasible=%b slack=%+.3f area=%.0f um^2 cells=%d sigma=%.4f ns\n"
-    label r.Synthesis.feasible r.Synthesis.worst_slack r.Synthesis.area
-    r.Synthesis.instances
-    run.Experiment.design_sigma.Design_sigma.dist.Vartune_stats.Dist.sigma
+let print_run label run = print_endline (Run.run_line label run)
 
 let synth_cmd =
   let run common period tuning timing_report power verilog =
@@ -278,42 +289,63 @@ let experiment_cmd =
       & info [ "mc-samples" ] ~docv:"N"
           ~doc:"Monte-Carlo samples for the path-level validation stage.")
   in
-  let run (common : Common_opts.t) period tuning mc_samples =
+  let run (common : Common_opts.t) period tuning mc_samples run_dir =
     Common_opts.setup common;
     Common_opts.guard @@ fun () ->
-    let setup = prepare_setup common in
-    Printf.printf "minimum clock period: %.2f ns\n" setup.Experiment.min_period;
-    let period = Option.value period ~default:setup.Experiment.min_period in
+    let store = Common_opts.store common in
     let tuning = Option.value tuning ~default:default_method in
-    let base = Experiment.baseline setup ~period in
-    print_run "baseline" base;
-    let parameters = [ 0.01; 0.02; 0.05 ] in
-    let points = Experiment.sweep setup ~period ~tuning ~parameters in
-    Printf.printf "sweep (%s):\n" (Tuning_method.to_string tuning);
-    List.iter
-      (fun (p : Experiment.sweep_point) ->
-        Printf.printf "  parameter %.4g  sigma %s  area %s\n" p.Experiment.parameter
-          (Report.pct p.Experiment.reduction)
-          (Report.pct p.Experiment.area_delta))
-      points;
-    let mc_path =
-      let paths = base.Experiment.paths in
-      List.nth paths (List.length paths / 2)
+    let params =
+      {
+        Run.seed = common.seed;
+        samples = common.samples;
+        kind = Run.Experiment { mc_samples; period; tuning };
+        output = None;
+      }
     in
-    let mc =
-      Path_mc.simulate
-        { Path_mc.default_config with n = mc_samples }
-        ~seed:common.seed mc_path
-    in
-    Printf.printf "path MC (depth %d, N=%d): mean %.4f ns  sigma %.4f ns\n"
-      (Path.depth mc_path) mc_samples mc.Path_mc.mean mc.Path_mc.sigma
+    match run_dir with
+    | Some run_dir -> Run.execute ~run_dir ?store params
+    | None -> ignore (Run.run_pipeline ?store ~emit:print_endline params)
   in
   Cmd.v
     (cmd_info "experiment"
        ~doc:
          "Run the full characterise/merge/tune/synthesise/STA/Monte-Carlo pipeline once — \
-          the natural target for $(b,--trace), $(b,--metrics-out) and a warm $(b,--store).")
-    Term.(const run $ Common_opts.term $ period_arg $ method_arg $ mc_samples_arg)
+          the natural target for $(b,--trace), $(b,--metrics-out), a warm $(b,--store) \
+          and a resumable $(b,--run-dir).")
+    Term.(const run $ Common_opts.term $ period_arg $ method_arg $ mc_samples_arg $ run_dir_arg)
+
+let run_dir_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"RUNDIR" ~doc:"Run directory of a journaled run (see --run-dir).")
+
+let resume_cmd =
+  let run (common : Common_opts.t) run_dir =
+    Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
+    let store = Common_opts.store common in
+    Run.resume ~run_dir ?store ()
+  in
+  Cmd.v
+    (cmd_info "resume"
+       ~doc:
+         "Resume an interrupted journaled run to bit-identical output. Validates the \
+          journal and every checkpointed artifact; corrupt entries are evicted and \
+          recomputed, a corrupt journal is a clean data error (exit 65).")
+    Term.(const run $ Common_opts.term $ run_dir_pos)
+
+let journal_cmd =
+  let run (common : Common_opts.t) run_dir =
+    Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
+    let steps = Journal.replay (Run.journal_path run_dir) in
+    List.iter (fun step -> print_endline (Journal.step_to_string step)) steps
+  in
+  Cmd.v
+    (cmd_info "journal"
+       ~doc:"List a journaled run's recorded steps (validating every checksum).")
+    Term.(const run $ Common_opts.term $ run_dir_pos)
 
 let parse_cmd =
   let file_arg =
@@ -337,7 +369,7 @@ let main_cmd =
   Cmd.group (Cmd.info "vartune" ~version:"1.0.0" ~doc ~man:Common_opts.man)
     [
       characterize_cmd; statlib_cmd; tune_cmd; synth_cmd; min_period_cmd; experiment_cmd;
-      report_cmd; parse_cmd;
+      resume_cmd; journal_cmd; report_cmd; parse_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

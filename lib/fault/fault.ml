@@ -110,7 +110,11 @@ let parse_trigger name value =
       | Some r -> Error (Printf.sprintf "rate %g for %s out of range [0, 1]" r name)
       | None -> Error (Printf.sprintf "bad trigger %S for %s (want a rate or #N)" value name)
 
-let parse spec =
+(* Structured form of a schedule: the items in spec order plus the
+   seed.  [parse_spec]/[print_spec] round-trip exactly — rates are
+   printed with %.17g, which float_of_string recovers bit-for-bit — so
+   a schedule can be logged, stored and replayed verbatim. *)
+let parse_spec spec =
   let spec = String.trim spec in
   if spec = "" then Error "empty fault spec"
   else
@@ -127,10 +131,9 @@ let parse spec =
     match body, seed with
     | Error e, _ | _, Error e -> Error e
     | Ok body, Ok seed ->
-      let triggers = Array.make n_points None in
       let items = String.split_on_char ',' body in
-      let rec go = function
-        | [] -> Ok ()
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
         | item :: rest -> (
           match String.index_opt item '=' with
           | None -> Error (Printf.sprintf "bad fault item %S (want point=trigger)" item)
@@ -141,21 +144,40 @@ let parse spec =
             in
             match parse_trigger name value with
             | Error e -> Error e
-            | Ok (point, trigger) ->
-              triggers.(index point) <- Some trigger;
-              go rest))
+            | Ok entry -> go (entry :: acc) rest))
       in
-      (match go items with
+      (match go [] items with
       | Error e -> Error e
-      | Ok () ->
-        Ok
-          {
-            spec;
-            seed;
-            triggers;
-            occ = Array.init n_points (fun _ -> Atomic.make 0);
-            fired = Array.init n_points (fun _ -> Atomic.make 0);
-          })
+      | Ok entries -> Ok (entries, seed))
+
+let print_trigger = function
+  | Rate r -> Printf.sprintf "%.17g" r
+  | Nth n -> Printf.sprintf "#%d" n
+
+let print_spec (entries, seed) =
+  Printf.sprintf "%s:%Ld"
+    (String.concat ","
+       (List.map
+          (fun (point, trigger) ->
+            Printf.sprintf "%s=%s" (point_to_string point) (print_trigger trigger))
+          entries))
+    seed
+
+let parse spec =
+  match parse_spec spec with
+  | Error _ as e -> e
+  | Ok (entries, seed) ->
+    let triggers = Array.make n_points None in
+    (* later items win, matching the array semantics the engine uses *)
+    List.iter (fun (point, trigger) -> triggers.(index point) <- Some trigger) entries;
+    Ok
+      {
+        spec = String.trim spec;
+        seed;
+        triggers;
+        occ = Array.init n_points (fun _ -> Atomic.make 0);
+        fired = Array.init n_points (fun _ -> Atomic.make 0);
+      }
 
 let configure spec =
   match parse spec with

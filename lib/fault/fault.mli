@@ -49,6 +49,21 @@ val point_to_string : point -> string
 
 val point_of_string : string -> point option
 
+type trigger =
+  | Rate of float  (** each occurrence fires independently with this probability *)
+  | Nth of int  (** fire exactly on the N-th occurrence, 1-based *)
+
+val parse_spec : string -> ((point * trigger) list * int64, string) result
+(** Parses a schedule spec into its items (in spec order; a point
+    repeated later wins) and seed (0 when no [:seed] suffix is given).
+    Errors name the offending token — an unknown point, an out-of-range
+    rate, a malformed [#N] or seed.  The CLI turns these into usage
+    errors (exit 64). *)
+
+val print_spec : (point * trigger) list * int64 -> string
+(** Canonical rendering; [parse_spec (print_spec s) = Ok s] — rates are
+    printed with enough digits to round-trip bit-for-bit. *)
+
 exception Injected of { point : point; site : string; seq : int }
 (** Raised by {!check} when a fault fires.  [site] names the consulting
     boundary (e.g. ["store.save.rename"]); [seq] is the 1-based

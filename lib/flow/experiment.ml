@@ -13,6 +13,7 @@ module Tuning_method = Vartune_tuning.Tuning_method
 module Store = Vartune_store.Store
 module Codec = Vartune_store.Codec
 module Obs = Vartune_obs.Obs
+module Journal = Vartune_journal.Journal
 
 let src = Logs.Src.create "vartune.flow" ~doc:"experiment flow"
 
@@ -38,6 +39,9 @@ type memo = {
   (** guarded by [lock] so sweep points may run on pool workers *)
   lock : Mutex.t;
   store : Store.t option;
+  ckpt : Journal.ctx option;
+      (** checkpoint context of a journaled run: its state store is an
+          extra cache layer and every landed artifact is journaled *)
   statlib_id : string;
       (** full recipe id of the statistical-library store key; chained
           into every run key so a different library invalidates runs *)
@@ -67,10 +71,28 @@ let paper_period_labels min_period =
     ("low", Float.round (10.0 *. scale *. 100.0) /. 100.0);
   ]
 
-let make_memo ?store ~statlib_id () =
-  { table = Hashtbl.create 64; lock = Mutex.create (); store; statlib_id }
+let make_memo ?store ?ckpt ~statlib_id () =
+  { table = Hashtbl.create 64; lock = Mutex.create (); store; ckpt; statlib_id }
 
-let prepare ?(samples = 50) ?(seed = 42) ?(mcu_config = Mcu.default_config) ?store
+(* Cache layers of a journaled run, probe order: the shared artifact
+   store first, then the run's private state store.  Artifacts land in
+   both so a later resume finds them even when the shared store is
+   disabled or wiped. *)
+let cache_stores ?store ?ckpt () =
+  (match store with Some s -> [ s ] | None -> [])
+  @ match ckpt with Some c -> [ c.Journal.state ] | None -> []
+
+let rec first_load stores key decode =
+  match stores with
+  | [] -> None
+  | s :: rest -> (
+    match Store.load s key decode with
+    | Some _ as hit -> hit
+    | None -> first_load rest key decode)
+
+let save_all stores key encode = List.iter (fun s -> Store.save s key encode) stores
+
+let prepare ?(samples = 50) ?(seed = 42) ?(mcu_config = Mcu.default_config) ?store ?ckpt
     ?(reuse = true) ?specs () =
   Obs.span "flow.prepare" ~attrs:(fun () -> [ ("samples", string_of_int samples) ])
   @@ fun () ->
@@ -80,24 +102,29 @@ let prepare ?(samples = 50) ?(seed = 42) ?(mcu_config = Mcu.default_config) ?sto
   let statlib_key = Statistical.store_key char_config ~mismatch ~seed ~n:samples ?specs () in
   let statlib_id = Store.Key.id statlib_key in
   Log.info (fun m -> m "building statistical library (N=%d)" samples);
-  let statlib = Statistical.build ?store char_config ~mismatch ~seed ~n:samples ?specs () in
+  let statlib = Statistical.build ?store ?ckpt char_config ~mismatch ~seed ~n:samples ?specs () in
   let design = Mcu.generate ~config:mcu_config () in
   Log.info (fun m -> m "design %s: %d IR nodes" (Ir.name design) (Ir.node_count design));
   let design_fp = Ir.fingerprint design in
+  Option.iter Journal.check_stop ckpt;
   let min_period =
     let measure () = Synthesis.min_period statlib design in
-    match store with
-    | None -> measure ()
-    | Some s -> (
-      let key =
-        Store.Key.(int (str (v "min_period") "statlib" statlib_id) "design" design_fp)
-      in
-      match Store.load s key Codec.r_float with
+    let key =
+      Store.Key.(int (str (v "min_period") "statlib" statlib_id) "design" design_fp)
+    in
+    let stores = cache_stores ?store ?ckpt () in
+    let p =
+      match first_load stores key Codec.r_float with
       | Some p -> p
       | None ->
         let p = measure () in
-        Store.save s key (fun b -> Codec.w_float b p);
-        p)
+        save_all stores key (fun b -> Codec.w_float b p);
+        p
+    in
+    Option.iter
+      (fun c -> Journal.record c (Journal.Min_period { key = Store.Key.id key; period = p }))
+      ckpt;
+    p
   in
   Log.info (fun m -> m "minimum period: %.2f ns" min_period);
   {
@@ -110,7 +137,7 @@ let prepare ?(samples = 50) ?(seed = 42) ?(mcu_config = Mcu.default_config) ?sto
     statlib;
     min_period;
     periods = paper_period_labels min_period;
-    memo = make_memo ?store ~statlib_id ();
+    memo = make_memo ?store ?ckpt ~statlib_id ();
   }
 
 let fresh_memo setup =
@@ -181,14 +208,19 @@ let run_with setup ~period ~label ~restrictions =
             r)
     in
     let cons = Constraints.make ~clock_period:period ?restrictions () in
-    let stored =
-      match memo.store with
-      | None -> None
-      | Some s -> Store.load s (run_key setup ~period ~label ~cons) (decode_run ~cons)
+    let skey = run_key setup ~period ~label ~cons in
+    let stores = cache_stores ?store:memo.store ?ckpt:memo.ckpt () in
+    let record_done () =
+      Option.iter
+        (fun c ->
+          Journal.record c
+            (Journal.Synthesis_done { key = Store.Key.id skey; label; period }))
+        memo.ckpt
     in
-    (match stored with
+    (match first_load stores skey (decode_run ~cons) with
     | Some r ->
       Obs.Counter.incr c_cache_hits;
+      record_done ();
       insert r
     | None ->
       Obs.Counter.incr c_cache_misses;
@@ -196,9 +228,8 @@ let run_with setup ~period ~label ~restrictions =
       let paths = Path.worst_per_endpoint result.Synthesis.timing result.Synthesis.netlist in
       let design_sigma = Design_sigma.of_paths paths in
       let r = { label; period; result; paths; design_sigma } in
-      (match memo.store with
-      | None -> ()
-      | Some s -> Store.save s (run_key setup ~period ~label ~cons) (fun b -> encode_run b r));
+      save_all stores skey (fun b -> encode_run b r);
+      record_done ();
       insert r)
 
 let baseline setup ~period = run_with setup ~period ~label:"baseline" ~restrictions:None
@@ -269,19 +300,22 @@ type failure =
   | Data_error of string  (** malformed input data, e.g. a Liberty file *)
   | Io_error of string  (** an I/O failure that was not recoverable *)
   | Worker_error of string  (** worker domains kept dying or stalled *)
+  | Interrupted of string
+      (** a graceful stop: progress is checkpointed, resume continues *)
   | Internal_error of string
       (** a bug: e.g. an injected fault escaped its hardened layer *)
 
 let exit_code = function
   | Data_error _ -> 65 (* EX_DATAERR *)
   | Io_error _ -> 74 (* EX_IOERR *)
-  | Worker_error _ -> 75 (* EX_TEMPFAIL *)
+  | Worker_error _ | Interrupted _ -> 75 (* EX_TEMPFAIL *)
   | Internal_error _ -> 70 (* EX_SOFTWARE *)
 
 let failure_message = function
   | Data_error m -> Printf.sprintf "data error: %s" m
   | Io_error m -> Printf.sprintf "I/O error: %s" m
   | Worker_error m -> Printf.sprintf "worker failure: %s" m
+  | Interrupted m -> Printf.sprintf "interrupted: %s (resume with `vartune resume`)" m
   | Internal_error m -> Printf.sprintf "internal error: %s" m
 
 let classify_exn = function
@@ -289,6 +323,8 @@ let classify_exn = function
     Some (Data_error (Printf.sprintf "liberty lexer, line %d: %s" line message))
   | Vartune_liberty.Parser.Error message ->
     Some (Data_error (Printf.sprintf "liberty parser: %s" message))
+  | Journal.Interrupted message -> Some (Interrupted message)
+  | Journal.Corrupt reason -> Some (Data_error (Printf.sprintf "journal: %s" reason))
   | Codec.Corrupt reason ->
     Some (Io_error (Printf.sprintf "corrupt artifact escaped the store: %s" reason))
   | Sys_error reason -> Some (Io_error reason)

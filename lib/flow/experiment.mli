@@ -45,6 +45,7 @@ val prepare :
   ?seed:int ->
   ?mcu_config:Vartune_rtl.Microcontroller.config ->
   ?store:Vartune_store.Store.t ->
+  ?ckpt:Vartune_journal.Journal.ctx ->
   ?reuse:bool ->
   ?specs:Vartune_stdcell.Spec.t list ->
   unit ->
@@ -57,7 +58,13 @@ val prepare :
     [~reuse:false] (default [true]) ignores [store] entirely — nothing
     is read or written — for cold-timing comparisons.  [specs] restricts
     the characterised catalog (default {!Vartune_stdcell.Catalog.specs});
-    it must still cover every family the technology mapper emits. *)
+    it must still cover every family the technology mapper emits.
+
+    With [ckpt] (a journaled run), the statistical library builds
+    resumably (see {!Vartune_statlib.Statistical.build}), the run's
+    private state store joins the cache layers of every artifact, each
+    landed artifact is journaled, and a pending stop request raises
+    [Journal.Interrupted] at the next safe point. *)
 
 val fresh_memo : setup -> setup
 (** The same setup with an empty, store-detached memo — runs recompute
@@ -127,6 +134,9 @@ type failure =
   | Worker_error of string
       (** pool workers kept dying or stalled ({!Vartune_util.Pool.Worker_failure})
           — exit 75, worth retrying *)
+  | Interrupted of string
+      (** a graceful, checkpointed stop ({!Vartune_journal.Journal.Interrupted})
+          — exit 75; [vartune resume] continues the run *)
   | Internal_error of string
       (** a bug, e.g. an injected fault escaping its hardened layer —
           exit 70 *)

@@ -1,0 +1,221 @@
+module Journal = Vartune_journal.Journal
+module Store = Vartune_store.Store
+module Tuning_method = Vartune_tuning.Tuning_method
+module Statistical = Vartune_statlib.Statistical
+module Characterize = Vartune_charlib.Characterize
+module Mismatch = Vartune_process.Mismatch
+module Library = Vartune_liberty.Library
+module Printer = Vartune_liberty.Printer
+module Synthesis = Vartune_synth.Synthesis
+module Path = Vartune_sta.Path
+module Design_sigma = Vartune_stats.Design_sigma
+module Path_mc = Vartune_monte.Path_mc
+
+let src = Logs.Src.create "vartune.run" ~doc:"journaled run supervision"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type kind =
+  | Statlib
+  | Experiment of {
+      mc_samples : int;
+      period : float option;
+      tuning : Tuning_method.t;
+    }
+
+type params = { seed : int; samples : int; kind : kind; output : string option }
+
+let journal_path run_dir = Filename.concat run_dir "journal.vtj"
+let state_dir run_dir = Filename.concat run_dir "state"
+
+let run_line label (run : Experiment.run) =
+  let r = run.Experiment.result in
+  Printf.sprintf "%-24s feasible=%b slack=%+.3f area=%.0f um^2 cells=%d sigma=%.4f ns"
+    label r.Synthesis.feasible r.Synthesis.worst_slack r.Synthesis.area
+    r.Synthesis.instances
+    run.Experiment.design_sigma.Design_sigma.dist.Vartune_stats.Dist.sigma
+
+(* The pipeline body: identical stage order, stage parameters and
+   output lines whether plain, journaled, interrupted or resumed — the
+   bit-identity contract is "same [params], same bytes". *)
+let run_pipeline ?store ?ckpt ~emit params =
+  let check_stop () = Option.iter Journal.check_stop ckpt in
+  match params.kind with
+  | Statlib ->
+    Statistical.build ?store ?ckpt Characterize.default_config ~mismatch:Mismatch.default
+      ~seed:params.seed ~n:params.samples ()
+  | Experiment { mc_samples; period; tuning } ->
+    let setup =
+      Experiment.prepare ~samples:params.samples ~seed:params.seed ?store ?ckpt ()
+    in
+    emit (Printf.sprintf "minimum clock period: %.2f ns" setup.Experiment.min_period);
+    let period = Option.value period ~default:setup.Experiment.min_period in
+    check_stop ();
+    let base = Experiment.baseline setup ~period in
+    emit (run_line "baseline" base);
+    check_stop ();
+    let parameters = [ 0.01; 0.02; 0.05 ] in
+    let points = Experiment.sweep setup ~period ~tuning ~parameters in
+    emit (Printf.sprintf "sweep (%s):" (Tuning_method.to_string tuning));
+    List.iter
+      (fun (p : Experiment.sweep_point) ->
+        emit
+          (Printf.sprintf "  parameter %.4g  sigma %s  area %s" p.Experiment.parameter
+             (Report.pct p.Experiment.reduction)
+             (Report.pct p.Experiment.area_delta)))
+      points;
+    Option.iter
+      (fun c ->
+        Journal.record c
+          (Journal.Sweep_done
+             {
+               tuning = Tuning_method.to_string tuning;
+               period;
+               points = List.length points;
+             }))
+      ckpt;
+    check_stop ();
+    let mc_path =
+      let paths = base.Experiment.paths in
+      List.nth paths (List.length paths / 2)
+    in
+    let mc =
+      Path_mc.simulate
+        { Path_mc.default_config with n = mc_samples }
+        ~seed:params.seed mc_path
+    in
+    emit
+      (Printf.sprintf "path MC (depth %d, N=%d): mean %.4f ns  sigma %.4f ns"
+         (Path.depth mc_path) mc_samples mc.Path_mc.mean mc.Path_mc.sigma);
+    setup.Experiment.statlib
+
+(* ------------------------------------------------------------------ *)
+(* Journaled runs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Only flips an atomic — async-signal safe.  The pipeline notices at
+   the next block-round or stage boundary, checkpoints and raises
+   [Journal.Interrupted]; a second signal during the wind-down changes
+   nothing (the stop is already requested), so the run always exits
+   through the sealing path rather than mid-write. *)
+let install_signal_handlers ctx =
+  List.iter
+    (fun signal ->
+      try Sys.set_signal signal (Sys.Signal_handle (fun _ -> Journal.request_stop ctx))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
+let kind_string = function Statlib -> "statlib" | Experiment _ -> "experiment"
+
+let run_started params =
+  let mc_samples, period, tuning =
+    match params.kind with
+    | Statlib -> (0, None, "")
+    | Experiment { mc_samples; period; tuning } ->
+      (mc_samples, period, Tuning_method.to_string tuning)
+  in
+  Journal.Run_started
+    {
+      seed = params.seed;
+      samples = params.samples;
+      kind = kind_string params.kind;
+      mc_samples;
+      period;
+      tuning;
+      output = params.output;
+    }
+
+let params_of_steps steps =
+  let started =
+    List.find_map
+      (function
+        | Journal.Run_started { seed; samples; kind; mc_samples; period; tuning; output }
+          -> Some (seed, samples, kind, mc_samples, period, tuning, output)
+        | _ -> None)
+      steps
+  in
+  match started with
+  | None -> raise (Journal.Corrupt "journal has no run-started record")
+  | Some (seed, samples, kind_name, mc_samples, period, tuning_name, output) ->
+    let kind =
+      match kind_name with
+      | "statlib" -> Statlib
+      | "experiment" -> (
+        match Tuning_method.of_string tuning_name with
+        | Some tuning -> Experiment { mc_samples; period; tuning }
+        | None ->
+          raise
+            (Journal.Corrupt
+               (Printf.sprintf "journal records unknown tuning method %S" tuning_name)))
+      | other ->
+        raise (Journal.Corrupt (Printf.sprintf "journal records unknown run kind %S" other))
+    in
+    { seed; samples; kind; output }
+
+(* Runs the pipeline under an open journal context, then lands the
+   run-directory artifacts and seals the journal.  Output lines go to
+   stdout as they happen and to [report.txt] on completion; the report
+   deliberately contains no absolute paths, so reports of an
+   interrupted-and-resumed run and an uninterrupted reference diff
+   clean. *)
+let supervise ~run_dir ?store ctx params =
+  let report = Buffer.create 512 in
+  let emit line =
+    print_string line;
+    print_newline ();
+    Buffer.add_string report line;
+    Buffer.add_char report '\n'
+  in
+  match run_pipeline ?store ~ckpt:ctx ~emit params with
+  | statlib ->
+    Printer.write_file (Filename.concat run_dir "statlib.lib") statlib;
+    emit (Printf.sprintf "wrote statlib.lib (%d cells)" (Library.size statlib));
+    Option.iter
+      (fun path ->
+        Printer.write_file path statlib;
+        emit (Printf.sprintf "wrote %s (%d cells)" path (Library.size statlib)))
+      params.output;
+    let oc = open_out (Filename.concat run_dir "report.txt") in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Buffer.contents report));
+    Journal.seal ctx.Journal.journal ~reason:"completed";
+    Log.info (fun m -> m "run completed; artifacts in %s" run_dir)
+  | exception Journal.Interrupted msg ->
+    Journal.seal ctx.Journal.journal ~reason:"interrupted";
+    Log.info (fun m -> m "run interrupted; resume with: vartune resume %s" run_dir);
+    raise (Journal.Interrupted msg)
+  | exception exn ->
+    Journal.seal ctx.Journal.journal ~reason:("failed: " ^ Printexc.to_string exn);
+    raise exn
+
+let execute ~run_dir ?store params =
+  mkdir_p run_dir;
+  let journal = Journal.create (journal_path run_dir) in
+  let state = Store.open_dir (state_dir run_dir) in
+  let ctx = Journal.make_ctx ~journal ~state () in
+  install_signal_handlers ctx;
+  Journal.record ctx (run_started params);
+  supervise ~run_dir ?store ctx params
+
+let resume ~run_dir ?store () =
+  let path = journal_path run_dir in
+  if not (Sys.file_exists path) then
+    raise (Journal.Corrupt (Printf.sprintf "no journal at %s" path));
+  let steps = Journal.replay path in
+  let params = params_of_steps steps in
+  let journal = Journal.open_append path in
+  let state = Store.open_dir (state_dir run_dir) in
+  let ctx = Journal.make_ctx ~journal ~state ~replayed:steps () in
+  install_signal_handlers ctx;
+  Journal.record ctx (Journal.Resumed { replayed = List.length steps });
+  Log.info (fun m ->
+      m "resuming %s run from %d journaled steps" (kind_string params.kind)
+        (List.length steps));
+  supervise ~run_dir ?store ctx params

@@ -1,0 +1,70 @@
+(** Journaled run supervision: graceful shutdown and crash-safe resume.
+
+    A {e journaled run} lives in a run directory:
+
+    {v
+    <run>/journal.vtj   append-only step journal (Vartune_journal)
+    <run>/state/        private artifact store for checkpoints
+    <run>/statlib.lib   the statistical library, written on completion
+    <run>/report.txt    everything the run printed, written on completion
+    v}
+
+    [execute] starts one, installing SIGINT/SIGTERM handlers that
+    request a cooperative stop: the pipeline finishes the current round,
+    checkpoints its partial state to [state/], journals the checkpoint
+    and raises {!Vartune_journal.Journal.Interrupted}, which the CLI
+    maps to exit 75 (EX_TEMPFAIL).  [resume] replays the journal,
+    reconstructs the run's parameters from the [Run_started] step,
+    re-validates every journaled artifact against the store by recipe
+    key (a corrupt entry is evicted and recomputed, never trusted) and
+    continues.  The resumed output — stdout, [report.txt],
+    [statlib.lib] — is bit-identical to an uninterrupted run at any
+    [--jobs] and any checkpoint cadence. *)
+
+type kind =
+  | Statlib  (** build the statistical library and stop *)
+  | Experiment of {
+      mc_samples : int;
+      period : float option;  (** [None]: the measured minimum *)
+      tuning : Vartune_tuning.Tuning_method.t;
+    }  (** the full experiment pipeline (the [experiment] subcommand) *)
+
+type params = {
+  seed : int;
+  samples : int;
+  kind : kind;
+  output : string option;  (** [-o]: extra copy of the library *)
+}
+
+val run_line : string -> Experiment.run -> string
+(** One synthesis-result summary line, shared by [synth], [experiment]
+    and journaled runs so their outputs stay diffable. *)
+
+val run_pipeline :
+  ?store:Vartune_store.Store.t ->
+  ?ckpt:Vartune_journal.Journal.ctx ->
+  emit:(string -> unit) ->
+  params ->
+  Vartune_liberty.Library.t
+(** The pipeline body shared by journaled and plain runs: builds the
+    statistical library and — for {!Experiment} — runs baseline,
+    sweep and path-level Monte Carlo, reporting each line through
+    [emit] (without trailing newline).  Returns the statistical
+    library.  With [ckpt] every stage checkpoints and honours stop
+    requests as described above. *)
+
+val execute :
+  run_dir:string -> ?store:Vartune_store.Store.t -> params -> unit
+(** Runs [params] journaled under [run_dir] (created if missing).
+    Raises [Journal.Interrupted] after a graceful, checkpointed stop —
+    the journal is sealed ["interrupted"] and [vartune resume]
+    continues the run. *)
+
+val resume : run_dir:string -> ?store:Vartune_store.Store.t -> unit -> unit
+(** Resumes an interrupted journaled run.  Raises
+    [Journal.Corrupt] if the journal is missing, truncated or fails a
+    checksum — a damaged journal is a clean typed error (exit 65),
+    never a wrong result. *)
+
+val journal_path : string -> string
+(** [<run>/journal.vtj]. *)

@@ -77,9 +77,18 @@ let acc_mean acc =
   Lut.make ~slews:(Lut.slews acc.template) ~loads:(Lut.loads acc.template) ~values:acc.mean
 
 let acc_sigma acc =
+  (* Cancellation in the streaming update / pairwise merge can leave a
+     tiny negative m2 (think -1e-18) on near-constant entries; clamp it
+     so sigma is 0 there instead of NaN.  Genuine NaN still propagates:
+     only negatives are clamped. *)
   let values =
     if acc.count < 2 then Grid.map (fun _ -> 0.0) acc.m2
-    else Grid.map (fun m2 -> sqrt (m2 /. float_of_int (acc.count - 1))) acc.m2
+    else
+      Grid.map
+        (fun m2 ->
+          let v = m2 /. float_of_int (acc.count - 1) in
+          sqrt (if v < 0.0 then 0.0 else v))
+        acc.m2
   in
   Lut.make ~slews:(Lut.slews acc.template) ~loads:(Lut.loads acc.template) ~values
 
@@ -242,6 +251,7 @@ let of_libraries = function
 module Store = Vartune_store.Store
 module Codec = Vartune_store.Codec
 module Characterize = Vartune_charlib.Characterize
+module Journal = Vartune_journal.Journal
 
 let store_key config ~mismatch ~seed ~n ?specs () =
   let key =
@@ -256,25 +266,237 @@ let store_key config ~mismatch ~seed ~n ?specs () =
   Characterize.add_specs_to_key key
     (Option.value specs ~default:Vartune_stdcell.Catalog.specs)
 
-let build ?pool ?store config ~mismatch ~seed ~n ?specs () =
-  let compute () =
-    of_stream ?pool ~n (fun index ->
-        Vartune_charlib.Sampler.sample_library config ~mismatch ~seed ~index ?specs ())
+(* ------------------------------------------------------------------ *)
+(* Checkpointed (resumable) builds                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Partial-state codec: the Welford accumulators covering the first
+   [blocks] sample blocks, saved to the run's state store at every
+   checkpoint.  Floats travel as bit patterns, so a resumed merge
+   continues from exactly the state an uninterrupted run would hold at
+   the same block boundary — the final library is bit-identical.
+
+   Only the mutable statistics are stored.  The structural skeleton
+   (cells, pins, arcs, LUT axes, internal power) is rebuilt on decode
+   from the proto library — sample 0, regenerated from the recorded
+   seed — which is the same proto an uninterrupted left-to-right merge
+   carries in its head chunk.  Any mismatch between stored statistics
+   and the rebuilt skeleton raises [Codec.Corrupt], the store evicts
+   the entry, and the resuming build falls back to an older checkpoint
+   or a cold start: a corrupt checkpoint can cost time, never
+   correctness. *)
+
+let checkpoint_key ~id ~blocks =
+  Store.Key.int (Store.Key.str (Store.Key.v "statlib_partial") "statlib" id) "blocks" blocks
+
+let w_grid b g =
+  Codec.w_int b (Grid.rows g);
+  Codec.w_int b (Grid.cols g);
+  for i = 0 to Grid.rows g - 1 do
+    for j = 0 to Grid.cols g - 1 do
+      Codec.w_float b (Grid.get g i j)
+    done
+  done
+
+let r_grid_into r g =
+  let rows = Codec.r_int r in
+  let cols = Codec.r_int r in
+  if rows <> Grid.rows g || cols <> Grid.cols g then
+    raise (Codec.Corrupt "statlib partial: grid dimensions mismatch");
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      Grid.set g i j (Codec.r_float r)
+    done
+  done
+
+let w_acc b acc =
+  Codec.w_int b acc.count;
+  w_grid b acc.mean;
+  w_grid b acc.m2
+
+let r_acc_into ~expected_count r acc =
+  let count = Codec.r_int r in
+  if count <> expected_count then
+    raise
+      (Codec.Corrupt
+         (Printf.sprintf "statlib partial: accumulator count %d, expected %d" count
+            expected_count));
+  acc.count <- count;
+  r_grid_into r acc.mean;
+  r_grid_into r acc.m2
+
+let w_partial ~samples_done chunk b =
+  Codec.w_int b samples_done;
+  Codec.w_string b chunk.first_name;
+  Codec.w_string b chunk.first_corner;
+  Codec.w_int b (Array.length chunk.cell_accs);
+  Array.iter
+    (fun ca ->
+      Codec.w_string b ca.proto_cell.Cell.name;
+      Codec.w_int b (Array.length ca.arcs);
+      Array.iter
+        (fun aa ->
+          w_acc b aa.rise_delay;
+          w_acc b aa.fall_delay;
+          w_acc b aa.rise_transition;
+          w_acc b aa.fall_transition)
+        ca.arcs)
+    chunk.cell_accs
+
+let r_partial ~proto ~samples_done r =
+  let stored = Codec.r_int r in
+  if stored <> samples_done then
+    raise
+      (Codec.Corrupt
+         (Printf.sprintf "statlib partial: covers %d samples, checkpoint says %d" stored
+            samples_done));
+  let first_name = Codec.r_string r in
+  let first_corner = Codec.r_string r in
+  if first_name <> Library.name proto || first_corner <> Library.corner proto then
+    raise (Codec.Corrupt "statlib partial: proto library mismatch");
+  let cell_accs = Array.of_list (List.map cell_acc_create (Library.cells proto)) in
+  let ncells = Codec.r_int r in
+  if ncells <> Array.length cell_accs then
+    raise (Codec.Corrupt "statlib partial: cell count mismatch");
+  Array.iter
+    (fun ca ->
+      let name = Codec.r_string r in
+      if name <> ca.proto_cell.Cell.name then
+        raise (Codec.Corrupt "statlib partial: cell order mismatch");
+      let narcs = Codec.r_int r in
+      if narcs <> Array.length ca.arcs then
+        raise (Codec.Corrupt "statlib partial: arc count mismatch");
+      Array.iter
+        (fun aa ->
+          r_acc_into ~expected_count:samples_done r aa.rise_delay;
+          r_acc_into ~expected_count:samples_done r aa.fall_delay;
+          r_acc_into ~expected_count:samples_done r aa.rise_transition;
+          r_acc_into ~expected_count:samples_done r aa.fall_transition)
+        ca.arcs)
+    cell_accs;
+  { first_name; first_corner; cell_accs }
+
+let c_resumed_samples = Obs.Counter.make "journal.resumed_samples"
+
+(* Round-based counterpart of [of_stream]: the same fixed block
+   partition and the same left-to-right merge order — so the result is
+   bit-identical to [of_stream] at any pool size and any checkpoint
+   cadence — but accumulated in rounds of [max every_blocks jobs]
+   blocks, with the running state saved to the run's state store and a
+   [Checkpoint] step journaled between rounds.  A pending stop request
+   is honoured right after a checkpoint lands, by raising
+   [Journal.Interrupted]. *)
+let of_stream_ckpt ~ckpt ~id ~pool ~n gen =
+  if n <= 0 then invalid_arg "Statistical.of_stream: n must be positive";
+  Obs.span "statlib.build"
+    ~attrs:(fun () -> [ ("samples", string_of_int n) ])
+    (fun () ->
+      let nchunks = (n + merge_chunk - 1) / merge_chunk in
+      let proto = lazy (gen 0) in
+      let restore () =
+        let rec try_checkpoint = function
+          | [] -> (None, 0)
+          | (blocks, samples_done) :: older ->
+            if blocks < 1 || blocks > nchunks || samples_done <> min n (blocks * merge_chunk)
+            then try_checkpoint older
+            else (
+              match
+                Store.load ckpt.Journal.state
+                  (checkpoint_key ~id ~blocks)
+                  (r_partial ~proto:(Lazy.force proto) ~samples_done)
+              with
+              | Some chunk ->
+                Obs.Counter.add c_resumed_samples samples_done;
+                (Some chunk, blocks)
+              | None -> try_checkpoint older)
+        in
+        try_checkpoint (Journal.checkpoints_for ckpt ~statlib:id)
+      in
+      let restored, start = restore () in
+      let acc = ref restored in
+      let done_blocks = ref start in
+      let round = max ckpt.Journal.every_blocks (Pool.jobs pool) in
+      while !done_blocks < nchunks do
+        let upto = min nchunks (!done_blocks + round) in
+        let idxs = List.init (upto - !done_blocks) (fun k -> !done_blocks + k) in
+        let parts =
+          Pool.map pool
+            (fun c ->
+              let lo = c * merge_chunk in
+              accumulate_chunk gen ~lo ~hi:(min n (lo + merge_chunk)))
+            idxs
+        in
+        (* Ordered left-to-right merge, exactly as [of_stream]. *)
+        Obs.span "statlib.merge"
+          ~attrs:(fun () -> [ ("chunks", string_of_int (List.length parts)) ])
+          (fun () ->
+            match !acc with
+            | None -> (
+              match parts with
+              | [] -> assert false
+              | head :: rest -> acc := Some (List.fold_left chunk_merge head rest))
+            | Some a -> acc := Some (List.fold_left chunk_merge a parts));
+        List.iter
+          (fun c ->
+            let lo = c * merge_chunk in
+            Journal.record ckpt
+              (Journal.Block_done { statlib = id; lo; hi = min n (lo + merge_chunk) }))
+          idxs;
+        done_blocks := upto;
+        if upto < nchunks then begin
+          let samples_done = min n (upto * merge_chunk) in
+          let chunk = Option.get !acc in
+          let key = checkpoint_key ~id ~blocks:upto in
+          Store.save ckpt.Journal.state key (w_partial ~samples_done chunk);
+          Journal.record ckpt
+            (Journal.Checkpoint
+               { statlib = id; blocks = upto; samples_done; key = Store.Key.id key });
+          if Journal.stop_requested ckpt then
+            raise
+              (Journal.Interrupted
+                 (Printf.sprintf "statistical library checkpointed at %d/%d samples"
+                    samples_done n))
+        end
+      done;
+      let merged = Option.get !acc in
+      let cells = Array.to_list (Array.map cell_acc_finish merged.cell_accs) in
+      Library.make ~name:(merged.first_name ^ "_stat") ~corner:merged.first_corner ~cells)
+
+let build ?pool ?store ?ckpt config ~mismatch ~seed ~n ?specs () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let gen index =
+    Vartune_charlib.Sampler.sample_library config ~mismatch ~seed ~index ?specs ()
   in
-  match store with
-  | None -> compute ()
-  | Some store -> (
-    let key = store_key config ~mismatch ~seed ~n ?specs () in
-    let specs_used = Option.value specs ~default:Vartune_stdcell.Catalog.specs in
-    match
-      Option.bind (Store.load store key Codec.r_library)
-        (Characterize.validated_library ~what:"statistical" ~specs:specs_used)
-    with
-    | Some lib -> lib
-    | None ->
-      let lib = compute () in
-      Store.save store key (fun b -> Codec.w_library b lib);
-      lib)
+  let key = store_key config ~mismatch ~seed ~n ?specs () in
+  let id = Store.Key.id key in
+  let specs_used = Option.value specs ~default:Vartune_stdcell.Catalog.specs in
+  let stores =
+    (match store with Some s -> [ s ] | None -> [])
+    @ match ckpt with Some c -> [ c.Journal.state ] | None -> []
+  in
+  let rec first_hit = function
+    | [] -> None
+    | s :: rest -> (
+      match
+        Option.bind (Store.load s key Codec.r_library)
+          (Characterize.validated_library ~what:"statistical" ~specs:specs_used)
+      with
+      | Some lib -> Some lib
+      | None -> first_hit rest)
+  in
+  match first_hit stores with
+  | Some lib ->
+    Option.iter (fun c -> Journal.record c (Journal.Statlib_built { key = id })) ckpt;
+    lib
+  | None ->
+    let lib =
+      match ckpt with
+      | None -> of_stream ~pool ~n gen
+      | Some ckpt -> of_stream_ckpt ~ckpt ~id ~pool ~n gen
+    in
+    List.iter (fun s -> Store.save s key (fun b -> Codec.w_library b lib)) stores;
+    Option.iter (fun c -> Journal.record c (Journal.Statlib_built { key = id })) ckpt;
+    lib
 
 let is_statistical lib =
   List.for_all

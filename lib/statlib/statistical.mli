@@ -30,6 +30,7 @@ val of_stream :
 val build :
   ?pool:Vartune_util.Pool.t ->
   ?store:Vartune_store.Store.t ->
+  ?ckpt:Vartune_journal.Journal.ctx ->
   Vartune_charlib.Characterize.config ->
   mismatch:Vartune_process.Mismatch.t ->
   seed:int ->
@@ -44,7 +45,26 @@ val build :
     {!Vartune_util.Rng.stream}-derived generator.  With [store], the
     merged library is fetched from / saved to the persistent artifact
     store under {!store_key} — a hit skips characterisation entirely and
-    is bit-identical to the cold computation. *)
+    is bit-identical to the cold computation.
+
+    With [ckpt], the merge runs in rounds of
+    [max ckpt.every_blocks (Pool.jobs pool)] sample blocks: after each
+    non-final round the running Welford partials are saved to the run's
+    state store under {!checkpoint_key} and a [Checkpoint] step is
+    journaled, and a pending stop request ({!Vartune_journal.Journal.request_stop})
+    is honoured by raising [Journal.Interrupted] — only ever {e after} a
+    checkpoint has landed.  On resume, the newest journaled checkpoint
+    whose stored partial still decodes cleanly seeds the merge; a
+    corrupt or missing partial silently falls back to an older
+    checkpoint or a cold start.  The block partition and the
+    left-to-right merge order are unchanged, so interrupted-and-resumed
+    output is bit-identical to an uninterrupted run at any job count
+    and any checkpoint cadence. *)
+
+val checkpoint_key : id:string -> blocks:int -> Vartune_store.Store.Key.t
+(** State-store key of the Welford partial covering the first [blocks]
+    sample blocks of the statistical library whose {!store_key} recipe
+    id is [id].  Exposed for tests that corrupt checkpoints on disk. *)
 
 val store_key :
   Vartune_charlib.Characterize.config ->

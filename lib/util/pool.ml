@@ -34,6 +34,10 @@ type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
   restarts : int Atomic.t;
+  in_flight_tasks : int Atomic.t;
+      (** tasks currently executing on some domain — dequeued but not
+          yet settled/requeued.  Supervisors drain on this: once the
+          queue is empty and [in_flight] is 0, no work can be lost. *)
   mutable closed : bool;
   mutable workers : unit Domain.t list;
 }
@@ -70,16 +74,26 @@ let resolve_jobs = function
    concluding the remaining tasks are stuck on unresponsive workers.
    Disabled (infinite) unless VARTUNE_POOL_STALL_S or ~stall_timeout_s
    says otherwise. *)
+let parse_stall_timeout v =
+  match float_of_string_opt (String.trim v) with
+  | Some s when s > 0.0 -> Ok s (* NaN fails this comparison; infinity = disabled *)
+  | Some _ ->
+    Error
+      (Printf.sprintf "stall timeout %s is not a positive number of seconds" (String.trim v))
+  | None -> Error (Printf.sprintf "bad stall timeout %S: expected seconds" v)
+
+(* A malformed value used to warn and silently disable the watchdog —
+   which meant a typo'd VARTUNE_POOL_STALL_S=-30 left a wedged pipeline
+   hanging forever.  Reject it instead; the CLI validates first and
+   turns this into a usage error (exit 64) naming the token. *)
 let env_stall_timeout () =
   match Sys.getenv_opt "VARTUNE_POOL_STALL_S" with
   | None -> infinity
+  | Some v when String.trim v = "" -> infinity
   | Some v -> (
-    match float_of_string_opt (String.trim v) with
-    | Some s when s > 0.0 -> s
-    | Some _ | None ->
-      Log.warn (fun m ->
-          m "ignoring VARTUNE_POOL_STALL_S=%S: expected a positive number of seconds" v);
-      infinity)
+    match parse_stall_timeout v with
+    | Ok s -> s
+    | Error msg -> invalid_arg (Printf.sprintf "VARTUNE_POOL_STALL_S: %s" msg))
 
 let c_tasks = Obs.Counter.make "pool.tasks_run"
 let c_restarts = Obs.Counter.make "pool.worker_restarts"
@@ -124,10 +138,16 @@ let rec worker_loop pool =
   | Some task ->
     if Fault.fires Fault.Worker_crash ~site:"pool.worker" then
       crash_out pool task "injected worker_crash fault"
-    else (
+    else begin
+      Atomic.incr pool.in_flight_tasks;
       match run_task task.run with
-      | () -> worker_loop pool
-      | exception exn -> crash_out pool task (Printexc.to_string exn))
+      | () ->
+        Atomic.decr pool.in_flight_tasks;
+        worker_loop pool
+      | exception exn ->
+        Atomic.decr pool.in_flight_tasks;
+        crash_out pool task (Printexc.to_string exn)
+    end
 
 and crash_out pool task reason =
   Atomic.incr pool.restarts;
@@ -174,6 +194,7 @@ let create ?jobs ?stall_timeout_s () =
       lock = Mutex.create ();
       nonempty = Condition.create ();
       restarts = Atomic.make 0;
+      in_flight_tasks = Atomic.make 0;
       closed = false;
       workers = [];
     }
@@ -187,6 +208,8 @@ let create ?jobs ?stall_timeout_s () =
 
 let jobs t = t.jobs
 let restarts t = Atomic.get t.restarts
+let in_flight t = Atomic.get t.in_flight_tasks
+let queued t = Mutex.protect t.lock (fun () -> Queue.length t.queue)
 
 let shutdown t =
   Mutex.lock t.lock;
@@ -218,9 +241,11 @@ let try_run_one t =
   match task with
   | None -> false
   | Some task ->
+    Atomic.incr t.in_flight_tasks;
     (try run_task task.run
      with exn ->
        task.abandon (Printf.sprintf "task body raised uncaught %s" (Printexc.to_string exn)));
+    Atomic.decr t.in_flight_tasks;
     true
 
 let c_enqueued = Obs.Counter.make "pool.tasks_enqueued"

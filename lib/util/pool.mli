@@ -53,6 +53,10 @@
     completion wait turns into a watchdog: if no task settles for that
     long while nothing is left to help with, [map] raises
     {!Worker_failure} instead of waiting forever on a wedged worker.
+    A [VARTUNE_POOL_STALL_S] value that is negative, zero, NaN or
+    non-numeric raises [Invalid_argument] (see
+    {!parse_stall_timeout}) — a typo must not silently disarm the
+    watchdog.
 
     {2 Telemetry}
 
@@ -86,6 +90,22 @@ val jobs : t -> int
 val restarts : t -> int
 (** Number of worker domains restarted after crashes since the pool was
     created. *)
+
+val in_flight : t -> int
+(** Tasks currently executing on some domain — dequeued but not yet
+    settled or requeued.  Together with {!queued} this is the drain
+    condition checkpoint supervisors rely on: when both are 0 after a
+    [map] returns, no journaled work can be lost to an in-flight task. *)
+
+val queued : t -> int
+(** Tasks waiting in the queue right now. *)
+
+val parse_stall_timeout : string -> (float, string) result
+(** Validates a stall-timeout token ([VARTUNE_POOL_STALL_S] syntax):
+    a positive number of seconds.  Negative, zero, NaN and non-numeric
+    values are errors naming the offending token.  The environment
+    path raises [Invalid_argument] on a malformed value instead of
+    warn-and-ignore; the CLI pre-validates and exits 64. *)
 
 val shutdown : t -> unit
 (** Terminates the worker domains.  Outstanding tasks are drained first;

@@ -111,6 +111,19 @@ module Welford = struct
 
   let count t = t.n
   let mean t = if t.n = 0 then invalid_arg "Welford.mean: empty" else t.mean
-  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+  (* [m2] is mathematically non-negative, but the streaming update and
+     the pairwise merge both subtract nearly equal quantities, so heavy
+     cancellation (near-constant data) can leave a tiny negative residue
+     like -1e-18.  Clamp it — otherwise [stddev] is sqrt of a negative
+     and silently poisons everything downstream with NaN.  A genuine NaN
+     input still propagates: only negatives are clamped. *)
+  let variance t =
+    if t.n < 2 then 0.0
+    else begin
+      let v = t.m2 /. float_of_int (t.n - 1) in
+      if v < 0.0 then 0.0 else v
+    end
+
   let stddev t = sqrt (variance t)
 end

@@ -1,0 +1,166 @@
+(* Subprocess tests of the vartune CLI's typed exit codes and the
+   journaled interrupt/resume cycle: usage errors (64) for malformed
+   fault specs and tuning environment variables, data errors (65) for
+   unparsable inputs and damaged journals, I/O errors (74) for a full
+   stdout, and the checkpoint → exit 75 → resume → bit-identical-output
+   contract end to end through the real binary. *)
+
+module Library = Vartune_liberty.Library
+module Printer = Vartune_liberty.Printer
+
+(* The binary is a declared dune dep, built next to this test:
+   _build/default/{test/test_cli.exe, bin/vartune.exe}.  Resolve it
+   from the test's own path so the suite works from any cwd. *)
+let exe =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "vartune.exe")
+
+let temp_root =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "vartune_test_cli_%d" (Unix.getpid ()))
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let in_temp name =
+  mkdir_p temp_root;
+  Filename.concat temp_root name
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* Runs the vartune binary through the shell (for env assignments and
+   redirections), returning the exit code; stdout+stderr land in
+   [capture] when given, else /dev/null. *)
+let vartune ?(env = []) ?capture ?(stdout_to = "") args =
+  let out =
+    match (capture, stdout_to) with
+    | Some path, _ -> Printf.sprintf "> %s 2>&1" (Filename.quote path)
+    | None, "" -> "> /dev/null 2>&1"
+    | None, dest -> Printf.sprintf "> %s 2> /dev/null" dest
+  in
+  let assigns =
+    String.concat " "
+      (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (Filename.quote v)) env)
+  in
+  let cmd =
+    Printf.sprintf "%s %s %s %s" assigns (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      out
+  in
+  Sys.command cmd
+
+let check_exit name expected code = Alcotest.(check int) name expected code
+
+(* ------------------------------------------------------------------ *)
+(* Typed exit codes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_usage_errors () =
+  check_exit "malformed --faults spec exits 64" 64
+    (vartune [ "journal"; in_temp "none"; "--faults"; "bogus=1" ]);
+  check_exit "unknown fault point exits 64" 64
+    (vartune [ "journal"; in_temp "none"; "--faults"; "write=2.0" ]);
+  check_exit "negative VARTUNE_POOL_STALL_S exits 64" 64
+    (vartune ~env:[ ("VARTUNE_POOL_STALL_S", "-3") ] [ "journal"; in_temp "none" ]);
+  check_exit "NaN VARTUNE_POOL_STALL_S exits 64" 64
+    (vartune ~env:[ ("VARTUNE_POOL_STALL_S", "nan") ] [ "journal"; in_temp "none" ]);
+  check_exit "malformed VARTUNE_CKPT_BLOCKS exits 64" 64
+    (vartune ~env:[ ("VARTUNE_CKPT_BLOCKS", "zero") ] [ "journal"; in_temp "none" ]);
+  check_exit "non-positive VARTUNE_STOP_AFTER_BLOCKS exits 64" 64
+    (vartune ~env:[ ("VARTUNE_STOP_AFTER_BLOCKS", "0") ] [ "journal"; in_temp "none" ])
+
+let test_data_error () =
+  let bad = in_temp "garbage.lib" in
+  write_file bad "this is not a liberty file {";
+  check_exit "unparsable library exits 65" 65 (vartune [ "parse"; bad ])
+
+let tiny_lib_path () =
+  let path = in_temp "tiny.lib" in
+  Printer.write_file path (Library.make ~name:"tiny" ~corner:"tc" ~cells:[]);
+  path
+
+let test_io_error_full_stdout () =
+  if Sys.file_exists "/dev/full" then begin
+    let tiny = tiny_lib_path () in
+    check_exit "write to full stdout exits 74" 74
+      (vartune ~stdout_to:"/dev/full" [ "parse"; tiny ])
+  end
+
+let test_parse_ok () =
+  let tiny = tiny_lib_path () in
+  check_exit "well-formed library parses" 0 (vartune [ "parse"; tiny ])
+
+let test_resume_damaged_journal () =
+  let no_journal = in_temp "empty_run" in
+  mkdir_p no_journal;
+  check_exit "resume without a journal exits 65" 65
+    (vartune [ "resume"; no_journal; "--no-store" ]);
+  let corrupt = in_temp "corrupt_run" in
+  mkdir_p corrupt;
+  write_file (Filename.concat corrupt "journal.vtj") "VTJRNL01 not really a journal";
+  check_exit "resume of a corrupt journal exits 65" 65
+    (vartune [ "resume"; corrupt; "--no-store" ]);
+  check_exit "journal listing of a corrupt journal exits 65" 65
+    (vartune [ "journal"; corrupt ])
+
+(* ------------------------------------------------------------------ *)
+(* Interrupt / resume through the real binary                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_statlib_interrupt_resume () =
+  let rd = in_temp "run" and rd_ref = in_temp "run_ref" in
+  let common = [ "-n"; "8"; "--jobs"; "1"; "--no-store" ] in
+  (* deterministic interrupt: stop after the first checkpointed block *)
+  check_exit "interrupted run exits 75" 75
+    (vartune
+       ~env:[ ("VARTUNE_STOP_AFTER_BLOCKS", "1"); ("VARTUNE_CKPT_BLOCKS", "1") ]
+       ([ "statlib"; "--run-dir"; rd ] @ common));
+  let listing = in_temp "journal.txt" in
+  check_exit "journal listing validates" 0 (vartune ~capture:listing [ "journal"; rd ]);
+  let lines = String.split_on_char '\n' (read_file listing) in
+  Alcotest.(check bool)
+    "journal records a checkpoint" true
+    (List.exists (fun l -> String.length l >= 10 && String.sub l 0 10 = "checkpoint") lines);
+  check_exit "resume completes" 0 (vartune ([ "resume"; rd ] @ common));
+  check_exit "uninterrupted reference run" 0
+    (vartune ([ "statlib"; "--run-dir"; rd_ref ] @ common));
+  Alcotest.(check string)
+    "resumed statlib.lib bit-identical to uninterrupted"
+    (read_file (Filename.concat rd_ref "statlib.lib"))
+    (read_file (Filename.concat rd "statlib.lib"));
+  Alcotest.(check string)
+    "resumed report.txt identical to uninterrupted"
+    (read_file (Filename.concat rd_ref "report.txt"))
+    (read_file (Filename.concat rd "report.txt"))
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "usage errors (64)" `Quick test_usage_errors;
+          Alcotest.test_case "data error (65)" `Quick test_data_error;
+          Alcotest.test_case "full stdout (74)" `Quick test_io_error_full_stdout;
+          Alcotest.test_case "parse ok (0)" `Quick test_parse_ok;
+          Alcotest.test_case "damaged journal (65)" `Quick test_resume_damaged_journal;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "statlib interrupt/resume" `Slow test_statlib_interrupt_resume;
+        ] );
+    ]

@@ -426,12 +426,45 @@ let test_schedule_sweep_deep () =
     ~name:"e2e_crash_storm" ~warm:false ();
   Pool.set_default_jobs 1
 
+(* -------------------- spec print/parse round-trip ------------------ *)
+
+(* Generator of structured schedules in canonical form: distinct points
+   (spec order = the de-duplicated order parse_spec returns), rates kept
+   exactly representable through %.17g (any float in [0,1] is), Nth
+   indices >= 1, at least one item. *)
+let spec_gen =
+  let open QCheck.Gen in
+  let trigger =
+    oneof
+      [
+        map (fun r -> Fault.Rate r) (float_bound_inclusive 1.0);
+        map (fun n -> Fault.Nth n) (int_range 1 1_000_000);
+      ]
+  in
+  let* points = shuffle_l all_points in
+  let* count = int_range 1 (List.length points) in
+  let points = List.filteri (fun i _ -> i < count) points in
+  let* triggers = flatten_l (List.map (fun _ -> trigger) points) in
+  let* seed = map Int64.of_int int in
+  return (List.combine points triggers, seed)
+
+let spec_print s = Fault.print_spec s
+
+let test_spec_round_trip =
+  QCheck.Test.make ~count:500 ~name:"parse_spec inverts print_spec"
+    (QCheck.make ~print:spec_print spec_gen)
+    (fun spec ->
+      match Fault.parse_spec (Fault.print_spec spec) with
+      | Ok reparsed -> reparsed = spec
+      | Error msg -> QCheck.Test.fail_reportf "round-trip failed to parse: %s" msg)
+
 let () =
   Alcotest.run "fault"
     [
       ( "schedule",
         [
           Alcotest.test_case "determinism" `Quick test_determinism;
+          QCheck_alcotest.to_alcotest test_spec_round_trip;
           Alcotest.test_case "rate extremes" `Quick test_rate_extremes;
           Alcotest.test_case "nth occurrence" `Quick test_nth_occurrence;
           Alcotest.test_case "check raises" `Quick test_check_raises;

@@ -150,6 +150,39 @@ let test_sweep_pool_invariant () =
       Helpers.check_float ~eps:0.0 "area delta" s.Experiment.area_delta p.Experiment.area_delta)
     serial parallel
 
+(* ------------------- failure → exit-code mapping ------------------- *)
+
+(* The CLI's sysexits vocabulary is load-bearing for CI and operators;
+   pin the exact code of every classified exception, including the
+   checkpoint/resume additions. *)
+let test_exit_codes () =
+  let check name expected exn =
+    match Experiment.classify_exn exn with
+    | Some f -> Alcotest.(check int) name expected (Experiment.exit_code f)
+    | None -> Alcotest.fail (name ^ ": expected a classification")
+  in
+  check "liberty lexer error" 65 (Vartune_liberty.Lexer.Error { line = 1; message = "bad" });
+  check "liberty parser error" 65 (Vartune_liberty.Parser.Error "bad");
+  check "corrupt journal" 65 (Vartune_journal.Journal.Corrupt "checksum");
+  check "sys error" 74 (Sys_error "pipe closed");
+  check "unix error" 74 (Unix.Unix_error (Unix.ENOSPC, "write", "f"));
+  check "escaped corrupt artifact" 74 (Vartune_store.Codec.Corrupt "short");
+  check "worker failure" 75 (Pool.Worker_failure "stalled");
+  check "interrupted run" 75 (Vartune_journal.Journal.Interrupted "checkpointed");
+  check "escaped injected fault" 70
+    (Vartune_fault.Fault.Injected { point = Vartune_fault.Fault.Read; site = "x"; seq = 1 });
+  Alcotest.(check bool) "interrupted message mentions resume" true
+    (match Experiment.classify_exn (Vartune_journal.Journal.Interrupted "at 8/24 samples") with
+    | Some f ->
+      let msg = Experiment.failure_message f in
+      let has needle =
+        let nl = String.length needle and ml = String.length msg in
+        let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+        go 0
+      in
+      has "resume" && has "at 8/24 samples"
+    | None -> false)
+
 let () =
   Alcotest.run "flow"
     [
@@ -169,4 +202,5 @@ let () =
           Alcotest.test_case "cache scoped to setup" `Slow test_cache_scoped_to_setup;
           Alcotest.test_case "sweep pool invariant" `Slow test_sweep_pool_invariant;
         ] );
+      ("failures", [ Alcotest.test_case "exit codes" `Quick test_exit_codes ]);
     ]

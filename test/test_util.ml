@@ -4,6 +4,7 @@ module Rng = Vartune_util.Rng
 module Stat = Vartune_util.Stat
 module Grid = Vartune_util.Grid
 module Vec = Vartune_util.Vec
+module Pool = Vartune_util.Pool
 
 let check_float = Helpers.check_float
 
@@ -240,6 +241,76 @@ let test_vec_iter_fold () =
   Alcotest.(check int) "iteri count" 4 (List.length !seen);
   Alcotest.(check (array int)) "to_array" [| 1; 2; 3; 4 |] (Vec.to_array v)
 
+(* ------------------------- Welford clamp --------------------------- *)
+
+(* Streaming updates and pairwise merges over near-constant data can
+   cancel to a tiny negative M2; sigma must come out 0.0, never NaN. *)
+let welford_of array =
+  let w = Stat.Welford.create () in
+  Array.iter (Stat.Welford.add w) array;
+  w
+
+let test_welford_sigma_never_nan =
+  QCheck.Test.make ~count:500 ~name:"welford sigma never NaN on near-constant data"
+    QCheck.(
+      triple (float_range 1e-9 1e9) (int_range 2 64) (int_range 0 1000))
+    (fun (base, n, split) ->
+      let data = Array.init n (fun i -> base *. (1.0 +. (float_of_int i *. 1e-16))) in
+      let direct = welford_of data in
+      (* also exercise the pairwise merge at an arbitrary split point *)
+      let k = split mod n in
+      let merged =
+        Stat.Welford.merge
+          (welford_of (Array.sub data 0 k))
+          (welford_of (Array.sub data k (n - k)))
+      in
+      List.for_all
+        (fun w ->
+          let sigma = Stat.Welford.stddev w in
+          Stat.Welford.variance w >= 0.0 && (not (Float.is_nan sigma)) && sigma >= 0.0)
+        [ direct; merged ])
+
+let test_welford_clamp_only_negatives () =
+  (* clamping is for cancellation noise only: a genuine NaN input must
+     still propagate rather than be laundered into 0 *)
+  let w = welford_of [| 1.0; Float.nan; 2.0 |] in
+  Alcotest.(check bool) "NaN data keeps NaN variance" true
+    (Float.is_nan (Stat.Welford.variance w));
+  let ok = welford_of [| 5.0; 5.0; 5.0 |] in
+  Alcotest.(check (float 0.0)) "constant data has zero sigma" 0.0 (Stat.Welford.stddev ok)
+
+(* ------------------------ Pool env parsing ------------------------- *)
+
+let test_parse_stall_timeout () =
+  let ok v = match Pool.parse_stall_timeout v with Ok s -> Some s | Error _ -> None in
+  Alcotest.(check (option (float 0.0))) "plain seconds" (Some 2.5) (ok "2.5");
+  Alcotest.(check (option (float 0.0))) "integer seconds" (Some 30.0) (ok "30");
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected with a named token" v)
+        true
+        (match Pool.parse_stall_timeout v with
+        | Ok _ -> false
+        | Error msg -> String.length msg > 0))
+    [ "-3"; "0"; "nan"; "-nan"; "garbage"; "" ]
+
+let test_stall_env_rejected () =
+  (* OCaml cannot unset an env var; an empty value means unset, which
+     lets this test restore the environment afterwards *)
+  let set v = Unix.putenv "VARTUNE_POOL_STALL_S" v in
+  Fun.protect ~finally:(fun () -> set "")
+    (fun () ->
+      set "-7";
+      Alcotest.check_raises "negative stall timeout raises"
+        (Invalid_argument
+           "VARTUNE_POOL_STALL_S: stall timeout -7 is not a positive number of seconds")
+        (fun () -> ignore (Pool.create ~jobs:1 ()));
+      set "";
+      let pool = Pool.create ~jobs:1 () in
+      Alcotest.(check int) "empty value means unset" 1 (Pool.jobs pool);
+      Pool.shutdown pool)
+
 let () =
   Alcotest.run "util"
     [
@@ -289,5 +360,16 @@ let () =
           Alcotest.test_case "set" `Quick test_vec_set;
           Alcotest.test_case "bounds" `Quick test_vec_bounds;
           Alcotest.test_case "iter/fold" `Quick test_vec_iter_fold;
+        ] );
+      ( "welford",
+        [
+          QCheck_alcotest.to_alcotest test_welford_sigma_never_nan;
+          Alcotest.test_case "clamp spares genuine NaN" `Quick
+            test_welford_clamp_only_negatives;
+        ] );
+      ( "pool-env",
+        [
+          Alcotest.test_case "parse_stall_timeout" `Quick test_parse_stall_timeout;
+          Alcotest.test_case "malformed env rejected" `Quick test_stall_env_rejected;
         ] );
     ]
