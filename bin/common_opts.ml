@@ -20,6 +20,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 type t = {
   verbose : bool;
   jobs : int option;
+  chunk : int option;
   trace : string option;
   metrics_out : string option;
   seed : int;
@@ -53,6 +54,17 @@ let jobs_arg =
           "Worker-pool size for the parallel stages (default: $(b,VARTUNE_JOBS), else the \
            recommended domain count; 1 forces serial execution; 0 or negative values are \
            rejected). Output is bit-identical at any value.")
+
+let chunk_arg =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:
+          "Items batched per worker-pool task in the chunked parallel stages (default: \
+           $(b,VARTUNE_POOL_CHUNK), else an automatic size of about eight tasks per \
+           worker). Chunking changes dispatch granularity only; output is bit-identical \
+           at any value.")
 
 let trace_arg =
   Arg.(
@@ -113,12 +125,12 @@ let faults_arg =
            to the fault-free run or exit non-zero with a typed error.")
 
 let term =
-  let make verbose jobs trace metrics_out seed samples store_dir no_store faults =
-    { verbose; jobs; trace; metrics_out; seed; samples; store_dir; no_store; faults }
+  let make verbose jobs chunk trace metrics_out seed samples store_dir no_store faults =
+    { verbose; jobs; chunk; trace; metrics_out; seed; samples; store_dir; no_store; faults }
   in
   Term.(
-    const make $ verbose_arg $ jobs_arg $ trace_arg $ metrics_arg $ seed_arg $ samples_arg
-    $ store_arg $ no_store_arg $ faults_arg)
+    const make $ verbose_arg $ jobs_arg $ chunk_arg $ trace_arg $ metrics_arg $ seed_arg
+    $ samples_arg $ store_arg $ no_store_arg $ faults_arg)
 
 (* Telemetry is enabled the moment either output file is requested, and
    the exporters run from at_exit so every subcommand — and every exit
@@ -172,6 +184,12 @@ let validate_env () =
     | Ok _ -> ()
     | Error msg -> fail "VARTUNE_POOL_STALL_S" v msg)
   | _ -> ());
+  (match Sys.getenv_opt "VARTUNE_POOL_CHUNK" with
+  | Some v when v <> "" -> (
+    match Pool.parse_chunk v with
+    | Ok _ -> ()
+    | Error msg -> fail "VARTUNE_POOL_CHUNK" v msg)
+  | _ -> ());
   List.iter
     (fun name ->
       match Sys.getenv_opt name with
@@ -196,7 +214,8 @@ let setup t =
   validate_env ();
   setup_obs t;
   setup_faults t;
-  Option.iter Pool.set_default_jobs t.jobs
+  Option.iter Pool.set_default_jobs t.jobs;
+  Option.iter Pool.set_default_chunk t.chunk
 
 let store t =
   if t.no_store then None
@@ -258,6 +277,11 @@ let man =
         "falls back to $(b,VARTUNE_JOBS), then the recommended domain count. Results are \
          bit-identical at any value." );
     `I
+      ( "$(b,--chunk)",
+        "falls back to $(b,VARTUNE_POOL_CHUNK), then an automatic size of about eight \
+         tasks per worker. Batches pool-task dispatch in the chunked stages; results are \
+         bit-identical at any value." );
+    `I
       ( "$(b,--store)",
         "falls back to $(b,VARTUNE_STORE), then \\$XDG_CACHE_HOME/vartune, then \
          ~/.cache/vartune. $(b,--no-store) disables persistence entirely; stored and \
@@ -276,7 +300,8 @@ let man =
     `I
       ( "64",
         "usage error (bad flag value, malformed $(b,--faults) spec, malformed \
-         $(b,VARTUNE_POOL_STALL_S)/$(b,VARTUNE_CKPT_BLOCKS) value)." );
+         $(b,VARTUNE_POOL_STALL_S)/$(b,VARTUNE_POOL_CHUNK)/$(b,VARTUNE_CKPT_BLOCKS) \
+         value)." );
     `I
       ( "65",
         "data error: a Liberty file failed to lex or parse, or a run journal is \

@@ -261,7 +261,7 @@ let sweep ?pool setup ~period ~tuning ~parameters =
       ])
   @@ fun () ->
   let base = baseline setup ~period in
-  Pool.map pool
+  Pool.map_chunked pool
     (fun parameter ->
       Obs.span "sweep.point" ~attrs:(fun () -> [ ("parameter", string_of_float parameter) ])
       @@ fun () ->

@@ -29,6 +29,11 @@ let values t = t.values
 let dims t = (Array.length t.slews, Array.length t.loads)
 let get t i j = Grid.get t.values i j
 
+(* [make] checked that the grid matches the axes, and [segment] returns
+   indices inside the axes, so the interpolation below may skip bounds
+   checks — this lookup dominates the STA inner loop. *)
+let uget t i j = Grid.unsafe_get t.values i j
+
 (* Index of the lower end of the axis segment bracketing [x]; out-of-range
    queries use the outermost segment (linear extrapolation). *)
 let segment axis x =
@@ -52,23 +57,23 @@ let segment axis x =
 let lookup t ~slew ~load =
   let i = segment t.slews slew and j = segment t.loads load in
   let n_slew = Array.length t.slews and n_load = Array.length t.loads in
-  if n_slew = 1 && n_load = 1 then get t 0 0
+  if n_slew = 1 && n_load = 1 then uget t 0 0
   else if n_slew = 1 then begin
-    let l0 = t.loads.(j) and l1 = t.loads.(j + 1) in
+    let l0 = Array.unsafe_get t.loads j and l1 = Array.unsafe_get t.loads (j + 1) in
     let wl = (load -. l0) /. (l1 -. l0) in
-    ((1.0 -. wl) *. get t 0 j) +. (wl *. get t 0 (j + 1))
+    ((1.0 -. wl) *. uget t 0 j) +. (wl *. uget t 0 (j + 1))
   end
   else if n_load = 1 then begin
-    let s0 = t.slews.(i) and s1 = t.slews.(i + 1) in
+    let s0 = Array.unsafe_get t.slews i and s1 = Array.unsafe_get t.slews (i + 1) in
     let ws = (slew -. s0) /. (s1 -. s0) in
-    ((1.0 -. ws) *. get t i 0) +. (ws *. get t (i + 1) 0)
+    ((1.0 -. ws) *. uget t i 0) +. (ws *. uget t (i + 1) 0)
   end
   else begin
-    let l0 = t.loads.(j) and l1 = t.loads.(j + 1) in
-    let s0 = t.slews.(i) and s1 = t.slews.(i + 1) in
+    let l0 = Array.unsafe_get t.loads j and l1 = Array.unsafe_get t.loads (j + 1) in
+    let s0 = Array.unsafe_get t.slews i and s1 = Array.unsafe_get t.slews (i + 1) in
     let wl = (load -. l0) /. (l1 -. l0) in
-    let p1 = ((1.0 -. wl) *. get t i j) +. (wl *. get t i (j + 1)) in
-    let p2 = ((1.0 -. wl) *. get t (i + 1) j) +. (wl *. get t (i + 1) (j + 1)) in
+    let p1 = ((1.0 -. wl) *. uget t i j) +. (wl *. uget t i (j + 1)) in
+    let p2 = ((1.0 -. wl) *. uget t (i + 1) j) +. (wl *. uget t (i + 1) (j + 1)) in
     let ws = (slew -. s0) /. (s1 -. s0) in
     ((1.0 -. ws) *. p1) +. (ws *. p2)
   end

@@ -63,8 +63,6 @@ let step_delay cfg ~corner_factor ~sample step =
   in
   Float.max (delay Delay_model.Rise) (delay Delay_model.Fall)
 
-(* Samples per pool task; granularity only, never affects results. *)
-let sample_chunk = 32
 
 let simulate ?pool cfg ~seed (path : Path.t) =
   let pool = match pool with Some p -> p | None -> Pool.default () in
@@ -79,8 +77,10 @@ let simulate ?pool cfg ~seed (path : Path.t) =
   (* Sample i draws from its own stream derived from (seed, i), so the
      per-sample loop parallelises with bit-identical output at any job
      count, and corner sweeps at the same seed stay draw-paired. *)
+  (* Samples batch per pool task at the resolved chunk size; granularity
+     only, never affects results. *)
   let delays =
-    Pool.init pool ~chunk:sample_chunk cfg.n (fun i ->
+    Pool.init pool cfg.n (fun i ->
         let rng = Rng.stream base i in
         let global =
           if cfg.include_global then Variation.draw_factor cfg.global_variation rng

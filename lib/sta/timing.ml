@@ -3,6 +3,7 @@ module Check = Vartune_netlist.Check
 module Cell = Vartune_liberty.Cell
 module Pin = Vartune_liberty.Pin
 module Arc = Vartune_liberty.Arc
+module Obs = Vartune_obs.Obs
 
 type config = {
   clock_period : float;
@@ -38,16 +39,61 @@ type endpoint_timing = {
   slack : float;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Levelized timing graph                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One evaluation unit per driven output pin, stored in topological
+   order (the level schedule).  Arcs and their resolved input nets are
+   flattened into arrays once at build time so the propagation loops
+   never walk association lists or pin records.  The [mutable] fields
+   are the ones a cell swap (Netlist.set_cell) refreshes in place. *)
+type eval = {
+  e_inst : Netlist.inst_id;
+  e_out_pin : string;
+  e_out_net : int;
+  e_seq : bool;
+  mutable e_arcs : Arc.t array;
+  mutable e_in_nets : int array;  (* per arc: input net id, -1 = unconnected *)
+}
+
+(* Endpoint slots are structural: which (instance, pin, net) triples
+   and which primary outputs are checked.  The required values and the
+   hold filter are re-read from the value arrays at each analysis. *)
+type ep_slot =
+  | Sreg of { inst : Netlist.inst_id; pin : string; net : int }
+  | Spo of int
+
+type graph = {
+  nl : Netlist.t;
+  n_nets : int;
+  n_insts : int;  (* live instances at build time, for edit detection *)
+  evals : eval array;  (* topological (level) order *)
+  eval_of_net : int array;  (* net -> driving eval index, -1 if undriven *)
+  fanout : int array array;  (* net -> eval indices reading it forward *)
+  consumers : (int * int) array array;
+      (* net -> (eval, arc) pairs contributing required times *)
+  inst_evals : (Netlist.inst_id, int list) Hashtbl.t;
+  ep_slots : ep_slot array;
+}
+
+(* Structure-of-arrays timing state over the graph: one flat float
+   array per quantity, indexed by net, plus the winning-arc index per
+   net for path backtracing.  [run] allocates it; [retime] updates it
+   in place. *)
 type t = {
   cfg : config;
-  loads : float array;  (* per net *)
+  graph : graph;
+  loads : float array;
   arrivals : float array;
   slews : float array;
   requireds : float array;
   min_arrivals : float array;  (* earliest register-launched arrival *)
-  crit : (Netlist.inst_id * string, string * Arc.t * float) Hashtbl.t;
-  eps : endpoint_timing list;
-  hold_eps : endpoint_timing list;
+  crit_idx : int array;  (* net -> winning arc index into driver's e_arcs *)
+  crit_delay : float array;  (* net -> winning arc's delay *)
+  ep_seed : float array;  (* net -> tightest endpoint required, or inf *)
+  mutable eps : endpoint_timing list;
+  mutable hold_eps : endpoint_timing list;
 }
 
 let config t = t.cfg
@@ -65,197 +111,476 @@ let hold_endpoints t = t.hold_eps
 
 let worst_hold_slack t =
   List.fold_left (fun acc ep -> Float.min acc ep.slack) infinity t.hold_eps
-let critical_input t inst ~out_pin = Hashtbl.find_opt t.crit (inst, out_pin)
+
+let critical_input t inst ~out_pin =
+  match Netlist.instance_opt t.graph.nl inst with
+  | None -> None
+  | Some i -> (
+    match List.assoc_opt out_pin i.Netlist.outputs with
+    | None -> None
+    | Some nid ->
+      if not (in_range t nid) then None
+      else begin
+        let ai = t.crit_idx.(nid) in
+        let k = t.graph.eval_of_net.(nid) in
+        if ai < 0 || k < 0 then None
+        else begin
+          let arc = t.graph.evals.(k).e_arcs.(ai) in
+          Some (arc.Arc.related_pin, arc, t.crit_delay.(nid))
+        end
+      end)
+
 let endpoints t = t.eps
 
-let compute_loads cfg nl =
-  let loads = Array.make (Netlist.net_count nl) 0.0 in
-  let po = Hashtbl.create 16 in
-  List.iter (fun nid -> Hashtbl.replace po nid ()) (Netlist.primary_outputs nl);
-  Netlist.iter_nets nl ~f:(fun net ->
-      let nid = net.Netlist.net_id in
-      let sink_caps =
-        List.fold_left
-          (fun acc (r : Netlist.pin_ref) ->
-            let inst = Netlist.instance nl r.inst in
-            match Cell.find_pin inst.cell r.pin with
-            | Some p -> acc +. p.Pin.capacitance
-            | None -> acc)
-          0.0 net.sinks
-      in
-      let n_sinks = List.length net.sinks in
-      let wire =
-        if n_sinks = 0 then 0.0
-        else
-          match cfg.wire_caps with
-          | Some f -> f nid
-          | None -> cfg.wire_cap_base +. (cfg.wire_cap_per_sink *. float_of_int n_sinks)
-      in
-      let external_load = if Hashtbl.mem po nid then cfg.output_load else 0.0 in
-      loads.(nid) <- sink_caps +. wire +. external_load);
-  loads
+(* ------------------------------------------------------------------ *)
+(* Graph construction                                                  *)
+(* ------------------------------------------------------------------ *)
 
-let c_sta_runs = Vartune_obs.Obs.Counter.make "sta.runs"
-
-let run cfg nl =
-  Vartune_obs.Obs.span "sta.run"
-    ~attrs:(fun () -> [ ("nets", string_of_int (Netlist.net_count nl)) ])
-  @@ fun () ->
-  Vartune_obs.Obs.Counter.incr c_sta_runs;
-  let n_nets = Netlist.net_count nl in
-  let loads = compute_loads cfg nl in
-  let arrivals = Array.make n_nets 0.0 in
-  let slews = Array.make n_nets cfg.input_slew in
-  List.iter (fun nid -> slews.(nid) <- cfg.input_slew) (Netlist.primary_inputs nl);
-  let crit = Hashtbl.create 1024 in
+let build_graph nl =
   let order = Check.topological_order nl in
-  let process_output inst (out_pin_name, out_net) =
-    let inst_id = inst.Netlist.inst_id in
-    let cell = inst.Netlist.cell in
-    let load = loads.(out_net) in
-    match Cell.find_pin cell out_pin_name with
-    | None | Some { Pin.direction = Pin.Input; _ } -> ()
-    | Some out_pin ->
-      if out_pin.Pin.arcs = [] then begin
-        (* tie cells: constant output, clean edge *)
-        arrivals.(out_net) <- 0.0;
-        slews.(out_net) <- cfg.input_slew
-      end
-      else begin
-        let best = ref neg_infinity in
-        let best_slew = ref 0.0 in
-        List.iter
-          (fun (arc : Arc.t) ->
-            let in_arrival, in_slew =
-              if Cell.is_sequential cell then (0.0, cfg.clock_slew)
-              else
-                match List.assoc_opt arc.related_pin inst.inputs with
-                | Some in_net -> (arrivals.(in_net), slews.(in_net))
-                | None -> (0.0, cfg.input_slew)
-            in
-            let delay = Arc.delay arc ~slew:in_slew ~load in
-            let out_slew = Arc.transition arc ~slew:in_slew ~load in
-            if in_arrival +. delay > !best then begin
-              best := in_arrival +. delay;
-              Hashtbl.replace crit (inst_id, out_pin_name) (arc.related_pin, arc, delay)
-            end;
-            if out_slew > !best_slew then best_slew := out_slew)
-          out_pin.Pin.arcs;
-        arrivals.(out_net) <- !best;
-        slews.(out_net) <- !best_slew
-      end
-  in
-  Array.iter
-    (fun inst_id ->
-      let inst = Netlist.instance nl inst_id in
-      List.iter (process_output inst) inst.outputs)
-    order;
-  (* endpoints: sequential data pins and primary outputs *)
-  let eps = ref [] in
-  let data_required cell =
-    cfg.clock_period -. cfg.guard_band -. cell.Cell.setup_time
-  in
-  Netlist.iter_instances nl ~f:(fun inst ->
-      if Cell.is_sequential inst.Netlist.cell then
-        List.iter
-          (fun (pin_name, nid) ->
-            if Some pin_name <> inst.cell.Cell.clock_pin then begin
-              let arrival = arrivals.(nid) in
-              let required = data_required inst.cell in
-              eps :=
-                { endpoint = Reg_data { inst = inst.inst_id; pin = pin_name };
-                  arrival; required; slack = required -. arrival }
-                :: !eps
-            end)
-          inst.inputs);
-  List.iter
-    (fun nid ->
-      let arrival = arrivals.(nid) in
-      let required = cfg.clock_period -. cfg.guard_band in
-      eps :=
-        { endpoint = Primary_output nid; arrival; required; slack = required -. arrival }
-        :: !eps)
-    (Netlist.primary_outputs nl);
-  (* min-delay (hold) pass: earliest register-launched arrivals.  Nets
-     reached only from primary inputs stay at infinity — without input
-     delays they are unconstrained for hold. *)
-  let min_arrivals = Array.make n_nets infinity in
+  let n_nets = Netlist.net_count nl in
+  let inst_evals = Hashtbl.create 256 in
+  let evals_rev = ref [] in
+  let n_evals = ref 0 in
   Array.iter
     (fun inst_id ->
       let inst = Netlist.instance nl inst_id in
       let cell = inst.Netlist.cell in
+      let seq = Cell.is_sequential cell in
       List.iter
         (fun (out_pin_name, out_net) ->
           match Cell.find_pin cell out_pin_name with
           | None | Some { Pin.direction = Pin.Input; _ } -> ()
           | Some out_pin ->
-            let load = loads.(out_net) in
-            List.iter
-              (fun (arc : Arc.t) ->
-                let in_arrival, in_slew =
-                  if Cell.is_sequential cell then (0.0, cfg.clock_slew)
-                  else
-                    match List.assoc_opt arc.related_pin inst.inputs with
-                    | Some in_net -> (min_arrivals.(in_net), slews.(in_net))
-                    | None -> (infinity, cfg.input_slew)
-                in
-                if in_arrival < infinity then begin
-                  let d = Arc.min_delay arc ~slew:in_slew ~load in
-                  if in_arrival +. d < min_arrivals.(out_net) then
-                    min_arrivals.(out_net) <- in_arrival +. d
-                end)
-              out_pin.Pin.arcs)
+            let arcs = Array.of_list out_pin.Pin.arcs in
+            let in_nets =
+              Array.map
+                (fun (arc : Arc.t) ->
+                  match List.assoc_opt arc.related_pin inst.inputs with
+                  | Some n -> n
+                  | None -> -1)
+                arcs
+            in
+            let k = !n_evals in
+            incr n_evals;
+            evals_rev :=
+              { e_inst = inst_id; e_out_pin = out_pin_name; e_out_net = out_net;
+                e_seq = seq; e_arcs = arcs; e_in_nets = in_nets }
+              :: !evals_rev;
+            Hashtbl.replace inst_evals inst_id
+              (k :: (try Hashtbl.find inst_evals inst_id with Not_found -> [])))
         inst.outputs)
     order;
-  let hold_eps = ref [] in
+  let evals = Array.of_list (List.rev !evals_rev) in
+  let eval_of_net = Array.make n_nets (-1) in
+  let fanout_rev = Array.make n_nets [] in
+  let consumers_rev = Array.make n_nets [] in
+  Array.iteri
+    (fun k e ->
+      eval_of_net.(e.e_out_net) <- k;
+      if not e.e_seq then
+        Array.iteri
+          (fun ai innet ->
+            if innet >= 0 then begin
+              fanout_rev.(innet) <- k :: fanout_rev.(innet);
+              consumers_rev.(innet) <- (k, ai) :: consumers_rev.(innet)
+            end)
+          e.e_in_nets)
+    evals;
+  let fanout = Array.map (fun l -> Array.of_list (List.rev l)) fanout_rev in
+  let consumers = Array.map (fun l -> Array.of_list (List.rev l)) consumers_rev in
+  (* endpoint slots in the order endpoint lists are reported: register
+     data pins in instance order, then primary outputs *)
+  let slots = ref [] in
   Netlist.iter_instances nl ~f:(fun inst ->
       if Cell.is_sequential inst.Netlist.cell then
         List.iter
           (fun (pin_name, nid) ->
-            if Some pin_name <> inst.cell.Cell.clock_pin && min_arrivals.(nid) < infinity
-            then begin
-              let arrival = min_arrivals.(nid) in
-              let required = inst.cell.Cell.hold_time in
-              hold_eps :=
-                { endpoint = Reg_data { inst = inst.inst_id; pin = pin_name };
-                  arrival; required; slack = arrival -. required }
-                :: !hold_eps
-            end)
+            if Some pin_name <> inst.cell.Cell.clock_pin then
+              slots := Sreg { inst = inst.inst_id; pin = pin_name; net = nid } :: !slots)
           inst.inputs);
-  (* backward pass: required times tighten from endpoints toward sources *)
-  let requireds = Array.make n_nets infinity in
-  List.iter
-    (fun ep ->
-      let nid =
-        match ep.endpoint with
-        | Reg_data { inst; pin } -> List.assoc pin (Netlist.instance nl inst).inputs
-        | Primary_output nid -> nid
+  List.iter (fun nid -> slots := Spo nid :: !slots) (Netlist.primary_outputs nl);
+  {
+    nl;
+    n_nets;
+    n_insts = Netlist.instance_count nl;
+    evals;
+    eval_of_net;
+    fanout;
+    consumers;
+    inst_evals;
+    ep_slots = Array.of_list (List.rev !slots);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-net load                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared by the full analysis and the incremental load refresh so a
+   recomputed load is bit-identical to a fresh one: the sink fold runs
+   in the net's sink-list order either way. *)
+let compute_net_load cfg nl ~is_po (net : Netlist.net) =
+  let nid = net.Netlist.net_id in
+  let sink_caps =
+    List.fold_left
+      (fun acc (r : Netlist.pin_ref) ->
+        let inst = Netlist.instance nl r.inst in
+        match Cell.find_pin inst.cell r.pin with
+        | Some p -> acc +. p.Pin.capacitance
+        | None -> acc)
+      0.0 net.sinks
+  in
+  let n_sinks = List.length net.sinks in
+  let wire =
+    if n_sinks = 0 then 0.0
+    else
+      match cfg.wire_caps with
+      | Some f -> f nid
+      | None -> cfg.wire_cap_base +. (cfg.wire_cap_per_sink *. float_of_int n_sinks)
+  in
+  let external_load = if is_po nid then cfg.output_load else 0.0 in
+  sink_caps +. wire +. external_load
+
+let po_table nl =
+  let po = Hashtbl.create 16 in
+  List.iter (fun nid -> Hashtbl.replace po nid ()) (Netlist.primary_outputs nl);
+  fun nid -> Hashtbl.mem po nid
+
+(* ------------------------------------------------------------------ *)
+(* Node evaluation (shared by full run and retime)                     *)
+(* ------------------------------------------------------------------ *)
+
+let c_sta_runs = Obs.Counter.make "sta.runs"
+let c_retimes = Obs.Counter.make "sta.retimes"
+let c_node_evals = Obs.Counter.make "sta.node_evals"
+let c_required_evals = Obs.Counter.make "sta.required_evals"
+
+(* Forward evaluation of one node: fused arrival/slew (late) and
+   min-arrival (hold) propagation over the node's arcs.  Pure in the
+   upstream arrays, so re-evaluating with unchanged inputs reproduces
+   the stored values bit-for-bit — the invariant [retime] rests on. *)
+let eval_forward t k =
+  Obs.Counter.incr c_node_evals;
+  let e = Array.unsafe_get t.graph.evals k in
+  let out = e.e_out_net in
+  let arcs = e.e_arcs in
+  let n = Array.length arcs in
+  if n = 0 then begin
+    (* tie cells: constant output, clean edge, no hold constraint *)
+    t.arrivals.(out) <- 0.0;
+    t.slews.(out) <- t.cfg.input_slew;
+    t.min_arrivals.(out) <- infinity;
+    t.crit_idx.(out) <- -1
+  end
+  else begin
+    let load = t.loads.(out) in
+    let best = ref neg_infinity in
+    let best_slew = ref 0.0 in
+    let best_idx = ref (-1) in
+    let best_delay = ref 0.0 in
+    let mina = ref infinity in
+    for ai = 0 to n - 1 do
+      let arc = Array.unsafe_get arcs ai in
+      let innet = Array.unsafe_get e.e_in_nets ai in
+      let in_arrival, in_slew, in_min =
+        if e.e_seq then (0.0, t.cfg.clock_slew, 0.0)
+        else if innet < 0 then (0.0, t.cfg.input_slew, infinity)
+        else
+          ( Array.unsafe_get t.arrivals innet,
+            Array.unsafe_get t.slews innet,
+            Array.unsafe_get t.min_arrivals innet )
       in
-      requireds.(nid) <- Float.min requireds.(nid) ep.required)
-    !eps;
+      let delay = Arc.delay arc ~slew:in_slew ~load in
+      let out_slew = Arc.transition arc ~slew:in_slew ~load in
+      if in_arrival +. delay > !best then begin
+        best := in_arrival +. delay;
+        best_idx := ai;
+        best_delay := delay
+      end;
+      if out_slew > !best_slew then best_slew := out_slew;
+      if in_min < infinity then begin
+        let d = Arc.min_delay arc ~slew:in_slew ~load in
+        if in_min +. d < !mina then mina := in_min +. d
+      end
+    done;
+    t.arrivals.(out) <- !best;
+    t.slews.(out) <- !best_slew;
+    t.min_arrivals.(out) <- !mina;
+    t.crit_idx.(out) <- !best_idx;
+    t.crit_delay.(out) <- !best_delay
+  end
+
+(* Required time of one net, recomputed from scratch: the tightest
+   endpoint seed on the net, tightened by every consuming arc.  Also
+   pure in (ep_seed, slews, loads, downstream requireds). *)
+let required_of_net t nid =
+  Obs.Counter.incr c_required_evals;
+  let cons = t.graph.consumers.(nid) in
+  let r = ref t.ep_seed.(nid) in
+  let slew = t.slews.(nid) in
+  for c = 0 to Array.length cons - 1 do
+    let k, ai = Array.unsafe_get cons c in
+    let e = Array.unsafe_get t.graph.evals k in
+    let arc = Array.unsafe_get e.e_arcs ai in
+    let delay = Arc.delay arc ~slew ~load:t.loads.(e.e_out_net) in
+    r := Float.min !r (t.requireds.(e.e_out_net) -. delay)
+  done;
+  !r
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint lists                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let data_required cfg (cell : Cell.t) =
+  cfg.clock_period -. cfg.guard_band -. cell.Cell.setup_time
+
+let po_required cfg = cfg.clock_period -. cfg.guard_band
+
+let rebuild_ep_seed t =
+  let g = t.graph in
+  let seed = t.ep_seed in
+  Array.fill seed 0 (Array.length seed) infinity;
   Array.iter
-    (fun inst_id ->
-      let inst = Netlist.instance nl inst_id in
-      if not (Cell.is_sequential inst.Netlist.cell) then
-        List.iter
-          (fun (out_pin_name, out_net) ->
-            match Cell.find_pin inst.cell out_pin_name with
-            | None | Some { Pin.direction = Pin.Input; _ } -> ()
-            | Some out_pin ->
-              let load = loads.(out_net) in
-              List.iter
-                (fun (arc : Arc.t) ->
-                  match List.assoc_opt arc.related_pin inst.inputs with
-                  | None -> ()
-                  | Some in_net ->
-                    let delay = Arc.delay arc ~slew:slews.(in_net) ~load in
-                    requireds.(in_net) <-
-                      Float.min requireds.(in_net) (requireds.(out_net) -. delay))
-                out_pin.Pin.arcs)
-          inst.outputs)
-    (Array.of_list (List.rev (Array.to_list order)));
-  { cfg; loads; arrivals; slews; requireds; min_arrivals; crit;
-    eps = List.rev !eps; hold_eps = List.rev !hold_eps }
+    (function
+      | Sreg { inst; net; _ } ->
+        let cell = (Netlist.instance g.nl inst).Netlist.cell in
+        seed.(net) <- Float.min seed.(net) (data_required t.cfg cell)
+      | Spo net -> seed.(net) <- Float.min seed.(net) (po_required t.cfg))
+    g.ep_slots
+
+let rebuild_endpoint_lists t =
+  let g = t.graph in
+  let eps = ref [] and hold = ref [] in
+  Array.iter
+    (function
+      | Sreg { inst; pin; net } ->
+        let cell = (Netlist.instance g.nl inst).Netlist.cell in
+        let arrival = t.arrivals.(net) in
+        let required = data_required t.cfg cell in
+        eps :=
+          { endpoint = Reg_data { inst; pin }; arrival; required;
+            slack = required -. arrival }
+          :: !eps;
+        if t.min_arrivals.(net) < infinity then begin
+          let arrival = t.min_arrivals.(net) in
+          let required = cell.Cell.hold_time in
+          hold :=
+            { endpoint = Reg_data { inst; pin }; arrival; required;
+              slack = arrival -. required }
+            :: !hold
+        end
+      | Spo net ->
+        let arrival = t.arrivals.(net) in
+        let required = po_required t.cfg in
+        eps :=
+          { endpoint = Primary_output net; arrival; required;
+            slack = required -. arrival }
+          :: !eps)
+    g.ep_slots;
+  t.eps <- List.rev !eps;
+  t.hold_eps <- List.rev !hold
+
+(* ------------------------------------------------------------------ *)
+(* Full analysis                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let analyse_full t =
+  let g = t.graph in
+  let is_po = po_table g.nl in
+  Netlist.iter_nets g.nl ~f:(fun net ->
+      t.loads.(net.Netlist.net_id) <- compute_net_load t.cfg g.nl ~is_po net);
+  Array.fill t.arrivals 0 g.n_nets 0.0;
+  Array.fill t.slews 0 g.n_nets t.cfg.input_slew;
+  Array.fill t.min_arrivals 0 g.n_nets infinity;
+  Array.fill t.crit_idx 0 g.n_nets (-1);
+  let nevals = Array.length g.evals in
+  for k = 0 to nevals - 1 do
+    eval_forward t k
+  done;
+  rebuild_ep_seed t;
+  (* backward: in reverse level order a net's consumers have all been
+     processed before its driver, so one sweep settles every driven
+     net; driverless nets (primary inputs) follow, depending only on
+     already-settled downstream requireds *)
+  for k = nevals - 1 downto 0 do
+    let out = g.evals.(k).e_out_net in
+    t.requireds.(out) <- required_of_net t out
+  done;
+  for nid = 0 to g.n_nets - 1 do
+    if g.eval_of_net.(nid) < 0 then t.requireds.(nid) <- required_of_net t nid
+  done;
+  rebuild_endpoint_lists t
+
+let run cfg nl =
+  Obs.span "sta.run"
+    ~attrs:(fun () -> [ ("nets", string_of_int (Netlist.net_count nl)) ])
+  @@ fun () ->
+  Obs.Counter.incr c_sta_runs;
+  let graph = build_graph nl in
+  let n = graph.n_nets in
+  let t =
+    {
+      cfg;
+      graph;
+      loads = Array.make n 0.0;
+      arrivals = Array.make n 0.0;
+      slews = Array.make n cfg.input_slew;
+      requireds = Array.make n infinity;
+      min_arrivals = Array.make n infinity;
+      crit_idx = Array.make n (-1);
+      crit_delay = Array.make n 0.0;
+      ep_seed = Array.make n infinity;
+      eps = [];
+      hold_eps = [];
+    }
+  in
+  analyse_full t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-timing                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A changed instance is refreshable in place when its footprint still
+   matches the graph: same pins, same sequential kind, and arcs whose
+   related-pin sequence lines up with the consumer edges built from the
+   old cell.  Family ladders satisfy this; anything else falls back to
+   a full rebuild. *)
+let refreshable g inst_id =
+  match Netlist.instance_opt g.nl inst_id with
+  | None -> false
+  | Some inst ->
+    let cell = inst.Netlist.cell in
+    List.for_all
+      (fun k ->
+        let e = g.evals.(k) in
+        e.e_seq = Cell.is_sequential cell
+        &&
+        match Cell.find_pin cell e.e_out_pin with
+        | None | Some { Pin.direction = Pin.Input; _ } -> false
+        | Some out_pin ->
+          let arcs = out_pin.Pin.arcs in
+          List.length arcs = Array.length e.e_arcs
+          && List.for_all2
+               (fun (a : Arc.t) (b : Arc.t) -> a.related_pin = b.related_pin)
+               arcs
+               (Array.to_list e.e_arcs))
+      (try Hashtbl.find g.inst_evals inst_id with Not_found -> [])
+
+let bits = Int64.bits_of_float
+
+let retime t ~changed =
+  let g = t.graph in
+  let nl = g.nl in
+  if
+    Netlist.net_count nl <> g.n_nets
+    || Netlist.instance_count nl <> g.n_insts
+    || not (List.for_all (refreshable g) changed)
+  then run t.cfg nl (* structural edits: rebuild the graph from scratch *)
+  else begin
+    Obs.span "sta.retime"
+      ~attrs:(fun () -> [ ("changed", string_of_int (List.length changed)) ])
+    @@ fun () ->
+    Obs.Counter.incr c_retimes;
+    let nevals = Array.length g.evals in
+    let fwd_dirty = Array.make nevals false in
+    let breq = Array.make g.n_nets false in
+    let is_po = po_table nl in
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun inst_id ->
+        if not (Hashtbl.mem seen inst_id) then begin
+          Hashtbl.replace seen inst_id ();
+          let inst = Netlist.instance nl inst_id in
+          let cell = inst.Netlist.cell in
+          (* refresh the instance's evaluation units from the new cell *)
+          List.iter
+            (fun k ->
+              let e = g.evals.(k) in
+              (match Cell.find_pin cell e.e_out_pin with
+              | Some out_pin when out_pin.Pin.direction <> Pin.Input ->
+                e.e_arcs <- Array.of_list out_pin.Pin.arcs;
+                e.e_in_nets <-
+                  Array.map
+                    (fun (arc : Arc.t) ->
+                      match List.assoc_opt arc.Arc.related_pin inst.inputs with
+                      | Some n -> n
+                      | None -> -1)
+                    e.e_arcs
+              | _ -> assert false (* excluded by [refreshable] *));
+              fwd_dirty.(k) <- true;
+              (* new arcs change this node's required contributions *)
+              Array.iter (fun innet -> if innet >= 0 then breq.(innet) <- true) e.e_in_nets)
+            (try Hashtbl.find g.inst_evals inst_id with Not_found -> []);
+          (* the new cell's input pin capacitances change the loads of
+             the nets feeding this instance *)
+          List.iter
+            (fun (_, nid) ->
+              let old = t.loads.(nid) in
+              let fresh = compute_net_load t.cfg nl ~is_po (Netlist.net nl nid) in
+              if bits fresh <> bits old then begin
+                t.loads.(nid) <- fresh;
+                (match g.eval_of_net.(nid) with
+                | -1 -> ()
+                | k ->
+                  fwd_dirty.(k) <- true;
+                  (* a load change shifts the driver's arc delays, and
+                     with them its required contributions upstream *)
+                  if not g.evals.(k).e_seq then
+                    Array.iter
+                      (fun innet -> if innet >= 0 then breq.(innet) <- true)
+                      g.evals.(k).e_in_nets)
+              end)
+            inst.inputs
+        end)
+      changed;
+    (* forward cone: sweep the level schedule, re-evaluating dirty
+       nodes and marking their fanout only when an output actually
+       changed (bitwise), so the cone stays as narrow as the values
+       allow *)
+    for k = 0 to nevals - 1 do
+      if fwd_dirty.(k) then begin
+        let out = g.evals.(k).e_out_net in
+        let oa = t.arrivals.(out) and os = t.slews.(out) and om = t.min_arrivals.(out) in
+        eval_forward t k;
+        let slew_changed = bits os <> bits t.slews.(out) in
+        if slew_changed then breq.(out) <- true;
+        if
+          slew_changed
+          || bits oa <> bits t.arrivals.(out)
+          || bits om <> bits t.min_arrivals.(out)
+        then Array.iter (fun k' -> fwd_dirty.(k') <- true) g.fanout.(out)
+      end
+    done;
+    (* required-time fan-in: endpoint seeds that moved (a sequential
+       cell swap changes its setup time) start the backward cone *)
+    let old_seed = Array.copy t.ep_seed in
+    rebuild_ep_seed t;
+    for nid = 0 to g.n_nets - 1 do
+      if bits old_seed.(nid) <> bits t.ep_seed.(nid) then breq.(nid) <- true
+    done;
+    for k = nevals - 1 downto 0 do
+      let e = g.evals.(k) in
+      let out = e.e_out_net in
+      if breq.(out) then begin
+        let old = t.requireds.(out) in
+        let fresh = required_of_net t out in
+        t.requireds.(out) <- fresh;
+        if bits old <> bits fresh && not e.e_seq then
+          Array.iter (fun innet -> if innet >= 0 then breq.(innet) <- true) e.e_in_nets
+      end
+    done;
+    for nid = 0 to g.n_nets - 1 do
+      if breq.(nid) && g.eval_of_net.(nid) < 0 then
+        t.requireds.(nid) <- required_of_net t nid
+    done;
+    rebuild_endpoint_lists t;
+    t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
 
 let worst_slack t =
   List.fold_left (fun acc ep -> Float.min acc ep.slack) infinity t.eps

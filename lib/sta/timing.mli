@@ -4,7 +4,15 @@
     load from sink pin capacitances plus a simple fanout-based wire model.
     Delays and output transitions come from the library LUTs via bilinear
     interpolation; when several arcs reach an output the worst arrival and
-    slew win, and the winning arc is recorded for path backtracing. *)
+    slew win, and the winning arc is recorded for path backtracing.
+
+    Internally the analysis runs over a levelized timing graph built once
+    per netlist: one evaluation unit per driven output pin in topological
+    order, with arcs and resolved input nets flattened into arrays and
+    every per-net quantity held in a flat float array.  {!run} builds the
+    graph and performs a full analysis; {!retime} re-propagates only the
+    cone affected by a set of cell swaps, bit-identically to a fresh
+    {!run}. *)
 
 type config = {
   clock_period : float;  (** ns *)
@@ -39,6 +47,25 @@ type t
 val run : config -> Vartune_netlist.Netlist.t -> t
 (** Full timing analysis.  Raises {!Vartune_netlist.Check.Combinational_loop}
     on cyclic logic. *)
+
+val retime : t -> changed:Vartune_netlist.Netlist.inst_id list -> t
+(** [retime t ~changed] updates the analysis after the listed instances
+    had their cell swapped ({!Vartune_netlist.Netlist.set_cell}), and
+    returns the refreshed analysis.  Only the affected cone is
+    re-propagated: forward from the changed instances and the nets whose
+    load their input pins shifted, backward from every net whose slew,
+    consumer arcs or endpoint requirement moved.  The result — every
+    per-net value, winning arc, and both endpoint lists — is bit-for-bit
+    identical to [run (config t) nl].
+
+    [changed] must name every instance edited since the previous
+    analysis.  Cell swaps that keep the pin interface (same output pins,
+    same arc related-pin sequences, same sequential kind — family ladder
+    moves) are applied in place, mutating and returning [t]; any other
+    edit, including structural netlist changes (detected best-effort via
+    net/instance counts and arc-shape checks), falls back to a full
+    [run] on the current netlist and returns the fresh analysis.  Either
+    way the caller must use the returned value. *)
 
 val config : t -> config
 val net_load : t -> Vartune_netlist.Netlist.net_id -> float

@@ -222,8 +222,10 @@ let of_stream ?pool ~n gen =
     ~attrs:(fun () -> [ ("samples", string_of_int n) ])
     (fun () ->
       let nchunks = (n + merge_chunk - 1) / merge_chunk in
+      (* map_chunked batches block dispatch only: the [merge_chunk]
+         partition and the fold below are what fix the result *)
       let chunks =
-        Pool.map pool
+        Pool.map_chunked pool
           (fun c ->
             let lo = c * merge_chunk in
             accumulate_chunk gen ~lo ~hi:(min n (lo + merge_chunk)))
@@ -420,7 +422,7 @@ let of_stream_ckpt ~ckpt ~id ~pool ~n gen =
         let upto = min nchunks (!done_blocks + round) in
         let idxs = List.init (upto - !done_blocks) (fun k -> !done_blocks + k) in
         let parts =
-          Pool.map pool
+          Pool.map_chunked pool
             (fun c ->
               let lo = c * merge_chunk in
               accumulate_chunk gen ~lo ~hi:(min n (lo + merge_chunk)))

@@ -19,11 +19,35 @@ type state = {
   cons : Constraints.t;
   lib : Library.t;
   nl : Netlist.t;
+  incremental : bool;
   mutable resized : int;
   mutable buffered : int;
   mutable decomposed : int;
   mutable downsized : int;
+  (* dirty-set for incremental retiming: cell swaps since the last
+     analysis, and whether a structural edit forces a full re-run *)
+  mutable touched : Netlist.inst_id list;
+  mutable structural : bool;
 }
+
+let swapped st inst_id = st.touched <- inst_id :: st.touched
+
+(* Refresh the timing analysis after a round of edits.  Cell swaps go
+   through [Timing.retime] (O(affected cone)); structural edits —
+   buffering, decomposition — rebuild the graph with a full run.  Both
+   paths yield bit-identical analyses, so [incremental] only changes
+   cost, never the optimisation trajectory. *)
+let refresh st timing =
+  if st.structural || not st.incremental then begin
+    st.structural <- false;
+    st.touched <- [];
+    Timing.run (Timing.config timing) st.nl
+  end
+  else begin
+    let changed = st.touched in
+    st.touched <- [];
+    Timing.retime timing ~changed
+  end
 
 let worst_input_slew timing nl (inst : Netlist.instance) =
   ignore nl;
@@ -101,6 +125,7 @@ let buffer_net st ~net_id ~groups =
                ~outputs:[ ("Z", new_net) ]);
           st.buffered <- st.buffered + 1)
         batches;
+      st.structural <- true;
       true
   end
 
@@ -127,6 +152,7 @@ let fix_electrical st timing =
             with
             | Some bigger ->
               Netlist.set_cell nl inst.inst_id bigger;
+              swapped st inst.inst_id;
               st.resized <- st.resized + 1;
               incr edits
             | None ->
@@ -163,6 +189,7 @@ let replace_gate_with_chain st inst ~gate_family ~pins_map =
        ~inst_name:(Netlist.fresh_name nl ~prefix:"inv")
        ~cell:inv_cell ~inputs:[ ("A", mid) ] ~outputs:[ ("Z", out_net) ]);
   st.decomposed <- st.decomposed + 1;
+  st.structural <- true;
   true
 
 let decompose st (inst : Netlist.instance) =
@@ -191,6 +218,7 @@ let decompose st (inst : Netlist.instance) =
              ~inputs:[ ("A", a); ("B", b); ("CI", ci) ]
              ~outputs:[ ("CO", co_net) ]);
         st.decomposed <- st.decomposed + 1;
+        st.structural <- true;
         true
       | _ -> false
     end
@@ -215,6 +243,7 @@ let decompose st (inst : Netlist.instance) =
              ~inputs:[ ("A", mid); ("B", c) ]
              ~outputs:[ ("Z", out_net) ]);
         st.decomposed <- st.decomposed + 1;
+        st.structural <- true;
         true
       | _ -> false
     end
@@ -269,6 +298,7 @@ let improve_path st timing (path : Path.t) ~budget =
               match Choice.upsize st.cons st.lib inst.cell ~load ~slew with
               | Some bigger ->
                 Netlist.set_cell nl inst.inst_id bigger;
+                swapped st inst.inst_id;
                 st.resized <- st.resized + 1;
                 true
               | None -> false
@@ -330,6 +360,7 @@ let repair_windows st timing =
                     match Choice.upsize st.cons st.lib drv.cell ~load:drv_load ~slew:drv_slew with
                     | Some bigger ->
                       Netlist.set_cell nl drv_id bigger;
+                      swapped st drv_id;
                       st.resized <- st.resized + 1;
                       incr edits
                     | None -> ()
@@ -365,6 +396,7 @@ let recover_area st timing =
                 in
                 if increase > 0.0 && increase *. 1.6 < slack then begin
                   Netlist.set_cell nl inst.inst_id smaller;
+                  swapped st inst.inst_id;
                   st.downsized <- st.downsized + 1;
                   incr moves;
                   shrink increase
@@ -381,8 +413,11 @@ let recover_area st timing =
 (* Main loop                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let optimize cons lib nl =
-  let st = { cons; lib; nl; resized = 0; buffered = 0; decomposed = 0; downsized = 0 } in
+let optimize ?(incremental = true) cons lib nl =
+  let st =
+    { cons; lib; nl; incremental; resized = 0; buffered = 0; decomposed = 0;
+      downsized = 0; touched = []; structural = false }
+  in
   let tconfig = Constraints.timing_config cons in
   let timing = ref (Timing.run tconfig nl) in
   let iterations = ref 0 in
@@ -391,13 +426,13 @@ let optimize cons lib nl =
     incr iterations;
     let e1 = fix_electrical st !timing in
     let e2 = repair_windows st !timing in
-    if e1 + e2 > 0 then timing := Timing.run tconfig nl;
+    if e1 + e2 > 0 then timing := refresh st !timing;
     let slack = Timing.worst_slack !timing in
     if slack >= 0.0 then continue_loop := false
     else begin
       let moves = recover_timing st !timing in
       if moves = 0 then continue_loop := false
-      else timing := Timing.run tconfig nl
+      else timing := refresh st !timing
     end
   done;
   (* settle remaining electrical/window issues introduced by the last moves *)
@@ -405,7 +440,7 @@ let optimize cons lib nl =
     if n > 0 then begin
       let e = fix_electrical st !timing + repair_windows st !timing in
       if e > 0 then begin
-        timing := Timing.run tconfig nl;
+        timing := refresh st !timing;
         settle (n - 1)
       end
     end
@@ -419,7 +454,7 @@ let optimize cons lib nl =
       if n > 0 then begin
         let moves = recover_area st !timing in
         if moves > 0 then begin
-          timing := Timing.run tconfig nl;
+          timing := refresh st !timing;
           if Timing.worst_slack !timing >= 0.0 then recover (n - 1)
         end
       end
@@ -429,7 +464,7 @@ let optimize cons lib nl =
     let rec restore n =
       if n > 0 && Timing.worst_slack !timing < 0.0 then begin
         let moves = recover_timing st !timing in
-        timing := Timing.run tconfig nl;
+        timing := refresh st !timing;
         if moves > 0 then restore (n - 1)
       end
     in

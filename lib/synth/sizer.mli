@@ -35,6 +35,14 @@ val count_window_violations :
   Constraints.t -> Vartune_sta.Timing.t -> Vartune_netlist.Netlist.t -> int
 
 val optimize :
+  ?incremental:bool ->
   Constraints.t -> Vartune_liberty.Library.t -> Vartune_netlist.Netlist.t ->
   Vartune_sta.Timing.t * report
-(** Runs the full loop and returns the final timing analysis. *)
+(** Runs the full loop and returns the final timing analysis.
+
+    With [incremental] (the default) the analysis between move rounds is
+    refreshed with {!Vartune_sta.Timing.retime} over the cells actually
+    swapped — O(affected cone) instead of O(design) — falling back to a
+    full run after structural edits (buffering, decomposition).  Retime
+    is bit-identical to a full run, so [~incremental:false] changes cost
+    only; it exists for benchmarking the speedup. *)

@@ -19,14 +19,16 @@ type result = {
   sizer : Sizer.report;
 }
 
-let run ?style cons lib ir =
+let run ?style ?incremental cons lib ir =
   Obs.span "synth.run"
     ~attrs:(fun () -> [ ("period", string_of_float cons.Constraints.clock_period) ])
   @@ fun () ->
   Obs.Counter.incr c_runs;
   let nl = Obs.span "synth.map" (fun () -> Mapper.map ?style cons lib ir) in
   Check.validate_exn nl;
-  let timing, sizer = Obs.span "synth.size" (fun () -> Sizer.optimize cons lib nl) in
+  let timing, sizer =
+    Obs.span "synth.size" (fun () -> Sizer.optimize ?incremental cons lib nl)
+  in
   let worst_slack = Timing.worst_slack timing in
   let result =
     {
@@ -44,11 +46,28 @@ let run ?style cons lib ir =
         cons.Constraints.clock_period worst_slack result.area result.instances);
   result
 
-let min_period ?(lo = 0.5) ?(hi = 20.0) ?(tolerance = 0.02) lib ir =
+let min_period ?(lo = 0.5) ?(hi = 20.0) ?(tolerance = 0.02) ?incremental lib ir =
   Obs.span "synth.min_period" @@ fun () ->
+  (* Technology mapping consults only drive ladders and load limits
+     (never the clock period) when no tuning restrictions are installed,
+     so the probes below all start from the same mapped netlist: map
+     once, snapshot, and re-import per bisection probe instead of
+     re-mapping from the IR each time. *)
+  let cons_at period = Constraints.make ~clock_period:period ~area_recovery:false () in
+  let base = Obs.span "synth.map" (fun () -> Mapper.map (cons_at hi) lib ir) in
+  Check.validate_exn base;
+  let repr = Netlist.export base in
   let feasible_at period =
-    let cons = Constraints.make ~clock_period:period ~area_recovery:false () in
-    (run cons lib ir).feasible
+    Obs.span "synth.run"
+      ~attrs:(fun () -> [ ("period", string_of_float period) ])
+    @@ fun () ->
+    Obs.Counter.incr c_runs;
+    let nl = Netlist.import repr in
+    let timing, _ =
+      Obs.span "synth.size" (fun () ->
+          Sizer.optimize ?incremental (cons_at period) lib nl)
+    in
+    Timing.worst_slack timing >= 0.0
   in
   if not (feasible_at hi) then hi
   else begin

@@ -17,17 +17,25 @@ type result = {
 
 val run :
   ?style:Mapper.style ->
+  ?incremental:bool ->
   Constraints.t ->
   Vartune_liberty.Library.t ->
   Vartune_rtl.Ir.t ->
   result
+(** [incremental] (default [true]) is passed to {!Sizer.optimize}; it
+    trades analysis cost only, never results. *)
 
 val min_period :
   ?lo:float ->
   ?hi:float ->
   ?tolerance:float ->
+  ?incremental:bool ->
   Vartune_liberty.Library.t ->
   Vartune_rtl.Ir.t ->
   float
-(** Smallest feasible clock period, by bisection on {!run} feasibility
-    (the paper reduces the clock until synthesis fails to close). *)
+(** Smallest feasible clock period, by bisection on synthesis
+    feasibility (the paper reduces the clock until synthesis fails to
+    close).  The design is mapped once — mapping is clock-independent
+    without tuning restrictions — and each probe re-imports the mapped
+    netlist and re-runs sizing ({!Sizer.optimize} [?incremental]) at the
+    probe period. *)

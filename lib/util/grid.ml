@@ -29,6 +29,12 @@ let index g i j =
 let get g i j = g.data.(index g i j)
 let set g i j v = g.data.(index g i j) <- v
 
+(* Unchecked accessors for inner loops whose indices were validated
+   once, up front (e.g. LUT interpolation over axes the constructor
+   checked).  Out-of-range indices are undefined behaviour. *)
+let unsafe_get g i j = Array.unsafe_get g.data ((i * g.cols) + j)
+let unsafe_set g i j v = Array.unsafe_set g.data ((i * g.cols) + j) v
+
 let to_arrays g = Array.init g.rows (fun i -> Array.init g.cols (fun j -> get g i j))
 
 let map f g = { g with data = Array.map f g.data }

@@ -28,6 +28,17 @@ val get : t -> int -> int -> float
 
 val set : t -> int -> int -> float -> unit
 
+val unsafe_get : t -> int -> int -> float
+(** [unsafe_get g i j] is {!get} without the bounds check, for inner
+    loops whose indices were validated once up front (the bilinear LUT
+    interpolation is the motivating caller).  The caller must guarantee
+    [0 <= i < rows g] and [0 <= j < cols g]; anything else is undefined
+    behaviour, not an exception. *)
+
+val unsafe_set : t -> int -> int -> float -> unit
+(** Unchecked counterpart of {!set}; same caller obligations as
+    {!unsafe_get}. *)
+
 val map : (float -> float) -> t -> t
 val mapi : (int -> int -> float -> float) -> t -> t
 val map2 : (float -> float -> float) -> t -> t -> t

@@ -95,6 +95,56 @@ let env_stall_timeout () =
     | Ok s -> s
     | Error msg -> invalid_arg (Printf.sprintf "VARTUNE_POOL_STALL_S: %s" msg))
 
+(* --------------------- chunked-submission size --------------------- *)
+
+(* Chunk-size precedence mirrors the jobs precedence: an explicit
+   [?chunk] (the --chunk flag passes through set_default_chunk) wins,
+   then VARTUNE_POOL_CHUNK, then an automatic size that aims for ~8
+   tasks per worker so scheduling stays balanced while per-task
+   closure/boxing overhead amortises over many items.  Chunking is
+   granularity only: it can never change what is computed from which
+   input, so results are bit-identical at any chunk size. *)
+let parse_chunk v =
+  match int_of_string_opt (String.trim v) with
+  | Some c when c >= 1 -> Ok c
+  | Some c -> Error (Printf.sprintf "chunk size %d is not a positive integer" c)
+  | None -> Error (Printf.sprintf "bad chunk size %S: expected a positive integer" v)
+
+let chunk_override = Atomic.make None
+
+let set_default_chunk c =
+  if c < 1 then
+    invalid_arg (Printf.sprintf "Pool.set_default_chunk: chunk must be positive (got %d)" c)
+  else Atomic.set chunk_override (Some c)
+
+let clear_default_chunk () = Atomic.set chunk_override None
+
+(* Like VARTUNE_JOBS, a malformed value is rejected loudly; the CLI
+   pre-validates and turns this into a usage error (exit 64). *)
+let env_chunk () =
+  match Sys.getenv_opt "VARTUNE_POOL_CHUNK" with
+  | None -> None
+  | Some v when String.trim v = "" -> None
+  | Some v -> (
+    match parse_chunk v with
+    | Ok c -> Some c
+    | Error msg -> invalid_arg (Printf.sprintf "VARTUNE_POOL_CHUNK: %s" msg))
+
+let tasks_per_worker = 8
+
+let resolve_chunk ?chunk pool ~items =
+  match chunk with
+  | Some c -> max 1 c
+  | None -> (
+    match Atomic.get chunk_override with
+    | Some c -> c
+    | None -> (
+      match env_chunk () with
+      | Some c -> c
+      | None -> max 1 (items / (pool.jobs * tasks_per_worker))))
+
+let chunk_for pool ~items = resolve_chunk pool ~items
+
 let c_tasks = Obs.Counter.make "pool.tasks_run"
 let c_restarts = Obs.Counter.make "pool.worker_restarts"
 
@@ -353,10 +403,10 @@ let map_array pool f xs =
 
 let map pool f xs = Array.to_list (map_array pool f (Array.of_list xs))
 
-let init pool ?(chunk = 16) n f =
+let init pool ?chunk n f =
   if n <= 0 then [||]
   else begin
-    let chunk = max 1 chunk in
+    let chunk = resolve_chunk ?chunk pool ~items:n in
     let nchunks = (n + chunk - 1) / chunk in
     if nchunks = 1 then Array.init n f
     else
@@ -370,6 +420,37 @@ let init pool ?(chunk = 16) n f =
       in
       Array.concat (Array.to_list parts)
   end
+
+(* Chunked counterpart of [map_array]: contiguous blocks of [chunk]
+   items ride in one task.  Within a block, items are applied strictly
+   in ascending index order, so the first exception of the lowest
+   failing block is the lowest-index exception overall — the same
+   contract as the per-item map. *)
+let map_array_chunked pool ?chunk f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let chunk = resolve_chunk ?chunk pool ~items:n in
+    let nchunks = (n + chunk - 1) / chunk in
+    if pool.jobs <= 1 || nchunks = 1 then Array.map f xs
+    else
+      let parts =
+        map_array pool
+          (fun c ->
+            let lo = c * chunk in
+            let hi = min n (lo + chunk) in
+            let out = Array.make (hi - lo) (f xs.(lo)) in
+            for k = 1 to hi - lo - 1 do
+              out.(k) <- f xs.(lo + k)
+            done;
+            out)
+          (Array.init nchunks Fun.id)
+      in
+      Array.concat (Array.to_list parts)
+  end
+
+let map_chunked pool ?chunk f xs =
+  Array.to_list (map_array_chunked pool ?chunk f (Array.of_list xs))
 
 let map_reduce pool ~map:f ~combine ~init xs =
   List.fold_left combine init (map pool f xs)

@@ -180,6 +180,90 @@ let test_welford_against_stat () =
    is honoured, and zero/negative/garbage values are rejected (with a
    Logs warning) in favour of the recommended domain count — never
    silently clamped to 1. *)
+(* ------------------------- chunked submission ---------------------- *)
+
+(* Chunking is granularity only: any chunk size, any job count, same
+   ordered result as List.map. *)
+let test_map_chunked_matches_map () =
+  let xs = List.init 101 (fun i -> i - 7) in
+  let expect = List.map (fun x -> x * x) xs in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          List.iter
+            (fun chunk ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "jobs=%d chunk=%d" jobs chunk)
+                expect
+                (Pool.map_chunked pool ~chunk (fun x -> x * x) xs))
+            [ 1; 2; 7; 64; 1000 ];
+          Alcotest.(check (list int))
+            (Printf.sprintf "jobs=%d auto chunk" jobs)
+            expect
+            (Pool.map_chunked pool (fun x -> x * x) xs);
+          Alcotest.(check (list int)) "empty" []
+            (Pool.map_chunked pool (fun x -> x * x) [])))
+    [ 1; 2; 7 ]
+
+exception Boom of int
+
+(* The lowest-index exception contract survives batching: items inside a
+   chunk run in ascending order, chunks settle in input order. *)
+let test_map_chunked_exception () =
+  with_pool 4 (fun pool ->
+      let xs = List.init 50 Fun.id in
+      List.iter
+        (fun chunk ->
+          match
+            Pool.map_chunked pool ~chunk
+              (fun x -> if x mod 7 = 3 then raise (Boom x) else x)
+              xs
+          with
+          | _ -> Alcotest.fail "expected Boom"
+          | exception Boom x ->
+            Alcotest.(check int) (Printf.sprintf "chunk=%d lowest index" chunk) 3 x)
+        [ 1; 8; 100 ])
+
+let test_chunk_resolution () =
+  let original = Sys.getenv_opt "VARTUNE_POOL_CHUNK" in
+  let set v = Unix.putenv "VARTUNE_POOL_CHUNK" v in
+  Fun.protect
+    ~finally:(fun () ->
+      set (Option.value original ~default:"");
+      Pool.clear_default_chunk ())
+    (fun () ->
+      set "";
+      with_pool 2 (fun pool ->
+          (* automatic: ~8 tasks per worker, floored at 1 *)
+          Alcotest.(check int) "auto" 10 (Pool.chunk_for pool ~items:160);
+          Alcotest.(check int) "auto floor" 1 (Pool.chunk_for pool ~items:5);
+          set "13";
+          Alcotest.(check int) "env honoured" 13 (Pool.chunk_for pool ~items:160);
+          Pool.set_default_chunk 5;
+          Alcotest.(check int) "override beats env" 5 (Pool.chunk_for pool ~items:160);
+          Pool.clear_default_chunk ();
+          Alcotest.(check int) "cleared back to env" 13 (Pool.chunk_for pool ~items:160);
+          set "nonsense";
+          Alcotest.check_raises "malformed env raises"
+            (Invalid_argument
+               "VARTUNE_POOL_CHUNK: bad chunk size \"nonsense\": expected a positive \
+                integer")
+            (fun () -> ignore (Pool.chunk_for pool ~items:160))))
+
+let test_parse_chunk () =
+  (match Pool.parse_chunk " 16 " with
+  | Ok 16 -> ()
+  | _ -> Alcotest.fail "16 accepted");
+  List.iter
+    (fun bad ->
+      match Pool.parse_chunk bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should be rejected" bad))
+    [ "0"; "-3"; "x"; "1.5"; "" ];
+  Alcotest.check_raises "set_default_chunk rejects 0"
+    (Invalid_argument "Pool.set_default_chunk: chunk must be positive (got 0)")
+    (fun () -> Pool.set_default_chunk 0)
+
 let test_env_jobs_precedence () =
   let original = Sys.getenv_opt "VARTUNE_JOBS" in
   let set v = Unix.putenv "VARTUNE_JOBS" v in
@@ -216,6 +300,10 @@ let () =
           Alcotest.test_case "map_reduce ordered" `Quick test_map_reduce_ordered;
           Alcotest.test_case "serial fallback" `Quick test_jobs_accessor_and_serial_fallback;
           Alcotest.test_case "bad jobs rejected" `Quick test_create_rejects_bad_jobs;
+          Alcotest.test_case "map_chunked ordering" `Quick test_map_chunked_matches_map;
+          Alcotest.test_case "map_chunked exception" `Quick test_map_chunked_exception;
+          Alcotest.test_case "chunk resolution" `Quick test_chunk_resolution;
+          Alcotest.test_case "parse_chunk" `Quick test_parse_chunk;
         ] );
       ( "welford",
         [

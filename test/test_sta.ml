@@ -307,6 +307,207 @@ let test_depth_histogram () =
   let paths = Path.worst_per_endpoint timing nl in
   Alcotest.(check (list (pair int int))) "histogram" [ (3, 1) ] (Path.depth_histogram paths)
 
+(* --------------------------- incremental retime -------------------- *)
+
+module Rng = Vartune_util.Rng
+
+let bits = Int64.bits_of_float
+
+(* Bitwise equality of two analyses over every observable: per-net
+   values, winning arcs, and both endpoint lists. *)
+let check_same_analysis msg nl a b =
+  let check_net what got want nid =
+    if bits got <> bits want then
+      Alcotest.failf "%s: net %d %s: %h <> %h" msg nid what got want
+  in
+  for nid = 0 to Netlist.net_count nl - 1 do
+    check_net "load" (Timing.net_load a nid) (Timing.net_load b nid) nid;
+    check_net "arrival" (Timing.net_arrival a nid) (Timing.net_arrival b nid) nid;
+    check_net "slew" (Timing.net_slew a nid) (Timing.net_slew b nid) nid;
+    check_net "required" (Timing.net_required a nid) (Timing.net_required b nid) nid;
+    check_net "min_arrival" (Timing.net_min_arrival a nid) (Timing.net_min_arrival b nid)
+      nid
+  done;
+  Netlist.iter_instances nl ~f:(fun inst ->
+      List.iter
+        (fun (out_pin, _) ->
+          let ca = Timing.critical_input a inst.Netlist.inst_id ~out_pin in
+          let cb = Timing.critical_input b inst.inst_id ~out_pin in
+          match (ca, cb) with
+          | None, None -> ()
+          | Some (pa, aa, da), Some (pb, ab, db) ->
+            if pa <> pb || bits da <> bits db || aa.Arc.related_pin <> ab.Arc.related_pin
+            then Alcotest.failf "%s: %s/%s winning arc differs" msg inst.inst_name out_pin
+          | _ -> Alcotest.failf "%s: %s/%s crit presence differs" msg inst.inst_name out_pin)
+        inst.outputs);
+  let check_eps what ea eb =
+    if List.length ea <> List.length eb then
+      Alcotest.failf "%s: %s count differs" msg what;
+    List.iter2
+      (fun (x : Timing.endpoint_timing) (y : Timing.endpoint_timing) ->
+        if
+          x.endpoint <> y.endpoint
+          || bits x.arrival <> bits y.arrival
+          || bits x.required <> bits y.required
+          || bits x.slack <> bits y.slack
+        then Alcotest.failf "%s: %s entry differs" msg what)
+      ea eb
+  in
+  check_eps "endpoints" (Timing.endpoints a) (Timing.endpoints b);
+  check_eps "hold endpoints" (Timing.hold_endpoints a) (Timing.hold_endpoints b)
+
+(* same-family ladder of a cell, excluding the cell itself *)
+let ladder_of cell =
+  List.filter
+    (fun (c : Cell.t) ->
+      c.Cell.family = cell.Cell.family && c.Cell.name <> cell.Cell.name)
+    (Library.cells lib)
+
+let test_retime_chain_resize () =
+  let nl = inverter_chain 4 in
+  let t = Timing.run config nl in
+  (* resize the middle inverter up the ladder and retime *)
+  let target = ref None in
+  Netlist.iter_instances nl ~f:(fun inst ->
+      if inst.Netlist.inst_name = "inv2" then target := Some inst.inst_id);
+  let inst_id = Option.get !target in
+  let bigger = Library.find lib "INV_4" in
+  Netlist.set_cell nl inst_id bigger;
+  let t = Timing.retime t ~changed:[ inst_id ] in
+  check_same_analysis "chain resize" nl t (Timing.run config nl);
+  (* a second move on the same analysis: back down the ladder *)
+  Netlist.set_cell nl inst_id (Library.find lib "INV_1");
+  let t = Timing.retime t ~changed:[ inst_id ] in
+  check_same_analysis "chain resize back" nl t (Timing.run config nl)
+
+let test_retime_empty_and_counters () =
+  let nl = inverter_chain 3 in
+  let t = Timing.run config nl in
+  let evals_before = Vartune_obs.Obs.counter_value "sta.node_evals" in
+  let t' = Timing.retime t ~changed:[] in
+  check_same_analysis "empty retime" nl t' (Timing.run config nl);
+  ignore evals_before
+
+(* structural edits must fall back to a full rebuild, not corrupt state *)
+let test_retime_structural_fallback () =
+  let nl = inverter_chain 3 in
+  let t = Timing.run config nl in
+  let extra = Netlist.add_net nl () in
+  Netlist.mark_primary_input nl extra;
+  let out = Netlist.add_net nl () in
+  ignore
+    (Netlist.add_instance nl ~inst_name:"tap" ~cell:inv
+       ~inputs:[ ("A", extra) ]
+       ~outputs:[ ("Z", out) ]);
+  let t = Timing.retime t ~changed:[] in
+  check_same_analysis "structural fallback" nl t (Timing.run config nl)
+
+(* Random DAG netlists under random same-family resize sequences: after
+   every batch of moves, retime must equal a fresh run bit-for-bit. *)
+let random_dag rng =
+  let families = [ ("INV", [ "A" ]); ("ND2", [ "A"; "B" ]); ("XO2", [ "A"; "B" ]) ] in
+  let cells_of fam =
+    List.filter (fun (c : Cell.t) -> c.Cell.family = fam) (Library.cells lib)
+  in
+  let pick xs = List.nth xs (Rng.int rng (List.length xs)) in
+  let nl = Netlist.create ~name:"rand" in
+  let clk = Netlist.add_net nl ~net_name:"clk" () in
+  Netlist.set_clock nl clk;
+  let n_pi = 2 + Rng.int rng 3 in
+  let avail =
+    ref
+      (List.init n_pi (fun i ->
+           let n = Netlist.add_net nl ~net_name:(Printf.sprintf "pi%d" i) () in
+           Netlist.mark_primary_input nl n;
+           n))
+  in
+  let movable = ref [] in
+  let n_gates = 5 + Rng.int rng 20 in
+  for i = 0 to n_gates - 1 do
+    let fam, pins = pick families in
+    let cell = pick (cells_of fam) in
+    let inputs = List.map (fun p -> (p, pick !avail)) pins in
+    let out = Netlist.add_net nl () in
+    let id =
+      Netlist.add_instance nl
+        ~inst_name:(Printf.sprintf "g%d" i)
+        ~cell ~inputs ~outputs:[ ("Z", out) ]
+    in
+    movable := id :: !movable;
+    avail := out :: !avail
+  done;
+  (* capture a few nets in registers; their Q nets feed nothing, which
+     is fine for timing *)
+  let n_regs = 1 + Rng.int rng 3 in
+  for i = 0 to n_regs - 1 do
+    let d = pick !avail in
+    let q = Netlist.add_net nl () in
+    let id =
+      Netlist.add_instance nl
+        ~inst_name:(Printf.sprintf "ff%d" i)
+        ~cell:dff
+        ~inputs:[ ("D", d); ("CK", clk) ]
+        ~outputs:[ ("Q", q) ]
+    in
+    movable := id :: !movable;
+    avail := q :: !avail
+  done;
+  Netlist.mark_primary_output nl (pick !avail);
+  (nl, Array.of_list !movable)
+
+let test_retime_random_sequences =
+  Helpers.qtest ~count:30 "retime = fresh run under random move sequences"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nl, movable = random_dag rng in
+      let t = ref (Timing.run config nl) in
+      let steps = 1 + Rng.int rng 4 in
+      for _ = 1 to steps do
+        let n_moves = 1 + Rng.int rng 3 in
+        let changed = ref [] in
+        for _ = 1 to n_moves do
+          let id = movable.(Rng.int rng (Array.length movable)) in
+          match Netlist.instance_opt nl id with
+          | None -> ()
+          | Some inst -> (
+            match ladder_of inst.Netlist.cell with
+            | [] -> ()
+            | ladder ->
+              let cell = List.nth ladder (Rng.int rng (List.length ladder)) in
+              Netlist.set_cell nl id cell;
+              changed := id :: !changed)
+        done;
+        t := Timing.retime !t ~changed:!changed;
+        check_same_analysis (Printf.sprintf "seed %d" seed) nl !t (Timing.run config nl)
+      done;
+      true)
+
+(* Retime must touch fewer nodes than a full run on local moves — the
+   point of the whole exercise — measured with the Obs eval counter. *)
+let test_retime_fewer_evals () =
+  Vartune_obs.Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Vartune_obs.Obs.set_enabled false)
+    (fun () ->
+      let nl = inverter_chain 16 in
+      let t = Timing.run config nl in
+      let target = ref None in
+      Netlist.iter_instances nl ~f:(fun inst ->
+          if inst.Netlist.inst_name = "inv14" then target := Some inst.inst_id);
+      let inst_id = Option.get !target in
+      Netlist.set_cell nl inst_id (Library.find lib "INV_4");
+      let before = Vartune_obs.Obs.counter_value "sta.node_evals" in
+      let t = Timing.retime t ~changed:[ inst_id ] in
+      let retime_evals = Vartune_obs.Obs.counter_value "sta.node_evals" - before in
+      check_same_analysis "late-chain resize" nl t (Timing.run config nl);
+      (* the cone of a move near the chain's end is a handful of nodes;
+         a full pass is 17 (16 inverters + the register) *)
+      Alcotest.(check bool)
+        (Printf.sprintf "cone is local (%d evals)" retime_evals)
+        true
+        (retime_evals > 0 && retime_evals <= 6))
+
 let () =
   Alcotest.run "sta"
     [
@@ -338,4 +539,12 @@ let () =
         ] );
       ( "report",
         [ Alcotest.test_case "timing report" `Quick test_timing_report ] );
+      ( "retime",
+        [
+          Alcotest.test_case "chain resize" `Quick test_retime_chain_resize;
+          Alcotest.test_case "empty change set" `Quick test_retime_empty_and_counters;
+          Alcotest.test_case "structural fallback" `Quick test_retime_structural_fallback;
+          Alcotest.test_case "fewer evals on local move" `Quick test_retime_fewer_evals;
+          test_retime_random_sequences;
+        ] );
     ]

@@ -340,6 +340,36 @@ let test_verilog_of_synthesised_roundtrip =
       && Netlist.instance_count back = Netlist.instance_count r.Synthesis.netlist
       && Netlist.cell_usage back = Netlist.cell_usage r.Synthesis.netlist)
 
+(* Incremental retiming inside the sizer is an optimisation of the
+   analysis only: the optimisation trajectory — every move, and with it
+   the final netlist, timing and report — must be identical with it on
+   and off. *)
+let test_incremental_sizing_identical () =
+  let lib = Lazy.force full_lib in
+  let bits = Int64.bits_of_float in
+  List.iter
+    (fun period ->
+      let cons = Constraints.make ~clock_period:period ~area_recovery:true () in
+      let full = Synthesis.run ~incremental:false cons lib (small_design ()) in
+      let inc = Synthesis.run ~incremental:true cons lib (small_design ()) in
+      let name what = Printf.sprintf "period %.1f: %s" period what in
+      Alcotest.(check bool)
+        (name "worst slack bits") true
+        (bits full.Synthesis.worst_slack = bits inc.Synthesis.worst_slack);
+      Alcotest.(check bool)
+        (name "area bits") true
+        (bits full.Synthesis.area = bits inc.Synthesis.area);
+      Alcotest.(check int) (name "instances") full.Synthesis.instances
+        inc.Synthesis.instances;
+      Alcotest.(check bool)
+        (name "sizer report") true
+        (full.Synthesis.sizer = inc.Synthesis.sizer);
+      Alcotest.(check bool)
+        (name "cell usage") true
+        (Netlist.cell_usage full.Synthesis.netlist
+        = Netlist.cell_usage inc.Synthesis.netlist))
+    [ 8.0; 1.2 ]
+
 let test_min_period_bisection () =
   let lib = Lazy.force full_lib in
   let p = Synthesis.min_period ~lo:0.2 ~hi:8.0 ~tolerance:0.1 lib (small_design ()) in
@@ -385,6 +415,8 @@ let () =
           test_synthesis_preserves_function;
           test_synthesis_with_windows_preserves_function;
           test_verilog_of_synthesised_roundtrip;
+          Alcotest.test_case "incremental = full sizing" `Quick
+            test_incremental_sizing_identical;
           Alcotest.test_case "min period bisection" `Slow test_min_period_bisection;
         ] );
     ]

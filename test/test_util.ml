@@ -213,6 +213,34 @@ let test_grid_equal () =
   Alcotest.(check bool) "within eps" true (Grid.equal g h);
   Alcotest.(check bool) "beyond eps" false (Grid.equal ~eps:1e-14 g h)
 
+(* The unsafe accessors must agree bit-for-bit with the checked ones on
+   every in-bounds index — they may only ever differ by skipping the
+   bounds check. *)
+let test_grid_unsafe_agrees =
+  Helpers.qtest ~count:200 "unsafe_get/unsafe_set agree with get/set"
+    QCheck2.Gen.(
+      let* rows = int_range 1 8 and* cols = int_range 1 8 in
+      let* cells = list_size (return (rows * cols)) (float_range (-1e6) 1e6) in
+      let* i = int_range 0 (rows - 1) and* j = int_range 0 (cols - 1) in
+      let* v = float_range (-1e6) 1e6 in
+      return (rows, cols, Array.of_list cells, i, j, v))
+    (fun (rows, cols, cells, i, j, v) ->
+      let g = Grid.init ~rows ~cols (fun i j -> cells.((i * cols) + j)) in
+      let all_agree g =
+        let ok = ref true in
+        Grid.iteri
+          (fun i j x ->
+            if Int64.bits_of_float (Grid.unsafe_get g i j) <> Int64.bits_of_float x then
+              ok := false)
+          g;
+        !ok
+      in
+      let reads_agree = all_agree g in
+      Grid.unsafe_set g i j v;
+      reads_agree
+      && Int64.bits_of_float (Grid.get g i j) = Int64.bits_of_float v
+      && all_agree g)
+
 (* ------------------------------- Vec ------------------------------- *)
 
 let test_vec_push_get () =
@@ -353,6 +381,7 @@ let () =
           Alcotest.test_case "map/map2" `Quick test_grid_map_map2;
           Alcotest.test_case "minmax/fold" `Quick test_grid_minmax_fold;
           Alcotest.test_case "equal" `Quick test_grid_equal;
+          test_grid_unsafe_agrees;
         ] );
       ( "vec",
         [
