@@ -428,9 +428,15 @@ let sta_benchmarks () =
   Printf.printf "  min period %.4f ns (bit-identical)   speedup %.2fx   eval ratio %.3f\n%!"
     p_inc speedup eval_ratio;
   let oc = open_out "BENCH_sta.json" in
+  (* cores disambiguates cross-host comparisons (BENCH_parallel.json
+     already records it); jobs/chunk document that this benchmark
+     dispatches serially — the search itself is single-domain. *)
   Printf.fprintf oc
     "{\n\
     \  \"design\": \"microcontroller\",\n\
+    \  \"cores\": %d,\n\
+    \  \"jobs\": 1,\n\
+    \  \"chunk\": 1,\n\
     \  \"min_period_ns\": %.9f,\n\
     \  \"full\": {\"seconds\": %.6f, \"node_evals\": %d, \"sta_runs\": %d},\n\
     \  \"incremental\": {\"seconds\": %.6f, \"node_evals\": %d, \"sta_runs\": %d, \"retimes\": \
@@ -439,6 +445,7 @@ let sta_benchmarks () =
     \  \"eval_ratio\": %.4f,\n\
     \  \"ocaml_version\": \"%s\"\n\
      }\n"
+    (Domain.recommended_domain_count ())
     p_inc full_s full_evals full_runs inc_s inc_evals inc_runs inc_retimes speedup eval_ratio
     Sys.ocaml_version;
   close_out oc;

@@ -29,7 +29,10 @@ module Experiment = Vartune_flow.Experiment
 module Figures = Vartune_flow.Figures
 module Report = Vartune_flow.Report
 module Run = Vartune_flow.Run
+module Run_report = Vartune_flow.Run_report
+module Bench_diff = Vartune_obs.Bench_diff
 module Journal = Vartune_journal.Journal
+module Log = Common_opts.Log
 
 let default_method =
   { Tuning_method.population = Vartune_tuning.Cluster.Per_cell;
@@ -232,7 +235,7 @@ let figure_names =
     ("all", `All);
   ]
 
-let report_cmd =
+let figures_cmd =
   let figure_arg =
     Arg.(
       value
@@ -273,8 +276,146 @@ let report_cmd =
     | `Variability -> Figures.ablation_variability_metric setup
   in
   Cmd.v
-    (cmd_info "report" ~doc:"Regenerate a table or figure from the paper's evaluation.")
+    (cmd_info "figures" ~doc:"Regenerate a table or figure from the paper's evaluation.")
     Term.(const run $ Common_opts.term $ figure_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Profiling / run reports                                             *)
+(* ------------------------------------------------------------------ *)
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+
+(* `vartune report` reads telemetry; the shared --trace flag *records*
+   it.  Positional files avoid the clash: each is sniffed by content
+   (traceEvents -> trace, counters -> metrics). *)
+let report_cmd =
+  let files_arg =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Telemetry files to report on: a Chrome trace (as written by $(b,--trace)) \
+             and/or a metrics JSON file (as written by $(b,--metrics-out)); each is \
+             recognised by its content.")
+  in
+  let report_run_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run-dir" ] ~docv:"DIR"
+          ~doc:
+            "Journaled run directory (see the $(b,--run-dir) flag of $(b,statlib) and \
+             $(b,experiment)): adds the step timeline, checkpoint count, progress and \
+             ETA to the report.")
+  in
+  let run (common : Common_opts.t) files run_dir json =
+    Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
+    let fail msg =
+      Log.err (fun m -> m "%s" msg);
+      exit 65 (* EX_DATAERR *)
+    in
+    let trace, metrics =
+      List.fold_left
+        (fun (trace, metrics) path ->
+          match Run_report.classify_file path with
+          | Ok `Trace -> (Some path, metrics)
+          | Ok `Metrics -> (trace, Some path)
+          | Error msg -> fail msg)
+        (None, None) files
+    in
+    match Run_report.build ?trace ?metrics ?run_dir () with
+    | Ok report -> print_string ((if json then Run_report.to_json else Run_report.to_text) report)
+    | Error msg -> fail msg
+  in
+  Cmd.v
+    (cmd_info "report"
+       ~doc:
+         "Summarise a run's telemetry: span profile with child-exclusive self times and \
+          p50/p90/p99 duration quantiles, per-domain utilization, GC/allocation \
+          attribution, metrics counters, and the journal timeline of a $(b,--run-dir) \
+          run (blocks, checkpoints, ETA).")
+    Term.(const run $ Common_opts.term $ files_arg $ report_run_dir_arg $ json_flag)
+
+let bench_diff_cmd =
+  let old_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline BENCH_*.json (the committed history).")
+  in
+  let new_arg =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Freshly measured BENCH_*.json to compare against OLD.")
+  in
+  let tol_conv =
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when f >= 0.0 -> Ok f
+      | _ -> Error (`Msg (Printf.sprintf "expected a non-negative tolerance, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_float)
+  in
+  let tol_arg name ~default ~doc =
+    Arg.(value & opt tol_conv default & info [ name ] ~docv:"FRACTION" ~doc)
+  in
+  let informational_arg =
+    Arg.(
+      value & flag
+      & info [ "informational" ]
+          ~doc:
+            "Report regressions but exit 0 anyway — for single-core or otherwise \
+             noisy environments where the gate should not fail the build.")
+  in
+  let run (common : Common_opts.t) old_path new_path tol_time tol_speedup tol_count
+      informational json =
+    Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
+    let load path =
+      let ic = open_in_bin path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Vartune_obs.Json.parse s with
+      | Ok j -> j
+      | Error e ->
+        Log.err (fun m -> m "%s: %s" path e);
+        exit 65 (* EX_DATAERR *)
+    in
+    let old_json = load old_path and new_json = load new_path in
+    let tol = { Bench_diff.time = tol_time; speedup = tol_speedup; count = tol_count } in
+    let findings = Bench_diff.diff ~tol ~old_json ~new_json () in
+    print_string
+      ((if json then Bench_diff.to_json else Bench_diff.to_text) findings);
+    match Bench_diff.regressions findings with
+    | [] -> ()
+    | regs ->
+      Log.err (fun m ->
+          m "%d bench regression%s against %s%s" (List.length regs)
+            (if List.length regs = 1 then "" else "s")
+            old_path
+            (if informational then " (informational: not failing)" else ""));
+      if not informational then exit 1
+  in
+  Cmd.v
+    (cmd_info "bench-diff"
+       ~doc:
+         "Compare two BENCH_*.json files with per-metric tolerances: wall-clock seconds \
+          (default $(b,--tol-time) 0.5), speedup ratios ($(b,--tol-speedup) 0.1) and \
+          deterministic work counts ($(b,--tol-count) 0.02). Exits 0 when clean, 1 on a \
+          regression, 65 on malformed JSON.")
+    Term.(
+      const run $ Common_opts.term $ old_arg $ new_arg
+      $ tol_arg "tol-time" ~default:Bench_diff.default_tolerances.Bench_diff.time
+          ~doc:"Relative tolerance for wall-clock metrics (seconds, *_s)."
+      $ tol_arg "tol-speedup" ~default:Bench_diff.default_tolerances.Bench_diff.speedup
+          ~doc:"Relative tolerance for higher-is-better ratios (speedup)."
+      $ tol_arg "tol-count" ~default:Bench_diff.default_tolerances.Bench_diff.count
+          ~doc:"Relative tolerance for deterministic work counts (node_evals, sta_runs, eval_ratio)."
+      $ informational_arg $ json_flag)
 
 (* One subcommand that touches every instrumented stage — characterise,
    statistical merge, synthesis + STA (baseline and tuned), a tuning
@@ -369,7 +510,7 @@ let main_cmd =
   Cmd.group (Cmd.info "vartune" ~version:"1.0.0" ~doc ~man:Common_opts.man)
     [
       characterize_cmd; statlib_cmd; tune_cmd; synth_cmd; min_period_cmd; experiment_cmd;
-      resume_cmd; journal_cmd; report_cmd; parse_cmd;
+      resume_cmd; journal_cmd; figures_cmd; report_cmd; bench_diff_cmd; parse_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -7,7 +7,9 @@ let src = Logs.Src.create "vartune.journal" ~doc:"run journal"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let version = 1
+(* Version 2 added a wall-clock timestamp to every record (the report's
+   journal timeline and ETA); version-1 journals are refused cleanly. *)
+let version = 2
 let magic = "VTJRNL01"
 
 exception Corrupt of string
@@ -237,7 +239,15 @@ let append t step =
       | Some fd -> (
         try
           Fault.check Fault.Write ~site:"journal.append.write";
-          let payload = encode_step step in
+          (* Wall-clock ns since the epoch fits OCaml's 63-bit int; the
+             timestamp rides inside the checksummed payload so a
+             bit-flipped time is caught like any other damage. *)
+          let payload =
+            let b = Buffer.create 136 in
+            Codec.w_int b (Int64.to_int (Obs.wall_ns ()));
+            Buffer.add_string b (encode_step step);
+            Buffer.contents b
+          in
           let b = Buffer.create (String.length payload + 16) in
           Codec.w_int b (checksum payload);
           Codec.w_string b payload;
@@ -281,7 +291,9 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let replay path =
+type timed = { at_ns : int64; step : step }
+
+let replay_timed path =
   Fault.check Fault.Read ~site:"journal.replay.read";
   let contents = read_file path in
   let hlen = String.length (header ()) in
@@ -309,16 +321,19 @@ let replay path =
         if checksum payload <> sum then
           raise (Corrupt (Printf.sprintf "record %d failed its checksum" (List.length !steps)));
         let sr = Codec.reader payload in
+        let at_ns = Int64.of_int (Codec.r_int sr) in
         let step = decode_step sr in
         if not (Codec.at_end sr) then
           raise (Corrupt (Printf.sprintf "record %d has trailing bytes" (List.length !steps)));
-        steps := step :: !steps
+        steps := { at_ns; step } :: !steps
       done;
       List.rev !steps
     with Codec.Corrupt reason -> raise (Corrupt ("truncated or corrupt record: " ^ reason))
   in
   Obs.Counter.add c_replayed (List.length steps);
   steps
+
+let replay path = List.map (fun t -> t.step) (replay_timed path)
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint context                                                  *)

@@ -16,8 +16,10 @@
     v}
 
     All integers are {!Vartune_store.Codec} fixed-width little-endian;
-    [payload] is a length-prefixed string holding one encoded step and
-    [checksum] is a 62-bit FNV-1a digest of it.  Appends are serialised
+    [payload] is a length-prefixed string holding a wall-clock
+    timestamp (ns since the epoch, covered by the checksum — journal
+    version 2) followed by one encoded step, and [checksum] is a 62-bit
+    FNV-1a digest of it.  Appends are serialised
     through a mutex, written with a single [write] and [fsync]ed, so a
     reader never observes a torn record from a graceful writer.  Replay
     verifies the header and every record checksum; a truncated or
@@ -107,10 +109,16 @@ val close : t -> unit
 val degraded : t -> bool
 (** Whether an append failure has disabled this handle. *)
 
-val replay : string -> step list
+type timed = { at_ns : int64; step : step }
+(** A replayed step with the wall clock at which it was appended. *)
+
+val replay_timed : string -> timed list
 (** Reads and validates the whole journal.  Raises {!Corrupt} on any
     header, checksum, truncation or decoding failure; raises the
     underlying [Unix_error]/[Sys_error] if the file cannot be read. *)
+
+val replay : string -> step list
+(** {!replay_timed} without the timestamps. *)
 
 (** {1 Checkpoint context}
 

@@ -1,0 +1,232 @@
+(* Structural diff of two BENCH_*.json files with per-metric-class
+   tolerance thresholds — the bench-history regression detector behind
+   `vartune bench-diff`.
+
+   Metrics are classified by their leaf key: [speedup] is
+   higher-is-better, wall-clock seconds (keys ending in [_s] or named
+   [seconds]) and work counts ([node_evals], [sta_runs], [eval_ratio],
+   [retimes]) are lower-is-better, and everything else (seeds, sample
+   counts, versions, cache statistics, ...) is informational — a change
+   is reported but never gates.  Wall-clock gets a generous default
+   tolerance because CI runners are noisy; counts are deterministic for
+   a given design, so their tolerance is tight. *)
+
+type cls = Time | Higher | Lower | Info
+
+type status = Unchanged | Within | Regressed | Improved | Changed | Missing | Added
+
+type finding = {
+  path : string;
+  cls : cls;
+  old_v : string;  (* rendered old value, "-" when absent *)
+  new_v : string;
+  delta_pct : float option;  (* (new - old) / old, numeric leaves only *)
+  status : status;
+}
+
+type tolerances = { time : float; speedup : float; count : float }
+
+let default_tolerances = { time = 0.50; speedup = 0.10; count = 0.02 }
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let classify key =
+  match key with
+  | "speedup" -> Higher
+  | "seconds" -> Time
+  | "node_evals" | "sta_runs" | "retimes" | "eval_ratio" -> Lower
+  | k when ends_with ~suffix:"_s" k -> Time
+  | _ -> Info
+
+let tolerance tol = function
+  | Time -> tol.time
+  | Higher -> tol.speedup
+  | Lower -> tol.count
+  | Info -> infinity
+
+let render = function
+  | Json.Number v -> Obs.float_json v
+  | Json.String s -> s
+  | Json.Bool b -> string_of_bool b
+  | Json.Null -> "null"
+  | Json.Array _ -> "[...]"
+  | Json.Object _ -> "{...}"
+
+let leaf_key path =
+  match String.rindex_opt path '.' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let numeric_status cls ~tol ~old_v ~new_v =
+  if old_v = new_v then Unchanged
+  else
+    match cls with
+    | Info -> Changed
+    | Time | Higher | Lower ->
+      let base = Float.max (Float.abs old_v) 1e-12 in
+      let worse =
+        match cls with
+        | Higher -> new_v < old_v *. (1.0 -. tol) || (old_v = 0.0 && new_v < 0.0)
+        | Time | Lower -> new_v > old_v +. (base *. tol)
+        | Info -> false
+      in
+      let better =
+        match cls with
+        | Higher -> new_v > old_v +. (base *. tol)
+        | Time | Lower -> new_v < old_v -. (base *. tol)
+        | Info -> false
+      in
+      if worse then Regressed else if better then Improved else Within
+
+let rec walk ~tol path old_j new_j acc =
+  match (old_j, new_j) with
+  | Json.Object old_kvs, Json.Object new_kvs ->
+    let keys =
+      List.sort_uniq compare (List.map fst old_kvs @ List.map fst new_kvs)
+    in
+    List.fold_left
+      (fun acc key ->
+        let sub = if path = "" then key else path ^ "." ^ key in
+        match (List.assoc_opt key old_kvs, List.assoc_opt key new_kvs) with
+        | Some o, Some n -> walk ~tol sub o n acc
+        | Some o, None ->
+          {
+            path = sub;
+            cls = classify key;
+            old_v = render o;
+            new_v = "-";
+            delta_pct = None;
+            status = Missing;
+          }
+          :: acc
+        | None, Some n ->
+          {
+            path = sub;
+            cls = classify key;
+            old_v = "-";
+            new_v = render n;
+            delta_pct = None;
+            status = Added;
+          }
+          :: acc
+        | None, None -> acc)
+      acc keys
+  | Json.Array old_l, Json.Array new_l ->
+    let rec go i acc = function
+      | [], [] -> acc
+      | o :: os, n :: ns -> go (i + 1) (walk ~tol (Printf.sprintf "%s[%d]" path i) o n acc) (os, ns)
+      | o :: os, [] ->
+        go (i + 1)
+          ({
+             path = Printf.sprintf "%s[%d]" path i;
+             cls = Info;
+             old_v = render o;
+             new_v = "-";
+             delta_pct = None;
+             status = Missing;
+           }
+          :: acc)
+          (os, [])
+      | [], n :: ns ->
+        go (i + 1)
+          ({
+             path = Printf.sprintf "%s[%d]" path i;
+             cls = Info;
+             old_v = "-";
+             new_v = render n;
+             delta_pct = None;
+             status = Added;
+           }
+          :: acc)
+          ([], ns)
+    in
+    go 0 acc (old_l, new_l)
+  | Json.Number o, Json.Number n ->
+    let cls = classify (leaf_key path) in
+    let status = numeric_status cls ~tol:(tolerance tol cls) ~old_v:o ~new_v:n in
+    let delta_pct = if o <> 0.0 then Some (100.0 *. (n -. o) /. Float.abs o) else None in
+    { path; cls; old_v = render old_j; new_v = render new_j; delta_pct; status } :: acc
+  | o, n ->
+    let same = o = n in
+    {
+      path;
+      cls = Info;
+      old_v = render o;
+      new_v = render n;
+      delta_pct = None;
+      status = (if same then Unchanged else Changed);
+    }
+    :: acc
+
+let diff ?(tol = default_tolerances) ~old_json ~new_json () =
+  List.rev (walk ~tol "" old_json new_json [])
+
+(* A removed gated metric is a regression too: silently dropping
+   node_evals from the bench output must not pass the gate. *)
+let regressions findings =
+  List.filter
+    (fun f ->
+      match (f.status, f.cls) with
+      | Regressed, _ -> true
+      | Missing, (Time | Higher | Lower) -> true
+      | _ -> false)
+    findings
+
+let status_to_string = function
+  | Unchanged -> "unchanged"
+  | Within -> "within tolerance"
+  | Regressed -> "REGRESSED"
+  | Improved -> "improved"
+  | Changed -> "changed"
+  | Missing -> "missing"
+  | Added -> "added"
+
+let cls_to_string = function
+  | Time -> "time"
+  | Higher -> "higher-better"
+  | Lower -> "lower-better"
+  | Info -> "info"
+
+let to_text findings =
+  let buf = Buffer.create 1024 in
+  let interesting =
+    List.filter (fun f -> f.status <> Unchanged && f.status <> Within) findings
+  in
+  let regs = regressions findings in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-16s %-44s %s -> %s%s\n" (status_to_string f.status) f.path
+           f.old_v f.new_v
+           (match f.delta_pct with
+           | Some d -> Printf.sprintf "  (%+.1f%%, %s)" d (cls_to_string f.cls)
+           | None -> "")))
+    interesting;
+  Buffer.add_string buf
+    (Printf.sprintf "%d metrics compared, %d changed, %d regression%s\n"
+       (List.length findings) (List.length interesting) (List.length regs)
+       (if List.length regs = 1 then "" else "s"));
+  Buffer.contents buf
+
+let to_json findings =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"findings\": [\n";
+  let shown = List.filter (fun f -> f.status <> Unchanged) findings in
+  List.iteri
+    (fun i f ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"path\": %S, \"class\": %S, \"status\": %S, \"old\": %S, \"new\": %S%s}%s\n"
+           f.path (cls_to_string f.cls) (status_to_string f.status) f.old_v f.new_v
+           (match f.delta_pct with
+           | Some d -> Printf.sprintf ", \"delta_pct\": %s" (Obs.float_json d)
+           | None -> "")
+           (if i = List.length shown - 1 then "" else ",")))
+    shown;
+  Buffer.add_string buf
+    (Printf.sprintf "  ],\n  \"compared\": %d,\n  \"regressions\": %d\n}\n"
+       (List.length findings)
+       (List.length (regressions findings)));
+  Buffer.contents buf

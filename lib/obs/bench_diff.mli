@@ -1,0 +1,45 @@
+(** Bench-history regression detection: structural diff of two
+    BENCH_*.json documents with per-metric-class tolerances.
+
+    Leaf keys classify metrics: [speedup] is higher-is-better,
+    wall-clock seconds ([seconds], [*_s]) and deterministic work counts
+    ([node_evals], [sta_runs], [retimes], [eval_ratio]) are
+    lower-is-better, anything else is informational (reported when
+    changed, never gating).  A gated metric {e missing} from the new
+    document is a regression too. *)
+
+type cls = Time | Higher | Lower | Info
+
+type status = Unchanged | Within | Regressed | Improved | Changed | Missing | Added
+
+type finding = {
+  path : string;  (** dotted path, array indices as [stages\[2\]] *)
+  cls : cls;
+  old_v : string;
+  new_v : string;
+  delta_pct : float option;
+  status : status;
+}
+
+type tolerances = {
+  time : float;  (** relative, wall-clock metrics (default 0.50) *)
+  speedup : float;  (** relative, higher-is-better ratios (default 0.10) *)
+  count : float;  (** relative, deterministic counts (default 0.02) *)
+}
+
+val default_tolerances : tolerances
+
+val diff : ?tol:tolerances -> old_json:Json.t -> new_json:Json.t -> unit -> finding list
+(** Every compared path, in document order. *)
+
+val regressions : finding list -> finding list
+(** The findings that should fail a gate: [Regressed], plus gated
+    metrics that went [Missing]. *)
+
+val status_to_string : status -> string
+val cls_to_string : cls -> string
+
+val to_text : finding list -> string
+(** Changed findings one per line plus a summary count line. *)
+
+val to_json : finding list -> string

@@ -9,12 +9,30 @@ let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
 
+(* GC work attributed to one span: Gc.quick_stat deltas between span
+   entry and exit.  In OCaml 5 the word counters are domain-local and a
+   span runs entirely on its recording domain, so the delta measures the
+   span's own allocation plus whatever its callees allocated — exactly
+   the attribution the flattening work needs.  Nested spans double-count
+   by design (a parent's delta includes its children), mirroring how
+   total time works; Profile reports child-exclusive self numbers. *)
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let gc_zero =
+  { minor_words = 0.0; major_words = 0.0; minor_collections = 0; major_collections = 0 }
+
 type event = {
   name : string;
   dom : int;
   ts_us : float;
   dur_us : float;
   wall_start_ns : int64;
+  gc : gc_delta;
   attrs : (string * string) list;
 }
 
@@ -37,8 +55,15 @@ let span ?attrs name f =
   else begin
     let t0 = now_ns () in
     let w0 = wall_ns () in
+    (* [quick_stat]'s minor_words only advances at minor collections on
+       OCaml 5, so a short span would read 0; [Gc.minor_words] reads the
+       allocation pointer and is precise (and cheaper). *)
+    let m0 = Gc.minor_words () in
+    let g0 = Gc.quick_stat () in
     Fun.protect f ~finally:(fun () ->
         let t1 = now_ns () in
+        let m1 = Gc.minor_words () in
+        let g1 = Gc.quick_stat () in
         (* origin_ns only moves on [reset]; a plain read is safe. *)
         let origin = !origin_ns in
         record
@@ -48,6 +73,13 @@ let span ?attrs name f =
             ts_us = to_us origin t0;
             dur_us = to_us t0 t1;
             wall_start_ns = w0;
+            gc =
+              {
+                minor_words = m1 -. m0;
+                major_words = g1.Gc.major_words -. g0.Gc.major_words;
+                minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+                major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+              };
             attrs = (match attrs with None -> [] | Some g -> g ());
           })
   end
@@ -112,7 +144,66 @@ let counter_value name =
 (* Gauges and histograms (mutex registry, cold paths)                  *)
 (* ------------------------------------------------------------------ *)
 
-type histogram_stats = { count : int; sum : float; min_v : float; max_v : float }
+(* Power-of-two log buckets shared by the metrics histograms and the
+   profile's per-label duration histograms.  Bucket 0 catches
+   non-positive values, the last bucket is the overflow; in between,
+   bucket [i] covers [2^(i-offset-1), 2^(i-offset)).  With 64 buckets
+   and offset 33 the covered range is [2^-33, 2^30) — nine decades each
+   side of 1.0, enough for nanosecond-scale seconds and gigaword
+   allocation counts alike. *)
+module Buckets = struct
+  let count = 64
+  let offset = 33
+
+  let index v =
+    if not (v > 0.0) then 0
+    else
+      let raw = int_of_float (Float.floor (Float.log2 v)) + offset + 1 in
+      if raw < 1 then 1 else if raw > count - 1 then count - 1 else raw
+
+  (* Exclusive upper edge of bucket [i]; +infinity for the overflow. *)
+  let upper i = if i >= count - 1 then Float.infinity else 2.0 ** float_of_int (i - offset)
+
+  (* Deterministic quantile estimate: walk the cumulative counts to the
+     target rank, interpolate linearly inside the bucket, and clamp to
+     the observed [min_v, max_v] so degenerate histograms (n = 1, or
+     every value in one bucket) answer exactly. *)
+  let quantile ~counts ~total ~min_v ~max_v q =
+    if total <= 0 then 0.0
+    else begin
+      let rank = q *. float_of_int total in
+      let result = ref max_v in
+      (try
+         let cum = ref 0 in
+         for i = 0 to Array.length counts - 1 do
+           let c = counts.(i) in
+           if c > 0 then begin
+             let cum' = !cum + c in
+             if float_of_int cum' >= rank then begin
+               let lo = if i = 0 then 0.0 else 2.0 ** float_of_int (i - 1 - offset) in
+               let hi = if Float.is_finite (upper i) then upper i else max_v in
+               let frac = (rank -. float_of_int !cum) /. float_of_int c in
+               result := lo +. ((hi -. lo) *. frac);
+               raise Exit
+             end;
+             cum := cum'
+           end
+         done
+       with Exit -> ());
+      Float.max min_v (Float.min max_v !result)
+    end
+end
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  buckets : int array;  (** log-bucketed counts, [Buckets.count] wide *)
+}
+
+let histogram_quantile s q =
+  Buckets.quantile ~counts:s.buckets ~total:s.count ~min_v:s.min_v ~max_v:s.max_v q
 
 type mutable_metric =
   | Mgauge of { mutable v : float }
@@ -121,6 +212,7 @@ type mutable_metric =
       mutable sum : float;
       mutable min_v : float;
       mutable max_v : float;
+      hbuckets : int array;
     }
 
 type metric_value = Count of int | Value of float | Stats of histogram_stats
@@ -144,11 +236,15 @@ let observe name v =
           h.count <- h.count + 1;
           h.sum <- h.sum +. v;
           h.min_v <- Float.min h.min_v v;
-          h.max_v <- Float.max h.max_v v
+          h.max_v <- Float.max h.max_v v;
+          let i = Buckets.index v in
+          h.hbuckets.(i) <- h.hbuckets.(i) + 1
         | Some (Mgauge _) -> invalid_arg ("Obs.observe: " ^ name ^ " is a gauge")
         | None ->
+          let hbuckets = Array.make Buckets.count 0 in
+          hbuckets.(Buckets.index v) <- 1;
           Hashtbl.replace metrics_tbl name
-            (Mhisto { count = 1; sum = v; min_v = v; max_v = v }))
+            (Mhisto { count = 1; sum = v; min_v = v; max_v = v; hbuckets }))
 
 let metrics () =
   let counters = List.map (fun (n, v) -> (n, Count v)) (Counter.snapshot ()) in
@@ -160,7 +256,14 @@ let metrics () =
               match m with
               | Mgauge g -> Value g.v
               | Mhisto h ->
-                Stats { count = h.count; sum = h.sum; min_v = h.min_v; max_v = h.max_v }
+                Stats
+                  {
+                    count = h.count;
+                    sum = h.sum;
+                    min_v = h.min_v;
+                    max_v = h.max_v;
+                    buckets = Array.copy h.hbuckets;
+                  }
             in
             (name, v) :: acc)
           metrics_tbl [])
@@ -196,10 +299,19 @@ let add_str buf s =
   escape_json buf s;
   Buffer.add_char buf '"'
 
+let float_json v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
 (* JSON has no 64-bit integers; wall-clock ns go out as strings. *)
-let add_args buf ~wall attrs =
+let add_args buf ~wall ~gc attrs =
   Buffer.add_string buf "{\"wall_start_ns\":";
   add_str buf (Int64.to_string wall);
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"gc_minor_words\":%s,\"gc_major_words\":%s,\"gc_minor_collections\":%d,\"gc_major_collections\":%d"
+       (float_json gc.minor_words) (float_json gc.major_words) gc.minor_collections
+       gc.major_collections);
   List.iter
     (fun (k, v) ->
       Buffer.add_char buf ',';
@@ -239,15 +351,11 @@ let trace_json () =
       Buffer.add_string buf ",\"dur\":";
       Buffer.add_string buf (Printf.sprintf "%.3f" e.dur_us);
       Buffer.add_string buf ",\"args\":";
-      add_args buf ~wall:e.wall_start_ns e.attrs;
+      add_args buf ~wall:e.wall_start_ns ~gc:e.gc e.attrs;
       Buffer.add_char buf '}')
     evs;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
-
-let float_json v =
-  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
-  else Printf.sprintf "%.9g" v
 
 let metrics_json () =
   let all = metrics () in
@@ -278,12 +386,38 @@ let metrics_json () =
   section buf "histograms"
     (function Stats s -> Some s | _ -> None)
     (fun s ->
-      Printf.sprintf "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"mean\":%s}" s.count
-        (float_json s.sum) (float_json s.min_v) (float_json s.max_v)
-        (float_json (if s.count = 0 then 0.0 else s.sum /. float_of_int s.count)));
+      let b = Buffer.create 128 in
+      Buffer.add_string b
+        (Printf.sprintf "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"mean\":%s" s.count
+           (float_json s.sum) (float_json s.min_v) (float_json s.max_v)
+           (float_json (if s.count = 0 then 0.0 else s.sum /. float_of_int s.count)));
+      List.iter
+        (fun (label, q) ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"%s\":%s" label (float_json (histogram_quantile s q))))
+        [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ];
+      (* non-empty buckets as [upper_edge, count] pairs; the overflow
+         bucket's infinite edge is reported as the observed max *)
+      Buffer.add_string b ",\"buckets\":[";
+      let first = ref true in
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            if !first then first := false else Buffer.add_char b ',';
+            let u = Buckets.upper i in
+            let u = if Float.is_finite u then u else s.max_v in
+            Buffer.add_string b (Printf.sprintf "[%s,%d]" (float_json u) c)
+          end)
+        s.buckets;
+      Buffer.add_string b "]}";
+      Buffer.contents b);
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
 
+(* Histograms render OpenMetrics-style: cumulative [_bucket{le=...}]
+   lines over the non-empty log buckets plus the mandatory [+Inf]
+   bucket, [_count]/[_sum], and explicit quantile lines — instead of
+   collapsing every distribution to count/sum/min/max. *)
 let metrics_text () =
   let buf = Buffer.create 512 in
   List.iter
@@ -292,10 +426,26 @@ let metrics_text () =
       | Count c -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" name c)
       | Value v -> Buffer.add_string buf (Printf.sprintf "%-40s %g\n" name v)
       | Stats s ->
-        Buffer.add_string buf
-          (Printf.sprintf "%-40s count=%d sum=%g min=%g max=%g mean=%g\n" name s.count s.sum
-             s.min_v s.max_v
-             (if s.count = 0 then 0.0 else s.sum /. float_of_int s.count)))
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            if c > 0 && Float.is_finite (Buckets.upper i) then begin
+              cum := !cum + c;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+                   (float_json (Buckets.upper i))
+                   !cum)
+            end)
+          s.buckets;
+        Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name s.count);
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name s.count);
+        Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (float_json s.sum));
+        List.iter
+          (fun (label, q) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s{quantile=\"%s\"} %s\n" name label
+                 (float_json (histogram_quantile s q))))
+          [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ])
     (metrics ());
   Buffer.contents buf
 

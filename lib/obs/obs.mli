@@ -44,10 +44,11 @@ val wall_ns : unit -> int64
 val span : ?attrs:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()] and, when enabled, records a complete
     Chrome-trace ["X"] event covering the call: monotonic start/duration,
-    wall-clock start, recording domain, and [attrs] (evaluated once, at
-    span end, and only when enabled — pass a closure over cheap data).
-    Spans nest naturally; the event is recorded even if [f] raises.
-    When disabled, [span name f] is exactly [f ()]. *)
+    wall-clock start, recording domain, {!gc_delta} attribution, and
+    [attrs] (evaluated once, at span end, and only when enabled — pass a
+    closure over cheap data).  Spans nest naturally; the event is
+    recorded even if [f] raises.  When disabled, [span name f] is
+    exactly [f ()] — no clock read, no [Gc.quick_stat], no allocation. *)
 
 (** {1 Metrics}
 
@@ -84,14 +85,40 @@ val gauge : string -> float -> unit
 
 val observe : string -> float -> unit
 (** Adds one observation to the histogram [name] (tracks count, sum,
-    min, max). *)
+    min, max and log-bucketed counts for quantile estimation). *)
+
+(** Power-of-two log buckets shared by the metrics histograms and
+    {!Profile}'s per-label duration histograms.  Bucket [0] catches
+    non-positive values, the last bucket is the overflow; in between,
+    bucket [i] covers [\[2^(i-offset-1), 2^(i-offset))]. *)
+module Buckets : sig
+  val count : int
+  (** Number of buckets (64). *)
+
+  val index : float -> int
+  (** Bucket index for a value; total for any float. *)
+
+  val upper : int -> float
+  (** Exclusive upper edge of a bucket; [+infinity] for the overflow. *)
+
+  val quantile :
+    counts:int array -> total:int -> min_v:float -> max_v:float -> float -> float
+  (** Deterministic quantile estimate: linear interpolation inside the
+      target bucket, clamped to the observed [\[min_v, max_v\]] (so a
+      single-observation histogram answers that observation exactly).
+      Returns [0.0] when [total <= 0]. *)
+end
 
 type histogram_stats = {
   count : int;
   sum : float;
   min_v : float;
   max_v : float;
+  buckets : int array;  (** log-bucketed counts, {!Buckets.count} wide *)
 }
+
+val histogram_quantile : histogram_stats -> float -> float
+(** {!Buckets.quantile} over a snapshot's buckets. *)
 
 type metric_value =
   | Count of int
@@ -103,12 +130,26 @@ val metrics : unit -> (string * metric_value) list
 
 (** {1 Recorded events} *)
 
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+(** [Gc.quick_stat] deltas between span entry and exit, on the span's
+    own domain (OCaml 5 keeps the word counters domain-local, so the
+    delta is the span's allocation, children included — like total
+    time, and unlike {!Profile}'s child-exclusive self numbers). *)
+
+val gc_zero : gc_delta
+
 type event = {
   name : string;
   dom : int;  (** recording domain id — the Chrome-trace [tid] *)
   ts_us : float;  (** monotonic start, microseconds from the trace origin *)
   dur_us : float;
   wall_start_ns : int64;
+  gc : gc_delta;
   attrs : (string * string) list;
 }
 
@@ -125,10 +166,19 @@ val trace_json : unit -> string
     monotone timestamps.  Loadable in Perfetto. *)
 
 val metrics_json : unit -> string
-(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}]. *)
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}].  Each
+    histogram carries [count/sum/min/max/mean], [p50/p90/p99] quantile
+    estimates and its non-empty log buckets as [\[upper_edge, count\]]
+    pairs. *)
 
 val metrics_text : unit -> string
-(** Human-readable one-metric-per-line summary. *)
+(** Human-readable summary: one line per counter/gauge; histograms as
+    OpenMetrics-style cumulative [_bucket{le="..."}] lines plus
+    [_count], [_sum] and [{quantile="..."}] lines. *)
+
+val float_json : float -> string
+(** Compact, round-trippable float rendering shared by the JSON
+    exporters. *)
 
 val write_trace : string -> unit
 (** Writes {!trace_json} to the given path. *)

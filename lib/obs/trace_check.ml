@@ -6,6 +6,11 @@ let eps = 0.002
 
 type span = { sname : string; tid : int; ts : float; dur : float }
 
+(* "X" spans take the full monotonicity + nesting treatment; "C"
+   counter samples still carry a per-track timestamp that must be
+   monotone even though they have no extent. *)
+type parsed = Span of span | Sample of span | Meta
+
 let ( let* ) = Result.bind
 
 let event_fields idx ev =
@@ -18,24 +23,53 @@ let event_fields idx ev =
     | Some ph ->
       let str key = Option.bind (Json.member key ev) Json.to_string_opt in
       let num key = Option.bind (Json.member key ev) Json.to_float in
+      (* exported wall_start_ns is an integer rendered as a string
+         (JSON has no 64-bit integers); anything unparseable means the
+         exporter (or a hand-edited trace) is corrupt *)
+      let* () =
+        match Option.bind (Json.member "args" ev) (Json.member "wall_start_ns") with
+        | None -> Ok ()
+        | Some w -> (
+          match Option.bind (Json.to_string_opt w) Int64.of_string_opt with
+          | Some _ -> Ok ()
+          | None -> fail "args.wall_start_ns is not an integer string")
+      in
       if str "name" = None then fail "missing string name"
       else if num "pid" = None then fail "missing numeric pid"
       else if num "tid" = None then fail "missing numeric tid"
       else (
         match ph with
-        | "M" | "C" -> Ok None
+        | "M" -> Ok Meta
+        | "C" -> (
+          match num "ts" with
+          | Some ts when Float.is_finite ts && ts >= 0.0 ->
+            Ok
+              (Sample
+                 {
+                   sname = Option.get (str "name");
+                   tid = int_of_float (Option.get (num "tid"));
+                   ts;
+                   dur = 0.0;
+                 })
+          | Some _ -> fail "C event with non-finite or negative ts"
+          | None -> fail "C event missing numeric ts")
         | "X" -> (
           match (num "ts", num "dur") with
-          | Some ts, Some dur when dur >= 0.0 ->
+          | Some ts, Some dur
+            when Float.is_finite ts && ts >= 0.0 && Float.is_finite dur && dur >= 0.0 ->
             Ok
-              (Some
+              (Span
                  {
                    sname = Option.get (str "name");
                    tid = int_of_float (Option.get (num "tid"));
                    ts;
                    dur;
                  })
-          | Some _, Some _ -> fail "negative dur"
+          | Some ts, Some dur ->
+            if not (Float.is_finite ts) || ts < 0.0 then
+              fail "non-finite or negative ts"
+            else if not (Float.is_finite dur) then fail "non-finite dur"
+            else fail "negative dur"
           | _ -> fail "X event missing numeric ts/dur")
         | other -> fail (Printf.sprintf "unsupported phase %S" other)))
 
@@ -97,19 +131,24 @@ let validate json =
     match Json.to_list evs with
     | None -> Error "traceEvents is not an array"
     | Some evs ->
-      let* spans =
+      let* spans, samples =
         List.fold_left
           (fun acc (idx, ev) ->
-            let* spans = acc in
+            let* spans, samples = acc in
             let* parsed = event_fields idx ev in
-            Ok (match parsed with Some s -> s :: spans | None -> spans))
-          (Ok [])
+            Ok
+              (match parsed with
+              | Span s -> (s :: spans, samples)
+              | Sample s -> (spans, s :: samples)
+              | Meta -> (spans, samples)))
+          (Ok ([], []))
           (List.mapi (fun i e -> (i, e)) evs)
       in
-      let spans = List.rev spans in
+      let spans = List.rev spans and samples = List.rev samples in
       if spans = [] then Error "trace contains no complete (X) span events"
       else
         let* () = check_monotone spans in
+        let* () = check_monotone samples in
         let* () = check_nesting spans in
         Ok
           {

@@ -5,10 +5,12 @@
 
     - the root is an object with a [traceEvents] array;
     - every event has a string [name], numeric [pid]/[tid], and a phase
-      of ["X"] (complete span, with numeric [ts] and [dur >= 0]), ["M"]
-      (metadata) or ["C"] (counter);
-    - within each [tid] track, ["X"] events appear with monotone
-      non-decreasing [ts]; and
+      of ["X"] (complete span, with finite non-negative [ts] and
+      [dur]), ["M"] (metadata) or ["C"] (counter, with a finite
+      non-negative [ts]);
+    - any [args.wall_start_ns] parses as an integer string;
+    - within each [tid] track, ["X"] events — and, separately, ["C"]
+      samples — appear with monotone non-decreasing [ts]; and
     - within each track the spans nest properly: sorted by start (ties
       longest-first), every span lies entirely inside the enclosing
       span still open at its start. *)

@@ -394,9 +394,15 @@ let analyse_full t =
   Array.fill t.min_arrivals 0 g.n_nets infinity;
   Array.fill t.crit_idx 0 g.n_nets (-1);
   let nevals = Array.length g.evals in
-  for k = 0 to nevals - 1 do
-    eval_forward t k
-  done;
+  (* one span over the whole sweep, not per lookup: eval_forward runs
+     millions of times and a span each would swamp the trace.  The GC
+     delta attributed here is the LUT-interpolation allocation cost. *)
+  Obs.span "sta.forward"
+    ~attrs:(fun () -> [ ("evals", string_of_int nevals) ])
+    (fun () ->
+      for k = 0 to nevals - 1 do
+        eval_forward t k
+      done);
   rebuild_ep_seed t;
   (* backward: in reverse level order a net's consumers have all been
      processed before its driver, so one sweep settles every driven

@@ -204,6 +204,20 @@ let test_mc_counter_exact () =
         "mc.simulate span present" true
         (List.mem "mc.simulate" stats.Trace_check.names))
 
+let test_sta_forward_span_and_gc () =
+  with_obs (fun () ->
+      ignore (chain_path 5);
+      let forward =
+        List.filter (fun e -> e.Obs.name = "sta.forward") (Obs.events ())
+      in
+      Alcotest.(check bool) "sta.forward span recorded" true (forward <> []);
+      (* the forward sweep interpolates LUTs for every eval; its span
+         must attribute that allocation *)
+      Alcotest.(check bool) "LUT sweep allocation attributed" true
+        (List.exists (fun e -> e.Obs.gc.Obs.minor_words > 0.0) forward);
+      let stats = ok_stats (Trace_check.validate_string (Obs.trace_json ())) in
+      Alcotest.(check bool) "trace still validates" true (stats.Trace_check.spans > 0))
+
 let test_pool_counters_exact () =
   with_obs (fun () ->
       with_pool 3 (fun pool ->
@@ -322,6 +336,33 @@ let test_bit_identity_with_telemetry () =
         true (String.equal reference got))
     [ (1, true); (2, false); (2, true); (7, true) ]
 
+(* the STA forward sweep gained a span (and GC bookkeeping): timing
+   results must stay bit-identical whether or not it records *)
+let test_timing_bit_identity () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  let signature () =
+    let p = chain_path 7 in
+    (Int64.bits_of_float p.Path.arrival, Int64.bits_of_float p.Path.slack,
+     List.length p.Path.steps)
+  in
+  let reference = signature () in
+  List.iter
+    (fun enabled ->
+      Obs.reset ();
+      Obs.set_enabled enabled;
+      let got =
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.set_enabled false;
+            Obs.reset ())
+          signature
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "timing bit-identical with telemetry=%b" enabled)
+        true (reference = got))
+    [ false; true ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -337,6 +378,8 @@ let () =
         [
           Alcotest.test_case "statlib counters exact" `Quick test_statlib_counters_exact;
           Alcotest.test_case "mc counter isolated" `Quick test_mc_counter_exact;
+          Alcotest.test_case "sta.forward span and GC attribution" `Quick
+            test_sta_forward_span_and_gc;
           Alcotest.test_case "pool counters exact" `Quick test_pool_counters_exact;
         ] );
       ( "exporters",
@@ -350,5 +393,6 @@ let () =
         [
           Alcotest.test_case "telemetry never changes output" `Quick
             test_bit_identity_with_telemetry;
+          Alcotest.test_case "timing unchanged by telemetry" `Quick test_timing_bit_identity;
         ] );
     ]
