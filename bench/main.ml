@@ -25,6 +25,7 @@
      VARTUNE_SKIP_PARALLEL  set to skip the parallel-scaling section
      VARTUNE_SKIP_STA       set to skip the incremental-STA section
      VARTUNE_SKIP_STORE     set to skip the cold-vs-warm store section
+     VARTUNE_SKIP_SERVE     set to skip the serve/loadgen section
      VARTUNE_SKIP_FIGURES   set to skip the table/figure regeneration
 
    Part 4 measures the persistent artifact store: the same experiment
@@ -35,7 +36,12 @@
    Part 5 runs the same min-period search twice on the microcontroller
    design — full re-analysis per sizing move vs incremental cone
    retiming — asserts the periods are bit-identical, and writes the
-   wall-clock and node-evaluation comparison to BENCH_sta.json. *)
+   wall-clock and node-evaluation comparison to BENCH_sta.json.
+
+   Part 6 starts an in-process serve daemon on a temp socket, drives
+   the loadgen default mix against it (deliberately overlapping
+   identical requests), and writes throughput, latency quantiles and
+   the single-flight dedup hit rate to BENCH_serve.json. *)
 
 module Experiment = Vartune_flow.Experiment
 module Figures = Vartune_flow.Figures
@@ -65,6 +71,8 @@ module Constraints = Vartune_synth.Constraints
 module Synthesis = Vartune_synth.Synthesis
 module Store = Vartune_store.Store
 module Obs = Vartune_obs.Obs
+module Serve = Vartune_serve.Serve
+module Loadgen = Vartune_serve.Loadgen
 
 let src = Logs.Src.create "vartune.bench" ~doc:"benchmark harness"
 
@@ -329,7 +337,10 @@ let parallel_benchmarks (setup : Experiment.setup) ~samples ~seed =
    three-point tuning sweep.  Returns a pure-scalar fingerprint so cold
    and warm runs can be compared exactly. *)
 let store_workload ~samples ~seed ~store () =
-  let setup = Experiment.prepare ~samples ~seed ~store () in
+  let setup =
+    Experiment.prepare_request ~store
+      (Vartune_flow.Request.Min_period { seed; samples })
+  in
   let period = setup.Experiment.min_period *. 1.5 in
   let tuning =
     { Tuning_method.population = Cluster.Per_cell; criterion = Threshold.Sigma_ceiling 0.02 }
@@ -452,6 +463,68 @@ let sta_benchmarks () =
   Log.app (fun m -> m "wrote BENCH_sta.json")
 
 (* ------------------------------------------------------------------ *)
+(* Part 6: serving                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process daemon on a temp socket driven by the loadgen default
+   mix.  The loadgen hands [concurrency] consecutive indices the same
+   request template, so parallel workers overlap on identical requests
+   and the measured dedup hit rate exercises the single-flight path,
+   not just the warm store. *)
+let serve_benchmarks ~samples ~seed =
+  Report.heading "Serving (loadgen against an in-process daemon)";
+  let requests = env_int "VARTUNE_SERVE_REQUESTS" 48 in
+  let concurrency = env_int "VARTUNE_SERVE_CONCURRENCY" 4 in
+  let tag = Printf.sprintf "vartune_bench_serve_%d" (Unix.getpid ()) in
+  let socket = Filename.concat (Filename.get_temp_dir_name ()) (tag ^ ".sock") in
+  let store = Store.open_dir (Filename.concat (Filename.get_temp_dir_name ()) tag) in
+  Store.wipe store;
+  let h = Serve.start { Serve.socket; store = Some store; backlog = 16 } in
+  let r =
+    Fun.protect ~finally:(fun () -> Serve.stop h) @@ fun () ->
+    Loadgen.run
+      { Loadgen.socket; requests; concurrency;
+        mix = Loadgen.default_mix ~seed ~samples }
+  in
+  if r.Loadgen.failed > 0 then
+    failwith (Printf.sprintf "serve benchmark: %d requests failed" r.Loadgen.failed);
+  let hit_rate = Loadgen.dedup_hit_rate r in
+  if hit_rate <= 0.0 then
+    Log.warn (fun m -> m "no dedup hits under the overlapping mix");
+  Printf.printf "  %-24s %d requests, %d connections, %d dedup hits (%.1f%%)\n%!" "loadgen"
+    r.Loadgen.sent concurrency r.Loadgen.dedup_hits (100.0 *. hit_rate);
+  Printf.printf "  %-24s %7.2f s   %.1f req/s\n%!" "wall / throughput" r.Loadgen.elapsed_s
+    r.Loadgen.throughput_rps;
+  Printf.printf "  latency ms: p50 %.2f  p90 %.2f  p99 %.2f  min %.2f  max %.2f\n%!"
+    r.Loadgen.p50_ms r.Loadgen.p90_ms r.Loadgen.p99_ms r.Loadgen.min_ms r.Loadgen.max_ms;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"samples\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"requests\": %d,\n\
+    \  \"concurrency\": %d,\n\
+    \  \"ok\": %d,\n\
+    \  \"failed\": %d,\n\
+    \  \"dedup_hits\": %d,\n\
+    \  \"dedup_hit_rate\": %.4f,\n\
+    \  \"elapsed_s\": %.6f,\n\
+    \  \"throughput_rps\": %.3f,\n\
+    \  \"p50_ms\": %.3f,\n\
+    \  \"p90_ms\": %.3f,\n\
+    \  \"p99_ms\": %.3f,\n\
+    \  \"min_ms\": %.3f,\n\
+    \  \"max_ms\": %.3f,\n\
+    \  \"ocaml_version\": \"%s\"\n\
+     }\n"
+    samples seed r.Loadgen.sent concurrency r.Loadgen.ok r.Loadgen.failed r.Loadgen.dedup_hits
+    hit_rate r.Loadgen.elapsed_s r.Loadgen.throughput_rps r.Loadgen.p50_ms r.Loadgen.p90_ms
+    r.Loadgen.p99_ms r.Loadgen.min_ms r.Loadgen.max_ms Sys.ocaml_version;
+  close_out oc;
+  Log.app (fun m -> m "wrote BENCH_serve.json");
+  Store.wipe store
+
+(* ------------------------------------------------------------------ *)
 
 (* Same telemetry outputs as the CLI's --trace / --metrics-out, driven
    by environment variables so `dune exec bench/main.exe` stays
@@ -483,10 +556,11 @@ let () =
   let t0 = Unix.gettimeofday () in
   Log.app (fun m -> m "vartune reproduction harness — N=%d samples, seed %d" samples seed);
   if Sys.getenv_opt "VARTUNE_SKIP_MICRO" = None then micro_benchmarks ();
-  let setup = Experiment.prepare ~samples ~seed () in
+  let setup = Experiment.prepare_request (Vartune_flow.Request.Min_period { seed; samples }) in
   if Sys.getenv_opt "VARTUNE_SKIP_PARALLEL" = None then
     parallel_benchmarks setup ~samples ~seed;
   if Sys.getenv_opt "VARTUNE_SKIP_STA" = None then sta_benchmarks ();
   if Sys.getenv_opt "VARTUNE_SKIP_STORE" = None then store_benchmarks ~samples ~seed;
+  if Sys.getenv_opt "VARTUNE_SKIP_SERVE" = None then serve_benchmarks ~samples ~seed;
   if Sys.getenv_opt "VARTUNE_SKIP_FIGURES" = None then Figures.run_all setup;
   Log.app (fun m -> m "total wall time: %.1f s" (Unix.gettimeofday () -. t0))

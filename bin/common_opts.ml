@@ -12,6 +12,8 @@ module Pool = Vartune_util.Pool
 module Store = Vartune_store.Store
 module Fault = Vartune_fault.Fault
 module Experiment = Vartune_flow.Experiment
+module Request = Vartune_flow.Request
+module Response = Vartune_flow.Response
 
 let src = Logs.Src.create "vartune.cli" ~doc:"vartune command line"
 
@@ -131,6 +133,13 @@ let term =
   Term.(
     const make $ verbose_arg $ jobs_arg $ chunk_arg $ trace_arg $ metrics_arg $ seed_arg
     $ samples_arg $ store_arg $ no_store_arg $ faults_arg)
+
+(* The one flag -> Request.t bridge every subcommand shares: the common
+   seed/samples flags become the request's base record, so no shim
+   re-reads those flags on its own. *)
+let request_term =
+  Term.(
+    const (fun t -> (t, { Request.seed = t.seed; samples = t.samples })) $ term)
 
 (* Telemetry is enabled the moment either output file is requested, and
    the exporters run from at_exit so every subcommand — and every exit
@@ -266,6 +275,39 @@ let guard f =
       exit (Experiment.exit_code failure)
     | None -> raise exn)
 
+let write_text path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+(* Lands one Response.t the way the pre-request subcommands did: a
+   failure is logged and exits with its sysexits code; success prints
+   the response's output bytes — unless [output] (the -o flag)
+   redirects them to a file, leaving only the "wrote" line on stdout.
+   [artifact_files] maps response artifact names to destination paths
+   (synth's --verilog flag). *)
+let deliver ?output ?(artifact_files = []) (resp : Response.t) =
+  match resp.Response.error with
+  | Some msg ->
+    Log.err (fun m -> m "%s" msg);
+    exit resp.Response.code
+  | None ->
+    (match output with
+    | Some path ->
+      write_text path resp.Response.output;
+      Printf.printf "wrote %s (%s cells)\n" path
+        (Option.value
+           (List.assoc_opt "cells" resp.Response.meta)
+           ~default:"?")
+    | None -> print_string resp.Response.output);
+    List.iter
+      (fun (name, path) ->
+        match List.assoc_opt name resp.Response.artifacts with
+        | Some contents ->
+          write_text path contents;
+          Printf.printf "wrote %s\n" path
+        | None -> ())
+      artifact_files
+
 let man =
   [
     `S "COMMON OPTIONS";
@@ -295,6 +337,30 @@ let man =
          (exit 75) and $(b,vartune resume) $(i,DIR) continues to bit-identical output. \
          $(b,VARTUNE_CKPT_BLOCKS) sets the checkpoint cadence in sample blocks \
          (default 4)." );
+    `S "PROTOCOL";
+    `P
+      "Every subcommand constructs a typed request and runs it through the same entry \
+       point the $(b,serve) daemon uses, so batch and served execution are bit-identical \
+       by construction. On the wire (a unix socket, see $(b,vartune serve)) each request \
+       and response is one line of JSON, newline-terminated, no embedded newlines:";
+    `Pre
+      "  {\"vartune\":1,\"id\":7,\"kind\":\"statlib\",\"seed\":42,\"samples\":50}\n\
+      \  {\"vartune\":1,\"id\":7,\"kind\":\"statlib\",\"code\":0,\"elapsed_s\":0.61,\
+       \"dedup\":false,...}";
+    `P
+      "$(b,vartune) is the protocol version. A reader that sees a version it does not \
+       speak rejects the line with exit-65 (EX_DATAERR) semantics — an error response \
+       with code 65, never a guess. The version is bumped on any change that could make \
+       an old reader misinterpret a new line (field renames or semantic changes); adding \
+       a new request $(i,kind) is not a bump, because unknown kinds are already rejected \
+       as malformed. $(b,id) is an optional caller-chosen correlation id echoed back in \
+       the response. Field order is canonical and floats render shortest-round-trip, so \
+       the encoded request line doubles as the serve layer's deduplication key. \
+       Responses carry the sysexits $(b,code) (see EXIT STATUS), the exact stdout bytes \
+       of the equivalent subcommand in $(b,output), the content-addressed store recipe \
+       ids in $(b,recipes), and named deliverables (e.g. a Verilog netlist) in \
+       $(b,artifacts). The daemon also answers the plain-text lines $(b,GET metrics), \
+       $(b,GET profile) and $(b,GET health) with one line of JSON each.";
     `S "EXIT STATUS";
     `P "Pipeline failures map to sysexits.h-style codes:";
     `I

@@ -28,8 +28,12 @@ module Verilog = Vartune_netlist.Verilog
 module Experiment = Vartune_flow.Experiment
 module Figures = Vartune_flow.Figures
 module Report = Vartune_flow.Report
+module Request = Vartune_flow.Request
 module Run = Vartune_flow.Run
+module Run_request = Vartune_flow.Run_request
 module Run_report = Vartune_flow.Run_report
+module Serve = Vartune_serve.Serve
+module Loadgen = Vartune_serve.Loadgen
 module Bench_diff = Vartune_obs.Bench_diff
 module Journal = Vartune_journal.Journal
 module Log = Common_opts.Log
@@ -53,48 +57,45 @@ let run_dir_arg =
            stop it gracefully (exit 75) and $(b,vartune resume) $(docv) continues to \
            bit-identical output.")
 
-let write_library output lib =
-  match output with
-  | Some path ->
-    Printer.write_file path lib;
-    Printf.printf "wrote %s (%d cells)\n" path (Library.size lib)
-  | None -> print_string (Printer.to_string lib)
-
 let cmd_info name ~doc = Cmd.info name ~doc ~man:Common_opts.man
+
+(* Every subcommand below is a thin shim: construct a Request.t from
+   the flags and run it through the same Run_request.exec entry point
+   the serve daemon uses, so batch and served execution cannot drift.
+   Unclassified exceptions re-raise into the guard, exactly as before
+   the request layer existed. *)
+let exec_and_deliver ?output ?artifact_files (common : Common_opts.t) req =
+  let store = Common_opts.store common in
+  Common_opts.deliver ?output ?artifact_files
+    (Run_request.exec ?store ~reraise_unclassified:true req)
 
 (* ------------------------------------------------------------------ *)
 
 let characterize_cmd =
-  let run common output =
+  let run (common, _base) output =
     Common_opts.setup common;
     Common_opts.guard @@ fun () ->
-    let store = Common_opts.store common in
-    write_library output (Characterize.nominal ?store Characterize.default_config)
+    exec_and_deliver ?output common Request.Characterize
   in
   Cmd.v
     (cmd_info "characterize" ~doc:"Characterise the 304-cell catalog into a nominal library.")
-    Term.(const run $ Common_opts.term $ output_arg)
+    Term.(const run $ Common_opts.request_term $ output_arg)
 
 let statlib_cmd =
-  let run (common : Common_opts.t) output run_dir =
+  let run ((common : Common_opts.t), base) output run_dir =
     Common_opts.setup common;
     Common_opts.guard @@ fun () ->
-    let store = Common_opts.store common in
+    let req = Request.Statlib base in
     match run_dir with
     | Some run_dir ->
-      Run.execute ~run_dir ?store
-        { Run.seed = common.seed; samples = common.samples; kind = Run.Statlib; output }
-    | None ->
-      let lib =
-        Statistical.build ?store Characterize.default_config ~mismatch:Mismatch.default
-          ~seed:common.seed ~n:common.samples ()
-      in
-      write_library output lib
+      let store = Common_opts.store common in
+      Run.execute_request ~run_dir ?store ?output req
+    | None -> exec_and_deliver ?output common req
   in
   Cmd.v
     (cmd_info "statlib"
        ~doc:"Build the statistical library (entry-wise mean/sigma over N samples).")
-    Term.(const run $ Common_opts.term $ output_arg $ run_dir_arg)
+    Term.(const run $ Common_opts.request_term $ output_arg $ run_dir_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -128,32 +129,15 @@ let period_arg =
     & info [ "p"; "period" ] ~docv:"NS" ~doc:"Clock period in ns (default: measured minimum).")
 
 let tune_cmd =
-  let run (common : Common_opts.t) tuning =
+  let run (common, base) tuning =
     Common_opts.setup common;
     Common_opts.guard @@ fun () ->
-    let store = Common_opts.store common in
     let tuning = Option.value tuning ~default:default_method in
-    let lib =
-      Statistical.build ?store Characterize.default_config ~mismatch:Mismatch.default
-        ~seed:common.seed ~n:common.samples ()
-    in
-    let table = Tuning_method.restrictions tuning lib in
-    Printf.printf "method: %s\n" (Tuning_method.to_string tuning);
-    Printf.printf "LUT-entry removal across the library: %s\n"
-      (Report.pct (Restrict.restriction_fraction table lib));
-    List.iter
-      (fun (cell, pin, status) ->
-        match status with
-        | Restrict.Unrestricted -> ()
-        | Restrict.Unusable -> Printf.printf "%-10s %-3s UNUSABLE\n" cell pin
-        | Restrict.Window w ->
-          Printf.printf "%-10s %-3s slew [%.4g, %.4g] ns  load [%.5g, %.5g] pF\n" cell pin
-            w.Restrict.slew_min w.Restrict.slew_max w.Restrict.load_min w.Restrict.load_max)
-      (Restrict.restricted_pins table)
+    exec_and_deliver common (Request.Tune { base; tuning })
   in
   Cmd.v
     (cmd_info "tune" ~doc:"Extract per-pin slew/load restrictions from a tuning method.")
-    Term.(const run $ Common_opts.term $ method_arg)
+    Term.(const run $ Common_opts.request_term $ method_arg)
 
 let timing_report_arg =
   Arg.(value & flag & info [ "timing-report" ] ~doc:"Print the worst-path timing report.")
@@ -166,62 +150,34 @@ let verilog_arg =
     value & opt (some string) None
     & info [ "verilog" ] ~docv:"FILE" ~doc:"Export the synthesised netlist as structural Verilog.")
 
-let prepare_setup (common : Common_opts.t) =
-  let store = Common_opts.store common in
-  Experiment.prepare ~samples:common.samples ~seed:common.seed ?store ()
-
-let print_run label run = print_endline (Run.run_line label run)
-
 let synth_cmd =
-  let run common period tuning timing_report power verilog =
+  let run (common, base) period tuning timing_report power verilog =
     Common_opts.setup common;
     Common_opts.guard @@ fun () ->
-    let setup = prepare_setup common in
-    let period = Option.value period ~default:setup.Experiment.min_period in
-    let base = Experiment.baseline setup ~period in
-    print_run "baseline" base;
-    let final =
-      match tuning with
-      | None -> base
-      | Some tuning ->
-        let tuned = Experiment.tuned setup ~period ~tuning in
-        print_run (Tuning_method.to_string tuning) tuned;
-        Printf.printf "sigma decrease %s at area increase %s\n"
-          (Report.pct (Experiment.sigma_reduction ~baseline:base ~tuned))
-          (Report.pct (Experiment.area_increase ~baseline:base ~tuned));
-        tuned
+    let req =
+      Request.Design_sigma
+        { base; period; tuning; timing_report; power; verilog = verilog <> None }
     in
-    let result = final.Experiment.result in
-    if timing_report then
-      print_string (Timing_report.report result.Synthesis.timing result.Synthesis.netlist);
-    if power then
-      Format.printf "%a@." Power.pp
-        (Power.estimate result.Synthesis.timing result.Synthesis.netlist);
-    Option.iter
-      (fun path ->
-        Verilog.write_file path result.Synthesis.netlist;
-        Printf.printf "wrote %s\n" path)
-      verilog
+    let artifact_files =
+      match verilog with Some path -> [ ("verilog", path) ] | None -> []
+    in
+    exec_and_deliver ~artifact_files common req
   in
   Cmd.v
     (cmd_info "synth" ~doc:"Synthesise the evaluation design, optionally with tuning.")
     Term.(
-      const run $ Common_opts.term $ period_arg $ method_arg $ timing_report_arg
+      const run $ Common_opts.request_term $ period_arg $ method_arg $ timing_report_arg
       $ power_arg $ verilog_arg)
 
 let min_period_cmd =
-  let run common =
+  let run (common, base) =
     Common_opts.setup common;
     Common_opts.guard @@ fun () ->
-    let setup = prepare_setup common in
-    Printf.printf "minimum clock period: %.2f ns\n" setup.Experiment.min_period;
-    List.iter
-      (fun (label, p) -> Printf.printf "  %-8s %.2f ns\n" label p)
-      setup.Experiment.periods
+    exec_and_deliver common (Request.Min_period base)
   in
   Cmd.v
     (cmd_info "min-period" ~doc:"Measure the minimum feasible clock period (Table 1).")
-    Term.(const run $ Common_opts.term)
+    Term.(const run $ Common_opts.request_term)
 
 let figure_names =
   [
@@ -234,6 +190,13 @@ let figure_names =
     ("ablation-guard-band", `Guard); ("ablation-rho", `Rho); ("ablation-variability", `Variability);
     ("all", `All);
   ]
+
+(* figures drives Experiment directly (it renders many exhibits from
+   one setup); the setup is still requested through the shared base. *)
+let prepare_setup (common : Common_opts.t) =
+  let store = Common_opts.store common in
+  Experiment.prepare_request ?store
+    (Request.Min_period { Request.seed = common.seed; samples = common.samples })
 
 let figures_cmd =
   let figure_arg =
@@ -309,7 +272,7 @@ let report_cmd =
              $(b,experiment)): adds the step timeline, checkpoint count, progress and \
              ETA to the report.")
   in
-  let run (common : Common_opts.t) files run_dir json =
+  let run ((common : Common_opts.t), _base) files run_dir json =
     Common_opts.setup common;
     Common_opts.guard @@ fun () ->
     let fail msg =
@@ -325,9 +288,12 @@ let report_cmd =
           | Error msg -> fail msg)
         (None, None) files
     in
-    match Run_report.build ?trace ?metrics ?run_dir () with
-    | Ok report -> print_string ((if json then Run_report.to_json else Run_report.to_text) report)
-    | Error msg -> fail msg
+    (* a source-less Report request means "this process's live
+       telemetry" to the serve daemon; from the CLI it stays the usage
+       error it always was *)
+    if trace = None && metrics = None && run_dir = None then
+      fail "nothing to report on: give a trace, a metrics file or --run-dir";
+    exec_and_deliver common (Request.Report { trace; metrics; run_dir; json })
   in
   Cmd.v
     (cmd_info "report"
@@ -336,7 +302,7 @@ let report_cmd =
           p50/p90/p99 duration quantiles, per-domain utilization, GC/allocation \
           attribution, metrics counters, and the journal timeline of a $(b,--run-dir) \
           run (blocks, checkpoints, ETA).")
-    Term.(const run $ Common_opts.term $ files_arg $ report_run_dir_arg $ json_flag)
+    Term.(const run $ Common_opts.request_term $ files_arg $ report_run_dir_arg $ json_flag)
 
 let bench_diff_cmd =
   let old_arg =
@@ -430,22 +396,20 @@ let experiment_cmd =
       & info [ "mc-samples" ] ~docv:"N"
           ~doc:"Monte-Carlo samples for the path-level validation stage.")
   in
-  let run (common : Common_opts.t) period tuning mc_samples run_dir =
+  let run ((common : Common_opts.t), base) period tuning mc_samples run_dir =
     Common_opts.setup common;
     Common_opts.guard @@ fun () ->
-    let store = Common_opts.store common in
     let tuning = Option.value tuning ~default:default_method in
-    let params =
-      {
-        Run.seed = common.seed;
-        samples = common.samples;
-        kind = Run.Experiment { mc_samples; period; tuning };
-        output = None;
-      }
+    let req =
+      Request.Sweep
+        { base; tuning; period; parameters = Run.std_parameters;
+          mc_samples = Some mc_samples }
     in
     match run_dir with
-    | Some run_dir -> Run.execute ~run_dir ?store params
-    | None -> ignore (Run.run_pipeline ?store ~emit:print_endline params)
+    | Some run_dir ->
+      let store = Common_opts.store common in
+      Run.execute_request ~run_dir ?store req
+    | None -> exec_and_deliver common req
   in
   Cmd.v
     (cmd_info "experiment"
@@ -453,7 +417,9 @@ let experiment_cmd =
          "Run the full characterise/merge/tune/synthesise/STA/Monte-Carlo pipeline once — \
           the natural target for $(b,--trace), $(b,--metrics-out), a warm $(b,--store) \
           and a resumable $(b,--run-dir).")
-    Term.(const run $ Common_opts.term $ period_arg $ method_arg $ mc_samples_arg $ run_dir_arg)
+    Term.(
+      const run $ Common_opts.request_term $ period_arg $ method_arg $ mc_samples_arg
+      $ run_dir_arg)
 
 let run_dir_pos =
   Arg.(
@@ -488,6 +454,83 @@ let journal_cmd =
        ~doc:"List a journaled run's recorded steps (validating every checksum).")
     Term.(const run $ Common_opts.term $ run_dir_pos)
 
+(* ------------------------------------------------------------------ *)
+(* Serving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/vartune.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-socket path of the daemon.")
+
+let serve_cmd =
+  let backlog_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "backlog" ] ~docv:"N" ~doc:"listen(2) backlog of the daemon's socket.")
+  in
+  let run (common : Common_opts.t) socket backlog =
+    Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
+    let store = Common_opts.store common in
+    Serve.run { Serve.socket; store; backlog };
+    (* a graceful drain is the same "stopped cleanly, retry later"
+       status an interrupted journaled run reports *)
+    exit 75
+  in
+  Cmd.v
+    (cmd_info "serve"
+       ~doc:
+         "Serve tuning requests on a unix socket: newline-JSON requests (see PROTOCOL) \
+          evaluated through the same entry point as the batch subcommands, with \
+          single-flight deduplication of identical in-flight requests, the $(b,--store) \
+          shared as a cross-request cache, and live $(b,GET metrics) / $(b,GET profile) \
+          / $(b,GET health) endpoints. SIGINT/SIGTERM drains gracefully and exits 75.")
+    Term.(const run $ Common_opts.term $ socket_arg $ backlog_arg)
+
+let loadgen_cmd =
+  let requests_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "requests" ] ~docv:"N" ~doc:"Total requests to send across all connections.")
+  in
+  let concurrency_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "concurrency" ] ~docv:"N" ~doc:"Parallel client connections.")
+  in
+  let run ((common : Common_opts.t), base) socket requests concurrency json =
+    Common_opts.setup common;
+    Common_opts.guard @@ fun () ->
+    let mix =
+      Loadgen.default_mix ~seed:base.Request.seed ~samples:base.Request.samples
+    in
+    let r = Loadgen.run { Loadgen.socket; requests; concurrency; mix } in
+    if json then print_endline (Loadgen.result_to_json r)
+    else begin
+      Printf.printf "sent %d  ok %d  failed %d  dedup hits %d (%.1f%%)\n" r.Loadgen.sent
+        r.Loadgen.ok r.Loadgen.failed r.Loadgen.dedup_hits
+        (100.0 *. Loadgen.dedup_hit_rate r);
+      Printf.printf "elapsed %.2f s  throughput %.1f req/s\n" r.Loadgen.elapsed_s
+        r.Loadgen.throughput_rps;
+      Printf.printf "latency ms: p50 %.2f  p90 %.2f  p99 %.2f  min %.2f  max %.2f\n"
+        r.Loadgen.p50_ms r.Loadgen.p90_ms r.Loadgen.p99_ms r.Loadgen.min_ms
+        r.Loadgen.max_ms
+    end;
+    if r.Loadgen.failed > 0 then exit 1
+  in
+  Cmd.v
+    (cmd_info "loadgen"
+       ~doc:
+         "Drive a request mix (statlib / characterize / tune / live report, using the \
+          shared $(b,--seed) and $(b,--samples)) at the given concurrency against a \
+          running $(b,vartune serve) daemon and report throughput, latency quantiles \
+          and the dedup hit rate. Exits 1 if any request failed.")
+    Term.(
+      const run $ Common_opts.request_term $ socket_arg $ requests_arg $ concurrency_arg
+      $ json_flag)
+
 let parse_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Library file.")
@@ -510,7 +553,8 @@ let main_cmd =
   Cmd.group (Cmd.info "vartune" ~version:"1.0.0" ~doc ~man:Common_opts.man)
     [
       characterize_cmd; statlib_cmd; tune_cmd; synth_cmd; min_period_cmd; experiment_cmd;
-      resume_cmd; journal_cmd; figures_cmd; report_cmd; bench_diff_cmd; parse_cmd;
+      resume_cmd; journal_cmd; figures_cmd; report_cmd; bench_diff_cmd; serve_cmd;
+      loadgen_cmd; parse_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

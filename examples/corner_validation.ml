@@ -21,7 +21,9 @@ let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Info);
   Log.app (fun m -> m "preparing experiment setup and baseline synthesis...");
-  let setup = Experiment.prepare ~samples:20 () in
+  let setup =
+    Experiment.prepare_request (Vartune_flow.Request.Min_period { seed = 42; samples = 20 })
+  in
   let period = List.assoc "high" setup.Experiment.periods in
   let base = Experiment.baseline setup ~period in
   let cfg = Path_mc.default_config in

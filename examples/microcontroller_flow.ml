@@ -32,7 +32,9 @@ let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Info);
   Log.app (fun m -> m "preparing experiment setup (N=%d sample libraries)..." samples);
-  let setup = Experiment.prepare ~samples () in
+  let setup =
+    Experiment.prepare_request (Vartune_flow.Request.Min_period { seed = 42; samples })
+  in
   Printf.printf "minimum clock period: %.2f ns (paper: 2.41 ns on their 40 nm flow)\n"
     setup.Experiment.min_period;
   let period = List.assoc "high" setup.Experiment.periods in

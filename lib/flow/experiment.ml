@@ -140,6 +140,19 @@ let prepare ?(samples = 50) ?(seed = 42) ?(mcu_config = Mcu.default_config) ?sto
     memo = make_memo ?store ?ckpt ~statlib_id ();
   }
 
+let prepare_request ?mcu_config ?store ?ckpt ?reuse ?specs req =
+  let { Request.seed; samples } =
+    Option.value (Request.base_of req) ~default:{ Request.seed = 42; samples = 50 }
+  in
+  prepare ~samples ~seed ?mcu_config ?store ?ckpt ?reuse ?specs ()
+
+let min_period_key setup =
+  Store.Key.(
+    int (str (v "min_period") "statlib" setup.memo.statlib_id) "design" setup.design_fp)
+
+let recipe_ids setup =
+  [ setup.memo.statlib_id; Store.Key.id (min_period_key setup) ]
+
 let fresh_memo setup =
   { setup with memo = make_memo ~statlib_id:setup.memo.statlib_id () }
 

@@ -40,6 +40,38 @@ type setup = {
   memo : memo;
 }
 
+val prepare_request :
+  ?mcu_config:Vartune_rtl.Microcontroller.config ->
+  ?store:Vartune_store.Store.t ->
+  ?ckpt:Vartune_journal.Journal.ctx ->
+  ?reuse:bool ->
+  ?specs:Vartune_stdcell.Spec.t list ->
+  Request.t ->
+  setup
+(** Builds the statistical library (seed and sample count from the
+    request's {!Request.base}; defaults 42/50 for request kinds that
+    carry none) across the default pool's domains, elaborates the
+    microcontroller and measures the minimum period.  With [store], the
+    statistical library, the measured minimum period and every
+    subsequent synthesis run are fetched from / saved to the persistent
+    artifact store.  [~reuse:false] (default [true]) ignores [store]
+    entirely — nothing is read or written — for cold-timing
+    comparisons.  [specs] restricts the characterised catalog (default
+    {!Vartune_stdcell.Catalog.specs}); it must still cover every family
+    the technology mapper emits.
+
+    With [ckpt] (a journaled run), the statistical library builds
+    resumably (see {!Vartune_statlib.Statistical.build}), the run's
+    private state store joins the cache layers of every artifact, each
+    landed artifact is journaled, and a pending stop request raises
+    [Journal.Interrupted] at the next safe point. *)
+
+val recipe_ids : setup -> string list
+(** The content-addressed store recipe ids underlying a setup — the
+    statistical library's key and the minimum-period measurement's key
+    — carried into {!Response.t.recipes} so a client can audit what a
+    served result was keyed by. *)
+
 val prepare :
   ?samples:int ->
   ?seed:int ->
@@ -50,6 +82,7 @@ val prepare :
   ?specs:Vartune_stdcell.Spec.t list ->
   unit ->
   setup
+[@@ocaml.deprecated "use prepare_request with a Request.t instead"]
 (** Builds the statistical library (default 50 samples, seed 42) across
     the default pool's domains, elaborates the microcontroller and
     measures the minimum period.  With [store], the statistical library,

@@ -1,0 +1,107 @@
+module Json = Vartune_obs.Json
+
+type t = {
+  id : int option;
+  kind : string;
+  code : int;
+  elapsed_s : float;
+  dedup : bool;
+  recipes : string list;
+  meta : (string * string) list;
+  output : string;
+  artifacts : (string * string) list;
+  error : string option;
+}
+
+let ok ?id ?(recipes = []) ?(meta = []) ?(artifacts = []) ~kind ~elapsed_s output =
+  { id; kind; code = 0; elapsed_s; dedup = false; recipes; meta; output; artifacts;
+    error = None }
+
+let fail ?id ~kind ~elapsed_s ~code msg =
+  { id; kind; code; elapsed_s; dedup = false; recipes = []; meta = []; output = "";
+    artifacts = []; error = Some msg }
+
+let num f = Json.Number f
+let int_ i = num (float_of_int i)
+let str s = Json.String s
+let opt name conv = function None -> [] | Some v -> [ (name, conv v) ]
+let str_obj kvs = Json.Object (List.map (fun (k, v) -> (k, str v)) kvs)
+
+let to_line t =
+  Json.to_string
+    (Json.Object
+       (("vartune", int_ Request.version)
+       :: (opt "id" int_ t.id
+          @ [
+              ("kind", str t.kind);
+              ("code", int_ t.code);
+              ("elapsed_s", num t.elapsed_s);
+              ("dedup", Json.Bool t.dedup);
+              ("recipes", Json.Array (List.map str t.recipes));
+              ("meta", str_obj t.meta);
+              ("output", str t.output);
+              ("artifacts", str_obj t.artifacts);
+            ]
+          @ opt "error" str t.error)))
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let get name json conv =
+  match Json.member name json with
+  | None -> bad "missing field %S" name
+  | Some v -> (
+    match conv v with Some x -> x | None -> bad "ill-typed field %S" name)
+
+let as_int = function
+  | Json.Number f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let as_str_pairs = function
+  | Json.Object kvs ->
+    Some
+      (List.map
+         (fun (k, v) ->
+           match v with Json.String s -> (k, s) | _ -> bad "non-string value for %S" k)
+         kvs)
+  | _ -> None
+
+let of_line line =
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok json -> (
+    try
+      (match Json.member "vartune" json with
+      | Some (Json.Number f) when int_of_float f = Request.version -> ()
+      | Some (Json.Number f) ->
+        bad "unsupported response version %d (this build speaks version %d)"
+          (int_of_float f) Request.version
+      | _ -> bad "missing field \"vartune\" (protocol version)");
+      Ok
+        {
+          id =
+            (match Json.member "id" json with
+            | None -> None
+            | Some v -> (
+              match as_int v with Some i -> Some i | None -> bad "ill-typed field \"id\""));
+          kind = get "kind" json Json.to_string_opt;
+          code = get "code" json as_int;
+          elapsed_s = get "elapsed_s" json Json.to_float;
+          dedup =
+            get "dedup" json (function Json.Bool b -> Some b | _ -> None);
+          recipes =
+            get "recipes" json Json.to_list
+            |> List.map (function
+                 | Json.String s -> s
+                 | _ -> bad "non-string entry in \"recipes\"");
+          meta = get "meta" json as_str_pairs;
+          output = get "output" json Json.to_string_opt;
+          artifacts = get "artifacts" json as_str_pairs;
+          error =
+            (match Json.member "error" json with
+            | None -> None
+            | Some (Json.String s) -> Some s
+            | Some _ -> bad "ill-typed field \"error\"");
+        }
+    with Bad s -> Error s)

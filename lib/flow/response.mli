@@ -1,0 +1,48 @@
+(** The total response to a {!Request.t}.
+
+    Every execution path — success, typed pipeline failure, internal
+    error — lands here: [code] carries the existing sysexits
+    classification (0 on success, 65/70/74/75 per
+    {!Experiment.failure}), [output] the exact bytes the equivalent CLI
+    subcommand prints to stdout, [recipes] the content-addressed store
+    recipe ids the computation was keyed by, and [artifacts] any
+    deliverables the caller may want to land on disk (e.g. the
+    [verilog] netlist).  [dedup] is set by the serve layer when the
+    response was produced by another in-flight identical request.
+
+    Wire format mirrors {!Request}: one line of JSON with the same
+    ["vartune"] version field and bump policy. *)
+
+type t = {
+  id : int option;  (** echo of the request's correlation id *)
+  kind : string;  (** {!Request.kind_string} of the request *)
+  code : int;  (** 0 or a sysexits code (65/70/74/75) *)
+  elapsed_s : float;  (** wall time spent executing the request *)
+  dedup : bool;  (** served from a coalesced in-flight computation *)
+  recipes : string list;  (** store recipe ids underlying the result *)
+  meta : (string * string) list;  (** small facts, e.g. [("cells","304")] *)
+  output : string;  (** exact CLI stdout bytes of the computation *)
+  artifacts : (string * string) list;  (** name -> contents deliverables *)
+  error : string option;  (** operator-facing message when [code <> 0] *)
+}
+
+val ok :
+  ?id:int ->
+  ?recipes:string list ->
+  ?meta:(string * string) list ->
+  ?artifacts:(string * string) list ->
+  kind:string ->
+  elapsed_s:float ->
+  string ->
+  t
+(** [ok ~kind ~elapsed_s output] — a successful response. *)
+
+val fail : ?id:int -> kind:string -> elapsed_s:float -> code:int -> string -> t
+(** [fail ~kind ~elapsed_s ~code msg] — a failed response; [output] is
+    empty. *)
+
+val to_line : t -> string
+(** Canonical one-line JSON encoding, no trailing newline. *)
+
+val of_line : string -> (t, string) result
+(** Inverse of {!to_line} (structurally equal, floats bit-exact). *)

@@ -6,7 +6,11 @@ module Characterize = Vartune_charlib.Characterize
 module Mismatch = Vartune_process.Mismatch
 module Library = Vartune_liberty.Library
 module Printer = Vartune_liberty.Printer
+module Restrict = Vartune_tuning.Restrict
 module Synthesis = Vartune_synth.Synthesis
+module Timing_report = Vartune_sta.Timing_report
+module Power = Vartune_sta.Power
+module Verilog = Vartune_netlist.Verilog
 module Path = Vartune_sta.Path
 module Design_sigma = Vartune_stats.Design_sigma
 module Path_mc = Vartune_monte.Path_mc
@@ -28,6 +32,11 @@ type params = { seed : int; samples : int; kind : kind; output : string option }
 let journal_path run_dir = Filename.concat run_dir "journal.vtj"
 let state_dir run_dir = Filename.concat run_dir "state"
 
+(* The parameter ladder of the experiment pipeline's sweep stage — the
+   only sweep shape the fixed-field journal Run_started record can
+   describe, so only requests using it are journal-able. *)
+let std_parameters = [ 0.01; 0.02; 0.05 ]
+
 let run_line label (run : Experiment.run) =
   let r = run.Experiment.result in
   Printf.sprintf "%-24s feasible=%b slack=%+.3f area=%.0f um^2 cells=%d sigma=%.4f ns"
@@ -35,31 +44,152 @@ let run_line label (run : Experiment.run) =
     r.Synthesis.instances
     run.Experiment.design_sigma.Design_sigma.dist.Vartune_stats.Dist.sigma
 
-(* The pipeline body: identical stage order, stage parameters and
-   output lines whether plain, journaled, interrupted or resumed — the
-   bit-identity contract is "same [params], same bytes". *)
-let run_pipeline ?store ?ckpt ~emit params =
-  let check_stop () = Option.iter Journal.check_stop ckpt in
+(* ------------------------------------------------------------------ *)
+(* Request <-> legacy params                                           *)
+(* ------------------------------------------------------------------ *)
+
+let request_of_params params =
+  let base = { Request.seed = params.seed; samples = params.samples } in
   match params.kind with
-  | Statlib ->
-    Statistical.build ?store ?ckpt Characterize.default_config ~mismatch:Mismatch.default
-      ~seed:params.seed ~n:params.samples ()
+  | Statlib -> Request.Statlib base
   | Experiment { mc_samples; period; tuning } ->
-    let setup =
-      Experiment.prepare ~samples:params.samples ~seed:params.seed ?store ?ckpt ()
+    Request.Sweep
+      { base; tuning; period; parameters = std_parameters;
+        mc_samples = Some mc_samples }
+
+(* [None] when the request is not journal-able: the journal's fixed
+   Run_started record can only describe statlib builds and the standard
+   experiment pipeline. *)
+let params_of_request ?output req =
+  match req with
+  | Request.Statlib { Request.seed; samples } ->
+    Some { seed; samples; kind = Statlib; output }
+  | Request.Sweep { base = { Request.seed; samples }; tuning; period; parameters;
+                    mc_samples = Some mc_samples }
+    when parameters = std_parameters ->
+    Some { seed; samples; kind = Experiment { mc_samples; period; tuning }; output }
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Request evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type evaled = {
+  out : string;
+  library : Library.t option;
+  artifacts : (string * string) list;
+  recipes : string list;
+  meta : (string * string) list;
+}
+
+let statlib_recipe { Request.seed; samples } =
+  Store.Key.id
+    (Statistical.store_key Characterize.default_config ~mismatch:Mismatch.default ~seed
+       ~n:samples ())
+
+let build_statlib ?store ?ckpt { Request.seed; samples } =
+  Statistical.build ?store ?ckpt Characterize.default_config ~mismatch:Mismatch.default
+    ~seed ~n:samples ()
+
+(* The pipeline body behind every request kind: identical stage order,
+   stage parameters and output lines whether plain, served, journaled,
+   interrupted or resumed — the bit-identity contract is "same request,
+   same bytes".  Lines go through [emit] (without trailing newline) as
+   they happen and accumulate — with trailing newlines — into
+   [evaled.out], which is exactly what the equivalent CLI subcommand
+   prints to stdout. *)
+let eval ?store ?ckpt ?(emit = ignore) req =
+  let buf = Buffer.create 512 in
+  let line l =
+    emit l;
+    Buffer.add_string buf l;
+    Buffer.add_char buf '\n'
+  in
+  let raw s = Buffer.add_string buf s in
+  let check_stop () = Option.iter Journal.check_stop ckpt in
+  let done_ ?library ?(artifacts = []) ?(recipes = []) ?(meta = []) () =
+    { out = Buffer.contents buf; library; artifacts; recipes; meta }
+  in
+  let cells lib = [ ("cells", string_of_int (Library.size lib)) ] in
+  match req with
+  | Request.Report _ ->
+    (* needs Run_report, which sits above this module *)
+    invalid_arg "Run.eval: report requests are evaluated by Run_request.exec"
+  | Request.Characterize ->
+    let lib = Characterize.nominal ?store Characterize.default_config in
+    raw (Printer.to_string lib);
+    done_ ~library:lib ~meta:(cells lib) ()
+  | Request.Statlib base ->
+    let lib = build_statlib ?store ?ckpt base in
+    raw (Printer.to_string lib);
+    done_ ~library:lib ~recipes:[ statlib_recipe base ] ~meta:(cells lib) ()
+  | Request.Tune { base; tuning } ->
+    let lib = build_statlib ?store ?ckpt base in
+    let table = Tuning_method.restrictions tuning lib in
+    line (Printf.sprintf "method: %s" (Tuning_method.to_string tuning));
+    line
+      (Printf.sprintf "LUT-entry removal across the library: %s"
+         (Report.pct (Restrict.restriction_fraction table lib)));
+    List.iter
+      (fun (cell, pin, status) ->
+        match status with
+        | Restrict.Unrestricted -> ()
+        | Restrict.Unusable -> line (Printf.sprintf "%-10s %-3s UNUSABLE" cell pin)
+        | Restrict.Window w ->
+          line
+            (Printf.sprintf "%-10s %-3s slew [%.4g, %.4g] ns  load [%.5g, %.5g] pF" cell
+               pin w.Restrict.slew_min w.Restrict.slew_max w.Restrict.load_min
+               w.Restrict.load_max))
+      (Restrict.restricted_pins table);
+    done_ ~recipes:[ statlib_recipe base ] ~meta:(cells lib) ()
+  | Request.Min_period _ ->
+    let setup = Experiment.prepare_request ?store ?ckpt req in
+    line (Printf.sprintf "minimum clock period: %.2f ns" setup.Experiment.min_period);
+    List.iter
+      (fun (label, p) -> line (Printf.sprintf "  %-8s %.2f ns" label p))
+      setup.Experiment.periods;
+    done_ ~recipes:(Experiment.recipe_ids setup) ()
+  | Request.Design_sigma { period; tuning; timing_report; power; verilog; _ } ->
+    let setup = Experiment.prepare_request ?store ?ckpt req in
+    let period = Option.value period ~default:setup.Experiment.min_period in
+    let base_run = Experiment.baseline setup ~period in
+    line (run_line "baseline" base_run);
+    let final =
+      match tuning with
+      | None -> base_run
+      | Some tuning ->
+        let tuned = Experiment.tuned setup ~period ~tuning in
+        line (run_line (Tuning_method.to_string tuning) tuned);
+        line
+          (Printf.sprintf "sigma decrease %s at area increase %s"
+             (Report.pct (Experiment.sigma_reduction ~baseline:base_run ~tuned))
+             (Report.pct (Experiment.area_increase ~baseline:base_run ~tuned)));
+        tuned
     in
-    emit (Printf.sprintf "minimum clock period: %.2f ns" setup.Experiment.min_period);
+    let result = final.Experiment.result in
+    if timing_report then
+      raw (Timing_report.report result.Synthesis.timing result.Synthesis.netlist);
+    if power then
+      raw
+        (Format.asprintf "%a@." Power.pp
+           (Power.estimate result.Synthesis.timing result.Synthesis.netlist));
+    let artifacts =
+      if verilog then [ ("verilog", Verilog.to_string result.Synthesis.netlist) ] else []
+    in
+    done_ ~artifacts ~recipes:(Experiment.recipe_ids setup) ()
+  | Request.Sweep { base; tuning; period; parameters; mc_samples } ->
+    let setup = Experiment.prepare_request ?store ?ckpt req in
+    line (Printf.sprintf "minimum clock period: %.2f ns" setup.Experiment.min_period);
     let period = Option.value period ~default:setup.Experiment.min_period in
     check_stop ();
-    let base = Experiment.baseline setup ~period in
-    emit (run_line "baseline" base);
+    let base_run = Experiment.baseline setup ~period in
+    line (run_line "baseline" base_run);
     check_stop ();
-    let parameters = [ 0.01; 0.02; 0.05 ] in
     let points = Experiment.sweep setup ~period ~tuning ~parameters in
-    emit (Printf.sprintf "sweep (%s):" (Tuning_method.to_string tuning));
+    line (Printf.sprintf "sweep (%s):" (Tuning_method.to_string tuning));
     List.iter
       (fun (p : Experiment.sweep_point) ->
-        emit
+        line
           (Printf.sprintf "  parameter %.4g  sigma %s  area %s" p.Experiment.parameter
              (Report.pct p.Experiment.reduction)
              (Report.pct p.Experiment.area_delta)))
@@ -75,19 +205,28 @@ let run_pipeline ?store ?ckpt ~emit params =
              }))
       ckpt;
     check_stop ();
-    let mc_path =
-      let paths = base.Experiment.paths in
-      List.nth paths (List.length paths / 2)
-    in
-    let mc =
-      Path_mc.simulate
-        { Path_mc.default_config with n = mc_samples }
-        ~seed:params.seed mc_path
-    in
-    emit
-      (Printf.sprintf "path MC (depth %d, N=%d): mean %.4f ns  sigma %.4f ns"
-         (Path.depth mc_path) mc_samples mc.Path_mc.mean mc.Path_mc.sigma);
-    setup.Experiment.statlib
+    Option.iter
+      (fun mc_samples ->
+        let mc_path =
+          let paths = base_run.Experiment.paths in
+          List.nth paths (List.length paths / 2)
+        in
+        let mc =
+          Path_mc.simulate
+            { Path_mc.default_config with n = mc_samples }
+            ~seed:base.Request.seed mc_path
+        in
+        line
+          (Printf.sprintf "path MC (depth %d, N=%d): mean %.4f ns  sigma %.4f ns"
+             (Path.depth mc_path) mc_samples mc.Path_mc.mean mc.Path_mc.sigma))
+      mc_samples;
+    done_ ~library:setup.Experiment.statlib ~recipes:(Experiment.recipe_ids setup) ()
+
+(* Legacy entry point, kept as a shim over [eval] for this PR. *)
+let run_pipeline ?store ?ckpt ~emit params =
+  match (eval ?store ?ckpt ~emit (request_of_params params)).library with
+  | Some lib -> lib
+  | None -> assert false (* statlib and sweep requests always carry one *)
 
 (* ------------------------------------------------------------------ *)
 (* Journaled runs                                                      *)
@@ -172,8 +311,8 @@ let supervise ~run_dir ?store ctx params =
     Buffer.add_string report line;
     Buffer.add_char report '\n'
   in
-  match run_pipeline ?store ~ckpt:ctx ~emit params with
-  | statlib ->
+  match eval ?store ~ckpt:ctx ~emit (request_of_params params) with
+  | { library = Some statlib; _ } ->
     Printer.write_file (Filename.concat run_dir "statlib.lib") statlib;
     emit (Printf.sprintf "wrote statlib.lib (%d cells)" (Library.size statlib));
     Option.iter
@@ -187,6 +326,7 @@ let supervise ~run_dir ?store ctx params =
       (fun () -> output_string oc (Buffer.contents report));
     Journal.seal ctx.Journal.journal ~reason:"completed";
     Log.info (fun m -> m "run completed; artifacts in %s" run_dir)
+  | { library = None; _ } -> assert false (* journal-able kinds carry a library *)
   | exception Journal.Interrupted msg ->
     Journal.seal ctx.Journal.journal ~reason:"interrupted";
     Log.info (fun m -> m "run interrupted; resume with: vartune resume %s" run_dir);
@@ -203,6 +343,16 @@ let execute ~run_dir ?store params =
   install_signal_handlers ctx;
   Journal.record ctx (run_started params);
   supervise ~run_dir ?store ctx params
+
+let execute_request ~run_dir ?store ?output req =
+  match params_of_request ?output req with
+  | Some params -> execute ~run_dir ?store params
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Run.execute_request: %S requests are not journal-able (only statlib and the \
+          standard experiment sweep are)"
+         (Request.kind_string req))
 
 let resume ~run_dir ?store () =
   let path = journal_path run_dir in

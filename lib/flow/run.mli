@@ -1,4 +1,11 @@
-(** Journaled run supervision: graceful shutdown and crash-safe resume.
+(** Request evaluation and journaled run supervision.
+
+    {!eval} is the pipeline body behind every {!Request.t}: it produces
+    the exact bytes the equivalent CLI subcommand prints — plus the
+    library, deliverable artifacts, store recipe ids and small metadata
+    — whether the request arrives from a subcommand shim, the serve
+    daemon, or a journaled run.  {!Run_request.exec} wraps it in the
+    total {!Response.t} envelope.
 
     A {e journaled run} lives in a run directory:
 
@@ -9,15 +16,15 @@
     <run>/report.txt    everything the run printed, written on completion
     v}
 
-    [execute] starts one, installing SIGINT/SIGTERM handlers that
-    request a cooperative stop: the pipeline finishes the current round,
-    checkpoints its partial state to [state/], journals the checkpoint
-    and raises {!Vartune_journal.Journal.Interrupted}, which the CLI
-    maps to exit 75 (EX_TEMPFAIL).  [resume] replays the journal,
-    reconstructs the run's parameters from the [Run_started] step,
-    re-validates every journaled artifact against the store by recipe
-    key (a corrupt entry is evicted and recomputed, never trusted) and
-    continues.  The resumed output — stdout, [report.txt],
+    [execute_request] starts one, installing SIGINT/SIGTERM handlers
+    that request a cooperative stop: the pipeline finishes the current
+    round, checkpoints its partial state to [state/], journals the
+    checkpoint and raises {!Vartune_journal.Journal.Interrupted}, which
+    the CLI maps to exit 75 (EX_TEMPFAIL).  [resume] replays the
+    journal, reconstructs the run's request from the [Run_started]
+    step, re-validates every journaled artifact against the store by
+    recipe key (a corrupt entry is evicted and recomputed, never
+    trusted) and continues.  The resumed output — stdout, [report.txt],
     [statlib.lib] — is bit-identical to an uninterrupted run at any
     [--jobs] and any checkpoint cadence. *)
 
@@ -36,29 +43,60 @@ type params = {
   output : string option;  (** [-o]: extra copy of the library *)
 }
 
+val std_parameters : float list
+(** The experiment sweep's constraint-parameter ladder
+    ([0.01; 0.02; 0.05]) — the only sweep shape the fixed-field journal
+    record can describe, hence the only journal-able one. *)
+
+val request_of_params : params -> Request.t
+(** The {!Request.t} a legacy [params] record denotes: [Statlib] maps
+    to {!Request.Statlib}, [Experiment] to a {!Request.Sweep} over
+    {!std_parameters} with its Monte-Carlo stage. *)
+
+val params_of_request : ?output:string -> Request.t -> params option
+(** Inverse of {!request_of_params} on its image; [None] for request
+    kinds (or sweep shapes) the journal cannot record. *)
+
 val run_line : string -> Experiment.run -> string
 (** One synthesis-result summary line, shared by [synth], [experiment]
     and journaled runs so their outputs stay diffable. *)
 
-val run_pipeline :
+type evaled = {
+  out : string;
+      (** exact stdout bytes of the equivalent plain CLI subcommand *)
+  library : Vartune_liberty.Library.t option;
+      (** the built library, for [-o] delivery and run-dir artifacts *)
+  artifacts : (string * string) list;  (** name -> contents (e.g. [verilog]) *)
+  recipes : string list;  (** store recipe ids underlying the result *)
+  meta : (string * string) list;  (** small facts, e.g. [("cells","304")] *)
+}
+
+val eval :
   ?store:Vartune_store.Store.t ->
   ?ckpt:Vartune_journal.Journal.ctx ->
-  emit:(string -> unit) ->
-  params ->
-  Vartune_liberty.Library.t
-(** The pipeline body shared by journaled and plain runs: builds the
-    statistical library and — for {!Experiment} — runs baseline,
-    sweep and path-level Monte Carlo, reporting each line through
-    [emit] (without trailing newline).  Returns the statistical
-    library.  With [ckpt] every stage checkpoints and honours stop
-    requests as described above. *)
+  ?emit:(string -> unit) ->
+  Request.t ->
+  evaled
+(** Evaluates one request: identical stage order, stage parameters and
+    output bytes whether plain, served, journaled, interrupted or
+    resumed.  Progress lines additionally go through [emit] (without
+    trailing newline) as they happen.  With [ckpt] (a journaled run)
+    every stage checkpoints and honours stop requests.  Raises
+    [Invalid_argument] on {!Request.Report}, which is evaluated by
+    {!Run_request.exec} (it needs the report layer above this module). *)
 
-val execute :
-  run_dir:string -> ?store:Vartune_store.Store.t -> params -> unit
-(** Runs [params] journaled under [run_dir] (created if missing).
-    Raises [Journal.Interrupted] after a graceful, checkpointed stop —
-    the journal is sealed ["interrupted"] and [vartune resume]
-    continues the run. *)
+val execute_request :
+  run_dir:string ->
+  ?store:Vartune_store.Store.t ->
+  ?output:string ->
+  Request.t ->
+  unit
+(** Runs a journal-able request journaled under [run_dir] (created if
+    missing); [output] is the [-o] extra library copy.  Raises
+    [Journal.Interrupted] after a graceful, checkpointed stop — the
+    journal is sealed ["interrupted"] and [vartune resume] continues
+    the run — and [Invalid_argument] if {!params_of_request} is [None]
+    for the request. *)
 
 val resume : run_dir:string -> ?store:Vartune_store.Store.t -> unit -> unit
 (** Resumes an interrupted journaled run.  Raises
@@ -68,3 +106,20 @@ val resume : run_dir:string -> ?store:Vartune_store.Store.t -> unit -> unit
 
 val journal_path : string -> string
 (** [<run>/journal.vtj]. *)
+
+(** {2 Deprecated entry points}
+
+    One-line wrappers over {!eval} / {!execute_request}, kept for this
+    PR only. *)
+
+val run_pipeline :
+  ?store:Vartune_store.Store.t ->
+  ?ckpt:Vartune_journal.Journal.ctx ->
+  emit:(string -> unit) ->
+  params ->
+  Vartune_liberty.Library.t
+[@@ocaml.deprecated "use eval with a Request.t instead"]
+
+val execute :
+  run_dir:string -> ?store:Vartune_store.Store.t -> params -> unit
+[@@ocaml.deprecated "use execute_request with a Request.t instead"]

@@ -102,7 +102,18 @@ let classify_file path =
   | Error e -> Error (Printf.sprintf "%s: %s" path e)
   | Ok json ->
     if Json.member "traceEvents" json <> None then Ok `Trace
-    else if Json.member "counters" json <> None then Ok `Metrics
+    else if Json.member "counters" json <> None then begin
+      (* Reject metrics documents stamped with a schema we don't
+         understand; absent [schema] means pre-versioning output and
+         stays accepted. *)
+      match Json.member "schema" json with
+      | Some (Json.Number v)
+        when int_of_float v <> Obs.metrics_schema_version ->
+        Error
+          (Printf.sprintf "%s: unsupported metrics schema version %d (expected %d)"
+             path (int_of_float v) Obs.metrics_schema_version)
+      | _ -> Ok `Metrics
+    end
     else Error (Printf.sprintf "%s: neither a trace (traceEvents) nor a metrics (counters) file" path)
 
 (* ------------------------------------------------------------------ *)

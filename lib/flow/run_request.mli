@@ -1,0 +1,27 @@
+(** The one entry point every request runs through.
+
+    Both the CLI subcommand shims and the [vartune serve] daemon hand
+    their {!Request.t} to {!exec}, which is what makes batch and served
+    execution bit-identical by construction: there is no second
+    pipeline to drift. *)
+
+val exec :
+  ?store:Vartune_store.Store.t ->
+  ?reraise_unclassified:bool ->
+  Request.t ->
+  Response.t
+(** Evaluates the request and wraps the outcome in a total
+    {!Response.t}: on success [code = 0] and [output] carries the exact
+    CLI stdout bytes; on a typed pipeline failure
+    ({!Experiment.classify_exn}) the response carries its sysexits code
+    and operator message; anything unclassified becomes code 70
+    (EX_SOFTWARE) — unless [reraise_unclassified] (default [false]) is
+    set, which re-raises it for callers with their own top-level
+    handler (the CLI guard, which turns it into cmdliner's generic
+    exit).  [elapsed_s] is the wall time of the evaluation; the
+    [request.exec] span makes every request visible in traces.
+
+    {!Request.Report} requests are evaluated here (not in {!Run.eval}):
+    with all sources absent they report on the executing process's own
+    live telemetry, otherwise on the given trace/metrics/run-dir
+    sources; a bad source is a data error (code 65). *)

@@ -23,3 +23,19 @@ val member : string -> t -> t option
 val to_float : t -> float option
 val to_string_opt : t -> string option
 val to_list : t -> t list option
+
+val float_string : float -> string
+(** Shortest decimal rendering of a finite float that parses back to
+    the identical bit pattern (tries ["%.15g"] then ["%.17g"]).
+    Integers within 2^53 render without a fractional part.  Non-finite
+    values render as [null] tokens are not representable in JSON, so
+    [nan]/[inf] map to ["null"]. *)
+
+val escape_string : string -> string
+(** JSON string escaping (quotes included) for the ASCII control set;
+    bytes >= 0x80 are passed through verbatim (UTF-8 assumed). *)
+
+val to_string : t -> string
+(** Compact one-line serialization.  [parse (to_string v)] yields a
+    value structurally equal to [v] (object key order preserved,
+    finite floats bit-exact). *)

@@ -357,6 +357,8 @@ let trace_json () =
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 
+let metrics_schema_version = 1
+
 let metrics_json () =
   let all = metrics () in
   let section buf label filter render =
@@ -376,7 +378,8 @@ let metrics_json () =
     Buffer.add_string buf "\n  }"
   in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  ";
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"schema\":%d,\n  " metrics_schema_version);
   section buf "counters"
     (function Count c -> Some c | _ -> None)
     string_of_int;

@@ -165,11 +165,17 @@ val trace_json : unit -> string
     seen, then every span as a complete ["X"] event with per-domain
     monotone timestamps.  Loadable in Perfetto. *)
 
+val metrics_schema_version : int
+(** Version of the {!metrics_json} top-level schema; bumped on any
+    incompatible change to the document shape. *)
+
 val metrics_json : unit -> string
-(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}].  Each
-    histogram carries [count/sum/min/max/mean], [p50/p90/p99] quantile
-    estimates and its non-empty log buckets as [\[upper_edge, count\]]
-    pairs. *)
+(** [{"schema": 1, "counters": {...}, "gauges": {...}, "histograms":
+    {...}}].  Each histogram carries [count/sum/min/max/mean],
+    [p50/p90/p99] quantile estimates and its non-empty log buckets as
+    [\[upper_edge, count\]] pairs.  The [schema] field lets consumers
+    (the serve metrics endpoint, [vartune report]) sniff
+    compatibility. *)
 
 val metrics_text : unit -> string
 (** Human-readable summary: one line per counter/gauge; histograms as

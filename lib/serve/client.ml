@@ -1,0 +1,27 @@
+module Request = Vartune_flow.Request
+module Response = Vartune_flow.Response
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let request ?id t req =
+  send_line t (Request.to_line ?id req);
+  Response.of_line (input_line t.ic)
+
+let get t endpoint =
+  send_line t ("GET " ^ endpoint);
+  input_line t.ic

@@ -1,0 +1,21 @@
+(** Blocking client for the {!Serve} daemon: one request line out, one
+    response line back, over a unix socket. *)
+
+type t
+
+val connect : string -> t
+(** Connects to the daemon's socket path.  Raises [Unix.Unix_error]
+    (e.g. [ECONNREFUSED]) when no daemon is serving. *)
+
+val close : t -> unit
+
+val request : ?id:int -> t -> Vartune_flow.Request.t -> (Vartune_flow.Response.t, string) result
+(** Sends one request and waits for its response line.  [Error] carries
+    a response-decoding problem; transport failures raise
+    ([End_of_file] when the daemon drained mid-request,
+    [Unix.Unix_error]/[Sys_error] on socket errors). *)
+
+val get : t -> string -> string
+(** [get t "metrics"] sends the live-endpoint line [GET metrics] and
+    returns the one-line JSON reply.  Endpoints: [metrics], [profile],
+    [health]. *)

@@ -1,0 +1,146 @@
+module Request = Vartune_flow.Request
+module Response = Vartune_flow.Response
+module Obs = Vartune_obs.Obs
+module Json = Vartune_obs.Json
+module Tuning_method = Vartune_tuning.Tuning_method
+
+type config = {
+  socket : string;
+  requests : int;
+  concurrency : int;
+  mix : Request.t list;
+}
+
+type result = {
+  sent : int;
+  ok : int;
+  failed : int;
+  dedup_hits : int;
+  elapsed_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  min_ms : float;
+  max_ms : float;
+}
+
+let default_mix ~seed ~samples =
+  let base = { Request.seed; samples } in
+  let tuning =
+    {
+      Tuning_method.population = Vartune_tuning.Cluster.Per_cell;
+      criterion = Vartune_tuning.Threshold.Sigma_ceiling 0.02;
+    }
+  in
+  [
+    Request.Statlib base;
+    Request.Characterize;
+    Request.Tune { base; tuning };
+    Request.Report { trace = None; metrics = None; run_dir = None; json = true };
+  ]
+
+(* One shared latency accumulator in the Obs.Buckets layout; a mutex is
+   plenty at request granularity. *)
+type acc = {
+  lock : Mutex.t;
+  counts : int array;
+  mutable total : int;
+  mutable min_ms : float;
+  mutable max_ms : float;
+  mutable ok : int;
+  mutable failed : int;
+  mutable dedup : int;
+}
+
+let run config =
+  if config.requests <= 0 || config.concurrency <= 0 || config.mix = [] then
+    invalid_arg "Loadgen.run: requests, concurrency and mix must be non-empty";
+  let templates = Array.of_list config.mix in
+  let acc =
+    {
+      lock = Mutex.create ();
+      counts = Array.make Obs.Buckets.count 0;
+      total = 0;
+      min_ms = infinity;
+      max_ms = neg_infinity;
+      ok = 0;
+      failed = 0;
+      dedup = 0;
+    }
+  in
+  let next = Atomic.make 0 in
+  let worker () =
+    let client = Client.connect config.socket in
+    Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < config.requests then begin
+        (* [concurrency] consecutive indices share a template so the
+           parallel workers overlap on identical requests *)
+        let req =
+          templates.(i / config.concurrency mod Array.length templates)
+        in
+        let t0 = Obs.now_ns () in
+        let observed =
+          match Client.request ~id:i client req with
+          | Ok resp ->
+            let ms = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e6 in
+            Some (resp, ms)
+          | Error _ -> None
+          | exception (End_of_file | Unix.Unix_error _ | Sys_error _) -> None
+        in
+        Mutex.protect acc.lock (fun () ->
+            match observed with
+            | None -> acc.failed <- acc.failed + 1
+            | Some (resp, ms) ->
+              acc.counts.(Obs.Buckets.index ms) <- acc.counts.(Obs.Buckets.index ms) + 1;
+              acc.total <- acc.total + 1;
+              acc.min_ms <- Float.min acc.min_ms ms;
+              acc.max_ms <- Float.max acc.max_ms ms;
+              if resp.Response.code = 0 then acc.ok <- acc.ok + 1
+              else acc.failed <- acc.failed + 1;
+              if resp.Response.dedup then acc.dedup <- acc.dedup + 1);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init config.concurrency (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let quantile q =
+    if acc.total = 0 then 0.0
+    else
+      Obs.Buckets.quantile ~counts:acc.counts ~total:acc.total ~min_v:acc.min_ms
+        ~max_v:acc.max_ms q
+  in
+  let sent = acc.ok + acc.failed in
+  {
+    sent;
+    ok = acc.ok;
+    failed = acc.failed;
+    dedup_hits = acc.dedup;
+    elapsed_s;
+    throughput_rps = (if elapsed_s > 0.0 then float_of_int sent /. elapsed_s else 0.0);
+    p50_ms = quantile 0.5;
+    p90_ms = quantile 0.9;
+    p99_ms = quantile 0.99;
+    min_ms = (if acc.total = 0 then 0.0 else acc.min_ms);
+    max_ms = (if acc.total = 0 then 0.0 else acc.max_ms);
+  }
+
+let dedup_hit_rate r =
+  if r.sent = 0 then 0.0 else float_of_int r.dedup_hits /. float_of_int r.sent
+
+let result_to_json r =
+  Printf.sprintf
+    "{\"requests\":%d,\"ok\":%d,\"failed\":%d,\"dedup_hits\":%d,\"dedup_hit_rate\":%s,\"elapsed_s\":%s,\"throughput_rps\":%s,\"p50_ms\":%s,\"p90_ms\":%s,\"p99_ms\":%s,\"min_ms\":%s,\"max_ms\":%s}"
+    r.sent r.ok r.failed r.dedup_hits
+    (Json.float_string (dedup_hit_rate r))
+    (Json.float_string r.elapsed_s)
+    (Json.float_string r.throughput_rps)
+    (Json.float_string r.p50_ms) (Json.float_string r.p90_ms)
+    (Json.float_string r.p99_ms) (Json.float_string r.min_ms)
+    (Json.float_string r.max_ms)

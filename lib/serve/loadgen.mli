@@ -1,0 +1,45 @@
+(** Load generator for the {!Serve} daemon ([vartune loadgen]).
+
+    Opens [concurrency] connections and drives [requests] requests
+    through them from a round-robin template mix.  Consecutive indices
+    hit the {e same} template ([concurrency] repeats per template
+    before advancing), so concurrent workers overlap on identical
+    requests and exercise the daemon's single-flight deduplication on
+    purpose.  Latencies are recorded in the shared {!Vartune_obs.Obs.Buckets}
+    log-bucket layout, so the reported p50/p90/p99 are the same
+    deterministic quantile estimate the metrics endpoint uses. *)
+
+type config = {
+  socket : string;
+  requests : int;  (** total requests across all connections *)
+  concurrency : int;  (** parallel connections *)
+  mix : Vartune_flow.Request.t list;  (** request templates, cycled *)
+}
+
+type result = {
+  sent : int;
+  ok : int;  (** responses with code 0 *)
+  failed : int;  (** non-zero codes, decode failures, dropped connections *)
+  dedup_hits : int;  (** responses answered with [dedup = true] *)
+  elapsed_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  min_ms : float;
+  max_ms : float;
+}
+
+val default_mix : seed:int -> samples:int -> Vartune_flow.Request.t list
+(** The standard cheap-kind mix: statlib, characterize, tune and a live
+    report — deliberately no synthesis-heavy kinds, so a fixed request
+    count finishes in seconds on a warm store. *)
+
+val run : config -> result
+
+val result_to_json : result -> string
+(** One-line JSON with the BENCH_serve.json field vocabulary
+    (throughput, latency quantiles, dedup hit rate). *)
+
+val dedup_hit_rate : result -> float
+(** [dedup_hits / sent], 0 when nothing was sent. *)

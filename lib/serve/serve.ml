@@ -1,0 +1,236 @@
+module Request = Vartune_flow.Request
+module Response = Vartune_flow.Response
+module Run_request = Vartune_flow.Run_request
+module Store = Vartune_store.Store
+module Obs = Vartune_obs.Obs
+module Json = Vartune_obs.Json
+module Profile = Vartune_obs.Profile
+
+let src = Logs.Src.create "vartune.serve" ~doc:"unix-socket evaluation service"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = { socket : string; store : Store.t option; backlog : int }
+
+type stats = { requests : int; dedup_hits : int; errors : int; active : int }
+
+type handle = {
+  config : config;
+  listener : Unix.file_descr;
+  stopping : bool Atomic.t;
+  n_requests : int Atomic.t;
+  n_dedup : int Atomic.t;
+  n_errors : int Atomic.t;
+  n_active : int Atomic.t;
+  flight : Response.t Single_flight.t;
+  mutable accept_thread : Thread.t option;
+}
+
+(* How often blocked loops re-check the stop flag; bounds both accept
+   latency on shutdown and the busy-wait cost while idle. *)
+let poll_interval_s = 0.2
+
+(* ------------------------------------------------------------------ *)
+(* Socket lifecycle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A leftover socket file from a crashed daemon must not block restart,
+   but a live daemon must: probe by connecting.  A successful connect
+   means someone is serving; a refused/absent one means the file is
+   stale and safe to replace. *)
+let bind_socket ~backlog path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then failwith (Printf.sprintf "%s: a daemon is already serving" path);
+    (try Unix.unlink path with Unix.Unix_error _ -> ())
+  end;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listener (Unix.ADDR_UNIX path);
+     Unix.listen listener backlog
+   with exn ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise exn);
+  listener
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The exporters pretty-print; the wire speaks one line per reply. *)
+let compact_json s =
+  match Json.parse s with Ok j -> Json.to_string j | Error _ -> String.trim s
+
+let stats_of h =
+  {
+    requests = Atomic.get h.n_requests;
+    dedup_hits = Atomic.get h.n_dedup;
+    errors = Atomic.get h.n_errors;
+    active = Atomic.get h.n_active;
+  }
+
+let health_json h =
+  let s = stats_of h in
+  Printf.sprintf
+    "{\"status\":%S,\"requests\":%d,\"dedup_hits\":%d,\"errors\":%d,\"active\":%d}"
+    (if Atomic.get h.stopping then "draining" else "ok")
+    s.requests s.dedup_hits s.errors s.active
+
+let handle_line h line =
+  match line with
+  | "GET metrics" -> compact_json (Obs.metrics_json ())
+  | "GET profile" -> compact_json (Profile.to_json (Profile.of_events (Obs.events ())))
+  | "GET health" -> health_json h
+  | line -> (
+    match Request.of_line line with
+    | Error err ->
+      Atomic.incr h.n_errors;
+      Response.to_line
+        (Response.fail ~kind:"error" ~elapsed_s:0.0 ~code:65 (Request.error_message err))
+    | Ok (id, req) ->
+      Atomic.incr h.n_requests;
+      let resp, dedup =
+        Single_flight.run h.flight ~key:(Request.key req) (fun () ->
+            Run_request.exec ?store:h.config.store req)
+      in
+      if dedup then Atomic.incr h.n_dedup;
+      if resp.Response.code <> 0 then Atomic.incr h.n_errors;
+      Response.to_line { resp with Response.id; dedup })
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type conn = { fd : Unix.file_descr; mutable pending : string }
+
+(* Line reader over the raw fd (no buffered channel, so the stop flag
+   is honoured between lines): returns [None] on peer EOF or drain. *)
+let rec next_line h conn =
+  match String.index_opt conn.pending '\n' with
+  | Some i ->
+    let line = String.sub conn.pending 0 i in
+    conn.pending <-
+      String.sub conn.pending (i + 1) (String.length conn.pending - i - 1);
+    Some line
+  | None ->
+    if Atomic.get h.stopping then None
+    else (
+      match Unix.select [ conn.fd ] [] [] poll_interval_s with
+      | [], _, _ -> next_line h conn
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_line h conn
+      | _ ->
+        let bytes = Bytes.create 4096 in
+        let n = Unix.read conn.fd bytes 0 (Bytes.length bytes) in
+        if n = 0 then None
+        else begin
+          conn.pending <- conn.pending ^ Bytes.sub_string bytes 0 n;
+          next_line h conn
+        end)
+
+let write_all fd s =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write_substring fd s off len in
+      go (off + n) (len - n)
+    end
+  in
+  go 0 (String.length s)
+
+let serve_conn h fd =
+  let conn = { fd; pending = "" } in
+  let rec loop () =
+    match next_line h conn with
+    | None -> ()
+    | Some line ->
+      Atomic.incr h.n_active;
+      let reply =
+        Fun.protect
+          ~finally:(fun () -> Atomic.decr h.n_active)
+          (fun () -> handle_line h line)
+      in
+      write_all fd (reply ^ "\n");
+      loop ()
+  in
+  (try loop ()
+   with Unix.Unix_error _ | Sys_error _ | End_of_file ->
+     (* a dropped connection only costs that connection *)
+     ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and lifecycle                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs until the stop flag flips, then joins every connection thread —
+   in-flight requests finish and are answered before this returns
+   (graceful drain). *)
+let accept_loop h =
+  let rec loop threads =
+    if Atomic.get h.stopping then threads
+    else (
+      match Unix.select [ h.listener ] [] [] poll_interval_s with
+      | [], _, _ -> loop threads
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop threads
+      | _ -> (
+        match Unix.accept h.listener with
+        | fd, _ -> loop (Thread.create (serve_conn h) fd :: threads)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+          loop threads))
+  in
+  let threads = loop [] in
+  List.iter Thread.join threads;
+  let s = stats_of h in
+  Log.info (fun m ->
+      m "drained: %d requests served, %d dedup hits, %d errors" s.requests s.dedup_hits
+        s.errors)
+
+let make_handle config listener =
+  {
+    config;
+    listener;
+    stopping = Atomic.make false;
+    n_requests = Atomic.make 0;
+    n_dedup = Atomic.make 0;
+    n_errors = Atomic.make 0;
+    n_active = Atomic.make 0;
+    flight = Single_flight.create ();
+    accept_thread = None;
+  }
+
+let cleanup h =
+  (try Unix.close h.listener with Unix.Unix_error _ -> ());
+  try Unix.unlink h.config.socket with Unix.Unix_error _ | Sys_error _ -> ()
+
+let start config =
+  let h = make_handle config (bind_socket ~backlog:config.backlog config.socket) in
+  Log.info (fun m -> m "serving on %s" config.socket);
+  h.accept_thread <- Some (Thread.create accept_loop h);
+  h
+
+let stop h =
+  Atomic.set h.stopping true;
+  Option.iter Thread.join h.accept_thread;
+  h.accept_thread <- None;
+  cleanup h
+
+let stats = stats_of
+
+let run config =
+  let h = make_handle config (bind_socket ~backlog:config.backlog config.socket) in
+  List.iter
+    (fun signal ->
+      try
+        Sys.set_signal signal
+          (Sys.Signal_handle (fun _ -> Atomic.set h.stopping true))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ];
+  Log.info (fun m -> m "serving on %s (SIGINT/SIGTERM drains gracefully)" config.socket);
+  accept_loop h;
+  cleanup h

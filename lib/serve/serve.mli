@@ -1,0 +1,57 @@
+(** The [vartune serve] daemon: a long-running unix-socket evaluation
+    service over the typed request vocabulary.
+
+    Each connection is served by its own thread; requests are
+    newline-JSON {!Vartune_flow.Request} lines answered with one
+    {!Vartune_flow.Response} line each, evaluated through the same
+    {!Vartune_flow.Run_request.exec} entry point the CLI subcommands
+    use (so served results are bit-identical to batch runs).  Pipeline
+    work lands on the process-wide {!Vartune_util.Pool} with its usual
+    per-request chunked dispatch; the optional store is shared across
+    requests as a persistent cross-request cache, and identical
+    in-flight requests are coalesced by {!Single_flight} keyed on
+    {!Vartune_flow.Request.key} — concurrent duplicates block on one
+    computation and are answered with [dedup = true].
+
+    Live endpoints: the plain-text lines [GET metrics], [GET profile]
+    and [GET health] are each answered with one line of JSON —
+    {!Vartune_obs.Obs.metrics_json}, the {!Vartune_obs.Profile} of the
+    live span stream, and the daemon's own counters.
+
+    Shutdown is graceful: on SIGINT/SIGTERM ({!run}) or {!stop} the
+    daemon stops accepting connections, lets in-flight requests finish,
+    answers them, and returns — the CLI maps the drain to exit 75
+    (EX_TEMPFAIL), the same "interrupted, retry later" status a
+    journaled run uses. *)
+
+type config = {
+  socket : string;  (** unix-socket path; a stale file is replaced *)
+  store : Vartune_store.Store.t option;
+      (** shared cross-request artifact cache *)
+  backlog : int;  (** listen(2) backlog, e.g. 16 *)
+}
+
+type stats = {
+  requests : int;  (** request lines accepted (GETs excluded) *)
+  dedup_hits : int;  (** answers coalesced onto another in-flight request *)
+  errors : int;  (** responses with a non-zero code, plus unparsable lines *)
+  active : int;  (** requests currently executing *)
+}
+
+type handle
+
+val start : config -> handle
+(** Binds the socket and serves on background threads — the in-process
+    form used by tests and the bench harness.  Raises [Failure] if a
+    live daemon already owns the socket, [Unix.Unix_error] on other
+    bind failures. *)
+
+val stop : handle -> unit
+(** Requests a graceful drain, waits for in-flight requests to finish,
+    closes the listener and removes the socket file. *)
+
+val stats : handle -> stats
+
+val run : config -> unit
+(** The CLI form: serves on the calling thread until SIGINT/SIGTERM,
+    then drains and returns (the [serve] subcommand exits 75). *)

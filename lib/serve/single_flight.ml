@@ -1,0 +1,42 @@
+type 'a cell = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable outcome : ('a, exn) result option;
+}
+
+type 'a t = { lock : Mutex.t; pending : (string, 'a cell) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); pending = Hashtbl.create 16 }
+
+let in_flight t = Mutex.protect t.lock (fun () -> Hashtbl.length t.pending)
+
+let run t ~key f =
+  let role =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.pending key with
+        | Some cell -> `Follow cell
+        | None ->
+          let cell = { m = Mutex.create (); c = Condition.create (); outcome = None } in
+          Hashtbl.add t.pending key cell;
+          `Lead cell)
+  in
+  match role with
+  | `Lead cell ->
+    let outcome = try Ok (f ()) with exn -> Error exn in
+    (* unregister before publishing: a caller that arrives after this
+       point leads its own flight, one registered before it always
+       finds the published outcome *)
+    Mutex.protect t.lock (fun () -> Hashtbl.remove t.pending key);
+    Mutex.protect cell.m (fun () ->
+        cell.outcome <- Some outcome;
+        Condition.broadcast cell.c);
+    (match outcome with Ok v -> (v, false) | Error exn -> raise exn)
+  | `Follow cell -> (
+    let outcome =
+      Mutex.protect cell.m (fun () ->
+          while cell.outcome = None do
+            Condition.wait cell.c cell.m
+          done;
+          Option.get cell.outcome)
+    in
+    match outcome with Ok v -> (v, true) | Error exn -> raise exn)

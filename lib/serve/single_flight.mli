@@ -1,0 +1,24 @@
+(** Single-flight deduplication of identical in-flight computations.
+
+    [run t ~key f] coalesces concurrent calls with equal [key]: the
+    first caller (the {e leader}) computes [f ()]; callers arriving
+    while it is still running (the {e followers}) block and receive the
+    leader's result — one computation, N answers.  The entry is removed
+    once the leader finishes, so a call arriving {e after} completion
+    computes afresh (and typically hits the artifact store instead;
+    the two layers compose into "at most one computation at a time,
+    at most one computation ever when a store is attached").
+
+    If [f] raises, every coalesced caller re-raises the same exception
+    and nothing is cached — a failed flight leaves no trace. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val run : 'a t -> key:string -> (unit -> 'a) -> 'a * bool
+(** [run t ~key f] is [(result, dedup)]: [dedup] is [false] for the
+    leader that actually computed and [true] for coalesced followers. *)
+
+val in_flight : 'a t -> int
+(** Number of keys currently being computed. *)

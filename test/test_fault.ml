@@ -347,8 +347,9 @@ let run_scalars (r : Experiment.run) =
 
 let observe ?store () =
   let setup =
-    Experiment.prepare ~samples:2 ~seed:7 ~mcu_config:tiny_config
-      ~specs:Helpers.small_specs ?store ()
+    Experiment.prepare_request ~mcu_config:tiny_config ~specs:Helpers.small_specs
+      ?store
+      (Vartune_flow.Request.Min_period { seed = 7; samples = 2 })
   in
   let period = setup.Experiment.min_period *. 1.5 in
   let base = Experiment.baseline setup ~period in

@@ -113,7 +113,9 @@ let test_fingerprint_distinguishes_designs () =
     (Ir.fingerprint a = Ir.fingerprint b)
 
 let tiny_setup =
-  lazy (Experiment.prepare ~samples:2 ~seed:7 ~mcu_config:tiny_config ())
+  lazy
+    (Experiment.prepare_request ~mcu_config:tiny_config
+       (Vartune_flow.Request.Min_period { seed = 7; samples = 2 }))
 
 let test_cache_scoped_to_setup () =
   let setup = Lazy.force tiny_setup in

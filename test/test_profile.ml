@@ -443,6 +443,46 @@ let test_report_classify_and_build () =
         | Ok _ -> ()
         | Error e -> Alcotest.failf "report JSON invalid: %s" e)
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* The metrics exporter stamps a schema version; the classifier accepts
+   the current one (and legacy files without any), and rejects files
+   from a future writer instead of misreading them. *)
+let test_report_schema_version () =
+  let live = write_temp "vt_test_metrics_live.json" (Obs.metrics_json ()) in
+  let current =
+    write_temp "vt_test_metrics_cur.json"
+      (Printf.sprintf {|{"schema": %d, "counters": {"x": 1}}|} Obs.metrics_schema_version)
+  in
+  let legacy = write_temp "vt_test_metrics_old.json" {|{"counters": {"x": 1}}|} in
+  let future =
+    write_temp "vt_test_metrics_fut.json"
+      (Printf.sprintf {|{"schema": %d, "counters": {"x": 1}}|}
+         (Obs.metrics_schema_version + 1))
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Sys.remove [ live; current; legacy; future ])
+    (fun () ->
+      Alcotest.(check bool)
+        "exporter emits the version" true
+        (contains ~needle:(Printf.sprintf "\"schema\":%d" Obs.metrics_schema_version)
+           (Obs.metrics_json ()));
+      List.iter
+        (fun (name, path) ->
+          match Run_report.classify_file path with
+          | Ok `Metrics -> ()
+          | Ok `Trace -> Alcotest.failf "%s metrics file classified as trace" name
+          | Error e -> Alcotest.failf "%s metrics file rejected: %s" name e)
+        [ ("live", live); ("current", current); ("legacy", legacy) ];
+      match Run_report.classify_file future with
+      | Ok _ -> Alcotest.fail "future schema version accepted"
+      | Error msg ->
+        Alcotest.(check bool) "error names the schema version" true
+          (contains ~needle:"schema" msg))
+
 let () =
   Alcotest.run "profile"
     [
@@ -484,5 +524,6 @@ let () =
       ( "report",
         [
           Alcotest.test_case "classify and build" `Quick test_report_classify_and_build;
+          Alcotest.test_case "metrics schema version" `Quick test_report_schema_version;
         ] );
     ]

@@ -1,0 +1,367 @@
+(* Tests for the serve layer: deterministic single-flight coalescing,
+   the GET endpoints, serve-vs-exec-vs-CLI bit-identity of request
+   outputs, N concurrent identical requests under the fault harness at
+   pool jobs 1/2/7 (one computation via dedup + store, or clean typed
+   failure, never divergent bytes), graceful in-process drain, and the
+   real binary's SIGTERM -> exit 75 contract. *)
+
+module Request = Vartune_flow.Request
+module Response = Vartune_flow.Response
+module Run_request = Vartune_flow.Run_request
+module Serve = Vartune_serve.Serve
+module Client = Vartune_serve.Client
+module Single_flight = Vartune_serve.Single_flight
+module Store = Vartune_store.Store
+module Fault = Vartune_fault.Fault
+module Pool = Vartune_util.Pool
+module Json = Vartune_obs.Json
+
+let temp_root =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "vartune_test_serve_%d" (Unix.getpid ()))
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let in_temp name =
+  mkdir_p temp_root;
+  Filename.concat temp_root name
+
+let with_store name f =
+  let t = Store.open_dir (in_temp name) in
+  Store.wipe t;
+  Fun.protect ~finally:(fun () -> Store.wipe t) (fun () -> f t)
+
+let with_serve ?store name f =
+  let socket = in_temp name in
+  if Sys.file_exists socket then Sys.remove socket;
+  let h = Serve.start { Serve.socket; store; backlog = 16 } in
+  Fun.protect ~finally:(fun () -> Serve.stop h) (fun () -> f socket h)
+
+(* ------------------------------------------------------------------ *)
+(* Single-flight                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The leader parks inside the computation on a gate, the test waits
+   until it is in there, gives the followers time to coalesce, then
+   opens the gate: exactly one computation, N-1 dedup answers. *)
+let test_single_flight_dedup () =
+  let sf = Single_flight.create () in
+  let computes = Atomic.make 0 in
+  let m = Mutex.create () and c = Condition.create () in
+  let leader_running = ref false and released = ref false in
+  let compute () =
+    Atomic.incr computes;
+    Mutex.lock m;
+    leader_running := true;
+    Condition.broadcast c;
+    while not !released do
+      Condition.wait c m
+    done;
+    Mutex.unlock m;
+    "value"
+  in
+  let n = 5 in
+  let results = Array.make n ("", false) in
+  let threads =
+    List.init n (fun i ->
+        Thread.create (fun () -> results.(i) <- Single_flight.run sf ~key:"k" compute) ())
+  in
+  Mutex.lock m;
+  while not !leader_running do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  Thread.delay 0.2 (* let the remaining threads reach the flight *);
+  Alcotest.(check int) "one key in flight" 1 (Single_flight.in_flight sf);
+  Mutex.lock m;
+  released := true;
+  Condition.broadcast c;
+  Mutex.unlock m;
+  List.iter Thread.join threads;
+  Alcotest.(check int) "one computation" 1 (Atomic.get computes);
+  Alcotest.(check int) "flight empty afterwards" 0 (Single_flight.in_flight sf);
+  Array.iter
+    (fun (v, _) -> Alcotest.(check string) "every caller got the result" "value" v)
+    results;
+  let dedups =
+    Array.fold_left (fun acc (_, dedup) -> if dedup then acc + 1 else acc) 0 results
+  in
+  Alcotest.(check int) "all but the leader coalesced" (n - 1) dedups
+
+let test_single_flight_failure () =
+  let sf = Single_flight.create () in
+  (match Single_flight.run sf ~key:"k" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "leader exception swallowed"
+  | exception Failure msg -> Alcotest.(check string) "exception propagates" "boom" msg);
+  Alcotest.(check int) "failed flight leaves no trace" 0 (Single_flight.in_flight sf);
+  let v, dedup = Single_flight.run sf ~key:"k" (fun () -> "fresh") in
+  Alcotest.(check string) "next call computes afresh" "fresh" v;
+  Alcotest.(check bool) "as a leader" false dedup
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity: serve = exec = CLI binary                             *)
+(* ------------------------------------------------------------------ *)
+
+let statlib_req = Request.Statlib { Request.seed = 7; samples = 2 }
+
+(* fault-free, store-less reference bytes of the statlib request *)
+let reference =
+  lazy
+    (let resp = Run_request.exec statlib_req in
+     if resp.Response.code <> 0 then
+       Alcotest.failf "reference exec failed: %s"
+         (Option.value resp.Response.error ~default:"?");
+     resp.Response.output)
+
+let exe =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "vartune.exe")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_serve_matches_exec_and_cli () =
+  let served =
+    with_serve "bitid.sock" (fun socket _h ->
+        let client = Client.connect socket in
+        Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+        match Client.request ~id:1 client statlib_req with
+        | Ok resp ->
+          Alcotest.(check int) "served request succeeded" 0 resp.Response.code;
+          Alcotest.(check bool) "correlation id echoed" true (resp.Response.id = Some 1);
+          resp.Response.output
+        | Error e -> Alcotest.failf "served response unreadable: %s" e)
+  in
+  Alcotest.(check bool) "serve output = Run_request.exec output" true
+    (String.equal served (Lazy.force reference));
+  let out = in_temp "statlib_cli.out" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s statlib --seed 7 -n 2 > %s 2> /dev/null" (Filename.quote exe)
+         (Filename.quote out))
+  in
+  Alcotest.(check int) "CLI statlib exits 0" 0 code;
+  Alcotest.(check bool) "serve output = CLI stdout bytes" true
+    (String.equal served (read_file out))
+
+(* ------------------------------------------------------------------ *)
+(* GET endpoints                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_get_endpoints () =
+  with_serve "get.sock" (fun socket h ->
+      let client = Client.connect socket in
+      Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+      List.iter
+        (fun endpoint ->
+          let line = Client.get client endpoint in
+          match Json.parse line with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "GET %s returned invalid JSON (%s): %s" endpoint e line)
+        [ "metrics"; "profile"; "health" ];
+      (match Json.parse (Client.get client "metrics") with
+      | Ok json ->
+        (match Json.member "schema" json with
+        | Some (Json.Number _) -> ()
+        | _ -> Alcotest.fail "GET metrics lacks the schema version")
+      | Error e -> Alcotest.failf "GET metrics unparsable: %s" e);
+      (match Json.parse (Client.get client "health") with
+      | Ok json ->
+        (match Json.member "status" json with
+        | Some (Json.String "ok") -> ()
+        | _ -> Alcotest.fail "GET health status not ok")
+      | Error e -> Alcotest.failf "GET health unparsable: %s" e);
+      let s = Serve.stats h in
+      Alcotest.(check int) "GETs are not counted as requests" 0 s.Serve.requests)
+
+let test_malformed_line_answered () =
+  with_serve "mal.sock" (fun socket h ->
+      let client = Client.connect socket in
+      Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+      (match Client.request client statlib_req with
+      | Ok resp -> Alcotest.(check int) "valid request still served" 0 resp.Response.code
+      | Error e -> Alcotest.failf "valid response unreadable: %s" e);
+      let reply = Client.get client "this is not a request" in
+      (match Response.of_line reply with
+      | Ok resp ->
+        Alcotest.(check int) "malformed line answered with 65" 65 resp.Response.code;
+        Alcotest.(check bool) "and an error message" true (resp.Response.error <> None)
+      | Error e -> Alcotest.failf "error reply unreadable: %s" e);
+      let s = Serve.stats h in
+      Alcotest.(check int) "unparsable line counted as error" 1 s.Serve.errors)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent identical requests under the fault harness               *)
+(* ------------------------------------------------------------------ *)
+
+let concurrent_requests ~n socket req =
+  let results = Array.make n None in
+  let threads =
+    List.init n (fun i ->
+        Thread.create
+          (fun () ->
+            let client = Client.connect socket in
+            Fun.protect
+              ~finally:(fun () -> Client.close client)
+              (fun () -> results.(i) <- Some (Client.request ~id:i client req)))
+          ())
+  in
+  List.iter Thread.join threads;
+  Array.to_list results
+  |> List.map (function
+       | Some (Ok resp) -> resp
+       | Some (Error e) -> Alcotest.failf "response unreadable: %s" e
+       | None -> Alcotest.fail "client thread died without a response")
+
+(* N identical concurrent requests against one daemon + store.  Always:
+   every response carries the same bytes (coalesced or recomputed,
+   never divergent).  Fault-free: exactly one computation — one store
+   miss, everyone else answered by the flight or the store.  Faulty:
+   either the bytes still match the fault-free reference (store
+   degradation is invisible) or every response fails with one clean
+   typed sysexits code.  Afterwards a fault-free run over the surviving
+   store must reproduce the reference. *)
+let dedup_case ~jobs ~spec () =
+  let n = 5 in
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs 1) @@ fun () ->
+  let name = Printf.sprintf "dedup_j%d_%s" jobs (match spec with None -> "clean" | Some s -> s) in
+  with_store (name ^ ".store") @@ fun store ->
+  with_serve ~store (name ^ ".sock") @@ fun socket h ->
+  let responses =
+    match spec with
+    | None -> concurrent_requests ~n socket statlib_req
+    | Some spec -> Fault.with_spec spec (fun () -> concurrent_requests ~n socket statlib_req)
+  in
+  let first = List.hd responses in
+  List.iter
+    (fun (r : Response.t) ->
+      Alcotest.(check int) "uniform code across duplicates" first.Response.code r.Response.code;
+      Alcotest.(check bool) "uniform bytes across duplicates" true
+        (String.equal first.Response.output r.Response.output))
+    responses;
+  (match first.Response.code with
+  | 0 ->
+    Alcotest.(check bool) "bytes match the fault-free serial reference" true
+      (String.equal first.Response.output (Lazy.force reference))
+  | 65 | 70 | 74 | 75 -> Alcotest.(check bool) "typed failure carries a message" true (first.Response.error <> None)
+  | code -> Alcotest.failf "unclassified failure code %d" code);
+  (match spec with
+  | None ->
+    let stats = Store.stats store in
+    Alcotest.(check int) "exactly one computation (one store miss)" 1 stats.Store.misses;
+    let s = Serve.stats h in
+    Alcotest.(check int) "flight + store answered the other callers" (n - 1)
+      (s.Serve.dedup_hits + stats.Store.hits)
+  | Some _ -> ());
+  (* whatever the faults did, no corrupt artifact may survive them *)
+  let warm = Run_request.exec ~store statlib_req in
+  Alcotest.(check int) "fault-free run over the surviving store succeeds" 0
+    warm.Response.code;
+  Alcotest.(check bool) "and reproduces the reference bytes" true
+    (String.equal warm.Response.output (Lazy.force reference))
+
+let test_dedup_at jobs () =
+  dedup_case ~jobs ~spec:None ();
+  dedup_case ~jobs ~spec:(Some "worker_crash=1.0:13") ();
+  dedup_case ~jobs ~spec:(Some "enospc=1.0:3") ()
+
+(* ------------------------------------------------------------------ *)
+(* Drain                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Stop while a request is executing: the drain must wait for it and
+   answer it, not cut the connection. *)
+let test_graceful_drain () =
+  let socket = in_temp "drain.sock" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let h = Serve.start { Serve.socket; store = None; backlog = 16 } in
+  let result = ref None in
+  let t =
+    Thread.create
+      (fun () ->
+        let client = Client.connect socket in
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () -> result := Some (Client.request client statlib_req)))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while (Serve.stats h).Serve.active = 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Alcotest.(check bool) "request in flight before the drain" true
+    ((Serve.stats h).Serve.active > 0);
+  Serve.stop h;
+  Thread.join t;
+  (match !result with
+  | Some (Ok resp) -> Alcotest.(check int) "in-flight request answered" 0 resp.Response.code
+  | Some (Error e) -> Alcotest.failf "drained response unreadable: %s" e
+  | None -> Alcotest.fail "in-flight request dropped by the drain");
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
+
+(* The real binary: SIGTERM -> graceful drain -> exit 75. *)
+let test_binary_sigterm_exit_75 () =
+  let socket = in_temp "sigterm.sock" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let dev_null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "--socket"; socket |]
+      Unix.stdin dev_null dev_null
+  in
+  Unix.close dev_null;
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while not (Sys.file_exists socket) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.05
+  done;
+  Alcotest.(check bool) "daemon bound its socket" true (Sys.file_exists socket);
+  Unix.kill pid Sys.sigterm;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> Alcotest.(check int) "SIGTERM drains to exit 75" 75 code
+  | _, Unix.WSIGNALED s -> Alcotest.failf "daemon killed by signal %d instead of draining" s
+  | _, Unix.WSTOPPED _ -> Alcotest.fail "daemon stopped unexpectedly");
+  Alcotest.(check bool) "socket file removed on drain" false (Sys.file_exists socket)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "single-flight",
+        [
+          Alcotest.test_case "coalesces concurrent duplicates" `Quick
+            test_single_flight_dedup;
+          Alcotest.test_case "failed flight leaves no trace" `Quick
+            test_single_flight_failure;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "GET endpoints return JSON" `Quick test_get_endpoints;
+          Alcotest.test_case "malformed lines answered with 65" `Quick
+            test_malformed_line_answered;
+        ] );
+      ( "bit-identity",
+        [
+          Alcotest.test_case "serve = exec = CLI bytes" `Slow
+            test_serve_matches_exec_and_cli;
+        ] );
+      ( "dedup-under-faults",
+        [
+          Alcotest.test_case "jobs=1" `Slow (test_dedup_at 1);
+          Alcotest.test_case "jobs=2" `Slow (test_dedup_at 2);
+          Alcotest.test_case "jobs=7" `Slow (test_dedup_at 7);
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "in-flight request answered" `Slow test_graceful_drain;
+          Alcotest.test_case "binary SIGTERM exits 75" `Slow test_binary_sigterm_exit_75;
+        ] );
+    ]

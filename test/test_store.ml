@@ -52,7 +52,9 @@ let tiny_config =
   { Mcu.xlen = 32; reg_count = 8; mul_width = 4; irq_lines = 2; bus_slaves = 2 }
 
 let tiny_setup =
-  lazy (Experiment.prepare ~samples:2 ~seed:7 ~mcu_config:tiny_config ())
+  lazy
+    (Experiment.prepare_request ~mcu_config:tiny_config
+       (Vartune_flow.Request.Min_period { seed = 7; samples = 2 }))
 
 let tiny_run =
   lazy
@@ -329,7 +331,8 @@ let test_concurrent_writers () =
 let test_flow_cold_warm_identical () =
   with_store "flow" (fun t ->
       let prepare ?store () =
-        Experiment.prepare ~samples:2 ~seed:7 ~mcu_config:tiny_config ?store ()
+        Experiment.prepare_request ~mcu_config:tiny_config ?store
+          (Vartune_flow.Request.Min_period { seed = 7; samples = 2 })
       in
       let tuning =
         {
