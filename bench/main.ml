@@ -26,6 +26,7 @@
      VARTUNE_SKIP_STA       set to skip the incremental-STA section
      VARTUNE_SKIP_STORE     set to skip the cold-vs-warm store section
      VARTUNE_SKIP_SERVE     set to skip the serve/loadgen section
+     VARTUNE_SKIP_KERNELS   set to skip the numeric-kernel section
      VARTUNE_SKIP_FIGURES   set to skip the table/figure regeneration
 
    Part 4 measures the persistent artifact store: the same experiment
@@ -41,7 +42,14 @@
    Part 6 starts an in-process serve daemon on a temp socket, drives
    the loadgen default mix against it (deliberately overlapping
    identical requests), and writes throughput, latency quantiles and
-   the single-flight dedup hit rate to BENCH_serve.json. *)
+   the single-flight dedup hit rate to BENCH_serve.json.
+
+   Part 7 times the flattened numeric kernels: the statistical-library
+   Welford merge over pre-generated sample libraries is run through
+   both the live flat path and the frozen boxed reference
+   (Boxed_ref), asserted bit-identical, and the speedup plus
+   allocation words/sample recorded together with bilinear LUT-lookup
+   throughput in BENCH_kernels.json. *)
 
 module Experiment = Vartune_flow.Experiment
 module Figures = Vartune_flow.Figures
@@ -525,6 +533,142 @@ let serve_benchmarks ~samples ~seed =
   Store.wipe store
 
 (* ------------------------------------------------------------------ *)
+(* Part 7: numeric kernels                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The statistical merge over pre-generated sample libraries — so the
+   characterisation cost is out of the loop and the measurement is the
+   entry-wise Welford kernel itself — run through the live flat path
+   and the frozen boxed reference, plus the fused bilinear LUT lookup.
+   The two merge paths must agree bit-for-bit before any number is
+   reported: the speedup is only meaningful between equal outputs. *)
+let kernel_benchmarks ~samples ~seed =
+  Report.heading "Numeric kernels (flat vs boxed reference)";
+  let pool = Pool.create ~jobs:1 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let libs =
+    Array.init samples (fun index ->
+        Sampler.sample_library Characterize.default_config ~mismatch:Mismatch.default ~seed
+          ~index ())
+  in
+  let gen i = libs.(i) in
+  (* Best-of-3 wall clock (the workload is deterministic, so variance is
+     scheduler noise); allocation from the first rep — identical every
+     rep because the work is identical. *)
+  let reps = 3 in
+  let measure run =
+    let mw0 = Gc.minor_words () in
+    let r, t0 = time run in
+    let alloc = (Gc.minor_words () -. mw0) /. float_of_int samples in
+    let best = ref t0 in
+    for _ = 2 to reps do
+      let _, t = time run in
+      if t < !best then best := t
+    done;
+    (r, !best, alloc)
+  in
+  let flat_lib, flat_s, flat_alloc =
+    measure (fun () -> Statistical.of_stream ~pool ~n:samples gen)
+  in
+  let boxed_lib, boxed_s, boxed_alloc =
+    measure (fun () -> Vartune_statlib.Boxed_ref.of_stream ~pool ~n:samples gen)
+  in
+  let luts_identical a b =
+    Lut.equal ~eps:0.0 a b
+    && Lut.slews a = Lut.slews b
+    && Lut.loads a = Lut.loads b
+  in
+  let agree =
+    List.for_all2
+      (fun (x : Cell.t) (y : Cell.t) ->
+        List.for_all2
+          (fun (p : Arc.t) (q : Arc.t) ->
+            luts_identical p.Arc.rise_delay q.Arc.rise_delay
+            && luts_identical p.Arc.fall_delay q.Arc.fall_delay
+            && luts_identical p.Arc.rise_transition q.Arc.rise_transition
+            && luts_identical p.Arc.fall_transition q.Arc.fall_transition
+            && luts_identical
+                 (Option.get p.Arc.rise_delay_sigma)
+                 (Option.get q.Arc.rise_delay_sigma)
+            && luts_identical
+                 (Option.get p.Arc.fall_delay_sigma)
+                 (Option.get q.Arc.fall_delay_sigma))
+          (Cell.arcs x) (Cell.arcs y))
+      (Library.cells flat_lib) (Library.cells boxed_lib)
+  in
+  if not agree then failwith "kernel benchmark: flat merge diverged from the boxed reference";
+  let speedup = if flat_s > 0.0 then boxed_s /. flat_s else 0.0 in
+  let throughput = if flat_s > 0.0 then float_of_int samples /. flat_s else 0.0 in
+  let alloc_ratio = if boxed_alloc > 0.0 then flat_alloc /. boxed_alloc else 0.0 in
+  Printf.printf "  %-24s flat %7.3f s   boxed %7.3f s   speedup %.2fx\n%!" "statlib merge"
+    flat_s boxed_s speedup;
+  Printf.printf "  %-24s flat %10.0f   boxed %10.0f   ratio %.3f\n%!" "alloc words/sample"
+    flat_alloc boxed_alloc alloc_ratio;
+  (* Bilinear lookup throughput on a production 8x8 delay surface; the
+     1.3 range factor pushes ~a quarter of the points past the last
+     axis breakpoint, so extrapolation stays on the measured path. *)
+  let lut =
+    let inv = Library.find (Characterize.nominal Characterize.default_config) "INV_4" in
+    (List.hd (Cell.arcs inv)).Arc.rise_delay
+  in
+  let slews = Lut.slews lut and loads = Lut.loads lut in
+  let smin = slews.(0) and smax = slews.(Array.length slews - 1) in
+  let lmin = loads.(0) and lmax = loads.(Array.length loads - 1) in
+  let iters = 2_000_000 in
+  let sink = ref 0.0 in
+  let _, lut_s =
+    time (fun () ->
+        for i = 0 to iters - 1 do
+          let fi = float_of_int i in
+          let s = smin +. (Float.rem (fi *. 0.618) 1.3 *. (smax -. smin)) in
+          let l = lmin +. (Float.rem (fi *. 0.382) 1.3 *. (lmax -. lmin)) in
+          sink := !sink +. Lut.lookup lut ~slew:s ~load:l
+        done)
+  in
+  let ns_per_lookup = lut_s *. 1e9 /. float_of_int iters in
+  Printf.printf "  %-24s %d lookups in %.3f s   %.1f ns/lookup (sink %.3f)\n%!" "lut bilinear"
+    iters lut_s ns_per_lookup !sink;
+  let oc = open_out "BENCH_kernels.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"samples\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"jobs\": 1,\n\
+    \  \"statlib\": {\n\
+    \    \"flat\": {\"seconds\": %.6f, \"alloc_words_per_sample\": %.0f},\n\
+    \    \"boxed\": {\"seconds\": %.6f, \"alloc_words_per_sample\": %.0f},\n\
+    \    \"speedup\": %.3f,\n\
+    \    \"throughput_per_sec\": %.2f,\n\
+    \    \"alloc_ratio\": %.4f\n\
+    \  },\n\
+    \  \"lut_lookup\": {\"iters\": %d, \"seconds\": %.6f, \"ns_per_lookup\": %.2f},\n\
+    \  \"ocaml_version\": \"%s\"\n\
+     }\n"
+    samples seed flat_s flat_alloc boxed_s boxed_alloc speedup throughput alloc_ratio iters
+    lut_s ns_per_lookup Sys.ocaml_version;
+  close_out oc;
+  Log.app (fun m -> m "wrote BENCH_kernels.json");
+  (* Unlike the parallel gate this ratio compares two code paths on the
+     same core in the same process, so it is meaningful even on a
+     single-hardware-core runner.  The floor sits below the locally
+     demonstrated speedup to absorb runner noise while still catching a
+     real regression to boxed-era throughput. *)
+  if Sys.getenv_opt "VARTUNE_BENCH_GATE" <> None then
+    if speedup < 1.2 then begin
+      Log.err (fun m ->
+          m "bench gate: flat/boxed merge speedup %.2fx is below the 1.2x floor" speedup);
+      exit 1
+    end
+    else if alloc_ratio >= 1.0 then begin
+      Log.err (fun m ->
+          m "bench gate: flat path allocates %.2fx the boxed reference per sample" alloc_ratio);
+      exit 1
+    end
+    else
+      Log.app (fun m ->
+          m "bench gate passed: kernel speedup %.2fx, alloc ratio %.3f" speedup alloc_ratio)
+
+(* ------------------------------------------------------------------ *)
 
 (* Same telemetry outputs as the CLI's --trace / --metrics-out, driven
    by environment variables so `dune exec bench/main.exe` stays
@@ -562,5 +706,6 @@ let () =
   if Sys.getenv_opt "VARTUNE_SKIP_STA" = None then sta_benchmarks ();
   if Sys.getenv_opt "VARTUNE_SKIP_STORE" = None then store_benchmarks ~samples ~seed;
   if Sys.getenv_opt "VARTUNE_SKIP_SERVE" = None then serve_benchmarks ~samples ~seed;
+  if Sys.getenv_opt "VARTUNE_SKIP_KERNELS" = None then kernel_benchmarks ~samples ~seed;
   if Sys.getenv_opt "VARTUNE_SKIP_FIGURES" = None then Figures.run_all setup;
   Log.app (fun m -> m "total wall time: %.1f s" (Unix.gettimeofday () -. t0))

@@ -36,14 +36,27 @@ let worst_sigma t =
   | None, Some f -> Some f
   | None, None -> None
 
-let delay t ~slew ~load =
-  Float.max (Lut.lookup t.rise_delay ~slew ~load) (Lut.lookup t.fall_delay ~slew ~load)
+(* [make] pinned every table to [rise_delay]'s axes, so the fused
+   two-table lookups below run one segment search per query instead of
+   two; each component is bit-identical to a plain Lut.lookup. *)
+let delay t ~slew ~load = Lut.lookup_max2 t.rise_delay t.fall_delay ~slew ~load
+let min_delay t ~slew ~load = Lut.lookup_min2 t.rise_delay t.fall_delay ~slew ~load
+let transition t ~slew ~load = Lut.lookup_max2 t.rise_transition t.fall_transition ~slew ~load
 
-let min_delay t ~slew ~load =
-  Float.min (Lut.lookup t.rise_delay ~slew ~load) (Lut.lookup t.fall_delay ~slew ~load)
-
-let transition t ~slew ~load =
-  Float.max (Lut.lookup t.rise_transition ~slew ~load) (Lut.lookup t.fall_transition ~slew ~load)
+(* One-shot evaluation for the STA inner loop: a single segment search
+   serves all four surfaces, and the three derived quantities land in
+   caller scratch — nothing allocates.  [min_delay] falls out of the
+   same two interpolations as [delay], so computing it unconditionally
+   is free. *)
+let eval_into t ~slew ~load ~out =
+  if Array.length out < 4 then invalid_arg "Arc.eval_into: out too short";
+  Lut.lookup4_into t.rise_delay t.fall_delay t.rise_transition t.fall_transition ~slew ~load
+    ~out;
+  let rd = Array.unsafe_get out 0 and fd = Array.unsafe_get out 1 in
+  let rt = Array.unsafe_get out 2 and ft = Array.unsafe_get out 3 in
+  Array.unsafe_set out 0 (Float.max rd fd);
+  Array.unsafe_set out 1 (Float.min rd fd);
+  Array.unsafe_set out 2 (Float.max rt ft)
 
 let sigma t ~slew ~load =
   let look = function None -> 0.0 | Some lut -> Lut.lookup lut ~slew ~load in

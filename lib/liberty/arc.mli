@@ -55,6 +55,16 @@ val min_delay : t -> slew:float -> load:float -> float
 val transition : t -> slew:float -> load:float -> float
 (** Worst-case interpolated output transition. *)
 
+val eval_into : t -> slew:float -> load:float -> out:float array -> unit
+(** One-shot arc evaluation for the STA inner loop: a single fused
+    segment search over the arc's shared axes computes all four
+    surfaces, leaving [out.(0) = delay], [out.(1) = min_delay] and
+    [out.(2) = transition] — each bit-identical to the corresponding
+    scalar query above.  [out] must have length >= 4 ([out.(3)] is
+    internal scratch); it is caller-owned so repeated evaluation
+    allocates nothing.  Raises [Invalid_argument] if [out] is too
+    short. *)
+
 val sigma : t -> slew:float -> load:float -> float
 (** Worst-case interpolated delay sigma; [0.] for nominal libraries. *)
 

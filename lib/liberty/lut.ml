@@ -1,4 +1,5 @@
 module Grid = Vartune_util.Grid
+module Kernel = Vartune_util.Kernel
 
 type t = { slews : float array; loads : float array; values : Grid.t }
 
@@ -29,54 +30,30 @@ let values t = t.values
 let dims t = (Array.length t.slews, Array.length t.loads)
 let get t i j = Grid.get t.values i j
 
-(* [make] checked that the grid matches the axes, and [segment] returns
-   indices inside the axes, so the interpolation below may skip bounds
-   checks — this lookup dominates the STA inner loop. *)
-let uget t i j = Grid.unsafe_get t.values i j
-
-(* Index of the lower end of the axis segment bracketing [x]; out-of-range
-   queries use the outermost segment (linear extrapolation). *)
-let segment axis x =
-  let n = Array.length axis in
-  if n = 1 then 0
-  else if x <= axis.(0) then 0
-  else if x >= axis.(n - 1) then n - 2
-  else begin
-    let rec search lo hi =
-      if hi - lo <= 1 then lo
-      else begin
-        let mid = (lo + hi) / 2 in
-        if axis.(mid) <= x then search mid hi else search lo mid
-      end
-    in
-    search 0 (n - 1)
-  end
-
-(* Paper eqs. (2)-(4): interpolate along the load axis first (P1, P2), then
-   along the slew axis. *)
+(* Paper eqs. (2)-(4) live in Vartune_util.Kernel.Bilinear now: one
+   fused pass over the flat row-major backing with hoisted axis loads.
+   [make] checked that the grid matches the axes, so the kernel's
+   no-bounds-check contract holds — this lookup dominates the STA
+   inner loop. *)
 let lookup t ~slew ~load =
-  let i = segment t.slews slew and j = segment t.loads load in
-  let n_slew = Array.length t.slews and n_load = Array.length t.loads in
-  if n_slew = 1 && n_load = 1 then uget t 0 0
-  else if n_slew = 1 then begin
-    let l0 = Array.unsafe_get t.loads j and l1 = Array.unsafe_get t.loads (j + 1) in
-    let wl = (load -. l0) /. (l1 -. l0) in
-    ((1.0 -. wl) *. uget t 0 j) +. (wl *. uget t 0 (j + 1))
-  end
-  else if n_load = 1 then begin
-    let s0 = Array.unsafe_get t.slews i and s1 = Array.unsafe_get t.slews (i + 1) in
-    let ws = (slew -. s0) /. (s1 -. s0) in
-    ((1.0 -. ws) *. uget t i 0) +. (ws *. uget t (i + 1) 0)
-  end
-  else begin
-    let l0 = Array.unsafe_get t.loads j and l1 = Array.unsafe_get t.loads (j + 1) in
-    let s0 = Array.unsafe_get t.slews i and s1 = Array.unsafe_get t.slews (i + 1) in
-    let wl = (load -. l0) /. (l1 -. l0) in
-    let p1 = ((1.0 -. wl) *. uget t i j) +. (wl *. uget t i (j + 1)) in
-    let p2 = ((1.0 -. wl) *. uget t (i + 1) j) +. (wl *. uget t (i + 1) (j + 1)) in
-    let ws = (slew -. s0) /. (s1 -. s0) in
-    ((1.0 -. ws) *. p1) +. (ws *. p2)
-  end
+  Kernel.Bilinear.lookup ~xs:t.slews ~ys:t.loads (Grid.unsafe_data t.values) ~x:slew ~y:load
+
+(* Fused rise/fall entry points: one segment search over the shared
+   axes serves both surfaces.  Axis sharing is the caller's contract
+   (Arc.make enforces it across an arc's tables); each component is
+   bit-identical to the corresponding plain [lookup]. *)
+let lookup_max2 a b ~slew ~load =
+  Kernel.Bilinear.lookup_max2 ~xs:a.slews ~ys:a.loads (Grid.unsafe_data a.values)
+    (Grid.unsafe_data b.values) ~x:slew ~y:load
+
+let lookup_min2 a b ~slew ~load =
+  Kernel.Bilinear.lookup_min2 ~xs:a.slews ~ys:a.loads (Grid.unsafe_data a.values)
+    (Grid.unsafe_data b.values) ~x:slew ~y:load
+
+let lookup4_into a b c d ~slew ~load ~out =
+  Kernel.Bilinear.lookup4_into ~xs:a.slews ~ys:a.loads (Grid.unsafe_data a.values)
+    (Grid.unsafe_data b.values) (Grid.unsafe_data c.values) (Grid.unsafe_data d.values)
+    ~x:slew ~y:load ~out
 
 let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
 
@@ -87,7 +64,28 @@ let lookup_clamped t ~slew ~load =
 
 let map f t = { t with values = Grid.map f t.values }
 
-let same_axes a b = a.slews = b.slews && a.loads = b.loads
+(* IEEE-754 bit equality per entry, not structural [=]: polymorphic
+   equality on float arrays boxes every element and calls NaN unequal
+   to itself, so a NaN-carrying axis (representable — strictly-
+   increasing accepts a single-element NaN axis) would make a table
+   unequal to a copy of itself and poison every map2/merge.  Bitwise,
+   NaN axes agree with themselves; -0.0 and +0.0 differ, which a
+   strictly increasing axis can never produce side by side anyway. *)
+let axis_bits_equal a b =
+  let n = Array.length a in
+  n = Array.length b
+  && begin
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if
+        Int64.bits_of_float (Array.unsafe_get a i)
+        <> Int64.bits_of_float (Array.unsafe_get b i)
+      then ok := false
+    done;
+    !ok
+  end
+
+let same_axes a b = axis_bits_equal a.slews b.slews && axis_bits_equal a.loads b.loads
 
 let map2 f a b =
   if not (same_axes a b) then invalid_arg "Lut.map2: axis mismatch";
@@ -115,8 +113,12 @@ let merge ts ~f =
 let equal ?eps a b = same_axes a b && Grid.equal ?eps a.values b.values
 
 let pp ppf t =
+  (* Axes print with the repository's round-trip-exact convention
+     (shortest of %.12g/%.17g), not pp_print_float's lossy %.12g-ish
+     rendering: a breakpoint copied out of a debug dump must be the
+     breakpoint. *)
   Format.fprintf ppf "slews: %a@\nloads: %a@\n%a"
-    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_float)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Vartune_util.Floatfmt.pp)
     (Array.to_list t.slews)
-    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_float)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Vartune_util.Floatfmt.pp)
     (Array.to_list t.loads) Grid.pp t.values

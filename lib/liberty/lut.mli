@@ -39,6 +39,26 @@ val lookup_clamped : t -> slew:float -> load:float -> float
 (** Like {!lookup} but the query point is first clamped into the table's
     axis ranges — no extrapolation. *)
 
+val lookup_max2 : t -> t -> slew:float -> load:float -> float
+(** [lookup_max2 a b ~slew ~load] is
+    [Float.max (lookup a ...) (lookup b ...)] computed with a single
+    fused segment search over [a]'s axes — the worst-edge shape of
+    rise/fall delay and transition queries.  The caller guarantees the
+    two tables share axes (true for any pair from one arc, which
+    {!Arc.make} enforces); each component is bit-identical to the
+    plain {!lookup}. *)
+
+val lookup_min2 : t -> t -> slew:float -> load:float -> float
+(** Best-edge counterpart of {!lookup_max2} ([Float.min]); same axis
+    contract. *)
+
+val lookup4_into : t -> t -> t -> t -> slew:float -> load:float -> out:float array -> unit
+(** [lookup4_into a b c d ~slew ~load ~out] interpolates four same-axes
+    tables — an arc's rise/fall delay and rise/fall transition — with
+    one segment search, writing table [k]'s value to [out.(k)]
+    (length >= 4, caller scratch; nothing is allocated).  Same axis
+    contract and bit-exactness as {!lookup_max2}. *)
+
 val map : (float -> float) -> t -> t
 (** Pointwise transformation; axes preserved. *)
 
@@ -56,7 +76,10 @@ val merge : t list -> f:(float array -> float) -> t
     Section IV (e.g. [f = Stat.mean] or [f = Stat.stddev]). *)
 
 val same_axes : t -> t -> bool
-(** Whether two tables share both axes exactly. *)
+(** Whether two tables share both axes exactly, compared entry-wise on
+    IEEE-754 bit patterns: NaN equals NaN, [-0.0] differs from [0.0].
+    (Structural [=] would box every element and call a NaN-carrying
+    axis unequal to itself.) *)
 
 val equal : ?eps:float -> t -> t -> bool
 (** Axes equal exactly and values within [eps] (default [1e-12]). *)

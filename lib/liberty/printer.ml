@@ -1,7 +1,6 @@
-(* Shortest decimal representation that round-trips the float exactly. *)
-let float_repr f =
-  let short = Printf.sprintf "%.12g" f in
-  if float_of_string short = f then short else Printf.sprintf "%.17g" f
+(* Shortest decimal representation that round-trips the float exactly —
+   the shared repository convention. *)
+let float_repr = Vartune_util.Floatfmt.repr
 
 let pp_axis ppf axis =
   let parts = Array.to_list (Array.map (float_repr) axis) in

@@ -36,33 +36,59 @@ let default_config =
 
 type result = { delays : float array; mean : float; sigma : float }
 
-type resolved_step = {
-  spec : Spec.t;
-  drive : int;
-  out_pin : string;
-  slew : float;
-  load : float;
+(* A resolved path is stored struct-of-arrays: the per-step scalars the
+   sample loop touches (slew, load, Pelgrom sigmas) sit in flat
+   unboxed float arrays indexed by step, not behind a list of records.
+   The Pelgrom sigmas are precomputed here once per path — the same
+   [resistance_sigma]/[intrinsic_sigma] arithmetic [Mismatch.draw]
+   performs per draw, so the draws below stay bit-identical. *)
+type resolved = {
+  nsteps : int;
+  specs : Spec.t array;
+  drives : int array;
+  out_pins : string array;
+  slews : float array;
+  loads : float array;
+  res_sigmas : float array;  (* per-step Pelgrom resistance sigma *)
+  int_sigmas : float array;  (* per-step Pelgrom intrinsic sigma *)
 }
 
-let resolve (path : Path.t) =
-  List.map
-    (fun (s : Path.step) ->
-      match Catalog.find s.cell.Cell.family with
-      | None ->
-        invalid_arg
-          (Printf.sprintf "Path_mc: cell family %s not in catalog" s.cell.Cell.family)
-      | Some spec ->
-        { spec; drive = s.cell.Cell.drive_strength; out_pin = s.out_pin;
-          slew = s.input_slew; load = s.load })
-    path.Path.steps
+let resolve cfg (path : Path.t) =
+  let steps = Array.of_list path.Path.steps in
+  let nsteps = Array.length steps in
+  let spec_of (s : Path.step) =
+    match Catalog.find s.cell.Cell.family with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Path_mc: cell family %s not in catalog" s.cell.Cell.family)
+    | Some spec -> spec
+  in
+  let specs = Array.map spec_of steps in
+  let drives = Array.map (fun (s : Path.step) -> s.cell.Cell.drive_strength) steps in
+  let r = {
+    nsteps;
+    specs;
+    drives;
+    out_pins = Array.map (fun (s : Path.step) -> s.out_pin) steps;
+    slews = Array.map (fun (s : Path.step) -> s.input_slew) steps;
+    loads = Array.map (fun (s : Path.step) -> s.load) steps;
+    res_sigmas = Array.make nsteps 0.0;
+    int_sigmas = Array.make nsteps 0.0;
+  } in
+  for k = 0 to nsteps - 1 do
+    let stages = Delay_model.stage_count specs.(k) in
+    r.res_sigmas.(k) <-
+      Mismatch.resistance_sigma cfg.mismatch ~stages ~drive:drives.(k) ();
+    r.int_sigmas.(k) <- Mismatch.intrinsic_sigma cfg.mismatch ~stages ~drive:drives.(k) ()
+  done;
+  r
 
-let step_delay cfg ~corner_factor ~sample step =
+let step_delay cfg ~corner_factor ~sample r k =
   let delay edge =
-    Delay_model.delay cfg.params step.spec ~drive:step.drive ~output:step.out_pin ~edge
-      ~corner_factor ~sample ~slew:step.slew ~load:step.load
+    Delay_model.delay cfg.params r.specs.(k) ~drive:r.drives.(k) ~output:r.out_pins.(k)
+      ~edge ~corner_factor ~sample ~slew:r.slews.(k) ~load:r.loads.(k)
   in
   Float.max (delay Delay_model.Rise) (delay Delay_model.Fall)
-
 
 let simulate ?pool cfg ~seed (path : Path.t) =
   let pool = match pool with Some p -> p | None -> Pool.default () in
@@ -71,7 +97,7 @@ let simulate ?pool cfg ~seed (path : Path.t) =
       [ ("samples", string_of_int cfg.n); ("depth", string_of_int (Path.depth path)) ])
   @@ fun () ->
   Obs.Counter.add c_samples cfg.n;
-  let steps = resolve path in
+  let r = resolve cfg path in
   let base = Rng.stream (Rng.create seed) 0 in
   let corner_factor = Corner.delay_factor cfg.corner in
   (* Sample i draws from its own stream derived from (seed, i), so the
@@ -86,17 +112,25 @@ let simulate ?pool cfg ~seed (path : Path.t) =
           if cfg.include_global then Variation.draw_factor cfg.global_variation rng
           else 1.0
         in
-        List.fold_left
-          (fun acc step ->
-            let sample =
-              if cfg.include_local then
-                Mismatch.draw cfg.mismatch rng
-                  ~stages:(Delay_model.stage_count step.spec)
-                  ~drive:step.drive ()
-              else Mismatch.zero_sample
-            in
-            acc +. (global *. step_delay cfg ~corner_factor ~sample step))
-          0.0 steps)
+        (* One scratch sample per Monte-Carlo trial, refreshed in place
+           each step — the per-step allocation of the old record-list
+           fold is gone.  Draw order matches [Mismatch.draw], and the
+           left-to-right sum is the same float-op sequence as the old
+           [List.fold_left], so results are bit-identical. *)
+        let scratch = { Mismatch.d_resistance = 0.0; d_intrinsic = 0.0 } in
+        let acc = ref 0.0 in
+        for k = 0 to r.nsteps - 1 do
+          let sample =
+            if cfg.include_local then begin
+              Mismatch.draw_into rng ~resistance_sigma:r.res_sigmas.(k)
+                ~intrinsic_sigma:r.int_sigmas.(k) scratch;
+              scratch
+            end
+            else Mismatch.zero_sample
+          in
+          acc := !acc +. (global *. step_delay cfg ~corner_factor ~sample r k)
+        done;
+        !acc)
   in
   { delays; mean = Stat.mean delays; sigma = Stat.stddev delays }
 

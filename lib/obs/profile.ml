@@ -91,7 +91,19 @@ let fresh_acc () =
 let key_of_path path = String.concat "\x1f" path
 
 let of_events evs =
-  let evs = List.sort (fun a b -> Obs.(compare (a.dom, a.ts_us, -. a.dur_us) (b.dom, b.ts_us, -. b.dur_us))) evs in
+  (* dom asc, then start asc, then duration desc (parents before their
+     children at equal start) — explicit Int/Float comparisons, not a
+     polymorphic tuple compare that would box every float. *)
+  let evs =
+    List.sort
+      (fun (a : Obs.event) (b : Obs.event) ->
+        let c = Int.compare a.dom b.dom in
+        if c <> 0 then c
+        else
+          let c = Float.compare a.ts_us b.ts_us in
+          if c <> 0 then c else Float.compare b.dur_us a.dur_us)
+      evs
+  in
   let table : (string, string list * acc) Hashtbl.t = Hashtbl.create 64 in
   let acc_for path =
     let key = key_of_path path in
@@ -156,7 +168,7 @@ let of_events evs =
           else None)
         entries
     in
-    let children = List.sort (fun x y -> compare y.total_us x.total_us) children in
+    let children = List.sort (fun x y -> Float.compare y.total_us x.total_us) children in
     {
       label = List.nth path (List.length path - 1);
       path;
@@ -174,7 +186,7 @@ let of_events evs =
     entries
     |> List.filter (fun (p, _) -> List.length p = 1)
     |> List.map build_node
-    |> List.sort (fun x y -> compare y.total_us x.total_us)
+    |> List.sort (fun x y -> Float.compare y.total_us x.total_us)
   in
   (* flat rows: merge by label across every path *)
   let flat : (string, acc) Hashtbl.t = Hashtbl.create 32 in
@@ -213,7 +225,7 @@ let of_events evs =
         :: acc)
       flat []
     |> List.sort (fun x y ->
-           let c = compare y.r_self_us x.r_self_us in
+           let c = Float.compare y.r_self_us x.r_self_us in
            if c <> 0 then c else compare x.r_label y.r_label)
   in
   let domains =
@@ -376,7 +388,7 @@ let to_text t =
     t.domains;
   let gc_rows =
     List.filter (fun r -> r.r_gc.minor_words > 0.0 || r.r_gc.major_words > 0.0) t.rows
-    |> List.sort (fun a b -> compare b.r_gc.minor_words a.r_gc.minor_words)
+    |> List.sort (fun a b -> Float.compare b.r_gc.minor_words a.r_gc.minor_words)
   in
   if gc_rows <> [] then begin
     Buffer.add_string buf "\nGC attribution (per span, children included):\n";

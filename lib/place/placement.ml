@@ -180,7 +180,7 @@ let overlap_free t nl =
     (fun _ cells ok ->
       ok
       &&
-      let sorted = List.sort (fun a b -> compare a.x b.x) cells in
+      let sorted = List.sort (fun a b -> Float.compare a.x b.x) cells in
       let rec check = function
         | a :: (b :: _ as rest) ->
           (a.x +. (a.width /. 2.0)) <= (b.x -. (b.width /. 2.0)) +. 1e-6 && check rest

@@ -15,8 +15,13 @@ let pelgrom base ~stages ~drive =
 let resistance_sigma t ?(stages = 1) ~drive () = pelgrom t.sigma_resistance ~stages ~drive
 let intrinsic_sigma t ?(stages = 1) ~drive () = pelgrom t.sigma_intrinsic ~stages ~drive
 
-type sample = { d_resistance : float; d_intrinsic : float }
+(* All-float record: OCaml stores it as a flat float block, so a sample
+   is unboxed storage whether or not the fields are mutable.  The
+   mutable fields let [draw_into] refresh a caller-owned scratch sample
+   in hot Monte-Carlo loops instead of allocating one per draw. *)
+type sample = { mutable d_resistance : float; mutable d_intrinsic : float }
 
+(* Shared constant — never pass it to [draw_into]. *)
 let zero_sample = { d_resistance = 0.0; d_intrinsic = 0.0 }
 
 let draw t rng ?(stages = 1) ~drive () =
@@ -24,3 +29,11 @@ let draw t rng ?(stages = 1) ~drive () =
     d_resistance = Rng.gaussian rng ~mean:0.0 ~sigma:(resistance_sigma t ~stages ~drive ());
     d_intrinsic = Rng.gaussian rng ~mean:0.0 ~sigma:(intrinsic_sigma t ~stages ~drive ());
   }
+
+(* Same draw order (resistance first) as [draw], with the Pelgrom
+   sigmas precomputed by the caller — bit-identical when the sigmas
+   were produced by [resistance_sigma]/[intrinsic_sigma] at the same
+   stages/drive. *)
+let draw_into rng ~resistance_sigma ~intrinsic_sigma dst =
+  dst.d_resistance <- Rng.gaussian rng ~mean:0.0 ~sigma:resistance_sigma;
+  dst.d_intrinsic <- Rng.gaussian rng ~mean:0.0 ~sigma:intrinsic_sigma

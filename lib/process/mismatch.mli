@@ -29,11 +29,23 @@ val resistance_sigma : t -> ?stages:int -> drive:int -> unit -> float
 val intrinsic_sigma : t -> ?stages:int -> drive:int -> unit -> float
 
 type sample = {
-  d_resistance : float;  (** relative deviation of drive resistance *)
-  d_intrinsic : float;  (** relative deviation of intrinsic delay *)
+  mutable d_resistance : float;  (** relative deviation of drive resistance *)
+  mutable d_intrinsic : float;  (** relative deviation of intrinsic delay *)
 }
+(** All-float record, stored flat and unboxed.  The fields are mutable
+    so hot loops can reuse one scratch sample via [draw_into]; treat
+    samples you did not allocate yourself as read-only. *)
 
 val zero_sample : sample
+(** Shared constant — never mutate it or pass it to [draw_into]. *)
 
 val draw : t -> Vartune_util.Rng.t -> ?stages:int -> drive:int -> unit -> sample
 (** One local-variation sample for one cell instance. *)
+
+val draw_into :
+  Vartune_util.Rng.t -> resistance_sigma:float -> intrinsic_sigma:float -> sample -> unit
+(** Allocation-free [draw] with caller-precomputed Pelgrom sigmas:
+    overwrites [sample] with fresh gaussian deviates, consuming the RNG
+    in the same order as [draw] (resistance first) — bit-identical to
+    [draw] when the sigmas come from [resistance_sigma] and
+    [intrinsic_sigma] at the same stages/drive. *)

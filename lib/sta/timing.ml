@@ -92,6 +92,11 @@ type t = {
   crit_idx : int array;  (* net -> winning arc index into driver's e_arcs *)
   crit_delay : float array;  (* net -> winning arc's delay *)
   ep_seed : float array;  (* net -> tightest endpoint required, or inf *)
+  (* Arc.eval_into scratch (delay, min_delay, transition, spare).  The
+     analysis is single-domain — the pool parallelises across analyses,
+     never inside one — so one buffer per graph is race-free and keeps
+     the forward sweep allocation-free. *)
+  arc_out : float array;
   mutable eps : endpoint_timing list;
   mutable hold_eps : endpoint_timing list;
 }
@@ -290,8 +295,13 @@ let eval_forward t k =
             Array.unsafe_get t.slews innet,
             Array.unsafe_get t.min_arrivals innet )
       in
-      let delay = Arc.delay arc ~slew:in_slew ~load in
-      let out_slew = Arc.transition arc ~slew:in_slew ~load in
+      (* One fused segment search yields delay, min_delay and
+         transition together (the arc's tables share axes); each value
+         is bit-identical to the scalar Arc.delay/min_delay/transition
+         queries this loop used to make. *)
+      Arc.eval_into arc ~slew:in_slew ~load ~out:t.arc_out;
+      let delay = Array.unsafe_get t.arc_out 0 in
+      let out_slew = Array.unsafe_get t.arc_out 2 in
       if in_arrival +. delay > !best then begin
         best := in_arrival +. delay;
         best_idx := ai;
@@ -299,7 +309,7 @@ let eval_forward t k =
       end;
       if out_slew > !best_slew then best_slew := out_slew;
       if in_min < infinity then begin
-        let d = Arc.min_delay arc ~slew:in_slew ~load in
+        let d = Array.unsafe_get t.arc_out 1 in
         if in_min +. d < !mina then mina := in_min +. d
       end
     done;
@@ -436,6 +446,7 @@ let run cfg nl =
       crit_idx = Array.make n (-1);
       crit_delay = Array.make n 0.0;
       ep_seed = Array.make n infinity;
+      arc_out = Array.make 4 0.0;
       eps = [];
       hold_eps = [];
     }

@@ -40,7 +40,7 @@ let report ?(max_paths = 5) timing nl =
   add "%s\n\n" (summary timing);
   let worst =
     Timing.endpoints timing
-    |> List.sort (fun (a : Timing.endpoint_timing) b -> compare a.Timing.slack b.Timing.slack)
+    |> List.sort (fun (a : Timing.endpoint_timing) b -> Float.compare a.Timing.slack b.Timing.slack)
     |> take max_paths
   in
   List.iteri

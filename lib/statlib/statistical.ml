@@ -1,5 +1,6 @@
 module Grid = Vartune_util.Grid
 module Pool = Vartune_util.Pool
+module Kernel = Vartune_util.Kernel
 module Lut = Vartune_liberty.Lut
 module Arc = Vartune_liberty.Arc
 module Pin = Vartune_liberty.Pin
@@ -11,176 +12,128 @@ let c_samples = Obs.Counter.make "statlib.samples"
 let c_entries = Obs.Counter.make "statlib.lut_entries_merged"
 
 (* ------------------------------------------------------------------ *)
-(* Welford accumulation over LUT entries                               *)
+(* Flat SoA layout                                                     *)
 (* ------------------------------------------------------------------ *)
 
-type acc = { template : Lut.t; mutable count : int; mean : Grid.t; m2 : Grid.t }
+(* A sample library's statistics live in ONE flat float array per
+   accumulator role (mean, m2, sample scratch), not in per-entry or
+   per-table records.  The [layout] is the structural skeleton derived
+   from a chunk's first sample: for flattened arc [a] (cells in library
+   order, arcs in [Cell.arcs] order), the four tables occupy the block
 
-let acc_create lut =
-  let rows, cols = Lut.dims lut in
-  { template = lut; count = 0; mean = Grid.create ~rows ~cols 0.0; m2 = Grid.create ~rows ~cols 0.0 }
+     [offset.(a) ... offset.(a) + 4 * size.(a))
 
-let acc_update acc lut =
-  if not (Lut.same_axes acc.template lut) then
-    invalid_arg "Statistical: sample library has mismatched table axes";
-  acc.count <- acc.count + 1;
-  let n = float_of_int acc.count in
-  let rows, cols = Lut.dims lut in
-  for i = 0 to rows - 1 do
-    for j = 0 to cols - 1 do
-      let x = Lut.get lut i j in
-      let m = Grid.get acc.mean i j in
-      let delta = x -. m in
-      let m' = m +. (delta /. n) in
-      Grid.set acc.mean i j m';
-      Grid.set acc.m2 i j (Grid.get acc.m2 i j +. (delta *. (x -. m')))
-    done
-  done;
-  Obs.Counter.add c_entries (rows * cols)
-
-(* Chan et al. pairwise combination of two Welford partials, entry-wise
-   over the grids.  [a] is the left (lower-index) sample block and
-   absorbs [b].  Same formula as Vartune_util.Stat.Welford.merge. *)
-let acc_merge a b =
-  if not (Lut.same_axes a.template b.template) then
-    invalid_arg "Statistical: sample library has mismatched table axes";
-  if b.count > 0 then begin
-    if a.count = 0 then begin
-      a.count <- b.count;
-      let rows, cols = Lut.dims a.template in
-      for i = 0 to rows - 1 do
-        for j = 0 to cols - 1 do
-          Grid.set a.mean i j (Grid.get b.mean i j);
-          Grid.set a.m2 i j (Grid.get b.m2 i j)
-        done
-      done
-    end
-    else begin
-      let na = float_of_int a.count and nb = float_of_int b.count in
-      let n = na +. nb in
-      let rows, cols = Lut.dims a.template in
-      for i = 0 to rows - 1 do
-        for j = 0 to cols - 1 do
-          let ma = Grid.get a.mean i j and mb = Grid.get b.mean i j in
-          let delta = mb -. ma in
-          Grid.set a.mean i j (ma +. (delta *. (nb /. n)));
-          Grid.set a.m2 i j
-            (Grid.get a.m2 i j +. Grid.get b.m2 i j
-            +. (delta *. delta *. (na *. nb /. n)))
-        done
-      done;
-      a.count <- a.count + b.count
-    end
-  end
-
-let acc_mean acc =
-  Lut.make ~slews:(Lut.slews acc.template) ~loads:(Lut.loads acc.template) ~values:acc.mean
-
-let acc_sigma acc =
-  (* Cancellation in the streaming update / pairwise merge can leave a
-     tiny negative m2 (think -1e-18) on near-constant entries; clamp it
-     so sigma is 0 there instead of NaN.  Genuine NaN still propagates:
-     only negatives are clamped. *)
-  let values =
-    if acc.count < 2 then Grid.map (fun _ -> 0.0) acc.m2
-    else
-      Grid.map
-        (fun m2 ->
-          let v = m2 /. float_of_int (acc.count - 1) in
-          sqrt (if v < 0.0 then 0.0 else v))
-        acc.m2
-  in
-  Lut.make ~slews:(Lut.slews acc.template) ~loads:(Lut.loads acc.template) ~values
-
-(* ------------------------------------------------------------------ *)
-(* Structural accumulators mirroring the library shape                 *)
-(* ------------------------------------------------------------------ *)
-
-type arc_acc = {
-  proto : Arc.t;
-  rise_delay : acc;
-  fall_delay : acc;
-  rise_transition : acc;
-  fall_transition : acc;
+   in sub-block order rise_delay, fall_delay, rise_transition,
+   fall_transition, each sub-block the row-major table surface.  The
+   entry-wise Welford update and Chan merge (paper Section IV) then run
+   once over the whole array through Vartune_util.Kernel — contiguous,
+   unboxed, no per-entry structure. *)
+type layout = {
+  proto_cells : Cell.t array;  (* structure: names, pins, leakage, ... *)
+  arc_protos : Arc.t array;  (* flattened arc order; axes + power protos *)
+  cell_first_arc : int array;  (* cell -> first index into arc_protos *)
+  cell_arc_count : int array;
+  offset : int array;  (* arc -> start of its 4-table block *)
+  size : int array;  (* arc -> entries in ONE table (rows * cols) *)
+  total : int;  (* length of the flat arrays *)
 }
 
-let arc_acc_create (a : Arc.t) =
-  {
-    proto = a;
-    rise_delay = acc_create a.rise_delay;
-    fall_delay = acc_create a.fall_delay;
-    rise_transition = acc_create a.rise_transition;
-    fall_transition = acc_create a.fall_transition;
-  }
+let layout_of_library lib =
+  let proto_cells = Array.of_list (Library.cells lib) in
+  let ncells = Array.length proto_cells in
+  let cell_first_arc = Array.make ncells 0 in
+  let cell_arc_count = Array.make ncells 0 in
+  let arcs = ref [] in
+  let narcs = ref 0 in
+  Array.iteri
+    (fun ci c ->
+      let cell_arcs = Cell.arcs c in
+      cell_first_arc.(ci) <- !narcs;
+      cell_arc_count.(ci) <- List.length cell_arcs;
+      narcs := !narcs + List.length cell_arcs;
+      List.iter (fun a -> arcs := a :: !arcs) cell_arcs)
+    proto_cells;
+  let arc_protos = Array.of_list (List.rev !arcs) in
+  let offset = Array.make (Array.length arc_protos) 0 in
+  let size = Array.make (Array.length arc_protos) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun ai (a : Arc.t) ->
+      let rows, cols = Lut.dims a.rise_delay in
+      offset.(ai) <- !total;
+      size.(ai) <- rows * cols;
+      total := !total + (4 * rows * cols))
+    arc_protos;
+  { proto_cells; arc_protos; cell_first_arc; cell_arc_count; offset; size; total = !total }
 
-let arc_acc_update acc (a : Arc.t) =
-  if a.related_pin <> acc.proto.related_pin then
-    invalid_arg "Statistical: sample library has mismatched arc order";
-  acc_update acc.rise_delay a.rise_delay;
-  acc_update acc.fall_delay a.fall_delay;
-  acc_update acc.rise_transition a.rise_transition;
-  acc_update acc.fall_transition a.fall_transition
-
-let arc_acc_merge a b =
-  if b.proto.Arc.related_pin <> a.proto.Arc.related_pin then
-    invalid_arg "Statistical: sample library has mismatched arc order";
-  acc_merge a.rise_delay b.rise_delay;
-  acc_merge a.fall_delay b.fall_delay;
-  acc_merge a.rise_transition b.rise_transition;
-  acc_merge a.fall_transition b.fall_transition
-
-let arc_acc_finish acc =
-  Arc.make ~related_pin:acc.proto.related_pin ~sense:acc.proto.sense
-    ~rise_delay:(acc_mean acc.rise_delay)
-    ~fall_delay:(acc_mean acc.fall_delay)
-    ~rise_transition:(acc_mean acc.rise_transition)
-    ~fall_transition:(acc_mean acc.fall_transition)
-    ~rise_delay_sigma:(acc_sigma acc.rise_delay)
-    ~fall_delay_sigma:(acc_sigma acc.fall_delay)
-    ?internal_power:acc.proto.internal_power ()
-
-type cell_acc = { proto_cell : Cell.t; arcs : arc_acc array }
-
-let cell_acc_create (c : Cell.t) = { proto_cell = c; arcs = Array.of_list (List.map arc_acc_create (Cell.arcs c)) }
-
-let cell_acc_update acc (c : Cell.t) =
-  if c.name <> acc.proto_cell.name then
-    invalid_arg "Statistical: sample library has mismatched cell order";
-  let arcs = Array.of_list (Cell.arcs c) in
-  if Array.length arcs <> Array.length acc.arcs then
-    invalid_arg "Statistical: sample library has mismatched arc count";
-  Array.iteri (fun i a -> arc_acc_update acc.arcs.(i) a) arcs
-
-let cell_acc_merge a b =
-  if b.proto_cell.Cell.name <> a.proto_cell.Cell.name then
-    invalid_arg "Statistical: sample library has mismatched cell order";
-  if Array.length b.arcs <> Array.length a.arcs then
-    invalid_arg "Statistical: sample library has mismatched arc count";
-  Array.iteri (fun i arc -> arc_acc_merge a.arcs.(i) arc) b.arcs
-
-let cell_acc_finish acc =
-  (* Rebuild the cell, swapping each output pin's arcs for the merged
-     ones.  Arc order is the concatenation order of Cell.arcs. *)
-  let merged = Array.map arc_acc_finish acc.arcs in
-  let cursor = ref 0 in
-  let take n =
-    let slice = Array.sub merged !cursor n in
-    cursor := !cursor + n;
-    Array.to_list slice
+(* Copy one sample library's surfaces into [buf] (length [total]),
+   validating its structure against the layout with the same checks —
+   and the same error messages — the boxed accumulator made per
+   update.  Every entry of [buf] is overwritten (the arc blocks tile
+   [0, total)), so one scratch buffer serves a whole sample stream. *)
+let flatten_into layout lib buf =
+  let cells = Array.of_list (Library.cells lib) in
+  if Array.length cells <> Array.length layout.proto_cells then
+    invalid_arg "Statistical: sample library has mismatched cell count";
+  let blit_table (proto : Lut.t) (table : Lut.t) pos =
+    if not (Lut.same_axes proto table) then
+      invalid_arg "Statistical: sample library has mismatched table axes";
+    let data = Grid.unsafe_data (Lut.values table) in
+    Array.blit data 0 buf pos (Array.length data)
   in
-  let c = acc.proto_cell in
-  let pins =
-    List.map
-      (fun (p : Pin.t) ->
-        if Pin.is_output p then
-          Pin.output ~name:p.name ?max_capacitance:p.max_capacitance
-            ~arcs:(take (List.length p.arcs)) ()
-        else p)
-      c.pins
-  in
-  Cell.make ~name:c.name ~family:c.family ~drive_strength:c.drive_strength ~kind:c.kind
-    ~area:c.area ~pins ~setup_time:c.setup_time ~hold_time:c.hold_time
-    ?clock_pin:c.clock_pin ~leakage:c.leakage ()
+  Array.iteri
+    (fun ci (c : Cell.t) ->
+      if c.name <> layout.proto_cells.(ci).Cell.name then
+        invalid_arg "Statistical: sample library has mismatched cell order";
+      let arcs = Array.of_list (Cell.arcs c) in
+      if Array.length arcs <> layout.cell_arc_count.(ci) then
+        invalid_arg "Statistical: sample library has mismatched arc count";
+      let first = layout.cell_first_arc.(ci) in
+      Array.iteri
+        (fun k (a : Arc.t) ->
+          let ai = first + k in
+          let proto = layout.arc_protos.(ai) in
+          if a.related_pin <> proto.Arc.related_pin then
+            invalid_arg "Statistical: sample library has mismatched arc order";
+          let off = layout.offset.(ai) and sz = layout.size.(ai) in
+          blit_table proto.Arc.rise_delay a.rise_delay off;
+          blit_table proto.Arc.fall_delay a.fall_delay (off + sz);
+          blit_table proto.Arc.rise_transition a.rise_transition (off + (2 * sz));
+          blit_table proto.Arc.fall_transition a.fall_transition (off + (3 * sz)))
+        arcs)
+    cells
+
+(* Structural agreement of two chunk layouts, checked in the order the
+   boxed per-cell merge checked (count, cell order, arc count, arc
+   order, axes) so a malformed stream raises the identical message. *)
+let check_layouts_agree a b =
+  if Array.length b.proto_cells <> Array.length a.proto_cells then
+    invalid_arg "Statistical: sample library has mismatched cell count";
+  Array.iteri
+    (fun ci (ca : Cell.t) ->
+      let cb = b.proto_cells.(ci) in
+      if cb.Cell.name <> ca.Cell.name then
+        invalid_arg "Statistical: sample library has mismatched cell order";
+      if b.cell_arc_count.(ci) <> a.cell_arc_count.(ci) then
+        invalid_arg "Statistical: sample library has mismatched arc count";
+      let first = a.cell_first_arc.(ci) in
+      for k = 0 to a.cell_arc_count.(ci) - 1 do
+        let pa = a.arc_protos.(first + k) and pb = b.arc_protos.(b.cell_first_arc.(ci) + k) in
+        if pb.Arc.related_pin <> pa.Arc.related_pin then
+          invalid_arg "Statistical: sample library has mismatched arc order";
+        if
+          not
+            (Lut.same_axes pa.Arc.rise_delay pb.Arc.rise_delay
+            && Lut.same_axes pa.Arc.fall_delay pb.Arc.fall_delay
+            && Lut.same_axes pa.Arc.rise_transition pb.Arc.rise_transition
+            && Lut.same_axes pa.Arc.fall_transition pb.Arc.fall_transition)
+        then invalid_arg "Statistical: sample library has mismatched table axes"
+      done)
+    a.proto_cells
+
+(* ------------------------------------------------------------------ *)
+(* Chunked Welford accumulation                                        *)
+(* ------------------------------------------------------------------ *)
 
 (* Samples per worker task.  The block partition of [0, n) is fixed by
    this constant — never by the job count — so the chunked merge below
@@ -188,32 +141,124 @@ let cell_acc_finish acc =
    jobs = 1 serial fallback. *)
 let merge_chunk = 4
 
-type chunk_acc = { first_name : string; first_corner : string; cell_accs : cell_acc array }
+type chunk_acc = {
+  first_name : string;
+  first_corner : string;
+  layout : layout;
+  mutable count : int;
+  mean : float array;
+  m2 : float array;
+}
 
 let accumulate_chunk gen ~lo ~hi =
   Obs.span "statlib.chunk"
     ~attrs:(fun () -> [ ("lo", string_of_int lo); ("hi", string_of_int hi) ])
     (fun () ->
       let first = gen lo in
-      let cell_accs = Array.of_list (List.map cell_acc_create (Library.cells first)) in
+      let layout = layout_of_library first in
+      let mean = Array.make layout.total 0.0 in
+      let m2 = Array.make layout.total 0.0 in
+      (* One reusable scratch buffer: each sample library streams
+         through it and is dead before the next is generated — the
+         chunk never holds more than one sample's surfaces beyond the
+         running statistics. *)
+      let scratch = Array.make layout.total 0.0 in
+      let acc = { first_name = Library.name first; first_corner = Library.corner first;
+                  layout; count = 0; mean; m2 } in
       let feed lib =
-        let cells = Array.of_list (Library.cells lib) in
-        if Array.length cells <> Array.length cell_accs then
-          invalid_arg "Statistical: sample library has mismatched cell count";
-        Array.iteri (fun i c -> cell_acc_update cell_accs.(i) c) cells
+        flatten_into layout lib scratch;
+        acc.count <- acc.count + 1;
+        Kernel.Welford.update ~n:acc.count ~mean ~m2 scratch
       in
       feed first;
       for index = lo + 1 to hi - 1 do
         feed (gen index)
       done;
       Obs.Counter.add c_samples (hi - lo);
-      { first_name = Library.name first; first_corner = Library.corner first; cell_accs })
+      Obs.Counter.add c_entries ((hi - lo) * layout.total);
+      acc)
 
+(* Chan et al. pairwise combination: [a] is the left (lower-index)
+   sample block and absorbs [b], one kernel pass over the whole flat
+   surface.  The zero-count copy stays a plain blit, exactly as the
+   boxed accumulator special-cased it. *)
 let chunk_merge a b =
-  if Array.length b.cell_accs <> Array.length a.cell_accs then
-    invalid_arg "Statistical: sample library has mismatched cell count";
-  Array.iteri (fun i c -> cell_acc_merge a.cell_accs.(i) c) b.cell_accs;
+  check_layouts_agree a.layout b.layout;
+  if b.count > 0 then begin
+    if a.count = 0 then begin
+      Array.blit b.mean 0 a.mean 0 a.layout.total;
+      Array.blit b.m2 0 a.m2 0 a.layout.total;
+      a.count <- b.count
+    end
+    else begin
+      Kernel.Welford.merge ~na:a.count ~nb:b.count ~mean_a:a.mean ~m2_a:a.m2 ~mean_b:b.mean
+        ~m2_b:b.m2;
+      a.count <- a.count + b.count
+    end
+  end;
   a
+
+(* ------------------------------------------------------------------ *)
+(* Rebuilding the library from the flat statistics                     *)
+(* ------------------------------------------------------------------ *)
+
+let finish_arc chunk ai =
+  let layout = chunk.layout in
+  let proto = layout.arc_protos.(ai) in
+  let off = layout.offset.(ai) and sz = layout.size.(ai) in
+  let rows, cols = Lut.dims proto.Arc.rise_delay in
+  let slews = Lut.slews proto.Arc.rise_delay and loads = Lut.loads proto.Arc.rise_delay in
+  let mean_lut k =
+    Lut.make ~slews ~loads
+      ~values:(Grid.of_flat ~rows ~cols (Array.sub chunk.mean (off + (k * sz)) sz))
+  in
+  let sigma_lut k =
+    let dst = Array.make sz 0.0 in
+    Kernel.Welford.sigma_into ~n:chunk.count
+      ~m2:(Array.sub chunk.m2 (off + (k * sz)) sz)
+      ~dst;
+    Lut.make ~slews ~loads ~values:(Grid.of_flat ~rows ~cols dst)
+  in
+  Arc.make ~related_pin:proto.Arc.related_pin ~sense:proto.Arc.sense
+    ~rise_delay:(mean_lut 0) ~fall_delay:(mean_lut 1) ~rise_transition:(mean_lut 2)
+    ~fall_transition:(mean_lut 3) ~rise_delay_sigma:(sigma_lut 0)
+    ~fall_delay_sigma:(sigma_lut 1) ?internal_power:proto.Arc.internal_power ()
+
+let finish_cell chunk ci =
+  (* Rebuild the cell, swapping each output pin's arcs for the merged
+     ones.  Arc order is the concatenation order of Cell.arcs. *)
+  let layout = chunk.layout in
+  let first = layout.cell_first_arc.(ci) in
+  let merged = Array.init layout.cell_arc_count.(ci) (fun k -> finish_arc chunk (first + k)) in
+  let cursor = ref 0 in
+  let take n =
+    let slice = Array.sub merged !cursor n in
+    cursor := !cursor + n;
+    Array.to_list slice
+  in
+  let c = layout.proto_cells.(ci) in
+  let pins =
+    List.map
+      (fun (p : Pin.t) ->
+        if Pin.is_output p then
+          Pin.output ~name:p.name ?max_capacitance:p.max_capacitance
+            ~arcs:(take (List.length p.arcs)) ()
+        else p)
+      c.Cell.pins
+  in
+  Cell.make ~name:c.Cell.name ~family:c.Cell.family ~drive_strength:c.Cell.drive_strength
+    ~kind:c.Cell.kind ~area:c.Cell.area ~pins ~setup_time:c.Cell.setup_time
+    ~hold_time:c.Cell.hold_time ?clock_pin:c.Cell.clock_pin ~leakage:c.Cell.leakage ()
+
+let finish_library chunk =
+  let cells =
+    List.init (Array.length chunk.layout.proto_cells) (fun ci -> finish_cell chunk ci)
+  in
+  Library.make ~name:(chunk.first_name ^ "_stat") ~corner:chunk.first_corner ~cells
+
+(* ------------------------------------------------------------------ *)
+(* Streaming merge                                                     *)
+(* ------------------------------------------------------------------ *)
 
 let of_stream ?pool ~n gen =
   if n <= 0 then invalid_arg "Statistical.of_stream: n must be positive";
@@ -241,8 +286,7 @@ let of_stream ?pool ~n gen =
             | [] -> assert false
             | head :: rest -> List.fold_left chunk_merge head rest)
       in
-      let cells = Array.to_list (Array.map cell_acc_finish merged.cell_accs) in
-      Library.make ~name:(merged.first_name ^ "_stat") ~corner:merged.first_corner ~cells)
+      finish_library merged)
 
 let of_libraries = function
   | [] -> invalid_arg "Statistical.of_libraries: empty list"
@@ -272,11 +316,17 @@ let store_key config ~mismatch ~seed ~n ?specs () =
 (* Checkpointed (resumable) builds                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Partial-state codec: the Welford accumulators covering the first
+(* Partial-state codec: the Welford statistics covering the first
    [blocks] sample blocks, saved to the run's state store at every
    checkpoint.  Floats travel as bit patterns, so a resumed merge
    continues from exactly the state an uninterrupted run would hold at
    the same block boundary — the final library is bit-identical.
+
+   The byte stream is unchanged from the boxed-era codec (per table:
+   count, then the mean grid, then the m2 grid, each grid as rows, cols
+   and row-major floats), read and written directly from slices of the
+   flat arrays — so checkpoints landed by older builds still decode,
+   and warm store artifacts stay valid with no version bump.
 
    Only the mutable statistics are stored.  The structural skeleton
    (cells, pins, arcs, LUT axes, internal power) is rebuilt on decode
@@ -291,59 +341,61 @@ let store_key config ~mismatch ~seed ~n ?specs () =
 let checkpoint_key ~id ~blocks =
   Store.Key.int (Store.Key.str (Store.Key.v "statlib_partial") "statlib" id) "blocks" blocks
 
-let w_grid b g =
-  Codec.w_int b (Grid.rows g);
-  Codec.w_int b (Grid.cols g);
-  for i = 0 to Grid.rows g - 1 do
-    for j = 0 to Grid.cols g - 1 do
-      Codec.w_float b (Grid.get g i j)
-    done
+(* One table surface of one accumulator role, as the boxed w_grid
+   wrote it: dimensions then the row-major floats — here a direct
+   slice walk of the flat array. *)
+let w_surface b ~rows ~cols data pos =
+  Codec.w_int b rows;
+  Codec.w_int b cols;
+  for k = pos to pos + (rows * cols) - 1 do
+    Codec.w_float b (Array.unsafe_get data k)
   done
 
-let r_grid_into r g =
-  let rows = Codec.r_int r in
-  let cols = Codec.r_int r in
-  if rows <> Grid.rows g || cols <> Grid.cols g then
+let r_surface_into r ~rows ~cols data pos =
+  let stored_rows = Codec.r_int r in
+  let stored_cols = Codec.r_int r in
+  if stored_rows <> rows || stored_cols <> cols then
     raise (Codec.Corrupt "statlib partial: grid dimensions mismatch");
-  for i = 0 to rows - 1 do
-    for j = 0 to cols - 1 do
-      Grid.set g i j (Codec.r_float r)
-    done
+  for k = pos to pos + (rows * cols) - 1 do
+    Array.unsafe_set data k (Codec.r_float r)
   done
 
-let w_acc b acc =
-  Codec.w_int b acc.count;
-  w_grid b acc.mean;
-  w_grid b acc.m2
+let w_table_acc b chunk ~rows ~cols pos =
+  Codec.w_int b chunk.count;
+  w_surface b ~rows ~cols chunk.mean pos;
+  w_surface b ~rows ~cols chunk.m2 pos
 
-let r_acc_into ~expected_count r acc =
+let r_table_acc_into ~expected_count r chunk ~rows ~cols pos =
   let count = Codec.r_int r in
   if count <> expected_count then
     raise
       (Codec.Corrupt
          (Printf.sprintf "statlib partial: accumulator count %d, expected %d" count
             expected_count));
-  acc.count <- count;
-  r_grid_into r acc.mean;
-  r_grid_into r acc.m2
+  r_surface_into r ~rows ~cols chunk.mean pos;
+  r_surface_into r ~rows ~cols chunk.m2 pos
 
 let w_partial ~samples_done chunk b =
+  let layout = chunk.layout in
   Codec.w_int b samples_done;
   Codec.w_string b chunk.first_name;
   Codec.w_string b chunk.first_corner;
-  Codec.w_int b (Array.length chunk.cell_accs);
-  Array.iter
-    (fun ca ->
-      Codec.w_string b ca.proto_cell.Cell.name;
-      Codec.w_int b (Array.length ca.arcs);
-      Array.iter
-        (fun aa ->
-          w_acc b aa.rise_delay;
-          w_acc b aa.fall_delay;
-          w_acc b aa.rise_transition;
-          w_acc b aa.fall_transition)
-        ca.arcs)
-    chunk.cell_accs
+  Codec.w_int b (Array.length layout.proto_cells);
+  Array.iteri
+    (fun ci (c : Cell.t) ->
+      Codec.w_string b c.Cell.name;
+      Codec.w_int b layout.cell_arc_count.(ci);
+      let first = layout.cell_first_arc.(ci) in
+      for k = 0 to layout.cell_arc_count.(ci) - 1 do
+        let ai = first + k in
+        let rows, cols = Lut.dims layout.arc_protos.(ai).Arc.rise_delay in
+        let off = layout.offset.(ai) and sz = layout.size.(ai) in
+        w_table_acc b chunk ~rows ~cols off;
+        w_table_acc b chunk ~rows ~cols (off + sz);
+        w_table_acc b chunk ~rows ~cols (off + (2 * sz));
+        w_table_acc b chunk ~rows ~cols (off + (3 * sz))
+      done)
+    layout.proto_cells
 
 let r_partial ~proto ~samples_done r =
   let stored = Codec.r_int r in
@@ -356,27 +408,40 @@ let r_partial ~proto ~samples_done r =
   let first_corner = Codec.r_string r in
   if first_name <> Library.name proto || first_corner <> Library.corner proto then
     raise (Codec.Corrupt "statlib partial: proto library mismatch");
-  let cell_accs = Array.of_list (List.map cell_acc_create (Library.cells proto)) in
+  let layout = layout_of_library proto in
+  let chunk =
+    {
+      first_name;
+      first_corner;
+      layout;
+      count = samples_done;
+      mean = Array.make layout.total 0.0;
+      m2 = Array.make layout.total 0.0;
+    }
+  in
   let ncells = Codec.r_int r in
-  if ncells <> Array.length cell_accs then
+  if ncells <> Array.length layout.proto_cells then
     raise (Codec.Corrupt "statlib partial: cell count mismatch");
-  Array.iter
-    (fun ca ->
+  Array.iteri
+    (fun ci (c : Cell.t) ->
       let name = Codec.r_string r in
-      if name <> ca.proto_cell.Cell.name then
+      if name <> c.Cell.name then
         raise (Codec.Corrupt "statlib partial: cell order mismatch");
       let narcs = Codec.r_int r in
-      if narcs <> Array.length ca.arcs then
+      if narcs <> layout.cell_arc_count.(ci) then
         raise (Codec.Corrupt "statlib partial: arc count mismatch");
-      Array.iter
-        (fun aa ->
-          r_acc_into ~expected_count:samples_done r aa.rise_delay;
-          r_acc_into ~expected_count:samples_done r aa.fall_delay;
-          r_acc_into ~expected_count:samples_done r aa.rise_transition;
-          r_acc_into ~expected_count:samples_done r aa.fall_transition)
-        ca.arcs)
-    cell_accs;
-  { first_name; first_corner; cell_accs }
+      let first = layout.cell_first_arc.(ci) in
+      for k = 0 to layout.cell_arc_count.(ci) - 1 do
+        let ai = first + k in
+        let rows, cols = Lut.dims layout.arc_protos.(ai).Arc.rise_delay in
+        let off = layout.offset.(ai) and sz = layout.size.(ai) in
+        r_table_acc_into ~expected_count:samples_done r chunk ~rows ~cols off;
+        r_table_acc_into ~expected_count:samples_done r chunk ~rows ~cols (off + sz);
+        r_table_acc_into ~expected_count:samples_done r chunk ~rows ~cols (off + (2 * sz));
+        r_table_acc_into ~expected_count:samples_done r chunk ~rows ~cols (off + (3 * sz))
+      done)
+    layout.proto_cells;
+  chunk
 
 let c_resumed_samples = Obs.Counter.make "journal.resumed_samples"
 
@@ -460,9 +525,7 @@ let of_stream_ckpt ~ckpt ~id ~pool ~n gen =
                     samples_done n))
         end
       done;
-      let merged = Option.get !acc in
-      let cells = Array.to_list (Array.map cell_acc_finish merged.cell_accs) in
-      Library.make ~name:(merged.first_name ^ "_stat") ~corner:merged.first_corner ~cells)
+      finish_library (Option.get !acc))
 
 let build ?pool ?store ?ckpt config ~mismatch ~seed ~n ?specs () =
   let pool = match pool with Some p -> p | None -> Pool.default () in

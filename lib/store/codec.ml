@@ -104,14 +104,16 @@ let r_float_array r =
 (* Liberty: Grid / Lut / Arc / Pin / Cell / Library                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Grids travel as their flat row-major backing array — the same bytes
+   the old nested get/set walk produced, streamed without per-row
+   structure or bounds checks. *)
 let w_grid b g =
   let rows = Grid.rows g and cols = Grid.cols g in
   w_int b rows;
   w_int b cols;
-  for i = 0 to rows - 1 do
-    for j = 0 to cols - 1 do
-      w_float b (Grid.get g i j)
-    done
+  let data = Grid.unsafe_data g in
+  for k = 0 to (rows * cols) - 1 do
+    w_float b (Array.unsafe_get data k)
   done
 
 let r_grid r =
@@ -119,8 +121,11 @@ let r_grid r =
   let cols = r_int r in
   if rows <= 0 || cols <= 0 || rows * cols > String.length r.s - r.pos then
     corrupt "bad grid dimensions %dx%d" rows cols;
-  let values = Array.init rows (fun _ -> Array.init cols (fun _ -> r_float r)) in
-  Grid.of_arrays values
+  let data = Array.make (rows * cols) 0.0 in
+  for k = 0 to (rows * cols) - 1 do
+    Array.unsafe_set data k (r_float r)
+  done;
+  Grid.of_flat ~rows ~cols data
 
 let w_lut b lut =
   w_float_array b (Lut.slews lut);

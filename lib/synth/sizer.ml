@@ -266,7 +266,7 @@ let improve_path st timing (path : Path.t) ~budget =
   let moves = ref 0 in
   (* biggest contributors first *)
   let steps =
-    List.sort (fun (a : Path.step) b -> compare b.delay a.delay) path.Path.steps
+    List.sort (fun (a : Path.step) b -> Float.compare b.delay a.delay) path.Path.steps
   in
   List.iter
     (fun (step : Path.step) ->
@@ -321,7 +321,7 @@ let recover_timing st timing =
   let violating =
     Timing.endpoints timing
     |> List.filter (fun (ep : Timing.endpoint_timing) -> ep.slack < 0.0)
-    |> List.sort (fun (a : Timing.endpoint_timing) b -> compare a.slack b.slack)
+    |> List.sort (fun (a : Timing.endpoint_timing) b -> Float.compare a.slack b.slack)
     |> take 96
   in
   let moves = ref 0 in

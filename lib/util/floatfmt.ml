@@ -1,0 +1,9 @@
+(* Shortest decimal representation that round-trips the float exactly:
+   %.12g when that already reparses to the same bits, %.17g otherwise.
+   One convention shared by the liberty printer and every debug dump so
+   a value read back from any rendering is the value that was printed. *)
+let repr f =
+  let short = Printf.sprintf "%.12g" f in
+  if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+let pp ppf f = Format.pp_print_string ppf (repr f)

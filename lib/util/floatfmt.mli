@@ -1,0 +1,13 @@
+(** Round-trip-exact float rendering.
+
+    The repository convention for writing floats as text: the shortest
+    of [%.12g] / [%.17g] that parses back to the identical bit pattern.
+    Used by the liberty printer, [Lut.pp] and debug dumps, so a number
+    copied out of any artifact reproduces the float exactly. *)
+
+val repr : float -> string
+(** [repr f] is [%.12g f] if that round-trips bit-exactly, else
+    [%.17g f] (which always does for finite and non-finite values). *)
+
+val pp : Format.formatter -> float -> unit
+(** [pp ppf f] prints {!repr}[ f]. *)

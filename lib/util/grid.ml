@@ -11,6 +11,11 @@ let init ~rows ~cols f =
   check_dims rows cols;
   { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
 
+let of_flat ~rows ~cols data =
+  check_dims rows cols;
+  if Array.length data <> rows * cols then invalid_arg "Grid.of_flat: length mismatch";
+  { rows; cols; data }
+
 let of_arrays a =
   let rows = Array.length a in
   if rows = 0 then invalid_arg "Grid.of_arrays: empty";
@@ -34,6 +39,11 @@ let set g i j v = g.data.(index g i j) <- v
    checked).  Out-of-range indices are undefined behaviour. *)
 let unsafe_get g i j = Array.unsafe_get g.data ((i * g.cols) + j)
 let unsafe_set g i j v = Array.unsafe_set g.data ((i * g.cols) + j) v
+
+(* The live row-major backing, not a copy: the flat kernels (Welford
+   merge, bilinear interpolation, codec IO) iterate it directly.
+   Writes alias the grid. *)
+let unsafe_data g = g.data
 
 let to_arrays g = Array.init g.rows (fun i -> Array.init g.cols (fun j -> get g i j))
 

@@ -17,6 +17,14 @@ val of_arrays : float array array -> t
 (** Copies a non-ragged, non-empty array of rows.  Raises
     [Invalid_argument] otherwise. *)
 
+val of_flat : rows:int -> cols:int -> float array -> t
+(** [of_flat ~rows ~cols data] wraps the row-major [data] without
+    copying — the grid takes ownership, so the caller must not mutate
+    [data] afterwards.  Raises [Invalid_argument] unless
+    [Array.length data = rows * cols] with positive dimensions.  This
+    is the zero-copy constructor the flat kernels and the codec build
+    surfaces through. *)
+
 val to_arrays : t -> float array array
 (** Fresh row-major copy. *)
 
@@ -38,6 +46,12 @@ val unsafe_get : t -> int -> int -> float
 val unsafe_set : t -> int -> int -> float -> unit
 (** Unchecked counterpart of {!set}; same caller obligations as
     {!unsafe_get}. *)
+
+val unsafe_data : t -> float array
+(** The live row-major backing array — not a copy.  Entry [(i, j)]
+    lives at index [i * cols + j].  Mutating it mutates the grid; the
+    flat kernels and the store codec use this to stream surfaces
+    without per-entry accessor calls. *)
 
 val map : (float -> float) -> t -> t
 val mapi : (int -> int -> float -> float) -> t -> t

@@ -33,7 +33,10 @@ let percentile a p =
   if Array.length a = 0 then invalid_arg "Stat.percentile: empty array";
   if p < 0.0 || p > 1.0 then invalid_arg "Stat.percentile: p out of range";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  (* Float.compare, not polymorphic compare: same order on reals, but
+     monomorphic (no boxed generic-compare call per element) and a
+     total order on NaN instead of the polymorphic NaN muddle. *)
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let pos = p *. float_of_int (n - 1) in
   let lo = int_of_float (floor pos) in

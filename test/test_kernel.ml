@@ -1,0 +1,317 @@
+(* Bitwise-agreement tests for the flat numeric kernels: the flat
+   statistical merge against the frozen boxed reference implementation,
+   the fused bilinear LUT kernels against plain lookups and an
+   independent naive evaluator, and flat-layout codec round-trips.
+   Everything here checks exact IEEE-754 bit patterns — the kernels'
+   contract is bit-identity, not closeness. *)
+
+module Kernel = Vartune_util.Kernel
+module Stat = Vartune_util.Stat
+module Grid = Vartune_util.Grid
+module Pool = Vartune_util.Pool
+module Lut = Vartune_liberty.Lut
+module Arc = Vartune_liberty.Arc
+module Cell = Vartune_liberty.Cell
+module Library = Vartune_liberty.Library
+module Statistical = Vartune_statlib.Statistical
+module Boxed_ref = Vartune_statlib.Boxed_ref
+module Sampler = Vartune_charlib.Sampler
+module Characterize = Vartune_charlib.Characterize
+module Catalog = Vartune_stdcell.Catalog
+module Mismatch = Vartune_process.Mismatch
+module Codec = Vartune_store.Codec
+
+let beq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+let array_beq a b = Array.length a = Array.length b && Array.for_all2 beq a b
+
+let lut_bit_identical a b =
+  array_beq (Lut.slews a) (Lut.slews b)
+  && array_beq (Lut.loads a) (Lut.loads b)
+  &&
+  let ra, ca = Lut.dims a and rb, cb = Lut.dims b in
+  ra = rb && ca = cb
+  &&
+  let ok = ref true in
+  for i = 0 to ra - 1 do
+    for j = 0 to ca - 1 do
+      if not (beq (Lut.get a i j) (Lut.get b i j)) then ok := false
+    done
+  done;
+  !ok
+
+let opt_lut_bit_identical a b =
+  match (a, b) with
+  | None, None -> true
+  | Some l, Some r -> lut_bit_identical l r
+  | _ -> false
+
+let libraries_bit_identical a b =
+  List.length (Library.cells a) = List.length (Library.cells b)
+  && List.for_all2
+       (fun (x : Cell.t) (y : Cell.t) ->
+         x.Cell.name = y.Cell.name
+         && List.for_all2
+              (fun (p : Arc.t) (q : Arc.t) ->
+                lut_bit_identical p.Arc.rise_delay q.Arc.rise_delay
+                && lut_bit_identical p.Arc.fall_delay q.Arc.fall_delay
+                && lut_bit_identical p.Arc.rise_transition q.Arc.rise_transition
+                && lut_bit_identical p.Arc.fall_transition q.Arc.fall_transition
+                && opt_lut_bit_identical p.Arc.rise_delay_sigma q.Arc.rise_delay_sigma
+                && opt_lut_bit_identical p.Arc.fall_delay_sigma q.Arc.fall_delay_sigma)
+              (Cell.arcs x) (Cell.arcs y))
+       (Library.cells a) (Library.cells b)
+
+(* ------------------------------------------------------------------ *)
+(* Flat Welford kernel vs the scalar reference accumulator             *)
+(* ------------------------------------------------------------------ *)
+
+let float_gen = QCheck2.Gen.float_range (-100.0) 100.0
+
+let test_welford_update_matches_scalar =
+  Helpers.qtest ~count:50 "flat Welford.update bit-matches scalar Stat.Welford"
+    QCheck2.Gen.(list_size (int_range 1 20) (array_size (return 6) float_gen))
+    (fun samples ->
+      (* entry-wise flat accumulation over length-6 surfaces must equal
+         one scalar accumulator per entry, bit for bit — mean and sigma *)
+      let len = 6 in
+      let mean = Array.make len 0.0 and m2 = Array.make len 0.0 in
+      List.iteri (fun idx x -> Kernel.Welford.update ~n:(idx + 1) ~mean ~m2 x) samples;
+      let sigma = Array.make len 0.0 in
+      Kernel.Welford.sigma_into ~n:(List.length samples) ~m2 ~dst:sigma;
+      let refs = Array.init len (fun _ -> Stat.Welford.create ()) in
+      List.iter (fun x -> Array.iteri (fun k r -> Stat.Welford.add r x.(k)) refs) samples;
+      Array.for_all2 (fun m r -> beq m (Stat.Welford.mean r)) mean refs
+      && Array.for_all2 (fun s r -> beq s (Stat.Welford.stddev r)) sigma refs)
+
+let test_welford_merge_matches_scalar =
+  Helpers.qtest ~count:50 "flat Welford.merge bit-matches scalar Chan merge"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 10) float_gen)
+        (list_size (int_range 1 10) float_gen))
+    (fun (left, right) ->
+      let mean_a = [| 0.0 |] and m2_a = [| 0.0 |] in
+      let mean_b = [| 0.0 |] and m2_b = [| 0.0 |] in
+      List.iteri (fun i x -> Kernel.Welford.update ~n:(i + 1) ~mean:mean_a ~m2:m2_a [| x |]) left;
+      List.iteri (fun i x -> Kernel.Welford.update ~n:(i + 1) ~mean:mean_b ~m2:m2_b [| x |]) right;
+      Kernel.Welford.merge ~na:(List.length left) ~nb:(List.length right) ~mean_a ~m2_a
+        ~mean_b ~m2_b;
+      let ra = Stat.Welford.create () and rb = Stat.Welford.create () in
+      List.iter (Stat.Welford.add ra) left;
+      List.iter (Stat.Welford.add rb) right;
+      let merged = Stat.Welford.merge ra rb in
+      let n = List.length left + List.length right in
+      let sigma = Array.make 1 0.0 in
+      Kernel.Welford.sigma_into ~n ~m2:m2_a ~dst:sigma;
+      beq mean_a.(0) (Stat.Welford.mean merged) && beq sigma.(0) (Stat.Welford.stddev merged))
+
+(* ------------------------------------------------------------------ *)
+(* Flat statistical build vs the frozen boxed reference                *)
+(* ------------------------------------------------------------------ *)
+
+let inv_only = List.filter_map Catalog.find [ "INV" ]
+
+let sample ~seed index =
+  Sampler.sample_library Characterize.default_config ~mismatch:Mismatch.default ~seed ~index
+    ~specs:inv_only ()
+
+let with_jobs jobs f =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_flat_matches_boxed =
+  (* the tentpole agreement property: the flat SoA merge is the boxed
+     seed implementation, bit for bit, at any pool size — including an
+     n that exercises a ragged final chunk *)
+  Helpers.qtest ~count:3 "flat of_stream bit-matches boxed reference at jobs 1/2/7"
+    QCheck2.Gen.(pair (int_range 0 10_000) (oneofl [ 1; 5; 9 ]))
+    (fun (seed, n) ->
+      List.for_all
+        (fun jobs ->
+          with_jobs jobs (fun pool ->
+              let flat = Statistical.of_stream ~pool ~n (sample ~seed) in
+              let boxed = Boxed_ref.of_stream ~pool ~n (sample ~seed) in
+              libraries_bit_identical flat boxed))
+        [ 1; 2; 7 ])
+
+let test_of_libraries_matches_boxed () =
+  let libs = List.init 7 (sample ~seed:77) in
+  Alcotest.(check bool) "of_libraries agrees" true
+    (libraries_bit_identical (Statistical.of_libraries libs) (Boxed_ref.of_libraries libs))
+
+(* ------------------------------------------------------------------ *)
+(* Bilinear kernel vs an independent naive evaluator                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Strictly increasing axis of the given length, offset so queries in
+   [-0.5, 6.0] hit both in-range and extrapolating cases. *)
+let axis_gen =
+  QCheck2.Gen.(
+    int_range 1 4 >>= fun n ->
+    array_size (return n) (float_range 0.05 1.0) >|= fun incs ->
+    let acc = ref 0.3 in
+    Array.map
+      (fun d ->
+        let v = !acc in
+        acc := !acc +. d;
+        v)
+      incs)
+
+let lut_gen =
+  QCheck2.Gen.(
+    pair axis_gen axis_gen >>= fun (slews, loads) ->
+    array_size
+      (return (Array.length slews * Array.length loads))
+      (float_range (-5.0) 5.0)
+    >|= fun data ->
+    Lut.make ~slews ~loads
+      ~values:(Grid.of_flat ~rows:(Array.length slews) ~cols:(Array.length loads) data))
+
+let query_gen = QCheck2.Gen.float_range (-0.5) 6.0
+
+(* Straight-line reference: linear-scan segment search and the paper's
+   load-then-slew interpolation written with bounds-checked Lut.get —
+   independent of the kernel's flat indexing and binary search, but the
+   same float-op sequence, so agreement must be exact. *)
+let naive_lookup lut ~slew ~load =
+  let seg axis v =
+    let n = Array.length axis in
+    let k = ref 0 in
+    while !k < n - 2 && axis.(!k + 1) <= v do
+      incr k
+    done;
+    !k
+  in
+  let xs = Lut.slews lut and ys = Lut.loads lut in
+  let n_x = Array.length xs and n_y = Array.length ys in
+  let i = seg xs slew and j = seg ys load in
+  if n_x = 1 && n_y = 1 then Lut.get lut 0 0
+  else if n_x = 1 then begin
+    let wy = (load -. ys.(j)) /. (ys.(j + 1) -. ys.(j)) in
+    ((1.0 -. wy) *. Lut.get lut 0 j) +. (wy *. Lut.get lut 0 (j + 1))
+  end
+  else if n_y = 1 then begin
+    let wx = (slew -. xs.(i)) /. (xs.(i + 1) -. xs.(i)) in
+    ((1.0 -. wx) *. Lut.get lut i 0) +. (wx *. Lut.get lut (i + 1) 0)
+  end
+  else begin
+    let wy = (load -. ys.(j)) /. (ys.(j + 1) -. ys.(j)) in
+    let p1 = ((1.0 -. wy) *. Lut.get lut i j) +. (wy *. Lut.get lut i (j + 1)) in
+    let p2 = ((1.0 -. wy) *. Lut.get lut (i + 1) j) +. (wy *. Lut.get lut (i + 1) (j + 1)) in
+    let wx = (slew -. xs.(i)) /. (xs.(i + 1) -. xs.(i)) in
+    ((1.0 -. wx) *. p1) +. (wx *. p2)
+  end
+
+let test_lookup_matches_naive =
+  Helpers.qtest ~count:300 "kernel lookup bit-matches naive reference"
+    QCheck2.Gen.(triple lut_gen query_gen query_gen)
+    (fun (lut, slew, load) ->
+      beq (Lut.lookup lut ~slew ~load) (naive_lookup lut ~slew ~load))
+
+let test_fused_match_plain =
+  (* the fused rise/fall and 4-table entry points must equal
+     independent plain lookups bit-for-bit, on shared random axes —
+     degenerate 1xN / Nx1 shapes and extrapolating queries included *)
+  Helpers.qtest ~count:300 "fused lookups bit-match plain lookups"
+    QCheck2.Gen.(
+      pair lut_gen (pair query_gen query_gen) >>= fun (a, (slew, load)) ->
+      let rows, cols = Lut.dims a in
+      array_size (return (3 * rows * cols)) (float_range (-5.0) 5.0) >|= fun rest ->
+      let table k =
+        Lut.make ~slews:(Lut.slews a) ~loads:(Lut.loads a)
+          ~values:
+            (Grid.of_flat ~rows ~cols (Array.sub rest (k * rows * cols) (rows * cols)))
+      in
+      (a, table 0, table 1, table 2, slew, load))
+    (fun (a, b, c, d, slew, load) ->
+      let la = Lut.lookup a ~slew ~load
+      and lb = Lut.lookup b ~slew ~load
+      and lc = Lut.lookup c ~slew ~load
+      and ld = Lut.lookup d ~slew ~load in
+      let out = Array.make 4 nan in
+      Lut.lookup4_into a b c d ~slew ~load ~out;
+      beq (Lut.lookup_max2 a b ~slew ~load) (Float.max la lb)
+      && beq (Lut.lookup_min2 a b ~slew ~load) (Float.min la lb)
+      && beq out.(0) la && beq out.(1) lb && beq out.(2) lc && beq out.(3) ld)
+
+let test_arc_eval_into_matches_scalar =
+  Helpers.qtest ~count:100 "Arc.eval_into bit-matches scalar delay/min_delay/transition"
+    QCheck2.Gen.(triple (int_range 0 10_000) query_gen query_gen)
+    (fun (seed, slew, load) ->
+      let lib = sample ~seed 0 in
+      List.for_all
+        (fun cell ->
+          List.for_all
+            (fun (arc : Arc.t) ->
+              let out = Array.make 4 nan in
+              Arc.eval_into arc ~slew ~load ~out;
+              beq out.(0) (Arc.delay arc ~slew ~load)
+              && beq out.(1) (Arc.min_delay arc ~slew ~load)
+              && beq out.(2) (Arc.transition arc ~slew ~load))
+            (Cell.arcs cell))
+        (Library.cells lib))
+
+(* ------------------------------------------------------------------ *)
+(* Flat layouts through the store codec                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_flat_library_codec_roundtrip () =
+  (* a flat-built statistical library (Grid.of_flat surfaces, sigma
+     tables from sigma_into) survives the store codec bit-for-bit *)
+  let lib = Statistical.of_stream ~n:6 (sample ~seed:11) in
+  let b = Buffer.create 4096 in
+  Codec.w_library b lib;
+  let back = Codec.r_library (Codec.reader (Buffer.contents b)) in
+  Alcotest.(check bool) "bit-identical after round-trip" true
+    (libraries_bit_identical lib back)
+
+let test_float_codec_special_values () =
+  (* the flat grid codec inherits w_float/r_float bit-exactness; pin it
+     for the values bilinear weights can produce *)
+  List.iter
+    (fun f ->
+      let b = Buffer.create 16 in
+      Codec.w_float b f;
+      let back = Codec.r_float (Codec.reader (Buffer.contents b)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "bits of %h preserved" f)
+        true
+        (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float back)))
+    [ 0.0; -0.0; nan; infinity; neg_infinity; 4.9e-324; 1.0 /. 3.0 ]
+
+let test_grid_of_flat () =
+  let data = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |] in
+  let g = Grid.of_flat ~rows:2 ~cols:3 data in
+  Helpers.check_float "row-major (0,2)" 3.0 (Grid.get g 0 2);
+  Helpers.check_float "row-major (1,0)" 4.0 (Grid.get g 1 0);
+  Alcotest.(check bool) "unsafe_data is the backing array" true (Grid.unsafe_data g == data);
+  Alcotest.(check bool) "length mismatch rejected" true
+    (try
+       ignore (Grid.of_flat ~rows:2 ~cols:2 data);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "welford",
+        [
+          test_welford_update_matches_scalar;
+          test_welford_merge_matches_scalar;
+          test_flat_matches_boxed;
+          Alcotest.test_case "of_libraries agrees" `Quick test_of_libraries_matches_boxed;
+        ] );
+      ( "bilinear",
+        [
+          test_lookup_matches_naive;
+          test_fused_match_plain;
+          test_arc_eval_into_matches_scalar;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "flat library round-trip" `Quick
+            test_flat_library_codec_roundtrip;
+          Alcotest.test_case "float special values" `Quick test_float_codec_special_values;
+          Alcotest.test_case "Grid.of_flat" `Quick test_grid_of_flat;
+        ] );
+    ]

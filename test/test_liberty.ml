@@ -106,6 +106,45 @@ let test_lut_merge_axis_mismatch () =
   Alcotest.check_raises "axis mismatch" (Invalid_argument "Lut.merge: axis mismatch")
     (fun () -> ignore (Lut.merge [ a; b ] ~f:Vartune_util.Stat.mean))
 
+let test_lut_same_axes_bitwise () =
+  (* same_axes is IEEE-754 bit equality, not structural (=) — which is
+     false on any NaN-carrying axis — and not numeric (=), which would
+     identify -0.0 with 0.0.  A single-element NaN axis passes the
+     strictly-increasing check (no comparison to make), so such tables
+     are constructible and must still compare equal to themselves. *)
+  let values = Grid.create ~rows:1 ~cols:2 1.0 in
+  let nan_axis () = Lut.make ~slews:[| nan |] ~loads:[| 0.1; 0.2 |] ~values in
+  Alcotest.(check bool) "NaN axis equals itself" true
+    (Lut.same_axes (nan_axis ()) (nan_axis ()));
+  let zero sign = Lut.make ~slews:[| sign *. 0.0; 1.0 |] ~loads:[| 0.1 |] ~values:(Grid.create ~rows:2 ~cols:1 1.0) in
+  Alcotest.(check bool) "-0.0 axis differs from 0.0" false
+    (Lut.same_axes (zero 1.0) (zero (-1.0)));
+  Alcotest.(check bool) "equal bits equal" true (Lut.same_axes (zero 1.0) (zero 1.0));
+  let c = simple_lut () in
+  Alcotest.(check bool) "ordinary axes equal" true (Lut.same_axes c (simple_lut ()))
+
+let test_lut_pp_float_repr () =
+  (* pp prints axes and values with the codec's round-trip convention
+     (%.12g when exact, else %.17g) — 0.1 must come out as "0.1", and a
+     17-digit value must survive a parse round-trip *)
+  let tricky = 0.1 +. 0.2 in
+  let lut =
+    Lut.make ~slews:[| 0.1; tricky |] ~loads:[| 1.0 /. 3.0 |]
+      ~values:(Grid.create ~rows:2 ~cols:1 0.30000000000000004)
+  in
+  let s = Format.asprintf "%a" Lut.pp lut in
+  Alcotest.(check bool) "0.1 printed short" true (Helpers.contains s "0.1");
+  Alcotest.(check bool) "0.30000000000000004 printed exactly" true
+    (Helpers.contains s (Vartune_util.Floatfmt.repr tricky));
+  Array.iter
+    (fun f ->
+      let r = Vartune_util.Floatfmt.repr f in
+      Alcotest.(check bool)
+        (Printf.sprintf "repr round-trips %h" f)
+        true
+        (Int64.equal (Int64.bits_of_float (float_of_string r)) (Int64.bits_of_float f)))
+    [| 0.1; tricky; 1.0 /. 3.0; 1e-300; -0.0; 4.9e-324 |]
+
 (* -------------------------------- Arc ------------------------------- *)
 
 let make_arc ?rise_sigma () =
@@ -441,6 +480,8 @@ let () =
           Alcotest.test_case "max equivalent" `Quick test_lut_max_equivalent;
           Alcotest.test_case "merge stats" `Quick test_lut_merge_stats;
           Alcotest.test_case "merge axis mismatch" `Quick test_lut_merge_axis_mismatch;
+          Alcotest.test_case "same_axes bitwise" `Quick test_lut_same_axes_bitwise;
+          Alcotest.test_case "pp float convention" `Quick test_lut_pp_float_repr;
         ] );
       ( "arc",
         [

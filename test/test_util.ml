@@ -133,6 +133,15 @@ let test_stat_percentile () =
 let test_stat_percentile_unsorted () =
   check_float "median of unsorted" 3.0 (Stat.percentile [| 5.0; 1.0; 3.0; 2.0; 4.0 |] 0.5)
 
+let test_stat_percentile_total_order () =
+  (* the internal sort uses Float.compare (a total order), so -0.0 ranks
+     strictly below 0.0; with 4 elements, p = 1/3 lands exactly on the
+     second order statistic, and dividing exposes the zero's sign *)
+  let a = [| 0.0; -0.0; -1.0; 1.0 |] in
+  check_float "signed zero ordering" neg_infinity (1.0 /. Stat.percentile a (1.0 /. 3.0));
+  check_float "min" (-1.0) (Stat.percentile a 0.0);
+  check_float "max" 1.0 (Stat.percentile a 1.0)
+
 let test_stat_percentile_monotone =
   Helpers.qtest "percentile monotone in p"
     QCheck2.Gen.(pair (array_size (int_range 1 40) (float_range (-100.) 100.))
@@ -366,6 +375,7 @@ let () =
           Alcotest.test_case "min max" `Quick test_stat_min_max;
           Alcotest.test_case "percentile" `Quick test_stat_percentile;
           Alcotest.test_case "percentile unsorted" `Quick test_stat_percentile_unsorted;
+          Alcotest.test_case "percentile total order" `Quick test_stat_percentile_total_order;
           test_stat_percentile_monotone;
           Alcotest.test_case "histogram" `Quick test_stat_histogram;
           test_stat_histogram_conserves;
