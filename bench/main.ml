@@ -44,6 +44,12 @@
    identical requests), and writes throughput, latency quantiles and
    the single-flight dedup hit rate to BENCH_serve.json.
 
+   Part 8 drives a seeded overload burst (4x the admission queue's
+   capacity, service times stretched by a pinned delay fault) through
+   the client's retry/backoff loop and writes per-class shed/retry
+   accounting to BENCH_overload.json, asserting every request gets
+   exactly one typed reply and admitted interactive p99 stays bounded.
+
    Part 7 times the flattened numeric kernels: the statistical-library
    Welford merge over pre-generated sample libraries is run through
    both the live flat path and the frozen boxed reference
@@ -80,7 +86,9 @@ module Synthesis = Vartune_synth.Synthesis
 module Store = Vartune_store.Store
 module Obs = Vartune_obs.Obs
 module Serve = Vartune_serve.Serve
+module Client = Vartune_serve.Client
 module Loadgen = Vartune_serve.Loadgen
+module Fault = Vartune_fault.Fault
 
 let src = Logs.Src.create "vartune.bench" ~doc:"benchmark harness"
 
@@ -487,7 +495,11 @@ let serve_benchmarks ~samples ~seed =
   let socket = Filename.concat (Filename.get_temp_dir_name ()) (tag ^ ".sock") in
   let store = Store.open_dir (Filename.concat (Filename.get_temp_dir_name ()) tag) in
   Store.wipe store;
-  let h = Serve.start { Serve.socket; store = Some store; backlog = 16 } in
+  let h =
+    Serve.start
+      { Serve.socket; store = Some store; backlog = 16; workers = 4; queue_cap = 64;
+        max_conns = 64 }
+  in
   let r =
     Fun.protect ~finally:(fun () -> Serve.stop h) @@ fun () ->
     Loadgen.run
@@ -669,6 +681,122 @@ let kernel_benchmarks ~samples ~seed =
           m "bench gate passed: kernel speedup %.2fx, alloc ratio %.3f" speedup alloc_ratio)
 
 (* ------------------------------------------------------------------ *)
+(* Part 8: overload                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A seeded burst of 4x the admission queue's capacity, against a
+   daemon whose service times are stretched by a pinned [delay] fault
+   schedule, driven through the client's retry/backoff loop.  The
+   contract being measured: every request gets exactly one final reply
+   (success or typed 75), zero code-70s, batch overload is shed rather
+   than absorbed, and p99 of the {e admitted} interactive requests
+   stays bounded. *)
+let overload_benchmarks ~seed =
+  Report.heading "Overload (burst past the bounded admission queue)";
+  let queue_cap = env_int "VARTUNE_OVERLOAD_QUEUE_CAP" 8 in
+  let burst = env_int "VARTUNE_OVERLOAD_BURST" (4 * queue_cap) in
+  (* more concurrent clients than queue slots + workers, otherwise the
+     queue can never fill and nothing sheds *)
+  let concurrency = env_int "VARTUNE_OVERLOAD_CONCURRENCY" (2 * queue_cap) in
+  let workers = env_int "VARTUNE_OVERLOAD_WORKERS" 2 in
+  let p99_bound_ms = float_of_int (env_int "VARTUNE_OVERLOAD_P99_MS" 30_000) in
+  let tag = Printf.sprintf "vartune_bench_overload_%d" (Unix.getpid ()) in
+  let socket = Filename.concat (Filename.get_temp_dir_name ()) (tag ^ ".sock") in
+  let store = Store.open_dir (Filename.concat (Filename.get_temp_dir_name ()) tag) in
+  Store.wipe store;
+  (* every request's service time stretches, so the queue genuinely
+     fills; the schedule is pinned for replayability *)
+  (match Fault.configure "delay=1.0:7" with
+  | Ok () -> ()
+  | Error msg -> failwith ("overload benchmark: bad fault spec: " ^ msg));
+  let h =
+    Serve.start
+      { Serve.socket; store = Some store; backlog = 64; workers; queue_cap;
+        max_conns = 64 }
+  in
+  let r, server =
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.stop h;
+        Fault.clear ())
+      (fun () ->
+        let r =
+          Loadgen.run_overload
+            {
+              Loadgen.o_socket = socket;
+              burst;
+              o_concurrency = concurrency;
+              o_seed = seed;
+              o_samples = 2;
+              retry = { Client.default_policy with attempts = 2; seed };
+            }
+        in
+        (r, Serve.stats h))
+  in
+  Store.wipe store;
+  let line label (c : Loadgen.class_stats) =
+    Printf.printf
+      "  %-24s sent %d  ok %d  shed %d  deadline %d  failed %d  retries %d  p99 %.1f \
+       ms\n\
+       %!"
+      label c.Loadgen.c_sent c.Loadgen.c_ok c.Loadgen.c_shed c.Loadgen.c_deadline_dropped
+      c.Loadgen.c_failed c.Loadgen.c_retries c.Loadgen.c_p99_ms
+  in
+  line "interactive" r.Loadgen.interactive;
+  line "batch" r.Loadgen.batch;
+  Printf.printf "  %-24s sheds %d  deadline drops %d  slow-client drops %d\n%!" "daemon"
+    server.Serve.sheds server.Serve.deadline_drops server.Serve.slow_client_drops;
+  let i = r.Loadgen.interactive and b = r.Loadgen.batch in
+  let lost = i.Loadgen.c_failed + b.Loadgen.c_failed in
+  let oc = open_out "BENCH_overload.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"seed\": %d,\n\
+    \  \"burst\": %d,\n\
+    \  \"queue_cap\": %d,\n\
+    \  \"workers\": %d,\n\
+    \  \"concurrency\": %d,\n\
+    \  \"interactive_sent\": %d,\n\
+    \  \"interactive_ok\": %d,\n\
+    \  \"interactive_shed\": %d,\n\
+    \  \"interactive_p99_ms\": %.3f,\n\
+    \  \"batch_sent\": %d,\n\
+    \  \"batch_ok\": %d,\n\
+    \  \"batch_shed\": %d,\n\
+    \  \"batch_deadline_dropped\": %d,\n\
+    \  \"batch_p99_ms\": %.3f,\n\
+    \  \"retries\": %d,\n\
+    \  \"replies\": %d,\n\
+    \  \"lost\": %d,\n\
+    \  \"code70\": %d,\n\
+    \  \"server_sheds\": %d,\n\
+    \  \"server_deadline_drops\": %d,\n\
+    \  \"elapsed_s\": %.6f,\n\
+    \  \"ocaml_version\": \"%s\"\n\
+     }\n"
+    seed burst queue_cap workers concurrency i.Loadgen.c_sent i.Loadgen.c_ok
+    i.Loadgen.c_shed i.Loadgen.c_p99_ms b.Loadgen.c_sent b.Loadgen.c_ok b.Loadgen.c_shed
+    b.Loadgen.c_deadline_dropped b.Loadgen.c_p99_ms
+    (i.Loadgen.c_retries + b.Loadgen.c_retries)
+    r.Loadgen.replies lost r.Loadgen.code70 server.Serve.sheds
+    server.Serve.deadline_drops r.Loadgen.o_elapsed_s Sys.ocaml_version;
+  close_out oc;
+  Log.app (fun m -> m "wrote BENCH_overload.json");
+  (* the typed-degradation contract is load-bearing: fail the bench,
+     don't just report *)
+  if r.Loadgen.code70 > 0 then
+    failwith (Printf.sprintf "overload benchmark: %d code-70 replies" r.Loadgen.code70);
+  if lost > 0 then
+    failwith (Printf.sprintf "overload benchmark: %d requests got no reply" lost);
+  if server.Serve.sheds + server.Serve.deadline_drops = 0 then
+    failwith "overload benchmark: burst past capacity shed nothing";
+  if i.Loadgen.c_ok > 0 && i.Loadgen.c_p99_ms > p99_bound_ms then
+    failwith
+      (Printf.sprintf
+         "overload benchmark: admitted interactive p99 %.1f ms exceeds the %.0f ms bound"
+         i.Loadgen.c_p99_ms p99_bound_ms)
+
+(* ------------------------------------------------------------------ *)
 
 (* Same telemetry outputs as the CLI's --trace / --metrics-out, driven
    by environment variables so `dune exec bench/main.exe` stays
@@ -707,5 +835,6 @@ let () =
   if Sys.getenv_opt "VARTUNE_SKIP_STORE" = None then store_benchmarks ~samples ~seed;
   if Sys.getenv_opt "VARTUNE_SKIP_SERVE" = None then serve_benchmarks ~samples ~seed;
   if Sys.getenv_opt "VARTUNE_SKIP_KERNELS" = None then kernel_benchmarks ~samples ~seed;
+  if Sys.getenv_opt "VARTUNE_SKIP_OVERLOAD" = None then overload_benchmarks ~seed;
   if Sys.getenv_opt "VARTUNE_SKIP_FIGURES" = None then Figures.run_all setup;
   Log.app (fun m -> m "total wall time: %.1f s" (Unix.gettimeofday () -. t0))

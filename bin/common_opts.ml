@@ -122,9 +122,10 @@ let faults_arg =
            (default: $(b,VARTUNE_FAULTS)). SPEC is comma-separated $(i,point=trigger) \
            items with an optional $(i,:seed) suffix, e.g. \
            $(b,write=0.25,rename=#2,worker_crash=0.1:42). Points: read, write, rename, \
-           lock, fsync, worker_crash, enospc, partial_write; triggers: a probability in \
-           [0,1] or $(b,#N) for the N-th occurrence. Runs either complete bit-identically \
-           to the fault-free run or exit non-zero with a typed error.")
+           lock, fsync, worker_crash, enospc, partial_write, delay; triggers: a \
+           probability in [0,1] or $(b,#N) for the N-th occurrence. Runs either complete \
+           bit-identically to the fault-free run or exit non-zero with a typed error \
+           ($(b,delay) only stretches service time, for overload chaos testing).")
 
 let term =
   let make verbose jobs chunk trace metrics_out seed samples store_dir no_store faults =
@@ -361,6 +362,20 @@ let man =
        ids in $(b,recipes), and named deliverables (e.g. a Verilog netlist) in \
        $(b,artifacts). The daemon also answers the plain-text lines $(b,GET metrics), \
        $(b,GET profile) and $(b,GET health) with one line of JSON each.";
+    `P
+      "Requests may carry two optional scheduling fields in the envelope, between \
+       $(b,id) and $(b,kind): $(b,priority) ($(i,\"interactive\") or $(i,\"batch\"); \
+       default by kind — report/parse/characterize are interactive, the \
+       statistical-library kinds batch) and $(b,deadline_s) (a positive number of \
+       seconds from receipt after which the answer is worthless; checked at admission \
+       and again at dequeue). Both steer the daemon's bounded admission queue only — \
+       they never change the computation, are excluded from the deduplication key, and \
+       encode nothing when absent, so pre-envelope request lines are byte-identical and \
+       the version is not bumped. Under overload (queue full, connection cap, expired \
+       deadline, drain) the daemon sheds the request with a code-75 response whose \
+       $(b,retry_after_s) field is a deterministic back-off hint; clients should wait \
+       at least that long before retrying, as $(b,vartune loadgen) and the bundled \
+       client's retry ladder do.";
     `S "EXIT STATUS";
     `P "Pipeline failures map to sysexits.h-style codes:";
     `I

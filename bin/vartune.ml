@@ -33,6 +33,7 @@ module Run = Vartune_flow.Run
 module Run_request = Vartune_flow.Run_request
 module Run_report = Vartune_flow.Run_report
 module Serve = Vartune_serve.Serve
+module Client = Vartune_serve.Client
 module Loadgen = Vartune_serve.Loadgen
 module Bench_diff = Vartune_obs.Bench_diff
 module Journal = Vartune_journal.Journal
@@ -470,11 +471,38 @@ let serve_cmd =
       value & opt int 16
       & info [ "backlog" ] ~docv:"N" ~doc:"listen(2) backlog of the daemon's socket.")
   in
-  let run (common : Common_opts.t) socket backlog =
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "serve-workers" ] ~docv:"N"
+          ~doc:"Worker threads executing admitted requests.")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Bound on queued-but-unstarted requests (both priority classes combined); \
+             requests beyond it are shed with a typed code-75 reply carrying a \
+             $(b,retry_after_s) hint.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Bound on concurrent client connections; connections beyond it are \
+             answered with one typed code-75 refusal and closed.")
+  in
+  let run (common : Common_opts.t) socket backlog workers queue_cap max_conns =
     Common_opts.setup common;
     Common_opts.guard @@ fun () ->
+    if workers < 1 || queue_cap < 1 || max_conns < 1 then begin
+      Log.err (fun m -> m "--serve-workers, --queue-cap and --max-conns must be >= 1");
+      exit 64 (* EX_USAGE *)
+    end;
     let store = Common_opts.store common in
-    Serve.run { Serve.socket; store; backlog };
+    Serve.run { Serve.socket; store; backlog; workers; queue_cap; max_conns };
     (* a graceful drain is the same "stopped cleanly, retry later"
        status an interrupted journaled run reports *)
     exit 75
@@ -486,8 +514,16 @@ let serve_cmd =
           evaluated through the same entry point as the batch subcommands, with \
           single-flight deduplication of identical in-flight requests, the $(b,--store) \
           shared as a cross-request cache, and live $(b,GET metrics) / $(b,GET profile) \
-          / $(b,GET health) endpoints. SIGINT/SIGTERM drains gracefully and exits 75.")
-    Term.(const run $ Common_opts.term $ socket_arg $ backlog_arg)
+          / $(b,GET health) endpoints. Execution is admission-controlled: a bounded \
+          two-class priority queue (interactive report/parse/characterize ahead of \
+          batch work) feeds $(b,--serve-workers) worker threads; overload beyond \
+          $(b,--queue-cap) or $(b,--max-conns), and requests whose $(b,deadline_s) has \
+          passed, are shed immediately with typed code-75 replies. SIGINT/SIGTERM \
+          drains gracefully — in-flight requests finish, queued ones are shed with 75 \
+          — and exits 75.")
+    Term.(
+      const run $ Common_opts.term $ socket_arg $ backlog_arg $ workers_arg
+      $ queue_cap_arg $ max_conns_arg)
 
 let loadgen_cmd =
   let requests_arg =
@@ -500,25 +536,77 @@ let loadgen_cmd =
       value & opt int 4
       & info [ "concurrency" ] ~docv:"N" ~doc:"Parallel client connections.")
   in
-  let run ((common : Common_opts.t), base) socket requests concurrency json =
+  let overload_arg =
+    Arg.(
+      value & flag
+      & info [ "overload" ]
+          ~doc:
+            "Overload mode: send the $(b,--requests) burst (every 4th request \
+             interactive, the rest batch statlib builds with per-index seeds so \
+             nothing deduplicates) through the client's retry/backoff loop and report \
+             per-class latency quantiles, sheds, deadline drops and retries. Exits 1 \
+             on any lost reply or code-70 response; sheds are expected, not failures.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Overload mode: retry budget of the client backoff loop per request.")
+  in
+  let run ((common : Common_opts.t), base) socket requests concurrency json overload
+      retries =
     Common_opts.setup common;
     Common_opts.guard @@ fun () ->
-    let mix =
-      Loadgen.default_mix ~seed:base.Request.seed ~samples:base.Request.samples
-    in
-    let r = Loadgen.run { Loadgen.socket; requests; concurrency; mix } in
-    if json then print_endline (Loadgen.result_to_json r)
+    if overload then begin
+      let r =
+        Loadgen.run_overload
+          {
+            Loadgen.o_socket = socket;
+            burst = requests;
+            o_concurrency = concurrency;
+            o_seed = base.Request.seed;
+            o_samples = base.Request.samples;
+            retry = { Client.default_policy with attempts = retries };
+          }
+      in
+      if json then print_endline (Loadgen.overload_result_to_json r)
+      else begin
+        let line label (c : Loadgen.class_stats) =
+          Printf.printf
+            "%-12s sent %d  ok %d  shed %d  deadline %d  failed %d  retries %d  p99 \
+             %.2f ms\n"
+            label c.Loadgen.c_sent c.Loadgen.c_ok c.Loadgen.c_shed
+            c.Loadgen.c_deadline_dropped c.Loadgen.c_failed c.Loadgen.c_retries
+            c.Loadgen.c_p99_ms
+        in
+        line "interactive" r.Loadgen.interactive;
+        line "batch" r.Loadgen.batch;
+        Printf.printf "elapsed %.2f s  replies %d  code70 %d\n" r.Loadgen.o_elapsed_s
+          r.Loadgen.replies r.Loadgen.code70
+      end;
+      let lost =
+        r.Loadgen.interactive.Loadgen.c_failed + r.Loadgen.batch.Loadgen.c_failed
+      in
+      if lost > 0 || r.Loadgen.code70 > 0 then exit 1
+    end
     else begin
-      Printf.printf "sent %d  ok %d  failed %d  dedup hits %d (%.1f%%)\n" r.Loadgen.sent
-        r.Loadgen.ok r.Loadgen.failed r.Loadgen.dedup_hits
-        (100.0 *. Loadgen.dedup_hit_rate r);
-      Printf.printf "elapsed %.2f s  throughput %.1f req/s\n" r.Loadgen.elapsed_s
-        r.Loadgen.throughput_rps;
-      Printf.printf "latency ms: p50 %.2f  p90 %.2f  p99 %.2f  min %.2f  max %.2f\n"
-        r.Loadgen.p50_ms r.Loadgen.p90_ms r.Loadgen.p99_ms r.Loadgen.min_ms
-        r.Loadgen.max_ms
-    end;
-    if r.Loadgen.failed > 0 then exit 1
+      let mix =
+        Loadgen.default_mix ~seed:base.Request.seed ~samples:base.Request.samples
+      in
+      let r = Loadgen.run { Loadgen.socket; requests; concurrency; mix } in
+      if json then print_endline (Loadgen.result_to_json r)
+      else begin
+        Printf.printf "sent %d  ok %d  failed %d  dedup hits %d (%.1f%%)\n"
+          r.Loadgen.sent r.Loadgen.ok r.Loadgen.failed r.Loadgen.dedup_hits
+          (100.0 *. Loadgen.dedup_hit_rate r);
+        Printf.printf "elapsed %.2f s  throughput %.1f req/s\n" r.Loadgen.elapsed_s
+          r.Loadgen.throughput_rps;
+        Printf.printf "latency ms: p50 %.2f  p90 %.2f  p99 %.2f  min %.2f  max %.2f\n"
+          r.Loadgen.p50_ms r.Loadgen.p90_ms r.Loadgen.p99_ms r.Loadgen.min_ms
+          r.Loadgen.max_ms
+      end;
+      if r.Loadgen.failed > 0 then exit 1
+    end
   in
   Cmd.v
     (cmd_info "loadgen"
@@ -526,10 +614,12 @@ let loadgen_cmd =
          "Drive a request mix (statlib / characterize / tune / live report, using the \
           shared $(b,--seed) and $(b,--samples)) at the given concurrency against a \
           running $(b,vartune serve) daemon and report throughput, latency quantiles \
-          and the dedup hit rate. Exits 1 if any request failed.")
+          and the dedup hit rate. With $(b,--overload), drive a seeded burst past the \
+          daemon's queue capacity instead and report per-class shed/retry accounting. \
+          Exits 1 if any request failed.")
     Term.(
       const run $ Common_opts.request_term $ socket_arg $ requests_arg $ concurrency_arg
-      $ json_flag)
+      $ json_flag $ overload_arg $ retries_arg)
 
 let parse_cmd =
   let file_arg =
@@ -538,11 +628,9 @@ let parse_cmd =
   let run common file =
     Common_opts.setup common;
     Common_opts.guard @@ fun () ->
-    let lib = Parser.parse_file file in
-    Printf.printf "%s: %d cells, corner %s, statistical=%b, total area %.0f um^2\n"
-      (Library.name lib) (Library.size lib) (Library.corner lib)
-      (Statistical.is_statistical lib)
-      (Library.total_area lib)
+    (* a request shim like every other subcommand, so [parse] is also
+       servable (and classed interactive by the daemon's admission) *)
+    exec_and_deliver common (Request.Parse { file })
   in
   Cmd.v
     (cmd_info "parse" ~doc:"Parse a liberty-format library file and summarise it.")

@@ -11,8 +11,9 @@ type point =
   | Worker_crash
   | Enospc
   | Partial_write
+  | Delay
 
-let n_points = 8
+let n_points = 9
 
 let index = function
   | Read -> 0
@@ -23,6 +24,7 @@ let index = function
   | Worker_crash -> 5
   | Enospc -> 6
   | Partial_write -> 7
+  | Delay -> 8
 
 let point_to_string = function
   | Read -> "read"
@@ -33,6 +35,7 @@ let point_to_string = function
   | Worker_crash -> "worker_crash"
   | Enospc -> "enospc"
   | Partial_write -> "partial_write"
+  | Delay -> "delay"
 
 let point_of_string = function
   | "read" -> Some Read
@@ -43,6 +46,7 @@ let point_of_string = function
   | "worker_crash" -> Some Worker_crash
   | "enospc" -> Some Enospc
   | "partial_write" -> Some Partial_write
+  | "delay" -> Some Delay
   | _ -> None
 
 exception Injected of { point : point; site : string; seq : int }

@@ -43,6 +43,13 @@ type point =
   | Worker_crash   (** a pool worker domain dies mid-task *)
   | Enospc         (** the filesystem reports no space left *)
   | Partial_write  (** a write persists only a prefix of the bytes *)
+  | Delay
+      (** a request's service time is stretched: the consulting layer
+          sleeps instead of failing.  Consumed by
+          {!Vartune_flow.Run_request.exec} at the start of request
+          evaluation, so the serve layer's queueing, deadline and
+          overload-shedding behaviour can be exercised with
+          reproducibly slow requests. *)
 
 val point_to_string : point -> string
 (** Lower-case spelling used in schedule specs ("read", "worker_crash", ...). *)

@@ -31,6 +31,7 @@ type t =
       run_dir : string option;
       json : bool;
     }
+  | Parse of { file : string }
 
 let kind_string = function
   | Characterize -> "characterize"
@@ -40,11 +41,38 @@ let kind_string = function
   | Sweep _ -> "sweep"
   | Design_sigma _ -> "design_sigma"
   | Report _ -> "report"
+  | Parse _ -> "parse"
 
 let base_of = function
-  | Characterize | Report _ -> None
+  | Characterize | Report _ | Parse _ -> None
   | Statlib b | Min_period b -> Some b
   | Tune { base; _ } | Sweep { base; _ } | Design_sigma { base; _ } -> Some base
+
+(* ------------------------------------------------------------------ *)
+(* Priorities                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type priority = Interactive | Batch
+
+let priority_to_string = function Interactive -> "interactive" | Batch -> "batch"
+
+let priority_of_string = function
+  | "interactive" -> Some Interactive
+  | "batch" -> Some Batch
+  | _ -> None
+
+(* Short requests an operator sits on ahead of the pipeline-heavy batch
+   kinds.  Tune builds a full statistical library, so it is batch. *)
+let default_priority = function
+  | Characterize | Report _ | Parse _ -> Interactive
+  | Statlib _ | Min_period _ | Tune _ | Sweep _ | Design_sigma _ -> Batch
+
+type envelope = {
+  id : int option;
+  priority : priority option;
+  deadline_s : float option;
+  req : t;
+}
 
 type error = Unsupported_version of int | Malformed of string
 
@@ -95,12 +123,20 @@ let fields = function
   | Report { trace; metrics; run_dir; json } ->
     opt "trace" str trace @ opt "metrics" str metrics @ opt "run_dir" str run_dir
     @ [ ("json", Json.Bool json) ]
+  | Parse { file } -> [ ("file", str file) ]
 
-let to_line ?id t =
+(* [priority] and [deadline_s] are envelope fields: they steer scheduling
+   but do not change the computation, so they sit between [id] and
+   [kind] and — like [id] — are excluded from [key].  When absent they
+   encode nothing, keeping pre-existing request lines byte-identical. *)
+let to_line ?id ?priority ?deadline_s t =
   Json.to_string
     (Json.Object
        (("vartune", int_ version)
-       :: (opt "id" int_ id @ (("kind", str (kind_string t)) :: fields t))))
+       :: (opt "id" int_ id
+          @ opt "priority" (fun p -> str (priority_to_string p)) priority
+          @ opt "deadline_s" num deadline_s
+          @ (("kind", str (kind_string t)) :: fields t))))
 
 let key t = to_line t
 
@@ -181,6 +217,21 @@ let of_line line =
       | Some _ -> bad "field \"vartune\" must be an integer"
       | None -> bad "missing field \"vartune\" (protocol version)");
       let id = get_int_opt "id" json in
+      let priority =
+        match get_string_opt "priority" json with
+        | None -> None
+        | Some s -> (
+          match priority_of_string s with
+          | Some p -> Some p
+          | None ->
+            bad "field \"priority\": unknown priority %S (want interactive or batch)" s)
+      in
+      let deadline_s =
+        match get_float_opt "deadline_s" json with
+        | None -> None
+        | Some d when d > 0.0 && Float.is_finite d -> Some d
+        | Some d -> bad "field \"deadline_s\": %g is not a positive finite number" d
+      in
       let t =
         match get_string_opt "kind" json with
         | None -> bad "missing field \"kind\""
@@ -215,9 +266,13 @@ let of_line line =
               run_dir = get_string_opt "run_dir" json;
               json = get_bool "json" json;
             }
+        | Some "parse" -> (
+          match get_string_opt "file" json with
+          | Some file -> Parse { file }
+          | None -> bad "missing field \"file\"")
         | Some other -> bad "unknown request kind %S" other
       in
-      Ok (id, t)
+      Ok { id; priority; deadline_s; req = t }
     with
     | Bad s -> Error (Malformed s)
     | Wrong_version v -> Error (Unsupported_version v))

@@ -65,6 +65,9 @@ type t =
       (** run report; with all three sources [None] it reports on the
           executing process's own live telemetry (the serve daemon's
           full-report endpoint) *)
+  | Parse of { file : string }
+      (** parse and summarise one liberty file (the [parse]
+          subcommand); the path is resolved by the executing process *)
 
 val version : int
 (** Current wire protocol version (1). *)
@@ -76,6 +79,38 @@ val kind_string : t -> string
 val base_of : t -> base option
 (** The seed/samples knobs of the request, if it has any. *)
 
+(** {2 Scheduling envelope}
+
+    [priority] and [deadline_s] are optional envelope fields: they
+    steer the serve layer's admission control but do not change the
+    computation, so — like [id] — they are excluded from {!key} and
+    omitted from the wire line when absent (existing lines stay
+    byte-identical; no version bump). *)
+
+type priority =
+  | Interactive  (** answered ahead of any queued batch work *)
+  | Batch  (** pipeline-heavy work, shed first under overload *)
+
+val priority_to_string : priority -> string
+(** ["interactive"] / ["batch"] — the wire spelling. *)
+
+val priority_of_string : string -> priority option
+
+val default_priority : t -> priority
+(** The class used when a request carries no explicit [priority]:
+    [Report]/[Parse]/[Characterize] are interactive, the
+    statistical-library kinds are batch. *)
+
+type envelope = {
+  id : int option;  (** caller correlation id, echoed in the response *)
+  priority : priority option;  (** [None]: {!default_priority} applies *)
+  deadline_s : float option;
+      (** seconds from receipt after which the answer is worthless;
+          checked at admission and again at dequeue *)
+  req : t;
+}
+(** A decoded wire line: the computation plus its scheduling fields. *)
+
 (** {2 Codec} *)
 
 type error =
@@ -86,12 +121,14 @@ type error =
 
 val error_message : error -> string
 
-val to_line : ?id:int -> t -> string
-(** Canonical one-line JSON encoding, no trailing newline. *)
+val to_line : ?id:int -> ?priority:priority -> ?deadline_s:float -> t -> string
+(** Canonical one-line JSON encoding, no trailing newline.  Omitted
+    optional arguments encode nothing. *)
 
-val of_line : string -> (int option * t, error) result
+val of_line : string -> (envelope, error) result
 (** Parses one wire line; inverse of {!to_line} (structurally equal,
-    floats bit-exact). *)
+    floats bit-exact).  An unknown [priority] spelling or a
+    non-positive [deadline_s] is {!error.Malformed}. *)
 
 val key : t -> string
 (** Canonical identity of the computation ({!to_line} without [id]) —

@@ -11,15 +11,16 @@ type t = {
   output : string;
   artifacts : (string * string) list;
   error : string option;
+  retry_after_s : float option;
 }
 
 let ok ?id ?(recipes = []) ?(meta = []) ?(artifacts = []) ~kind ~elapsed_s output =
   { id; kind; code = 0; elapsed_s; dedup = false; recipes; meta; output; artifacts;
-    error = None }
+    error = None; retry_after_s = None }
 
-let fail ?id ~kind ~elapsed_s ~code msg =
+let fail ?id ?retry_after_s ~kind ~elapsed_s ~code msg =
   { id; kind; code; elapsed_s; dedup = false; recipes = []; meta = []; output = "";
-    artifacts = []; error = Some msg }
+    artifacts = []; error = Some msg; retry_after_s }
 
 let num f = Json.Number f
 let int_ i = num (float_of_int i)
@@ -42,7 +43,8 @@ let to_line t =
               ("output", str t.output);
               ("artifacts", str_obj t.artifacts);
             ]
-          @ opt "error" str t.error)))
+          @ opt "error" str t.error
+          @ opt "retry_after_s" num t.retry_after_s)))
 
 exception Bad of string
 
@@ -103,5 +105,10 @@ let of_line line =
             | None -> None
             | Some (Json.String s) -> Some s
             | Some _ -> bad "ill-typed field \"error\"");
+          retry_after_s =
+            (match Json.member "retry_after_s" json with
+            | None -> None
+            | Some (Json.Number f) -> Some f
+            | Some _ -> bad "ill-typed field \"retry_after_s\"");
         }
     with Bad s -> Error s)

@@ -24,6 +24,11 @@ type t = {
   output : string;  (** exact CLI stdout bytes of the computation *)
   artifacts : (string * string) list;  (** name -> contents deliverables *)
   error : string option;  (** operator-facing message when [code <> 0] *)
+  retry_after_s : float option;
+      (** on a code-75 overload shed: a deterministic hint of how long
+          the client should back off before retrying; omitted from the
+          wire line when absent, so pre-existing responses are
+          byte-identical *)
 }
 
 val ok :
@@ -37,9 +42,16 @@ val ok :
   t
 (** [ok ~kind ~elapsed_s output] — a successful response. *)
 
-val fail : ?id:int -> kind:string -> elapsed_s:float -> code:int -> string -> t
+val fail :
+  ?id:int ->
+  ?retry_after_s:float ->
+  kind:string ->
+  elapsed_s:float ->
+  code:int ->
+  string ->
+  t
 (** [fail ~kind ~elapsed_s ~code msg] — a failed response; [output] is
-    empty. *)
+    empty.  [retry_after_s] accompanies overload sheds (code 75). *)
 
 val to_line : t -> string
 (** Canonical one-line JSON encoding, no trailing newline. *)

@@ -6,6 +6,7 @@ module Characterize = Vartune_charlib.Characterize
 module Mismatch = Vartune_process.Mismatch
 module Library = Vartune_liberty.Library
 module Printer = Vartune_liberty.Printer
+module Parser = Vartune_liberty.Parser
 module Restrict = Vartune_tuning.Restrict
 module Synthesis = Vartune_synth.Synthesis
 module Timing_report = Vartune_sta.Timing_report
@@ -115,6 +116,13 @@ let eval ?store ?ckpt ?(emit = ignore) req =
   | Request.Report _ ->
     (* needs Run_report, which sits above this module *)
     invalid_arg "Run.eval: report requests are evaluated by Run_request.exec"
+  | Request.Parse { file } ->
+    let lib = Parser.parse_file file in
+    line
+      (Printf.sprintf "%s: %d cells, corner %s, statistical=%b, total area %.0f um^2"
+         (Library.name lib) (Library.size lib) (Library.corner lib)
+         (Statistical.is_statistical lib) (Library.total_area lib));
+    done_ ~library:lib ~meta:(cells lib) ()
   | Request.Characterize ->
     let lib = Characterize.nominal ?store Characterize.default_config in
     raw (Printer.to_string lib);

@@ -23,10 +23,17 @@ let eval_report ~trace ~metrics ~run_dir ~json =
   | Ok r -> Ok ((if json then Run_report.to_json else Run_report.to_text) r)
   | Error msg -> Error msg
 
+(* How long a fired [delay] fault stretches a request.  Long enough to
+   pile a seeded burst up behind the worker pool, short enough that the
+   chaos suites stay fast. *)
+let delay_fault_s = 0.25
+
 let exec ?store ?(reraise_unclassified = false) req =
   let kind = Request.kind_string req in
   let t0 = Obs.now_ns () in
   let elapsed () = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9 in
+  if Vartune_fault.Fault.fires Vartune_fault.Fault.Delay ~site:"request.exec.delay" then
+    Unix.sleepf delay_fault_s;
   match
     Obs.span "request.exec" ~attrs:(fun () -> [ ("kind", kind) ]) @@ fun () ->
     match req with

@@ -1,0 +1,229 @@
+module Request = Vartune_flow.Request
+module Obs = Vartune_obs.Obs
+
+let src = Logs.Src.create "vartune.admission" ~doc:"bounded admission control"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type reason = Queue_full | Deadline_expired | Draining
+
+let reason_message = function
+  | Queue_full -> "overloaded: admission queue is full"
+  | Deadline_expired -> "deadline expired before the request could run"
+  | Draining -> "draining: request shed before execution"
+
+type 'a outcome =
+  | Value of 'a
+  | Failed of exn
+  | Shed of { reason : reason; retry_after_s : float }
+
+type 'a job = {
+  job_mu : Mutex.t;
+  job_cond : Condition.t;
+  mutable result : 'a outcome option;
+}
+
+type 'a entry = {
+  work : unit -> 'a;
+  job : 'a job;
+  deadline_ns : int64 option;
+  enqueued_ns : int64;
+}
+
+type 'a t = {
+  mu : Mutex.t;
+  cond : Condition.t;  (* signalled on enqueue and on stop *)
+  interactive : 'a entry Queue.t;
+  batch : 'a entry Queue.t;
+  queue_cap : int;
+  n_workers : int;
+  mutable stopping : bool;
+  mutable n_active : int;
+  mutable workers : Thread.t list;
+  n_sheds : int Atomic.t;
+  n_deadline_drops : int Atomic.t;
+}
+
+(* Obs counters are no-ops while telemetry is disabled, so the handle
+   keeps its own always-on atomics (what GET health reports) and
+   mirrors every event into these for GET metrics. *)
+let sheds_counter = Obs.Counter.make "serve.sheds"
+let deadline_counter = Obs.Counter.make "serve.deadline_drops"
+
+let fresh_job () =
+  { job_mu = Mutex.create (); job_cond = Condition.create (); result = None }
+
+let publish job outcome =
+  Mutex.lock job.job_mu;
+  job.result <- Some outcome;
+  Condition.broadcast job.job_cond;
+  Mutex.unlock job.job_mu
+
+let await job =
+  Mutex.lock job.job_mu;
+  let rec wait () =
+    match job.result with
+    | Some outcome -> outcome
+    | None ->
+      Condition.wait job.job_cond job.job_mu;
+      wait ()
+  in
+  let outcome = wait () in
+  Mutex.unlock job.job_mu;
+  outcome
+
+let depth_locked t = Queue.length t.interactive + Queue.length t.batch
+
+(* Deterministic back-off hint: a function of queue pressure only —
+   same load, same hint — scaled so an idle daemon suggests 50 ms and a
+   deeply backed-up one caps at 5 s. *)
+let hint_of_pressure ~queued ~running ~workers =
+  let pressure = float_of_int (queued + running) /. float_of_int (max 1 workers) in
+  Float.min 5.0 (0.05 *. Float.max 1.0 pressure)
+
+let retry_hint_locked t =
+  hint_of_pressure ~queued:(depth_locked t) ~running:t.n_active ~workers:t.n_workers
+
+let gauge_depth_locked t = Obs.gauge "serve.queue_depth" (float_of_int (depth_locked t))
+
+let count_shed t = Atomic.incr t.n_sheds; Obs.Counter.incr sheds_counter
+
+let count_deadline_drop t =
+  Atomic.incr t.n_deadline_drops;
+  Obs.Counter.incr deadline_counter
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec worker_loop t =
+  Mutex.lock t.mu;
+  let rec take () =
+    if not (Queue.is_empty t.interactive) then Some (Queue.pop t.interactive)
+    else if not (Queue.is_empty t.batch) then Some (Queue.pop t.batch)
+    else if t.stopping then None
+    else begin
+      Condition.wait t.cond t.mu;
+      take ()
+    end
+  in
+  match take () with
+  | None -> Mutex.unlock t.mu
+  | Some e ->
+    t.n_active <- t.n_active + 1;
+    let hint = retry_hint_locked t in
+    gauge_depth_locked t;
+    Mutex.unlock t.mu;
+    let now = Obs.now_ns () in
+    Obs.observe "serve.queue_wait_ms"
+      (Int64.to_float (Int64.sub now e.enqueued_ns) /. 1e6);
+    (match e.deadline_ns with
+    | Some d when now > d ->
+      (* second deadline check: the wait in the queue outlived it *)
+      count_deadline_drop t;
+      publish e.job (Shed { reason = Deadline_expired; retry_after_s = hint })
+    | _ ->
+      let outcome = try Value (e.work ()) with exn -> Failed exn in
+      publish e.job outcome);
+    Mutex.lock t.mu;
+    t.n_active <- t.n_active - 1;
+    Mutex.unlock t.mu;
+    worker_loop t
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create ~workers ~queue_cap =
+  if workers < 1 then invalid_arg "Admission.create: workers must be >= 1";
+  if queue_cap < 1 then invalid_arg "Admission.create: queue_cap must be >= 1";
+  let t =
+    {
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      interactive = Queue.create ();
+      batch = Queue.create ();
+      queue_cap;
+      n_workers = workers;
+      stopping = false;
+      n_active = 0;
+      workers = [];
+      n_sheds = Atomic.make 0;
+      n_deadline_drops = Atomic.make 0;
+    }
+  in
+  t.workers <- List.init workers (fun _ -> Thread.create worker_loop t);
+  t
+
+let submit t ~priority ?deadline_ns work =
+  let job = fresh_job () in
+  let now = Obs.now_ns () in
+  Mutex.lock t.mu;
+  let hint = retry_hint_locked t in
+  let refuse reason =
+    Mutex.unlock t.mu;
+    (match reason with
+    | Deadline_expired -> count_deadline_drop t
+    | Queue_full | Draining -> count_shed t);
+    publish job (Shed { reason; retry_after_s = hint })
+  in
+  (if t.stopping then refuse Draining
+   else
+     match deadline_ns with
+     | Some d when now > d -> refuse Deadline_expired
+     | _ ->
+       if depth_locked t >= t.queue_cap then refuse Queue_full
+       else begin
+         let queue =
+           match (priority : Request.priority) with
+           | Request.Interactive -> t.interactive
+           | Request.Batch -> t.batch
+         in
+         Queue.push { work; job; deadline_ns; enqueued_ns = now } queue;
+         gauge_depth_locked t;
+         Condition.signal t.cond;
+         Mutex.unlock t.mu
+       end);
+  job
+
+let stop t =
+  Mutex.lock t.mu;
+  if t.stopping && t.workers = [] then Mutex.unlock t.mu
+  else begin
+    t.stopping <- true;
+    let hint = retry_hint_locked t in
+    let queued = ref [] in
+    let drain q = Queue.iter (fun e -> queued := e :: !queued) q; Queue.clear q in
+    drain t.interactive;
+    drain t.batch;
+    gauge_depth_locked t;
+    Condition.broadcast t.cond;
+    let workers = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.mu;
+    let queued = List.rev !queued in
+    List.iter
+      (fun e ->
+        count_shed t;
+        publish e.job (Shed { reason = Draining; retry_after_s = hint }))
+      queued;
+    if queued <> [] then
+      Log.info (fun m -> m "drain: shed %d queued request(s)" (List.length queued));
+    List.iter Thread.join workers
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  let v = f t in
+  Mutex.unlock t.mu;
+  v
+
+let depth t = with_lock t depth_locked
+let active t = with_lock t (fun t -> t.n_active)
+let retry_hint t = with_lock t retry_hint_locked
+let sheds t = Atomic.get t.n_sheds
+let deadline_drops t = Atomic.get t.n_deadline_drops

@@ -1,0 +1,81 @@
+(** Bounded admission control for the serve daemon.
+
+    A two-class priority queue (interactive ahead of batch, FIFO within
+    a class) feeding a fixed pool of worker threads.  Capacity is
+    bounded: when the queue is full, the daemon is draining, or a
+    request's deadline has already passed, {!submit} refuses
+    immediately with a typed {!outcome.Shed} carrying a deterministic
+    [retry_after_s] hint — overload degrades into fast refusals instead
+    of unbounded latency and memory.
+
+    Deadlines are checked twice: at admission (a request that is
+    already worthless never occupies a queue slot) and again at dequeue
+    (a request whose deadline lapsed while queued is dropped without
+    being executed).
+
+    Telemetry: [serve.queue_depth] (gauge), [serve.sheds] and
+    [serve.deadline_drops] (counters, disjoint — a deadline drop is not
+    also a shed), [serve.queue_wait_ms] (histogram) via
+    {!Vartune_obs.Obs}.  The same numbers are always available from
+    {!depth}/{!active}/{!sheds}/{!deadline_drops} even when telemetry
+    is disabled, which is what [GET health] reports. *)
+
+type reason =
+  | Queue_full  (** the bounded queue was at capacity *)
+  | Deadline_expired  (** the deadline passed before execution started *)
+  | Draining  (** the daemon is shutting down; queued work is refused *)
+
+val reason_message : reason -> string
+(** Operator-facing message for a code-75 response. *)
+
+type 'a outcome =
+  | Value of 'a  (** the work ran and returned *)
+  | Failed of exn  (** the work raised (re-raised or mapped by the caller) *)
+  | Shed of { reason : reason; retry_after_s : float }
+      (** refused without running; [retry_after_s] is a deterministic
+          back-off hint scaled by queue pressure at decision time *)
+
+type 'a job
+(** A future for one submitted piece of work. *)
+
+type 'a t
+
+val create : workers:int -> queue_cap:int -> 'a t
+(** Starts [workers] worker threads over a queue bounded at
+    [queue_cap] entries (both classes combined).  Raises
+    [Invalid_argument] unless both are >= 1. *)
+
+val submit :
+  'a t ->
+  priority:Vartune_flow.Request.priority ->
+  ?deadline_ns:int64 ->
+  (unit -> 'a) ->
+  'a job
+(** Admits (or refuses) one piece of work.  Never blocks: on refusal
+    the returned job is already resolved to {!outcome.Shed}.
+    [deadline_ns] is an absolute {!Vartune_obs.Obs.now_ns} instant. *)
+
+val await : 'a job -> 'a outcome
+(** Blocks until the job's outcome is published. *)
+
+val stop : 'a t -> unit
+(** Drain: stops admitting, sheds every queued-but-unstarted job with
+    {!reason.Draining}, lets in-flight work finish, and joins the
+    workers.  Idempotent. *)
+
+val depth : 'a t -> int
+(** Queued entries (both classes), excluding in-flight work. *)
+
+val active : 'a t -> int
+(** Entries currently executing on a worker. *)
+
+val sheds : 'a t -> int
+(** Jobs refused with [Queue_full] or [Draining] since {!create}. *)
+
+val deadline_drops : 'a t -> int
+(** Jobs dropped because their deadline expired (at admission or at
+    dequeue) since {!create}. *)
+
+val retry_hint : 'a t -> float
+(** The deterministic [retry_after_s] the next shed would carry:
+    [min 5.0 (0.05 * max 1.0 ((depth + active) / workers))]. *)

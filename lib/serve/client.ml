@@ -18,10 +18,67 @@ let send_line t line =
   output_char t.oc '\n';
   flush t.oc
 
-let request ?id t req =
-  send_line t (Request.to_line ?id req);
+let request ?id ?priority ?deadline_s t req =
+  send_line t (Request.to_line ?id ?priority ?deadline_s req);
   Response.of_line (input_line t.ic)
 
 let get t endpoint =
   send_line t ("GET " ^ endpoint);
   input_line t.ic
+
+(* ------------------------------------------------------------------ *)
+(* Retry / backoff discipline                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The same ladder shape as the store's transient-fault policy: a
+   bounded number of retries with exponential backoff and a
+   deterministic jitter — derived from the policy seed and the attempt
+   index, never the wall clock — to decorrelate concurrent retriers.
+   The daemon's [retry_after_s] hint is honoured as a floor: the client
+   never comes back sooner than the server asked. *)
+
+type retry_policy = { attempts : int; base_backoff_s : float; seed : int }
+
+let default_policy = { attempts = 3; base_backoff_s = 0.0005; seed = 0 }
+
+(* splitmix64 finaliser, self-contained like the fault engine's. *)
+let mix64 (z : int64) : int64 =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let jitter ~seed ~attempt =
+  let h =
+    mix64
+      (Int64.add
+         (Int64.mul 0x9e3779b97f4a7c15L (Int64.of_int (attempt + 1)))
+         (Int64.of_int seed))
+  in
+  Int64.to_float (Int64.logand h 0xffL) /. 255.0
+
+let backoff_s policy ~attempt ~hint =
+  let ladder =
+    policy.base_backoff_s
+    *. (2.0 ** float_of_int attempt)
+    *. (1.0 +. jitter ~seed:policy.seed ~attempt)
+  in
+  Float.max ladder (Option.value hint ~default:0.0)
+
+(* A response is retryable exactly when the daemon said so: code 75
+   with a [retry_after_s] hint (an overload shed).  Drain 75s carry a
+   hint too, but by then the socket is going away, so the resend raises
+   a transport error the caller already handles. *)
+let request_retrying ?id ?priority ?deadline_s ?(policy = default_policy) t req =
+  let rec go attempt retries =
+    match request ?id ?priority ?deadline_s t req with
+    | Error _ as e -> (e, retries)
+    | Ok resp
+      when resp.Response.code = 75
+           && resp.Response.retry_after_s <> None
+           && attempt < policy.attempts ->
+      Unix.sleepf (backoff_s policy ~attempt ~hint:resp.Response.retry_after_s);
+      go (attempt + 1) (retries + 1)
+    | Ok _ as ok -> (ok, retries)
+  in
+  go 0 0

@@ -43,3 +43,50 @@ val result_to_json : result -> string
 
 val dedup_hit_rate : result -> float
 (** [dedup_hits / sent], 0 when nothing was sent. *)
+
+(** {2 Overload mode}
+
+    Drives a seeded burst larger than the daemon's queue capacity —
+    every 4th request interactive (a live report), the rest batch
+    statlib builds with per-index seeds so single-flight cannot
+    coalesce them — through the client's retry/backoff loop, and
+    accounts per class: admitted-latency quantiles, sheds that
+    survived every retry, deadline drops, and retries absorbed.  The
+    assertion the overload bench makes is that p99 of {e admitted}
+    interactive requests stays bounded while batch overload is shed,
+    not absorbed. *)
+
+type overload_config = {
+  o_socket : string;
+  burst : int;  (** requests in the burst; pick > the daemon's queue cap *)
+  o_concurrency : int;  (** parallel connections *)
+  o_seed : int;  (** base seed; batch request [i] uses [o_seed + i] *)
+  o_samples : int;  (** samples per batch statlib build — keep small *)
+  retry : Client.retry_policy;
+}
+
+type class_stats = {
+  c_sent : int;
+  c_ok : int;
+  c_shed : int;  (** final reply was still a code-75 shed after retries *)
+  c_deadline_dropped : int;
+  c_failed : int;  (** other non-zero codes, decode errors, transport drops *)
+  c_retries : int;  (** retries absorbed by the client's backoff loop *)
+  c_p50_ms : float;  (** quantiles over admitted (code-0) replies only *)
+  c_p90_ms : float;
+  c_p99_ms : float;
+  c_max_ms : float;
+}
+
+type overload_result = {
+  interactive : class_stats;
+  batch : class_stats;
+  o_elapsed_s : float;
+  replies : int;  (** total replies received — one per non-lost request *)
+  code70 : int;  (** internal-error replies; must be 0 *)
+}
+
+val run_overload : overload_config -> overload_result
+
+val overload_result_to_json : overload_result -> string
+(** One-line JSON with the BENCH_overload.json field vocabulary. *)

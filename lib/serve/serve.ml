@@ -10,9 +10,25 @@ let src = Logs.Src.create "vartune.serve" ~doc:"unix-socket evaluation service"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type config = { socket : string; store : Store.t option; backlog : int }
+type config = {
+  socket : string;
+  store : Store.t option;
+  backlog : int;
+  workers : int;
+  queue_cap : int;
+  max_conns : int;
+}
 
-type stats = { requests : int; dedup_hits : int; errors : int; active : int }
+type stats = {
+  requests : int;
+  dedup_hits : int;
+  errors : int;
+  active : int;
+  queued : int;
+  sheds : int;
+  deadline_drops : int;
+  slow_client_drops : int;
+}
 
 type handle = {
   config : config;
@@ -21,7 +37,10 @@ type handle = {
   n_requests : int Atomic.t;
   n_dedup : int Atomic.t;
   n_errors : int Atomic.t;
-  n_active : int Atomic.t;
+  n_conns : int Atomic.t;
+  n_conn_sheds : int Atomic.t;
+  n_slow_drops : int Atomic.t;
+  adm : Response.t Admission.t;
   flight : Response.t Single_flight.t;
   mutable accept_thread : Thread.t option;
 }
@@ -30,6 +49,15 @@ type handle = {
    latency on shutdown and the busy-wait cost while idle. *)
 let poll_interval_s = 0.2
 
+(* A reply the peer has not drained within this window marks it a slow
+   client: the connection is dropped rather than pinning a thread. *)
+let send_timeout_s = 10.0
+
+(* Longest accepted request line.  Far above any legitimate request
+   (the wire speaks one compact JSON object per line) and small enough
+   that a misbehaving peer cannot balloon the per-connection buffer. *)
+let max_line_bytes = 1 lsl 20
+
 (* ------------------------------------------------------------------ *)
 (* Socket lifecycle                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -37,7 +65,9 @@ let poll_interval_s = 0.2
 (* A leftover socket file from a crashed daemon must not block restart,
    but a live daemon must: probe by connecting.  A successful connect
    means someone is serving; a refused/absent one means the file is
-   stale and safe to replace. *)
+   stale and safe to replace.  Any other probe error (EACCES, a
+   non-socket file, ...) is an I/O failure naming the path — exit 74
+   through the CLI guard, never a raw backtrace. *)
 let bind_socket ~backlog path =
   if Sys.file_exists path then begin
     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -45,6 +75,12 @@ let bind_socket ~backlog path =
       match Unix.connect probe (Unix.ADDR_UNIX path) with
       | () -> true
       | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> false
+      | exception Unix.Unix_error (err, _, _) ->
+        (try Unix.close probe with Unix.Unix_error _ -> ());
+        raise
+          (Sys_error
+             (Printf.sprintf "%s: cannot probe existing socket: %s" path
+                (Unix.error_message err)))
     in
     (try Unix.close probe with Unix.Unix_error _ -> ());
     if live then failwith (Printf.sprintf "%s: a daemon is already serving" path);
@@ -72,18 +108,63 @@ let stats_of h =
     requests = Atomic.get h.n_requests;
     dedup_hits = Atomic.get h.n_dedup;
     errors = Atomic.get h.n_errors;
-    active = Atomic.get h.n_active;
+    active = Admission.active h.adm;
+    queued = Admission.depth h.adm;
+    sheds = Admission.sheds h.adm + Atomic.get h.n_conn_sheds;
+    deadline_drops = Admission.deadline_drops h.adm;
+    slow_client_drops = Atomic.get h.n_slow_drops;
   }
 
 let health_json h =
   let s = stats_of h in
   Printf.sprintf
-    "{\"status\":%S,\"requests\":%d,\"dedup_hits\":%d,\"errors\":%d,\"active\":%d}"
+    "{\"status\":%S,\"requests\":%d,\"dedup_hits\":%d,\"errors\":%d,\"active\":%d,\"queued\":%d,\"sheds\":%d,\"deadline_drops\":%d,\"slow_client_drops\":%d}"
     (if Atomic.get h.stopping then "draining" else "ok")
-    s.requests s.dedup_hits s.errors s.active
+    s.requests s.dedup_hits s.errors s.active s.queued s.sheds s.deadline_drops
+    s.slow_client_drops
+
+(* Evaluates one admitted request through the same single-flight cell
+   as before; only the leader occupies a queue slot, concurrent
+   duplicates block on its outcome and answer with [dedup = true].
+   Admission refusals become total code-75 responses carrying the
+   deterministic back-off hint. *)
+let eval_request h (env : Request.envelope) =
+  let req = env.Request.req in
+  let kind = Request.kind_string req in
+  let priority =
+    match env.Request.priority with
+    | Some p -> p
+    | None -> Request.default_priority req
+  in
+  let deadline_ns =
+    Option.map
+      (fun d -> Int64.add (Obs.now_ns ()) (Int64.of_float (d *. 1e9)))
+      env.Request.deadline_s
+  in
+  let resp, dedup =
+    Single_flight.run h.flight ~key:(Request.key req) (fun () ->
+        let job =
+          Admission.submit h.adm ~priority ?deadline_ns (fun () ->
+              Run_request.exec ?store:h.config.store req)
+        in
+        match Admission.await job with
+        | Admission.Value resp -> resp
+        | Admission.Shed { reason; retry_after_s } ->
+          Response.fail ~retry_after_s ~kind ~elapsed_s:0.0 ~code:75
+            (Admission.reason_message reason)
+        | Admission.Failed exn ->
+          (* Run_request.exec is total; anything escaping it is a bug *)
+          Response.fail ~kind ~elapsed_s:0.0 ~code:70
+            (Printf.sprintf "internal error: %s" (Printexc.to_string exn)))
+  in
+  if dedup then Atomic.incr h.n_dedup;
+  if resp.Response.code <> 0 then Atomic.incr h.n_errors;
+  Response.to_line { resp with Response.id = env.Request.id; dedup }
 
 let handle_line h line =
   match line with
+  (* GETs are answered inline on the connection thread, never queued,
+     so health and metrics stay responsive under overload. *)
   | "GET metrics" -> compact_json (Obs.metrics_json ())
   | "GET profile" -> compact_json (Profile.to_json (Profile.of_events (Obs.events ())))
   | "GET health" -> health_json h
@@ -93,31 +174,49 @@ let handle_line h line =
       Atomic.incr h.n_errors;
       Response.to_line
         (Response.fail ~kind:"error" ~elapsed_s:0.0 ~code:65 (Request.error_message err))
-    | Ok (id, req) ->
+    | Ok env ->
       Atomic.incr h.n_requests;
-      let resp, dedup =
-        Single_flight.run h.flight ~key:(Request.key req) (fun () ->
-            Run_request.exec ?store:h.config.store req)
-      in
-      if dedup then Atomic.incr h.n_dedup;
-      if resp.Response.code <> 0 then Atomic.incr h.n_errors;
-      Response.to_line { resp with Response.id; dedup })
+      eval_request h env)
 
 (* ------------------------------------------------------------------ *)
 (* Connections                                                         *)
 (* ------------------------------------------------------------------ *)
 
-type conn = { fd : Unix.file_descr; mutable pending : string }
+type conn = {
+  fd : Unix.file_descr;
+  partial : Buffer.t;  (* bytes of the current line, no newline inside *)
+  ready : string Queue.t;  (* complete lines not yet handled *)
+}
+
+exception Oversized_line
+exception Slow_client
+
+(* Splits a received chunk into complete lines (landing in [ready]) and
+   a partial tail (accumulating in [partial] — a Buffer, so repeated
+   chunks append in amortised O(n), not the O(n^2) of string concat). *)
+let feed conn chunk =
+  let n = String.length chunk in
+  let rec go start =
+    if start < n then
+      match String.index_from_opt chunk start '\n' with
+      | None -> Buffer.add_substring conn.partial chunk start (n - start)
+      | Some i ->
+        Buffer.add_substring conn.partial chunk start (i - start);
+        Queue.push (Buffer.contents conn.partial) conn.ready;
+        Buffer.clear conn.partial;
+        go (i + 1)
+  in
+  go 0;
+  (* a complete line always passes through [partial] before its newline
+     arrives, so capping the buffer bounds every line *)
+  if Buffer.length conn.partial > max_line_bytes then raise Oversized_line
 
 (* Line reader over the raw fd (no buffered channel, so the stop flag
-   is honoured between lines): returns [None] on peer EOF or drain. *)
+   is honoured between lines): returns [None] on peer EOF or drain.
+   Raises [Oversized_line] when a single line exceeds the cap. *)
 let rec next_line h conn =
-  match String.index_opt conn.pending '\n' with
-  | Some i ->
-    let line = String.sub conn.pending 0 i in
-    conn.pending <-
-      String.sub conn.pending (i + 1) (String.length conn.pending - i - 1);
-    Some line
+  match Queue.take_opt conn.ready with
+  | Some line -> Some line
   | None ->
     if Atomic.get h.stopping then None
     else (
@@ -129,37 +228,78 @@ let rec next_line h conn =
         let n = Unix.read conn.fd bytes 0 (Bytes.length bytes) in
         if n = 0 then None
         else begin
-          conn.pending <- conn.pending ^ Bytes.sub_string bytes 0 n;
+          feed conn (Bytes.sub_string bytes 0 n);
           next_line h conn
         end)
 
+(* Bounded sender: a peer that stops draining its socket for
+   [send_timeout_s] is dropped ([Slow_client]) instead of pinning this
+   connection thread forever. *)
 let write_all fd s =
-  let rec go off len =
-    if len > 0 then begin
-      let n = Unix.write_substring fd s off len in
-      go (off + n) (len - n)
-    end
+  let rec go off remaining =
+    if remaining > 0 then
+      match Unix.select [] [ fd ] [] send_timeout_s with
+      | _, [], _ -> raise Slow_client
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off remaining
+      | _ ->
+        let n = Unix.write_substring fd s off remaining in
+        go (off + n) (remaining - n)
   in
   go 0 (String.length s)
 
 let serve_conn h fd =
-  let conn = { fd; pending = "" } in
+  let conn = { fd; partial = Buffer.create 256; ready = Queue.create () } in
   let rec loop () =
     match next_line h conn with
     | None -> ()
     | Some line ->
-      Atomic.incr h.n_active;
-      let reply =
-        Fun.protect
-          ~finally:(fun () -> Atomic.decr h.n_active)
-          (fun () -> handle_line h line)
-      in
-      write_all fd (reply ^ "\n");
+      write_all fd (handle_line h line ^ "\n");
       loop ()
   in
-  (try loop ()
-   with Unix.Unix_error _ | Sys_error _ | End_of_file ->
-     (* a dropped connection only costs that connection *)
+  (try loop () with
+  | Oversized_line ->
+    (* typed refusal, then the connection is dropped: an unbounded line
+       must not balloon the buffer, and resynchronising mid-line is
+       guesswork *)
+    Atomic.incr h.n_errors;
+    let reply =
+      Response.to_line
+        (Response.fail ~kind:"error" ~elapsed_s:0.0 ~code:65
+           (Printf.sprintf "request line exceeds %d bytes" max_line_bytes))
+    in
+    (try write_all fd (reply ^ "\n") with
+    | Slow_client | Unix.Unix_error _ | Sys_error _ -> ())
+  | Slow_client ->
+    Atomic.incr h.n_slow_drops;
+    Obs.incr "serve.slow_client_drops";
+    Log.warn (fun m -> m "dropping slow client (reply unread for %.0fs)" send_timeout_s)
+  | Unix.Unix_error _ | Sys_error _ | End_of_file ->
+    (* a dropped connection only costs that connection *)
+    ());
+  Atomic.decr h.n_conns;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Over the connection cap: answer the first line with a typed 75 so
+   the client backs off, then close.  The reply is best-effort — the
+   refusal must never pin a thread. *)
+let refuse_conn h fd =
+  let conn = { fd; partial = Buffer.create 64; ready = Queue.create () } in
+  (try
+     match next_line h conn with
+     | None -> ()
+     | Some _ ->
+       Atomic.incr h.n_conn_sheds;
+       Obs.incr "serve.sheds";
+       let reply =
+         Response.to_line
+           (Response.fail
+              ~retry_after_s:(Admission.retry_hint h.adm)
+              ~kind:"error" ~elapsed_s:0.0 ~code:75
+              (Printf.sprintf "overloaded: connection limit (%d) reached"
+                 h.config.max_conns))
+       in
+       write_all fd (reply ^ "\n")
+   with Oversized_line | Slow_client | Unix.Unix_error _ | Sys_error _ | End_of_file ->
      ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -167,9 +307,11 @@ let serve_conn h fd =
 (* Accept loop and lifecycle                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Runs until the stop flag flips, then joins every connection thread —
-   in-flight requests finish and are answered before this returns
-   (graceful drain). *)
+(* Runs until the stop flag flips, then drains: admission stops (sheds
+   every queued-but-unstarted request with a typed 75, lets in-flight
+   work finish) and every connection thread is joined — so all replies,
+   including the sheds, are written before the listener closes and the
+   socket file disappears. *)
 let accept_loop h =
   let rec loop threads =
     if Atomic.get h.stopping then threads
@@ -179,17 +321,24 @@ let accept_loop h =
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop threads
       | _ -> (
         match Unix.accept h.listener with
-        | fd, _ -> loop (Thread.create (serve_conn h) fd :: threads)
+        | fd, _ ->
+          if Atomic.get h.n_conns >= h.config.max_conns then
+            loop (Thread.create (refuse_conn h) fd :: threads)
+          else begin
+            Atomic.incr h.n_conns;
+            loop (Thread.create (serve_conn h) fd :: threads)
+          end
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
           ->
           loop threads))
   in
   let threads = loop [] in
+  Admission.stop h.adm;
   List.iter Thread.join threads;
   let s = stats_of h in
   Log.info (fun m ->
-      m "drained: %d requests served, %d dedup hits, %d errors" s.requests s.dedup_hits
-        s.errors)
+      m "drained: %d requests served, %d dedup hits, %d errors, %d sheds" s.requests
+        s.dedup_hits s.errors s.sheds)
 
 let make_handle config listener =
   {
@@ -199,7 +348,10 @@ let make_handle config listener =
     n_requests = Atomic.make 0;
     n_dedup = Atomic.make 0;
     n_errors = Atomic.make 0;
-    n_active = Atomic.make 0;
+    n_conns = Atomic.make 0;
+    n_conn_sheds = Atomic.make 0;
+    n_slow_drops = Atomic.make 0;
+    adm = Admission.create ~workers:config.workers ~queue_cap:config.queue_cap;
     flight = Single_flight.create ();
     accept_thread = None;
   }
@@ -208,9 +360,18 @@ let cleanup h =
   (try Unix.close h.listener with Unix.Unix_error _ -> ());
   try Unix.unlink h.config.socket with Unix.Unix_error _ | Sys_error _ -> ()
 
+(* A reply written to a peer that already vanished must surface as
+   [EPIPE] on the writing thread, not terminate the whole daemon. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let start config =
+  ignore_sigpipe ();
   let h = make_handle config (bind_socket ~backlog:config.backlog config.socket) in
-  Log.info (fun m -> m "serving on %s" config.socket);
+  Log.info (fun m ->
+      m "serving on %s (%d workers, queue cap %d)" config.socket config.workers
+        config.queue_cap);
   h.accept_thread <- Some (Thread.create accept_loop h);
   h
 
@@ -223,6 +384,7 @@ let stop h =
 let stats = stats_of
 
 let run config =
+  ignore_sigpipe ();
   let h = make_handle config (bind_socket ~backlog:config.backlog config.socket) in
   List.iter
     (fun signal ->
@@ -231,6 +393,8 @@ let run config =
           (Sys.Signal_handle (fun _ -> Atomic.set h.stopping true))
       with Invalid_argument _ | Sys_error _ -> ())
     [ Sys.sigint; Sys.sigterm ];
-  Log.info (fun m -> m "serving on %s (SIGINT/SIGTERM drains gracefully)" config.socket);
+  Log.info (fun m ->
+      m "serving on %s (%d workers, queue cap %d; SIGINT/SIGTERM drains gracefully)"
+        config.socket config.workers config.queue_cap);
   accept_loop h;
   cleanup h

@@ -148,6 +148,100 @@ let test_statlib_interrupt_resume () =
     (read_file (Filename.concat rd_ref "report.txt"))
     (read_file (Filename.concat rd "report.txt"))
 
+(* ------------------------------------------------------------------ *)
+(* Overload drain through the real binary                              *)
+(* ------------------------------------------------------------------ *)
+
+module Request = Vartune_flow.Request
+module Response = Vartune_flow.Response
+module Client = Vartune_serve.Client
+module Json = Vartune_obs.Json
+
+(* SIGTERM with the pipeline full: one request executing (stretched by
+   the pinned delay fault), two queued behind the single worker.  The
+   daemon must answer the in-flight request with its real result, shed
+   both queued ones with typed code-75 replies before the socket file
+   disappears, and itself exit 75 — no client left hanging. *)
+let test_serve_sigterm_drain_under_load () =
+  let socket = in_temp "overload.sock" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let dev_null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+  let env = Array.append (Unix.environment ()) [| "VARTUNE_FAULTS=delay=1.0:3" |] in
+  let pid =
+    Unix.create_process_env exe
+      [| exe; "serve"; "--socket"; socket; "--serve-workers"; "1"; "--queue-cap"; "4" |]
+      env Unix.stdin dev_null dev_null
+  in
+  Unix.close dev_null;
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while not (Sys.file_exists socket) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.05
+  done;
+  Alcotest.(check bool) "daemon bound its socket" true (Sys.file_exists socket);
+  let results = Array.make 3 None in
+  let fire i seed =
+    Thread.create
+      (fun () ->
+        let client = Client.connect socket in
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () ->
+            results.(i) <-
+              Some (Client.request client (Request.Statlib { Request.seed; samples = 2 }))))
+      ()
+  in
+  (* GET health is answered inline even under overload, so it is the
+     probe for the daemon's internal queue state. *)
+  let health_field field =
+    let client = Client.connect socket in
+    Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+    match Json.parse (Client.get client "health") with
+    | Ok json -> (
+      match Json.member field json with Some (Json.Number n) -> int_of_float n | _ -> 0)
+    | Error _ -> 0
+  in
+  let wait_for field n =
+    let deadline = Unix.gettimeofday () +. 30.0 in
+    let rec go () =
+      if health_field field >= n then true
+      else if Unix.gettimeofday () >= deadline then false
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+    in
+    go ()
+  in
+  let ta = fire 0 300 in
+  Alcotest.(check bool) "one request reached the worker" true (wait_for "active" 1);
+  let tb = fire 1 301 in
+  let tc = fire 2 302 in
+  Alcotest.(check bool) "two requests queued behind it" true (wait_for "queued" 2);
+  Unix.kill pid Sys.sigterm;
+  List.iter Thread.join [ ta; tb; tc ];
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> check_exit "SIGTERM drains to exit 75" 75 code
+  | _, Unix.WSIGNALED s -> Alcotest.failf "daemon killed by signal %d instead of draining" s
+  | _, Unix.WSTOPPED _ -> Alcotest.fail "daemon stopped unexpectedly");
+  Alcotest.(check bool) "socket file removed on drain" false (Sys.file_exists socket);
+  let resp tag i =
+    match results.(i) with
+    | Some (Ok r) -> r
+    | Some (Error e) -> Alcotest.failf "%s response unreadable: %s" tag e
+    | None -> Alcotest.failf "%s request got no reply" tag
+  in
+  Alcotest.(check int) "in-flight request answered with its result" 0
+    (resp "in-flight" 0).Response.code;
+  List.iter
+    (fun (tag, i) ->
+      let r = resp tag i in
+      Alcotest.(check int) (tag ^ " shed with 75") 75 r.Response.code;
+      Alcotest.(check bool)
+        (tag ^ " carries a retry hint")
+        true
+        (r.Response.retry_after_s <> None))
+    [ ("queued B", 1); ("queued C", 2) ]
+
 let () =
   Alcotest.run "cli"
     [
@@ -162,5 +256,10 @@ let () =
       ( "resume",
         [
           Alcotest.test_case "statlib interrupt/resume" `Slow test_statlib_interrupt_resume;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "SIGTERM drain under load" `Slow
+            test_serve_sigterm_drain_under_load;
         ] );
     ]

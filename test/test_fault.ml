@@ -30,7 +30,7 @@ let with_store name f =
 let all_points =
   [
     Fault.Read; Fault.Write; Fault.Rename; Fault.Lock; Fault.Fsync;
-    Fault.Worker_crash; Fault.Enospc; Fault.Partial_write;
+    Fault.Worker_crash; Fault.Enospc; Fault.Partial_write; Fault.Delay;
   ]
 
 (* ------------------------------------------------------------------ *)

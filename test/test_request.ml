@@ -65,9 +65,21 @@ let request_gen =
         (fun ((trace, metrics), (run_dir, json)) ->
           Request.Report { trace; metrics; run_dir; json })
         (pair (pair (option name_gen) (option name_gen)) (pair (option name_gen) bool));
+      map (fun file -> Request.Parse { file }) name_gen;
     ]
 
 let with_id_gen = QCheck2.Gen.(pair (option (int_range 0 1_000_000)) request_gen)
+
+let envelope_gen =
+  let open QCheck2.Gen in
+  map
+    (fun ((id, priority), (deadline_s, req)) ->
+      { Request.id; priority; deadline_s; req })
+    (pair
+       (pair
+          (option (int_range 0 1_000_000))
+          (option (oneofl [ Request.Interactive; Request.Batch ])))
+       (pair (option (float_range 1e-3 3600.0)) request_gen))
 
 let qtest ?(count = 300) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
@@ -82,23 +94,84 @@ let contains ~needle hay =
 (* ------------------------------------------------------------------ *)
 
 let request_round_trip =
-  qtest "request of_line inverts to_line"
-    ~count:500 with_id_gen (fun (id, req) ->
-      let line = Request.to_line ?id req in
+  qtest "request of_line inverts to_line (full envelope)"
+    ~count:500 envelope_gen (fun env ->
+      let line =
+        Request.to_line ?id:env.Request.id ?priority:env.Request.priority
+          ?deadline_s:env.Request.deadline_s env.Request.req
+      in
       if String.contains line '\n' then
         QCheck2.Test.fail_reportf "embedded newline in %S" line;
       match Request.of_line line with
-      | Ok (id', req') -> id' = id && req' = req
+      | Ok env' -> env' = env
       | Error e ->
         QCheck2.Test.fail_reportf "decode of %S failed: %s" line
           (Request.error_message e))
 
 let encoding_canonical =
-  qtest "to_line is deterministic and key drops only the id" with_id_gen
+  qtest "to_line is deterministic and key drops only the envelope" with_id_gen
     (fun (id, req) ->
       Request.to_line ?id req = Request.to_line ?id req
       && Request.key req = Request.to_line req
-      && Request.of_line (Request.key req) = Ok (None, req))
+      && Request.of_line (Request.key req)
+         = Ok { Request.id = None; priority = None; deadline_s = None; req })
+
+(* Envelope fields steer scheduling only: they never reach the dedup
+   key, and when absent the wire line is byte-identical to the
+   pre-envelope protocol — pinned against literal bytes, so any codec
+   change that would bump the wire format fails here first. *)
+let test_envelope_bytes () =
+  let req = Request.Statlib { Request.seed = 42; samples = 50 } in
+  Alcotest.(check string)
+    "pre-envelope statlib line is byte-identical"
+    {|{"vartune":1,"kind":"statlib","seed":42,"samples":50}|}
+    (Request.to_line req);
+  Alcotest.(check string)
+    "id sits between version and kind"
+    {|{"vartune":1,"id":7,"kind":"statlib","seed":42,"samples":50}|}
+    (Request.to_line ~id:7 req);
+  Alcotest.(check string)
+    "envelope fields sit between id and kind"
+    {|{"vartune":1,"id":7,"priority":"batch","deadline_s":2.5,"kind":"statlib","seed":42,"samples":50}|}
+    (Request.to_line ~id:7 ~priority:Request.Batch ~deadline_s:2.5 req);
+  Alcotest.(check string)
+    "key ignores the envelope" (Request.key req)
+    (match
+       Request.of_line
+         (Request.to_line ~id:9 ~priority:Request.Interactive ~deadline_s:0.5 req)
+     with
+    | Ok env -> Request.key env.Request.req
+    | Error e -> Alcotest.failf "decode failed: %s" (Request.error_message e));
+  Alcotest.(check string)
+    "parse kind round-trips"
+    {|{"vartune":1,"kind":"parse","file":"lib.lib"}|}
+    (Request.to_line (Request.Parse { file = "lib.lib" }))
+
+let test_default_priorities () =
+  let interactive =
+    [
+      Request.Characterize;
+      Request.Parse { file = "x.lib" };
+      Request.Report { trace = None; metrics = None; run_dir = None; json = false };
+    ]
+  and batch =
+    [
+      Request.Statlib { Request.seed = 1; samples = 2 };
+      Request.Min_period { Request.seed = 1; samples = 2 };
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check string)
+        (Request.kind_string r) "interactive"
+        (Request.priority_to_string (Request.default_priority r)))
+    interactive;
+  List.iter
+    (fun r ->
+      Alcotest.(check string)
+        (Request.kind_string r) "batch"
+        (Request.priority_to_string (Request.default_priority r)))
+    batch
 
 let version_rejected =
   qtest "future wire versions are rejected, never guessed" request_gen (fun req ->
@@ -136,6 +209,13 @@ let test_malformed () =
       Printf.sprintf {|{"vartune":%d,"kind":"statlib","seed":1}|} Request.version;
       Printf.sprintf {|{"vartune":%d,"kind":"tune","seed":1,"samples":2,"method":"bogus"}|}
         Request.version;
+      Printf.sprintf {|{"vartune":%d,"priority":"urgent","kind":"characterize"}|}
+        Request.version;
+      Printf.sprintf {|{"vartune":%d,"deadline_s":0,"kind":"characterize"}|}
+        Request.version;
+      Printf.sprintf {|{"vartune":%d,"deadline_s":-1.5,"kind":"characterize"}|}
+        Request.version;
+      Printf.sprintf {|{"vartune":%d,"kind":"parse"}|} Request.version;
     ];
   match Request.of_line (Printf.sprintf {|{"vartune":%d,"kind":"statlib"}|} 99) with
   | Error (Request.Unsupported_version 99) ->
@@ -151,7 +231,7 @@ let response_gen =
   let open QCheck2.Gen in
   let assoc = list_size (int_range 0 3) (pair name_gen name_gen) in
   map
-    (fun (((id, kind), (code, elapsed_s)), ((dedup, recipes), ((meta, output), (artifacts, error)))) ->
+    (fun ((((id, kind), (code, elapsed_s)), ((dedup, recipes), ((meta, output), (artifacts, error)))), retry_after_s) ->
       {
         Response.id;
         kind;
@@ -163,16 +243,19 @@ let response_gen =
         output;
         artifacts;
         error;
+        retry_after_s;
       })
     (pair
        (pair
-          (pair (option (int_range 0 1_000_000)) name_gen)
-          (pair (oneofl [ 0; 65; 70; 74; 75 ]) (float_range 0.0 1e4)))
-       (pair
-          (pair bool (list_size (int_range 0 3) name_gen))
           (pair
-             (pair assoc (string_size ~gen:printable (int_range 0 200)))
-             (pair assoc (option name_gen)))))
+             (pair (option (int_range 0 1_000_000)) name_gen)
+             (pair (oneofl [ 0; 65; 70; 74; 75 ]) (float_range 0.0 1e4)))
+          (pair
+             (pair bool (list_size (int_range 0 3) name_gen))
+             (pair
+                (pair assoc (string_size ~gen:printable (int_range 0 200)))
+                (pair assoc (option name_gen)))))
+       (option (float_range 1e-3 5.0)))
 
 let response_round_trip =
   qtest "response of_line inverts to_line" ~count:500 response_gen (fun resp ->
@@ -192,6 +275,8 @@ let () =
           encoding_canonical;
           version_rejected;
           Alcotest.test_case "malformed lines diagnosed" `Quick test_malformed;
+          Alcotest.test_case "envelope bytes pinned" `Quick test_envelope_bytes;
+          Alcotest.test_case "default priorities by kind" `Quick test_default_priorities;
           response_round_trip;
         ] );
     ]
